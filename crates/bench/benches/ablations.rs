@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **δ(E) truncation** — sweep `max_discriminators`: attack potency is
+//!    insensitive to the cap because the attack floods *every* δ(E)
+//!    candidate; the cap only bounds classification cost.
+//! 2. **Prior strength `s`** — stronger priors blunt rare-token evidence.
+//! 3. **RONI via untrain vs retrain-from-scratch** — identical verdicts,
+//!    very different cost; this bench quantifies the untrain win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{bench_corpus, tokenized};
+use sb_email::Label;
+use sb_filter::{FilterOptions, SpamBayes};
+use std::hint::black_box;
+
+fn ablation_delta_cap(c: &mut Criterion) {
+    let corpus = bench_corpus(400);
+    let items = tokenized(&corpus);
+    let probes: Vec<Vec<String>> = {
+        let tk = sb_tokenizer::Tokenizer::new();
+        (0..30).map(|k| tk.token_set(&corpus.fresh_ham(k))).collect()
+    };
+    let mut g = c.benchmark_group("ablation_delta_cap");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for cap in [15usize, 50, 150, 10_000] {
+        let mut filter = SpamBayes::new();
+        filter.set_options(FilterOptions {
+            max_discriminators: cap,
+            ..FilterOptions::default()
+        });
+        for (tokens, label) in &items {
+            filter.train_tokens(tokens, *label, 1);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(filter.classify_tokens(p));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_prior_strength(c: &mut Criterion) {
+    let corpus = bench_corpus(400);
+    let items = tokenized(&corpus);
+    let probes: Vec<Vec<String>> = {
+        let tk = sb_tokenizer::Tokenizer::new();
+        (0..30).map(|k| tk.token_set(&corpus.fresh_ham(k))).collect()
+    };
+    let mut g = c.benchmark_group("ablation_prior_strength");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for s in [0.1f64, 0.45, 1.0, 5.0] {
+        let mut filter = SpamBayes::new();
+        filter.set_options(FilterOptions {
+            unknown_word_strength: s,
+            ..FilterOptions::default()
+        });
+        for (tokens, label) in &items {
+            filter.train_tokens(tokens, *label, 1);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(filter.classify_tokens(p));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_roni_untrain_vs_retrain(c: &mut Criterion) {
+    // The with/without-candidate comparison at the heart of RONI, done both
+    // ways. Train sets of 20 (paper scale).
+    let corpus = bench_corpus(200);
+    let items = tokenized(&corpus);
+    let train: Vec<&(Vec<String>, Label)> = items.iter().take(20).collect();
+    let val: Vec<&(Vec<String>, Label)> = items.iter().skip(20).take(50).collect();
+    let candidate: Vec<String> = {
+        let attack = sb_core::DictionaryAttack::new(sb_core::DictionaryKind::UsenetTop(10_000));
+        sb_tokenizer::Tokenizer::new().token_set(attack.prototype())
+    };
+    let eval = |f: &SpamBayes| -> usize {
+        val.iter()
+            .filter(|(t, l)| {
+                matches!(
+                    (l, f.classify_tokens(t).verdict),
+                    (Label::Ham, sb_filter::Verdict::Ham) | (Label::Spam, sb_filter::Verdict::Spam)
+                )
+            })
+            .count()
+    };
+
+    let mut base = SpamBayes::new();
+    for (tokens, label) in &train {
+        base.train_tokens(tokens, *label, 1);
+    }
+
+    let mut g = c.benchmark_group("ablation_roni");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("untrain_path", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut f| {
+                let before = eval(&f);
+                f.train_tokens(&candidate, Label::Spam, 1);
+                let after = eval(&f);
+                f.untrain_tokens(&candidate, Label::Spam, 1).unwrap();
+                black_box(before as i64 - after as i64)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("retrain_path", |b| {
+        b.iter(|| {
+            // Baseline filter from scratch…
+            let mut f1 = SpamBayes::new();
+            for (tokens, label) in &train {
+                f1.train_tokens(tokens, *label, 1);
+            }
+            let before = eval(&f1);
+            // …and the with-candidate filter from scratch.
+            let mut f2 = SpamBayes::new();
+            for (tokens, label) in &train {
+                f2.train_tokens(tokens, *label, 1);
+            }
+            f2.train_tokens(&candidate, Label::Spam, 1);
+            let after = eval(&f2);
+            black_box(before as i64 - after as i64)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_delta_cap,
+    ablation_prior_strength,
+    ablation_roni_untrain_vs_retrain
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Extension bench: the cross-filter transfer experiment's cost profile.
+//!
+//! Two questions: how expensive is it for *each* member of the filter zoo
+//! to ingest a dictionary-attack batch (the victim's training-time cost),
+//! and how fast does each classify once poisoned (the victim's serving
+//! cost). Tokenization differences — the paper's footnote 1 — dominate
+//! both, which is why every filter is measured through its own pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_bench::bench_corpus;
+use sb_core::attack::AttackGenerator;
+use sb_core::{DictionaryAttack, DictionaryKind};
+use sb_email::Label;
+use sb_filter::SpamBayes;
+use sb_stats::rng::Xoshiro256pp;
+use sb_variants::{BogoFilter, GrahamFilter, MultinomialNb, SaBayes, SaFull, StatFilter};
+use std::hint::black_box;
+
+fn zoo() -> Vec<Box<dyn StatFilter>> {
+    vec![
+        Box::new(SpamBayes::new()),
+        Box::new(GrahamFilter::new()),
+        Box::new(BogoFilter::new()),
+        Box::new(SaBayes::new()),
+        Box::new(SaFull::new()),
+        Box::new(MultinomialNb::new()),
+    ]
+}
+
+fn bench_attack_ingest(c: &mut Criterion) {
+    let corpus = bench_corpus(200);
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(10_000));
+    let proto = attack.generate(1, &mut Xoshiro256pp::new(1)).materialize().remove(0);
+
+    let mut g = c.benchmark_group("transfer_attack_ingest");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for filter in zoo() {
+        // Pre-train outside the timer; measure only the attack ingestion.
+        g.bench_with_input(
+            BenchmarkId::from_parameter(filter.name()),
+            filter.name(),
+            |b, name| {
+                b.iter_batched(
+                    || {
+                        let mut f = sb_experiments::figures::transfer::make_filter(name);
+                        for m in corpus.emails() {
+                            f.train(&m.email, m.label);
+                        }
+                        f
+                    },
+                    |mut f| {
+                        f.train_many(&proto, Label::Spam, 5);
+                        black_box(f.training_counts())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_poisoned_classify(c: &mut Criterion) {
+    let corpus = bench_corpus(200);
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(10_000));
+    let proto = attack.generate(1, &mut Xoshiro256pp::new(1)).materialize().remove(0);
+    let probes: Vec<sb_email::Email> = (0..20).map(|k| corpus.fresh_ham(k)).collect();
+
+    let mut g = c.benchmark_group("transfer_poisoned_classify");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    for mut filter in zoo() {
+        for m in corpus.emails() {
+            filter.train(&m.email, m.label);
+        }
+        filter.train_many(&proto, Label::Spam, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(filter.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    for p in &probes {
+                        black_box(filter.classify(p).score);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_attack_ingest, bench_poisoned_classify);
+criterion_main!(benches);

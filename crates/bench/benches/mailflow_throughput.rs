@@ -1,0 +1,108 @@
+//! Extension bench: the SMTP-lite substrate's throughput.
+//!
+//! In the organization simulation every message pays the full wire cost —
+//! rendering, dot-stuffing, framing, the server state machine, parsing —
+//! before the filter ever sees it. These benches keep that overhead honest
+//! (it must stay small relative to classification) and quantify the cost
+//! of fault-injection retransmissions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sb_bench::bench_corpus;
+use sb_email::Email;
+use sb_mailflow::{
+    dot_stuff, Envelope, FaultConfig, FaultyPipe, LineCodec, SmtpClient, SmtpServer,
+};
+use std::hint::black_box;
+
+fn envelopes(n: usize) -> Vec<Envelope> {
+    let corpus = bench_corpus(n.max(16));
+    corpus
+        .emails()
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, m)| {
+            Envelope::to_one(
+                format!("sender{i}@out.example"),
+                "victim@corp.example",
+                m.email.clone(),
+            )
+        })
+        .collect()
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let envs = envelopes(20);
+    let mut g = c.benchmark_group("smtp_delivery");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(envs.len() as u64));
+
+    g.bench_function("reliable_20_msgs", |b| {
+        b.iter(|| {
+            let mut pipe = FaultyPipe::reliable();
+            let mut server = SmtpServer::new("mx.bench");
+            let client = SmtpClient::new("out.bench");
+            let report = client.deliver_all(&mut pipe, &mut server, &envs);
+            assert_eq!(report.delivered, envs.len());
+            black_box(server.take_events().len())
+        })
+    });
+
+    g.bench_function("faulty_5pct_20_msgs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut pipe = FaultyPipe::new(
+                FaultConfig {
+                    drop_chance: 0.05,
+                    corrupt_chance: 0.05,
+                },
+                seed,
+            );
+            let mut server = SmtpServer::new("mx.bench");
+            let client = SmtpClient::new("out.bench");
+            let report = client.deliver_all(&mut pipe, &mut server, &envs);
+            black_box(report.delivered + report.failed.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    // Framing and stuffing on a dictionary-attack-sized body: the largest
+    // message the substrate ever carries.
+    let big_body: String = (0..10_000)
+        .map(|i| format!("word{i:05}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let email = Email::builder().subject("big").body(big_body).build();
+    let wire = dot_stuff(email.body());
+
+    let mut g = c.benchmark_group("wire");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+
+    g.bench_function("dot_stuff_80kB", |b| {
+        b.iter(|| black_box(dot_stuff(email.body()).len()))
+    });
+
+    g.bench_function("line_decode_80kB", |b| {
+        b.iter(|| {
+            let mut codec = LineCodec::new();
+            codec.feed(wire.as_bytes());
+            let mut lines = 0usize;
+            while let Some(item) = codec.next_line() {
+                if item.is_ok() {
+                    lines += 1;
+                }
+            }
+            black_box(lines)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delivery, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! §5.1 reproduction bench: RONI evaluator construction and per-candidate
+//! measurement (the defense's steady-state cost is the per-candidate one:
+//! every incoming message pays it before being admitted to training).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sb_bench::bench_corpus;
+use sb_core::{DictionaryAttack, DictionaryKind, RoniConfig, RoniDefense};
+use sb_filter::FilterOptions;
+use sb_stats::rng::Xoshiro256pp;
+use sb_tokenizer::Tokenizer;
+
+fn bench_roni(c: &mut Criterion) {
+    let corpus = bench_corpus(200);
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(10_000));
+    let attack_tokens = Tokenizer::new().token_set(attack.prototype());
+    let normal_tokens = Tokenizer::new().token_set(&corpus.fresh_spam(0));
+
+    let mut g = c.benchmark_group("roni");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("build_evaluator_200pool", |b| {
+        b.iter_batched(
+            || Xoshiro256pp::new(1),
+            |mut rng| {
+                RoniDefense::new(
+                    RoniConfig::default(),
+                    corpus.dataset(),
+                    FilterOptions::default(),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut roni = RoniDefense::new(
+        RoniConfig::default(),
+        corpus.dataset(),
+        FilterOptions::default(),
+        &mut Xoshiro256pp::new(2),
+    );
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("measure_attack_email_10k_lexicon", |b| {
+        b.iter(|| roni.measure(&attack_tokens))
+    });
+    g.bench_function("measure_ordinary_spam", |b| {
+        b.iter(|| roni.measure(&normal_tokens))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_roni);
+criterion_main!(benches);

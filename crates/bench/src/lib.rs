@@ -1,0 +1,34 @@
+//! # sb-bench — shared fixtures for the Criterion benchmarks
+//!
+//! One bench target per paper figure/table (exercising exactly the same
+//! code paths as the `repro` binary, at bench-friendly scale) plus
+//! microbenchmarks of the substrate and ablation benches for the design
+//! choices called out in DESIGN.md.
+
+use sb_corpus::{CorpusConfig, TrecCorpus};
+use sb_email::Label;
+use sb_filter::SpamBayes;
+
+/// Deterministic small corpus shared by benches.
+pub fn bench_corpus(n: usize) -> TrecCorpus {
+    TrecCorpus::generate(&CorpusConfig::with_size(n, 0.5), 0xBEEF)
+}
+
+/// A filter trained on the whole corpus.
+pub fn trained_filter(corpus: &TrecCorpus) -> SpamBayes {
+    let mut filter = SpamBayes::new();
+    for m in corpus.emails() {
+        filter.train(&m.email, m.label);
+    }
+    filter
+}
+
+/// Pre-tokenized `(tokens, label)` pairs for a corpus.
+pub fn tokenized(corpus: &TrecCorpus) -> Vec<(Vec<String>, Label)> {
+    let tk = sb_tokenizer::Tokenizer::new();
+    corpus
+        .emails()
+        .iter()
+        .map(|m| (tk.token_set(&m.email), m.label))
+        .collect()
+}

@@ -1,0 +1,203 @@
+//! The focused attack (§3.3): Causative Availability Targeted.
+//!
+//! The attacker knows (part of) a specific legitimate email the victim is
+//! about to receive — a competitor's bid, say — and sends attack emails
+//! containing the words they can guess. Trained as spam, those words' scores
+//! rise and the real target email is filtered on arrival.
+//!
+//! Knowledge model (§4.3): the attacker guesses each token of the target
+//! independently with probability `p`. By default one guess is drawn per
+//! attack (the attacker's knowledge is what it is), shared by every attack
+//! email; `resample_per_email` models an attacker who varies their guesses.
+//! Headers are copied from a randomly chosen existing spam (§4.1).
+
+use crate::attack::{build_attack_email, AttackBatch, AttackGenerator, HeaderMode};
+use crate::taxonomy::AttackClass;
+use rand::Rng;
+use sb_email::Email;
+use sb_stats::rng::Xoshiro256pp;
+use sb_tokenizer::Tokenizer;
+
+/// Configuration of a focused attack against one target email.
+#[derive(Debug, Clone)]
+pub struct FocusedAttack {
+    target_body_tokens: Vec<String>,
+    guess_prob: f64,
+    header_donor: Option<Email>,
+    resample_per_email: bool,
+}
+
+impl FocusedAttack {
+    /// Attack `target`, guessing each of its body tokens with probability
+    /// `guess_prob`. `header_donor` supplies the attack emails' headers
+    /// (pass a random spam from the corpus; `None` sends empty headers).
+    pub fn new(target: &Email, guess_prob: f64, header_donor: Option<Email>) -> Self {
+        assert!((0.0..=1.0).contains(&guess_prob));
+        // The attacker guesses the *content* of the target: its body words.
+        // Header tokens (message-ids, received chains…) are not guessable.
+        let tokenizer = Tokenizer::new();
+        let mut tokens = Vec::new();
+        tokenizer.tokenize_text(target.body(), &mut tokens);
+        tokens.sort_unstable();
+        tokens.dedup();
+        Self {
+            target_body_tokens: tokens,
+            guess_prob,
+            header_donor,
+            resample_per_email: false,
+        }
+    }
+
+    /// Model an attacker who re-guesses independently for every attack email
+    /// instead of fixing one knowledge set.
+    pub fn with_resampling(mut self, resample: bool) -> Self {
+        self.resample_per_email = resample;
+        self
+    }
+
+    /// The target's (deduplicated) body tokens — the attacker's guess space.
+    pub fn target_tokens(&self) -> &[String] {
+        &self.target_body_tokens
+    }
+
+    /// The guessing probability `p`.
+    pub fn guess_prob(&self) -> f64 {
+        self.guess_prob
+    }
+
+    /// One independent guess at the target's tokens.
+    pub fn guess_tokens(&self, rng: &mut Xoshiro256pp) -> Vec<String> {
+        self.target_body_tokens
+            .iter()
+            .filter(|_| rng.random::<f64>() < self.guess_prob)
+            .cloned()
+            .collect()
+    }
+
+    fn header_mode(&self) -> HeaderMode {
+        match &self.header_donor {
+            Some(d) => HeaderMode::Donor(d.clone()),
+            None => HeaderMode::Empty,
+        }
+    }
+}
+
+impl AttackGenerator for FocusedAttack {
+    fn name(&self) -> String {
+        format!("focused-p{:.2}", self.guess_prob)
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::causative_availability_targeted()
+    }
+
+    fn generate(&self, n: u32, rng: &mut Xoshiro256pp) -> AttackBatch {
+        let header = self.header_mode();
+        if self.resample_per_email {
+            let groups = (0..n)
+                .map(|_| (build_attack_email(&self.guess_tokens(rng), &header), 1))
+                .collect();
+            AttackBatch::new(groups)
+        } else {
+            let guess = self.guess_tokens(rng);
+            AttackBatch::new(vec![(build_attack_email(&guess, &header), n)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> Email {
+        let words: Vec<String> = (0..200).map(|i| format!("bidword{i:03}")).collect();
+        Email::builder()
+            .from_addr("rival@competitor.example")
+            .subject("Bid for the municipal contract")
+            .body(words.join(" "))
+            .build()
+    }
+
+    #[test]
+    fn guess_rate_matches_probability() {
+        let atk = FocusedAttack::new(&target(), 0.3, None);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut total = 0usize;
+        let reps = 200;
+        for _ in 0..reps {
+            total += atk.guess_tokens(&mut rng).len();
+        }
+        let rate = total as f64 / (reps as f64 * atk.target_tokens().len() as f64);
+        assert!((rate - 0.3).abs() < 0.03, "guess rate {rate}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let t = target();
+        let mut rng = Xoshiro256pp::new(2);
+        let none = FocusedAttack::new(&t, 0.0, None);
+        assert!(none.guess_tokens(&mut rng).is_empty());
+        let all = FocusedAttack::new(&t, 1.0, None);
+        assert_eq!(all.guess_tokens(&mut rng).len(), all.target_tokens().len());
+    }
+
+    #[test]
+    fn fixed_knowledge_batch_shares_one_prototype() {
+        let atk = FocusedAttack::new(&target(), 0.5, None);
+        let batch = atk.generate(300, &mut Xoshiro256pp::new(3));
+        assert_eq!(batch.groups().len(), 1);
+        assert_eq!(batch.len(), 300);
+    }
+
+    #[test]
+    fn resampled_batch_has_distinct_guesses() {
+        let atk = FocusedAttack::new(&target(), 0.5, None).with_resampling(true);
+        let batch = atk.generate(10, &mut Xoshiro256pp::new(4));
+        assert_eq!(batch.groups().len(), 10);
+        let bodies: std::collections::HashSet<&str> = batch
+            .groups()
+            .iter()
+            .map(|(e, _)| e.body())
+            .collect();
+        assert!(bodies.len() > 1, "resampled guesses should differ");
+    }
+
+    #[test]
+    fn donor_headers_are_attached() {
+        let donor = Email::builder()
+            .from_addr("spammer@bulk.example")
+            .subject("cheap meds")
+            .body("ignored")
+            .build();
+        let atk = FocusedAttack::new(&target(), 0.5, Some(donor.clone()));
+        let batch = atk.generate(1, &mut Xoshiro256pp::new(5));
+        let proto = &batch.groups()[0].0;
+        assert_eq!(proto.from_addr(), donor.from_addr());
+        assert_ne!(proto.body(), donor.body());
+    }
+
+    #[test]
+    fn attacker_guesses_body_not_headers() {
+        let atk = FocusedAttack::new(&target(), 1.0, None);
+        // Subject words ("bid", "municipal", …) are not in the guess space.
+        assert!(atk
+            .target_tokens()
+            .iter()
+            .all(|t| t.starts_with("bidword")));
+    }
+
+    #[test]
+    fn taxonomy_and_name() {
+        let atk = FocusedAttack::new(&target(), 0.3, None);
+        assert_eq!(atk.class(), AttackClass::causative_availability_targeted());
+        assert_eq!(atk.name(), "focused-p0.30");
+    }
+
+    #[test]
+    fn guesses_are_deterministic_under_seed() {
+        let atk = FocusedAttack::new(&target(), 0.5, None);
+        let a = atk.guess_tokens(&mut Xoshiro256pp::new(6));
+        let b = atk.guess_tokens(&mut Xoshiro256pp::new(6));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! The ham-labeled attack — §2.2's closing remark, built out.
+//!
+//! The paper restricts its own attacks to spam-labeled training data but
+//! notes that "using ham-labeled attack emails could enable more powerful
+//! attacks that place spam in a user's inbox" — a **Causative Integrity
+//! Targeted** attack in the §3.1 taxonomy. This module implements that
+//! extension so the defense experiments can probe it:
+//!
+//! The attacker plans a future spam campaign with a known vocabulary. Ahead
+//! of it, they send innocuous-looking *chaff* emails carrying the campaign
+//! vocabulary amid plausible business prose. If any of the victim's
+//! labeling paths deposits chaff into training as ham — auto-labeling
+//! whatever the current filter delivered to the inbox is the common one —
+//! the campaign tokens acquire hammy scores, and the later campaign sails
+//! through the filter.
+//!
+//! Unlike the availability attacks, the chaff must *itself* look ham to the
+//! current filter (or it never gets the ham label), which is why it blends
+//! camouflage tokens sampled from the victim's observable vocabulary.
+
+use crate::attack::{build_attack_email, AttackBatch, HeaderMode};
+use crate::taxonomy::AttackClass;
+use sb_email::{Email, Label};
+use sb_stats::rng::Xoshiro256pp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the chaff emails.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HamLabelAttack {
+    /// Vocabulary of the future spam campaign (what the attack launders).
+    campaign_tokens: Vec<String>,
+    /// Plausibly-ham vocabulary blended in so the chaff is delivered (and
+    /// auto-labeled) as ham.
+    camouflage: Vec<String>,
+    /// Camouflage words sampled into each chaff email.
+    camouflage_per_email: usize,
+}
+
+impl HamLabelAttack {
+    /// Build the attack. `campaign_tokens` is the future campaign's
+    /// vocabulary; `camouflage` is the ham-ish padding pool (e.g. tokens
+    /// scraped from the victim's public writing).
+    pub fn new(
+        campaign_tokens: Vec<String>,
+        camouflage: Vec<String>,
+        camouflage_per_email: usize,
+    ) -> Self {
+        assert!(!campaign_tokens.is_empty(), "campaign vocabulary is empty");
+        assert!(
+            camouflage.len() >= camouflage_per_email,
+            "camouflage pool smaller than per-email sample"
+        );
+        Self {
+            campaign_tokens,
+            camouflage,
+            camouflage_per_email,
+        }
+    }
+
+    /// The campaign vocabulary.
+    pub fn campaign_tokens(&self) -> &[String] {
+        &self.campaign_tokens
+    }
+
+    /// Taxonomy position: Causative **Integrity** Targeted.
+    pub fn class(&self) -> AttackClass {
+        AttackClass {
+            influence: crate::taxonomy::Influence::Causative,
+            violation: crate::taxonomy::Violation::Integrity,
+            specificity: crate::taxonomy::Specificity::Targeted,
+        }
+    }
+
+    /// The label the attack needs its chaff trained under — the whole point
+    /// of the extension.
+    pub const fn training_label() -> Label {
+        Label::Ham
+    }
+
+    /// Generate `n` chaff emails. Each carries the full campaign vocabulary
+    /// plus an independent camouflage sample, with empty headers (§2.2's
+    /// attacker controls bodies, not headers).
+    pub fn generate(&self, n: u32, rng: &mut Xoshiro256pp) -> AttackBatch {
+        let mut groups = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let mut words = self.campaign_tokens.clone();
+            // Sample camouflage without replacement (partial Fisher–Yates).
+            let mut pool = self.camouflage.clone();
+            for k in 0..self.camouflage_per_email {
+                let j = k + (rng.next() as usize) % (pool.len() - k);
+                pool.swap(k, j);
+            }
+            words.extend_from_slice(&pool[..self.camouflage_per_email]);
+            groups.push((build_attack_email(&words, &HeaderMode::Empty), 1));
+        }
+        AttackBatch::new(groups)
+    }
+
+    /// Generate one campaign spam message (what the attacker sends *after*
+    /// the poisoning): the campaign vocabulary plus a little unique filler,
+    /// the way real campaign blasts vary their padding.
+    pub fn campaign_spam(&self, i: u64) -> Email {
+        let mut words = self.campaign_tokens.clone();
+        words.push(format!("blast{i:05}"));
+        build_attack_email(&words, &HeaderMode::Empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_filter::{SpamBayes, Verdict};
+
+    fn campaign() -> Vec<String> {
+        ["replica", "timepiece", "luxury", "wholesale", "bargain"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn camouflage() -> Vec<String> {
+        (0..40).map(|i| format!("hamword{i:02}")).collect()
+    }
+
+    /// Filter trained on a toy distribution where camouflage words are ham.
+    fn victim_filter() -> SpamBayes {
+        let mut f = SpamBayes::new();
+        let camo = camouflage();
+        for i in 0..20 {
+            let ham_words: Vec<String> =
+                (0..5).map(|k| camo[(i * 2 + k) % camo.len()].clone()).collect();
+            f.train(
+                &build_attack_email(&ham_words, &HeaderMode::Empty),
+                Label::Ham,
+            );
+            f.train(
+                &Email::builder()
+                    .body(format!("cheap pills offer blast{i}"))
+                    .build(),
+                Label::Spam,
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn taxonomy_is_causative_integrity_targeted() {
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 10);
+        let class = atk.class();
+        assert_eq!(class.influence, crate::taxonomy::Influence::Causative);
+        assert_eq!(class.violation, crate::taxonomy::Violation::Integrity);
+        assert_eq!(class.specificity, crate::taxonomy::Specificity::Targeted);
+        assert_eq!(HamLabelAttack::training_label(), Label::Ham);
+    }
+
+    #[test]
+    fn chaff_carries_campaign_and_camouflage() {
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 10);
+        let batch = atk.generate(5, &mut Xoshiro256pp::new(3));
+        assert_eq!(batch.len(), 5);
+        for (email, _) in batch.groups() {
+            assert!(email.has_empty_headers());
+            for w in campaign() {
+                assert!(email.body().contains(&w), "campaign word {w} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn chaff_emails_vary_in_camouflage() {
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 10);
+        let batch = atk.generate(4, &mut Xoshiro256pp::new(9));
+        let bodies: std::collections::HashSet<&str> = batch
+            .groups()
+            .iter()
+            .map(|(e, _)| e.body())
+            .collect();
+        assert_eq!(bodies.len(), 4, "chaff must not be byte-identical");
+    }
+
+    #[test]
+    fn chaff_is_delivered_as_ham_by_the_current_filter() {
+        // Pre-condition for the attack to work at all: the chaff must not
+        // look spammy to the filter it is trying to poison.
+        let f = victim_filter();
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 15);
+        let batch = atk.generate(5, &mut Xoshiro256pp::new(11));
+        for (email, _) in batch.groups() {
+            let v = f.classify(email);
+            assert_ne!(v.verdict, Verdict::Spam, "chaff flagged: {}", v.score);
+        }
+    }
+
+    #[test]
+    fn poisoning_lets_the_campaign_through() {
+        let mut f = victim_filter();
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 10);
+
+        // Before: the campaign spam is at best unsure (its tokens unknown).
+        let before = f.classify(&atk.campaign_spam(0));
+
+        // Chaff trained as ham (the victim's auto-labeling path).
+        let batch = atk.generate(30, &mut Xoshiro256pp::new(17));
+        for (email, _) in batch.groups() {
+            f.train(email, Label::Ham);
+        }
+        let after = f.classify(&atk.campaign_spam(1));
+        assert!(
+            after.score < before.score - 0.05,
+            "campaign score must drop: {} -> {}",
+            before.score,
+            after.score
+        );
+        assert_eq!(
+            after.verdict,
+            Verdict::Ham,
+            "campaign must reach the inbox: score {}",
+            after.score
+        );
+    }
+
+    #[test]
+    fn spam_labeled_chaff_backfires() {
+        // If the victim labels the chaff correctly (as §2.2's restriction
+        // assumes), the campaign gets *more* blocked, not less.
+        let mut f = victim_filter();
+        let atk = HamLabelAttack::new(campaign(), camouflage(), 10);
+        let before = f.classify(&atk.campaign_spam(0));
+        let batch = atk.generate(30, &mut Xoshiro256pp::new(23));
+        for (email, _) in batch.groups() {
+            f.train(email, Label::Spam);
+        }
+        let after = f.classify(&atk.campaign_spam(1));
+        assert!(after.score >= before.score - 1e-9);
+        assert_eq!(after.verdict, Verdict::Spam);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign vocabulary is empty")]
+    fn empty_campaign_rejected() {
+        let _ = HamLabelAttack::new(vec![], camouflage(), 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! The optimal attack function (§3.4): the formal framework unifying the
+//! dictionary and focused attacks.
+//!
+//! The attacker's knowledge of the victim's next email is a distribution
+//! `p` over words — the probability each word appears in it. Because (a)
+//! token scores don't interact and (b) the message score `I` is monotone
+//! non-decreasing in each `f(w)`, the attack email maximizing the expected
+//! score of the next email simply includes every word with positive
+//! probability — or, under a size budget, the *most probable* words first.
+//!
+//! * uniform knowledge (`p_i` equal for all words) → include everything →
+//!   the **dictionary attack**;
+//! * point-mass knowledge (`p_i = 1` iff word `i` is in the known target) →
+//!   include the target's words → the **focused attack**;
+//! * anything in between (e.g. victim-specific jargon distributions) →
+//!   the constrained optimal attacks the paper leaves to future work,
+//!   exercised here by the `ablation` benchmarks.
+
+use std::collections::HashMap;
+
+/// Attacker knowledge: per-word appearance probabilities for the victim's
+/// next email (sparse: absent words have probability 0).
+#[derive(Debug, Clone, Default)]
+pub struct WordKnowledge {
+    probs: HashMap<String, f64>,
+}
+
+impl WordKnowledge {
+    /// No knowledge at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Uniform knowledge over a lexicon (the dictionary attack's model of
+    /// "the victim writes English"): every word equally likely.
+    pub fn uniform(lexicon: &[String], p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        Self {
+            probs: lexicon.iter().map(|w| (w.clone(), p)).collect(),
+        }
+    }
+
+    /// Exact knowledge of a target email's words (the focused attack).
+    pub fn point_mass(target_tokens: &[String]) -> Self {
+        Self {
+            probs: target_tokens.iter().map(|w| (w.clone(), 1.0)).collect(),
+        }
+    }
+
+    /// Set one word's probability.
+    pub fn set(&mut self, word: impl Into<String>, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        if p == 0.0 {
+            self.probs.remove(&word.into());
+        } else {
+            self.probs.insert(word.into(), p);
+        }
+    }
+
+    /// The probability assigned to a word.
+    pub fn prob(&self, word: &str) -> f64 {
+        self.probs.get(word).copied().unwrap_or(0.0)
+    }
+
+    /// Number of words with positive probability.
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Iterate over `(word, probability)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.probs.iter().map(|(w, &p)| (w.as_str(), p))
+    }
+
+    /// Blend two knowledge states: `α·self + (1−α)·other` pointwise. Models
+    /// the knowledge spectrum between the dictionary and focused extremes.
+    pub fn interpolate(&self, other: &WordKnowledge, alpha: f64) -> WordKnowledge {
+        assert!((0.0..=1.0).contains(&alpha));
+        let mut probs = HashMap::new();
+        for (w, &p) in &self.probs {
+            probs.insert(w.clone(), alpha * p);
+        }
+        for (w, &q) in &other.probs {
+            *probs.entry(w.clone()).or_insert(0.0) += (1.0 - alpha) * q;
+        }
+        probs.retain(|_, p| *p > 0.0);
+        WordKnowledge { probs }
+    }
+
+    /// The §3.4 optimal attack under an optional size budget: all words with
+    /// positive probability, most probable first; ties broken by word string
+    /// so the attack is deterministic.
+    pub fn optimal_attack(&self, budget: Option<usize>) -> Vec<String> {
+        let mut words: Vec<(&String, f64)> =
+            self.probs.iter().map(|(w, &p)| (w, p)).collect();
+        words.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("probabilities are finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let take = budget.unwrap_or(words.len()).min(words.len());
+        words[..take].iter().map(|(w, _)| (*w).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("w{i:03}")).collect()
+    }
+
+    #[test]
+    fn uniform_knowledge_yields_dictionary_attack() {
+        let lexicon = lex(100);
+        let k = WordKnowledge::uniform(&lexicon, 0.01);
+        let attack = k.optimal_attack(None);
+        // All lexicon words included — exactly the dictionary attack.
+        assert_eq!(attack.len(), 100);
+        let mut sorted = attack.clone();
+        sorted.sort();
+        let mut expect = lexicon.clone();
+        expect.sort();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn point_mass_yields_focused_attack() {
+        let target = lex(20);
+        let k = WordKnowledge::point_mass(&target);
+        let attack = k.optimal_attack(None);
+        assert_eq!(attack.len(), 20);
+        assert!(attack.iter().all(|w| target.contains(w)));
+    }
+
+    #[test]
+    fn budget_takes_most_probable_words() {
+        let mut k = WordKnowledge::none();
+        k.set("rare", 0.1);
+        k.set("common", 0.9);
+        k.set("medium", 0.5);
+        assert_eq!(k.optimal_attack(Some(2)), vec!["common", "medium"]);
+        assert_eq!(k.optimal_attack(Some(0)), Vec::<String>::new());
+        // Budget larger than support is fine.
+        assert_eq!(k.optimal_attack(Some(99)).len(), 3);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut k = WordKnowledge::none();
+        k.set("bbb", 0.5);
+        k.set("aaa", 0.5);
+        assert_eq!(k.optimal_attack(Some(1)), vec!["aaa"]);
+    }
+
+    #[test]
+    fn interpolation_blends_supports() {
+        let dict = WordKnowledge::uniform(&lex(10), 0.2);
+        let focus = WordKnowledge::point_mass(&lex(3));
+        let mid = dict.interpolate(&focus, 0.5);
+        // w000..w002 get 0.5·0.2 + 0.5·1.0 = 0.6; others 0.1.
+        assert!((mid.prob("w000") - 0.6).abs() < 1e-12);
+        assert!((mid.prob("w005") - 0.1).abs() < 1e-12);
+        // Under a budget of 3, the known-target words win.
+        assert_eq!(mid.optimal_attack(Some(3)), vec!["w000", "w001", "w002"]);
+    }
+
+    #[test]
+    fn set_zero_removes_word() {
+        let mut k = WordKnowledge::none();
+        k.set("x", 0.5);
+        assert_eq!(k.support_size(), 1);
+        k.set("x", 0.0);
+        assert_eq!(k.support_size(), 0);
+        assert_eq!(k.prob("x"), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The Reject On Negative Impact (RONI) defense (§5.1).
+//!
+//! Before admitting a candidate message into the training set, measure its
+//! incremental effect: sample small train/validation splits from the clean
+//! pool, train with and without the candidate, and compare validation
+//! performance. A message whose inclusion costs many previously-correct ham
+//! classifications is rejected.
+//!
+//! Paper parameters (Table 1): training sets of 20, validation sets of 50,
+//! 5 independent trials; the statistic is the average decrease in
+//! correctly-classified ham. The paper reports every dictionary-attack email
+//! costing ≥ 6.8 ham-as-ham (of 25) while non-attack spam costs ≤ 4.4 — a
+//! separable gap that a simple threshold exploits.
+//!
+//! Implementation note: the with/without comparison uses the filter's exact
+//! `untrain`, so each query costs one train + one untrain + one validation
+//! sweep per trial instead of a full retrain.
+
+use sb_email::{Dataset, Label};
+use sb_filter::{FilterOptions, SpamBayes, Verdict};
+use sb_stats::rng::Xoshiro256pp;
+use sb_tokenizer::Tokenizer;
+use serde::{Deserialize, Serialize};
+
+/// RONI parameters (defaults = paper Table 1, RONI column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoniConfig {
+    /// Per-trial training-set size.
+    pub train_size: usize,
+    /// Per-trial validation-set size.
+    pub val_size: usize,
+    /// Number of independent (train, validation) samples.
+    pub trials: usize,
+    /// Reject when the mean decrease in correctly-classified ham meets or
+    /// exceeds this many messages. The paper sets its threshold inside the
+    /// measured separability gap (theirs: ≥ 6.8 attack vs ≤ 4.4
+    /// non-attack); ours sits inside the gap measured on the synthetic
+    /// corpus by `repro roni` (attack ≥ 5.4 vs non-attack ≤ 4.8).
+    pub reject_threshold: f64,
+}
+
+impl Default for RoniConfig {
+    fn default() -> Self {
+        Self {
+            train_size: 20,
+            val_size: 50,
+            trials: 5,
+            reject_threshold: 5.1,
+        }
+    }
+}
+
+/// The measured impact of one candidate message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoniMeasurement {
+    /// Per-trial decrease in ham classified as ham (positive = harmful).
+    pub ham_correct_deltas: Vec<f64>,
+    /// Per-trial decrease in spam classified as spam (positive = harmful).
+    pub spam_correct_deltas: Vec<f64>,
+    /// Mean of `ham_correct_deltas` — the paper's rejection statistic.
+    pub mean_ham_impact: f64,
+    /// Whether the configured threshold rejects this message.
+    pub rejected: bool,
+}
+
+/// A RONI evaluator bound to a clean email pool.
+///
+/// Construction pre-tokenizes the pool and fixes the `trials` (train,
+/// validation) splits, so evaluating many candidates (the experiment
+/// evaluates hundreds) amortizes all per-pool work.
+pub struct RoniDefense {
+    cfg: RoniConfig,
+    trials: Vec<Trial>,
+}
+
+struct Trial {
+    filter: SpamBayes,
+    val: Vec<(Vec<String>, Label)>,
+    baseline_ham_correct: usize,
+    baseline_spam_correct: usize,
+}
+
+impl RoniDefense {
+    /// Build the evaluator from a clean pool.
+    ///
+    /// `pool` must contain at least `train_size + val_size` messages; each
+    /// trial samples its train and validation sets disjointly.
+    pub fn new(cfg: RoniConfig, pool: &Dataset, opts: FilterOptions, rng: &mut Xoshiro256pp) -> Self {
+        assert!(
+            pool.len() >= cfg.train_size + cfg.val_size,
+            "pool of {} too small for {}+{}",
+            pool.len(),
+            cfg.train_size,
+            cfg.val_size
+        );
+        let tokenizer = Tokenizer::new();
+        let tokenized: Vec<(Vec<String>, Label)> = pool
+            .emails()
+            .iter()
+            .map(|m| (tokenizer.token_set(&m.email), m.label))
+            .collect();
+
+        let trials = (0..cfg.trials)
+            .map(|_| {
+                let picks =
+                    sb_corpus::sample_indices(pool.len(), cfg.train_size + cfg.val_size, rng);
+                let (train_idx, val_idx) = picks.split_at(cfg.train_size);
+                let mut filter = SpamBayes::new();
+                filter.set_options(opts);
+                for &i in train_idx {
+                    let (set, label) = &tokenized[i];
+                    filter.train_tokens(set, *label, 1);
+                }
+                let val: Vec<(Vec<String>, Label)> = val_idx
+                    .iter()
+                    .map(|&i| tokenized[i].clone())
+                    .collect();
+                let (baseline_ham_correct, baseline_spam_correct) = correct_counts(&filter, &val);
+                Trial {
+                    filter,
+                    val,
+                    baseline_ham_correct,
+                    baseline_spam_correct,
+                }
+            })
+            .collect();
+        Self { cfg, trials }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RoniConfig {
+        &self.cfg
+    }
+
+    /// Measure one candidate (given as its token set; candidates are always
+    /// trained as spam per the contamination assumption, §2.2).
+    pub fn measure(&mut self, candidate_tokens: &[String]) -> RoniMeasurement {
+        let mut ham_deltas = Vec::with_capacity(self.trials.len());
+        let mut spam_deltas = Vec::with_capacity(self.trials.len());
+        for trial in &mut self.trials {
+            trial.filter.train_tokens(candidate_tokens, Label::Spam, 1);
+            let (ham_after, spam_after) = correct_counts(&trial.filter, &trial.val);
+            trial
+                .filter
+                .untrain_tokens(candidate_tokens, Label::Spam, 1)
+                .expect("untrain of just-trained candidate cannot fail");
+            ham_deltas.push(trial.baseline_ham_correct as f64 - ham_after as f64);
+            spam_deltas.push(trial.baseline_spam_correct as f64 - spam_after as f64);
+        }
+        let mean_ham_impact = ham_deltas.iter().sum::<f64>() / ham_deltas.len() as f64;
+        RoniMeasurement {
+            rejected: mean_ham_impact >= self.cfg.reject_threshold,
+            mean_ham_impact,
+            ham_correct_deltas: ham_deltas,
+            spam_correct_deltas: spam_deltas,
+        }
+    }
+
+    /// Measure a candidate given as an email.
+    pub fn measure_email(&mut self, email: &sb_email::Email) -> RoniMeasurement {
+        let set = Tokenizer::new().token_set(email);
+        self.measure(&set)
+    }
+
+    /// Screen a list of candidates; returns `(kept, rejected)` index lists.
+    pub fn screen(&mut self, candidates: &[Vec<String>]) -> (Vec<usize>, Vec<usize>) {
+        let mut kept = Vec::new();
+        let mut rejected = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if self.measure(c).rejected {
+                rejected.push(i);
+            } else {
+                kept.push(i);
+            }
+        }
+        (kept, rejected)
+    }
+}
+
+/// Count validation messages classified correctly, per class. `Unsure`
+/// counts as incorrect for both classes (§2.1: unsure ham is nearly as bad
+/// as misfiled ham).
+fn correct_counts(filter: &SpamBayes, val: &[(Vec<String>, Label)]) -> (usize, usize) {
+    let mut ham_ok = 0;
+    let mut spam_ok = 0;
+    for (set, label) in val {
+        let v = filter.classify_tokens(set).verdict;
+        match (label, v) {
+            (Label::Ham, Verdict::Ham) => ham_ok += 1,
+            (Label::Spam, Verdict::Spam) => spam_ok += 1,
+            _ => {}
+        }
+    }
+    (ham_ok, spam_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_corpus::{CorpusConfig, TrecCorpus};
+
+    fn pool() -> Dataset {
+        TrecCorpus::generate(&CorpusConfig::with_size(200, 0.5), 77)
+            .dataset()
+            .clone()
+    }
+
+    #[test]
+    fn dictionary_attack_email_is_rejected_normal_spam_is_not() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(1);
+        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+
+        // A (truncated, for test speed) dictionary-attack email.
+        let attack = crate::dictionary::DictionaryAttack::new(
+            crate::dictionary::DictionaryKind::UsenetTop(10_000),
+        );
+        let atk_tokens = Tokenizer::new().token_set(attack.prototype());
+        let m_attack = roni.measure(&atk_tokens);
+
+        // Fresh ordinary spam messages. At this tiny pool size a single
+        // unlucky draw can look harmful, so test the *separation* over a
+        // small batch rather than one message (the §5.1 experiment in
+        // sb-experiments pins the zero-false-positive claim at scale).
+        let corpus = TrecCorpus::generate(&CorpusConfig::with_size(200, 0.5), 77);
+        let normals: Vec<_> = (0..10)
+            .map(|k| roni.measure_email(&corpus.fresh_spam(k)))
+            .collect();
+        let mean_normal = normals.iter().map(|m| m.mean_ham_impact).sum::<f64>() / 10.0;
+
+        assert!(
+            m_attack.mean_ham_impact > mean_normal + 3.0,
+            "attack impact {} vs mean normal {}",
+            m_attack.mean_ham_impact,
+            mean_normal
+        );
+        assert!(m_attack.rejected, "attack impact {}", m_attack.mean_ham_impact);
+        let kept = normals.iter().filter(|m| !m.rejected).count();
+        assert!(kept >= 8, "only {kept}/10 ordinary spam kept");
+    }
+
+    #[test]
+    fn measure_is_side_effect_free() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(2);
+        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let candidate: Vec<String> = (0..50).map(|i| format!("cand{i}")).collect();
+        let a = roni.measure(&candidate);
+        let b = roni.measure(&candidate);
+        assert_eq!(a, b, "repeated measurement must be identical (untrain exactness)");
+    }
+
+    #[test]
+    fn screen_partitions_candidates() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(3);
+        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let attack = crate::dictionary::DictionaryAttack::new(
+            crate::dictionary::DictionaryKind::UsenetTop(10_000),
+        );
+        let atk_tokens = Tokenizer::new().token_set(attack.prototype());
+        let harmless: Vec<String> = vec!["benign".into(), "words".into(), "only".into()];
+        let (kept, rejected) = roni.screen(&[atk_tokens, harmless]);
+        assert_eq!(rejected, vec![0]);
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn config_default_matches_table1() {
+        let c = RoniConfig::default();
+        assert_eq!(c.train_size, 20);
+        assert_eq!(c.val_size, 50);
+        assert_eq!(c.trials, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pool_too_small_rejected() {
+        let tiny = TrecCorpus::generate(&CorpusConfig::with_size(30, 0.5), 1)
+            .dataset()
+            .clone();
+        let mut rng = Xoshiro256pp::new(4);
+        let _ = RoniDefense::new(RoniConfig::default(), &tiny, FilterOptions::default(), &mut rng);
+    }
+}

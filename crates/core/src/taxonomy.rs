@@ -1,0 +1,91 @@
+//! The attack taxonomy of §3.1 (Barreno et al.'s three axes).
+
+use serde::{Deserialize, Serialize};
+
+/// Axis 1 — attacker capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Influence {
+    /// The attacker influences the *training* data (and thereby the filter).
+    Causative,
+    /// The attacker only probes a fixed filter with crafted messages.
+    Exploratory,
+}
+
+/// Axis 2 — type of security violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Violation {
+    /// False negatives: spam slips through.
+    Integrity,
+    /// False positives: ham is filtered away.
+    Availability,
+}
+
+/// Axis 3 — attack specificity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Specificity {
+    /// Degrades performance on one particular type of email.
+    Targeted,
+    /// Degrades performance on a broad class of email.
+    Indiscriminate,
+}
+
+/// A point in the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackClass {
+    /// Capability axis.
+    pub influence: Influence,
+    /// Violation axis.
+    pub violation: Violation,
+    /// Specificity axis.
+    pub specificity: Specificity,
+}
+
+impl AttackClass {
+    /// The dictionary attack's class (§3.2): Causative Availability
+    /// Indiscriminate.
+    pub const fn causative_availability_indiscriminate() -> Self {
+        Self {
+            influence: Influence::Causative,
+            violation: Violation::Availability,
+            specificity: Specificity::Indiscriminate,
+        }
+    }
+
+    /// The focused attack's class (§3.3): Causative Availability Targeted.
+    pub const fn causative_availability_targeted() -> Self {
+        Self {
+            influence: Influence::Causative,
+            violation: Violation::Availability,
+            specificity: Specificity::Targeted,
+        }
+    }
+}
+
+impl std::fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} {:?} {:?}",
+            self.influence, self.violation, self.specificity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_attack_classes() {
+        let dict = AttackClass::causative_availability_indiscriminate();
+        assert_eq!(dict.influence, Influence::Causative);
+        assert_eq!(dict.violation, Violation::Availability);
+        assert_eq!(dict.specificity, Specificity::Indiscriminate);
+        let focused = AttackClass::causative_availability_targeted();
+        assert_eq!(focused.specificity, Specificity::Targeted);
+        assert_eq!(
+            focused.to_string(),
+            "Causative Availability Targeted"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the attacks: structural laws that hold for every
+//! parameter choice.
+
+use proptest::prelude::*;
+use sb_core::{
+    attack_count_for_fraction, AttackGenerator, DictionaryAttack, DictionaryKind, FocusedAttack,
+    WordKnowledge,
+};
+use sb_email::{Email, Label};
+use sb_filter::SpamBayes;
+use sb_stats::rng::Xoshiro256pp;
+use sb_tokenizer::Tokenizer;
+use std::collections::HashSet;
+
+fn target_email(words: usize) -> Email {
+    let body: Vec<String> = (0..words).map(|i| format!("tok{i:04}")).collect();
+    Email::builder()
+        .subject("target")
+        .body(body.join(" "))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn focused_guess_is_subset_of_target(
+        words in 1usize..150,
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let target = target_email(words);
+        let attack = FocusedAttack::new(&target, p, None);
+        let guess = attack.guess_tokens(&mut Xoshiro256pp::new(seed));
+        let space: HashSet<&String> = attack.target_tokens().iter().collect();
+        prop_assert!(guess.iter().all(|t| space.contains(t)));
+        // No duplicates in the guess.
+        let set: HashSet<&String> = guess.iter().collect();
+        prop_assert_eq!(set.len(), guess.len());
+    }
+
+    #[test]
+    fn attack_counts_solve_fraction_equation(n in 100usize..20_000, frac_pct in 0u32..50) {
+        let frac = f64::from(frac_pct) / 100.0;
+        let a = attack_count_for_fraction(n, frac);
+        // a/(n+a) must be within half a message of the requested fraction.
+        let achieved = f64::from(a) / (n as f64 + f64::from(a));
+        prop_assert!((achieved - frac).abs() * (n as f64 + f64::from(a)) <= 0.5 + 1e-9,
+            "n={n} frac={frac}: a={a} achieves {achieved}");
+    }
+
+    #[test]
+    fn dictionary_batches_have_exact_size(n in 0u32..500, k in 1usize..2_000) {
+        let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(k));
+        let batch = attack.generate(n, &mut Xoshiro256pp::new(1));
+        prop_assert_eq!(batch.len(), n as usize);
+        // All dictionary words survive tokenization.
+        let set = Tokenizer::new().token_set(attack.prototype());
+        prop_assert_eq!(set.len(), k);
+    }
+
+    #[test]
+    fn trained_attack_emails_classify_as_spam(k in 200usize..3_000, n in 3u32..30) {
+        // Once trained, the attack's own prototype is (unsurprisingly but
+        // importantly) classified spam — the attacker's mail keeps
+        // *reinforcing* the poisoning under periodic retraining.
+        let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(k));
+        let tokens = Tokenizer::new().token_set(attack.prototype());
+        let mut filter = SpamBayes::new();
+        // Some benign ham so the filter isn't degenerate.
+        for i in 0..20 {
+            filter.train_tokens(
+                &[format!("benign{i}"), "meeting".into()],
+                Label::Ham,
+                1,
+            );
+        }
+        filter.train_tokens(&tokens, Label::Spam, n);
+        let verdict = filter.classify_tokens(&tokens).verdict;
+        prop_assert_eq!(verdict, sb_filter::Verdict::Spam);
+    }
+
+    #[test]
+    fn knowledge_interpolation_bounds(alpha in 0.0f64..=1.0) {
+        let a = WordKnowledge::uniform(&["x".into(), "y".into()], 0.8);
+        let b = WordKnowledge::point_mass(&["y".into(), "z".into()]);
+        let mix = a.interpolate(&b, alpha);
+        // Pointwise convex combination.
+        prop_assert!((mix.prob("x") - alpha * 0.8).abs() < 1e-12);
+        prop_assert!((mix.prob("y") - (alpha * 0.8 + (1.0 - alpha))).abs() < 1e-12);
+        prop_assert!((mix.prob("z") - (1.0 - alpha)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_attack_budget_monotone(budget in 0usize..60) {
+        let lexicon: Vec<String> = (0..50).map(|i| format!("w{i:02}")).collect();
+        let k = WordKnowledge::uniform(&lexicon, 0.5);
+        let attack = k.optimal_attack(Some(budget));
+        prop_assert_eq!(attack.len(), budget.min(50));
+        // A bigger budget extends, never replaces, the smaller attack.
+        if budget > 0 {
+            let smaller = k.optimal_attack(Some(budget - 1));
+            prop_assert_eq!(&attack[..smaller.len()], &smaller[..]);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The attack lexicons: the GNU-aspell surrogate and the ranked Usenet
+//! word-list surrogate (paper §3.2, §4.1).
+//!
+//! * [`aspell_dictionary`] — 98,568 words (strata A∪B), matching the paper's
+//!   "GNU aspell English dictionary version 6.0-0, containing 98,568 words".
+//! * [`usenet_ranked`] — 90,000 words (strata A∪C) ordered by simulated
+//!   Usenet frequency; [`usenet_top`] truncates to the most frequent `k`
+//!   ("90,000 top ranked words from the Usenet corpus"). Overlap with the
+//!   Aspell surrogate is exactly the 61,000 core-standard words (the paper:
+//!   "around 61,000").
+//!
+//! The Usenet ranking interleaves core-standard and colloquial words by a
+//! deterministic frequency model: colloquialisms appear from the sub-head
+//! region onward and are sparser than core words of equal local rank —
+//! mirroring how slang ranks below function words but above rare formal
+//! vocabulary in real Usenet counts.
+
+use crate::vocab::{word_for, Stratum, WordId};
+
+/// The Aspell-surrogate dictionary: strata A∪B, **98,568 words**, in id
+/// order (the dictionary attack uses it as an unordered lexicon).
+pub fn aspell_dictionary() -> Vec<String> {
+    let a = Stratum::CoreStandard.range();
+    let b = Stratum::FormalStandard.range();
+    a.chain(b).map(|id| word_for(id as WordId)).collect()
+}
+
+/// Word ids of the Aspell surrogate (cheaper than materializing strings).
+pub fn aspell_ids() -> Vec<WordId> {
+    let a = Stratum::CoreStandard.range();
+    let b = Stratum::FormalStandard.range();
+    a.chain(b).map(|id| id as WordId).collect()
+}
+
+/// Simulated Usenet frequency score for merging: lower = more frequent.
+///
+/// Core-standard word with local rank `i` scores `i+1`; colloquial word with
+/// local rank `j` scores `(j+1)·2.1 + 40`.
+fn usenet_score_core(i: usize) -> f64 {
+    (i + 1) as f64
+}
+fn usenet_score_colloquial(j: usize) -> f64 {
+    (j + 1) as f64 * 2.1 + 40.0
+}
+
+/// Word ids of the full Usenet ranking (90,000 ids, most frequent first).
+pub fn usenet_ranked_ids() -> Vec<WordId> {
+    let core = Stratum::CoreStandard;
+    let coll = Stratum::Colloquial;
+    let mut out = Vec::with_capacity(core.len() + coll.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < core.len() || j < coll.len() {
+        let take_core = match (i < core.len(), j < coll.len()) {
+            (true, true) => usenet_score_core(i) <= usenet_score_colloquial(j),
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => unreachable!(),
+        };
+        if take_core {
+            out.push(core.word(i));
+            i += 1;
+        } else {
+            out.push(coll.word(j));
+            j += 1;
+        }
+    }
+    out
+}
+
+/// The full Usenet ranked word list (90,000 words, most frequent first).
+pub fn usenet_ranked() -> Vec<String> {
+    usenet_ranked_ids().into_iter().map(word_for).collect()
+}
+
+/// The `k` most frequent Usenet words (the paper's attack variants use the
+/// full 90k plus smaller truncations).
+pub fn usenet_top(k: usize) -> Vec<String> {
+    let ids = usenet_ranked_ids();
+    assert!(k <= ids.len(), "requested top-{k} of a {}-word ranking", ids.len());
+    ids[..k].iter().copied().map(word_for).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{stratum_of, Stratum};
+    use std::collections::HashSet;
+
+    #[test]
+    fn aspell_has_paper_word_count() {
+        assert_eq!(aspell_ids().len(), 98_568);
+        assert_eq!(aspell_dictionary().len(), 98_568);
+    }
+
+    #[test]
+    fn usenet_has_paper_word_count() {
+        assert_eq!(usenet_ranked_ids().len(), 90_000);
+    }
+
+    #[test]
+    fn overlap_matches_paper() {
+        let aspell: HashSet<WordId> = aspell_ids().into_iter().collect();
+        let usenet: HashSet<WordId> = usenet_ranked_ids().into_iter().collect();
+        let overlap = aspell.intersection(&usenet).count();
+        assert_eq!(overlap, 61_000); // the paper's "around 61,000 words"
+    }
+
+    #[test]
+    fn usenet_ranking_strictly_merges_by_score() {
+        let ids = usenet_ranked_ids();
+        // The head of the ranking is core-standard (function words);
+        // colloquialisms start appearing after score threshold ~42.
+        assert!(ids[..10]
+            .iter()
+            .all(|&id| stratum_of(id) == Stratum::CoreStandard));
+        // First colloquial word appears once (j=0): score 42.1, i.e. after
+        // ~42 core words.
+        let first_coll = ids
+            .iter()
+            .position(|&id| stratum_of(id) == Stratum::Colloquial)
+            .unwrap();
+        assert!(
+            (40..=45).contains(&first_coll),
+            "first colloquial at {first_coll}"
+        );
+        // All colloquial words are in the ranking somewhere.
+        let n_coll = ids
+            .iter()
+            .filter(|&&id| stratum_of(id) == Stratum::Colloquial)
+            .count();
+        assert_eq!(n_coll, Stratum::Colloquial.len());
+    }
+
+    #[test]
+    fn usenet_core_words_in_local_rank_order() {
+        let ids = usenet_ranked_ids();
+        let core: Vec<WordId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| stratum_of(id) == Stratum::CoreStandard)
+            .collect();
+        for w in core.windows(2) {
+            assert!(w[0] < w[1], "core order violated: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn usenet_top_truncates() {
+        let top = usenet_top(1000);
+        assert_eq!(top.len(), 1000);
+        assert_eq!(top, usenet_ranked()[..1000].to_vec());
+    }
+
+    #[test]
+    #[should_panic]
+    fn usenet_top_rejects_oversize() {
+        let _ = usenet_top(90_001);
+    }
+
+    #[test]
+    fn lexicons_are_deterministic() {
+        assert_eq!(usenet_ranked_ids(), usenet_ranked_ids());
+        assert_eq!(aspell_ids(), aspell_ids());
+    }
+
+    #[test]
+    fn no_spam_specific_or_personal_words_in_either_lexicon() {
+        for &id in aspell_ids().iter().step_by(991) {
+            let s = stratum_of(id);
+            assert!(s == Stratum::CoreStandard || s == Stratum::FormalStandard);
+        }
+        for &id in usenet_ranked_ids().iter().step_by(991) {
+            let s = stratum_of(id);
+            assert!(s == Stratum::CoreStandard || s == Stratum::Colloquial);
+        }
+    }
+}

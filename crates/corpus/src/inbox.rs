@@ -1,0 +1,234 @@
+//! Train/test splitting: K-fold cross-validation and sampling utilities
+//! (paper §4.1: "K-fold cross-validation … each email … serves independently
+//! as both training and test data").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sb_email::{Dataset, Label};
+
+/// A K-fold partition of `0..n`.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Random partition of `0..n` into `k` folds of near-equal size.
+    pub fn new<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(n >= k, "need at least one element per fold");
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        Self::from_shuffled(idx, k)
+    }
+
+    /// Stratified partition: each fold preserves the class balance. The
+    /// paper's 50%-spam pools make plain and stratified folds nearly
+    /// identical; stratification removes one source of variance in small
+    /// test runs.
+    pub fn stratified<R: Rng + ?Sized>(labels: &[Label], k: usize, rng: &mut R) -> Self {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(labels.len() >= k);
+        let mut ham: Vec<usize> = (0..labels.len())
+            .filter(|&i| labels[i] == Label::Ham)
+            .collect();
+        let mut spam: Vec<usize> = (0..labels.len())
+            .filter(|&i| labels[i] == Label::Spam)
+            .collect();
+        ham.shuffle(rng);
+        spam.shuffle(rng);
+        let mut folds = vec![Vec::new(); k];
+        for (j, i) in ham.into_iter().enumerate() {
+            folds[j % k].push(i);
+        }
+        for (j, i) in spam.into_iter().enumerate() {
+            folds[j % k].push(i);
+        }
+        Self { folds }
+    }
+
+    fn from_shuffled(idx: Vec<usize>, k: usize) -> Self {
+        let n = idx.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut at = 0;
+        for f in 0..k {
+            let size = base + usize::from(f < extra);
+            folds.push(idx[at..at + size].to_vec());
+            at += size;
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The test indices of fold `i`.
+    pub fn test_indices(&self, i: usize) -> &[usize] {
+        &self.folds[i]
+    }
+
+    /// The train indices of fold `i` (all other folds, concatenated).
+    pub fn train_indices(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.folds.len());
+        let cap: usize = self.folds.iter().map(Vec::len).sum::<usize>() - self.folds[i].len();
+        let mut out = Vec::with_capacity(cap);
+        for (j, fold) in self.folds.iter().enumerate() {
+            if j != i {
+                out.extend_from_slice(fold);
+            }
+        }
+        out
+    }
+
+    /// Iterate `(train, test)` index pairs over all folds.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.k()).map(move |i| (self.train_indices(i), self.test_indices(i)))
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` (partial Fisher–Yates).
+pub fn sample_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Split indices into two halves at random (the dynamic-threshold defense's
+/// train/validation split, §5.2).
+pub fn split_half<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mid = n / 2;
+    let right = idx.split_off(mid);
+    (idx, right)
+}
+
+/// Convenience: materialize a train/test [`Dataset`] pair from a parent
+/// dataset and a fold.
+pub fn fold_datasets(data: &Dataset, kf: &KFold, fold: usize) -> (Dataset, Dataset) {
+    let train = data.subset(&kf.train_indices(fold));
+    let test = data.subset(kf.test_indices(fold));
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_stats::rng::Xoshiro256pp;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let mut rng = Xoshiro256pp::new(1);
+        let kf = KFold::new(103, 10, &mut rng);
+        assert_eq!(kf.k(), 10);
+        let mut seen = HashSet::new();
+        for i in 0..10 {
+            for &x in kf.test_indices(i) {
+                assert!(seen.insert(x), "index {x} in two folds");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn fold_sizes_near_equal() {
+        let mut rng = Xoshiro256pp::new(2);
+        let kf = KFold::new(103, 10, &mut rng);
+        for i in 0..10 {
+            let s = kf.test_indices(i).len();
+            assert!((10..=11).contains(&s), "fold {i} has {s}");
+        }
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let mut rng = Xoshiro256pp::new(3);
+        let kf = KFold::new(50, 5, &mut rng);
+        for i in 0..5 {
+            let train = kf.train_indices(i);
+            let test: HashSet<usize> = kf.test_indices(i).iter().copied().collect();
+            assert_eq!(train.len() + test.len(), 50);
+            assert!(train.iter().all(|x| !test.contains(x)));
+        }
+    }
+
+    #[test]
+    fn stratified_folds_preserve_balance() {
+        let labels: Vec<Label> = (0..100)
+            .map(|i| if i % 4 == 0 { Label::Spam } else { Label::Ham })
+            .collect();
+        let mut rng = Xoshiro256pp::new(4);
+        let kf = KFold::stratified(&labels, 5, &mut rng);
+        for i in 0..5 {
+            let spam = kf
+                .test_indices(i)
+                .iter()
+                .filter(|&&x| labels[x] == Label::Spam)
+                .count();
+            assert_eq!(spam, 5, "fold {i} spam count {spam}");
+        }
+    }
+
+    #[test]
+    fn splits_iterator_matches_direct_access() {
+        let mut rng = Xoshiro256pp::new(5);
+        let kf = KFold::new(20, 4, &mut rng);
+        for (i, (train, test)) in kf.splits().enumerate() {
+            assert_eq!(train, kf.train_indices(i));
+            assert_eq!(test, kf.test_indices(i));
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256pp::new(6);
+        let s = sample_indices(100, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let set: HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 30);
+        assert!(s.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn sample_indices_full_draw_is_permutation() {
+        let mut rng = Xoshiro256pp::new(7);
+        let mut s = sample_indices(10, 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_half_partitions() {
+        let mut rng = Xoshiro256pp::new(8);
+        let (a, b) = split_half(11, &mut rng);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 6);
+        let all: HashSet<usize> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(all.len(), 11);
+    }
+
+    #[test]
+    fn kfold_deterministic_under_seed() {
+        let kf1 = KFold::new(40, 4, &mut Xoshiro256pp::new(9));
+        let kf2 = KFold::new(40, 4, &mut Xoshiro256pp::new(9));
+        for i in 0..4 {
+            assert_eq!(kf1.test_indices(i), kf2.test_indices(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_elements_rejected() {
+        let _ = KFold::new(3, 5, &mut Xoshiro256pp::new(10));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the corpus substrate: determinism, exact prevalence,
+//! fold-partition laws, and tokenizer-stability of the vocabulary.
+
+use proptest::prelude::*;
+use sb_corpus::{CorpusConfig, KFold, TrecCorpus};
+use sb_stats::rng::Xoshiro256pp;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corpus_prevalence_is_exact(n in 10usize..200, frac_pct in 0u32..=100) {
+        let frac = f64::from(frac_pct) / 100.0;
+        let corpus = TrecCorpus::generate(&CorpusConfig::with_size(n, frac), 9);
+        let expect_spam = (n as f64 * frac).round() as usize;
+        prop_assert_eq!(corpus.dataset().n_spam(), expect_spam);
+        prop_assert_eq!(corpus.dataset().len(), n);
+    }
+
+    #[test]
+    fn corpus_deterministic_in_seed(seed in any::<u64>()) {
+        let cfg = CorpusConfig::with_size(30, 0.5);
+        let a = TrecCorpus::generate(&cfg, seed);
+        let b = TrecCorpus::generate(&cfg, seed);
+        prop_assert_eq!(a.emails(), b.emails());
+    }
+
+    #[test]
+    fn fresh_messages_never_collide_with_pool(seed in any::<u64>(), k in 0u64..20) {
+        let corpus = TrecCorpus::generate(&CorpusConfig::with_size(40, 0.5), seed);
+        let fresh = corpus.fresh_ham(k);
+        prop_assert!(corpus.emails().iter().all(|m| m.email != fresh));
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 10usize..300, k in 2usize..8, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let kf = KFold::new(n, k, &mut Xoshiro256pp::new(seed));
+        let mut seen = HashSet::new();
+        for i in 0..k {
+            for &x in kf.test_indices(i) {
+                prop_assert!(x < n);
+                prop_assert!(seen.insert(x), "index {x} appears in two folds");
+            }
+        }
+        prop_assert_eq!(seen.len(), n);
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = (0..k).map(|i| kf.test_indices(i).len()).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "uneven folds {sizes:?}");
+    }
+
+    #[test]
+    fn train_indices_complement_test(n in 10usize..100, k in 2usize..6, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let kf = KFold::new(n, k, &mut Xoshiro256pp::new(seed));
+        for i in 0..k {
+            let train: HashSet<usize> = kf.train_indices(i).into_iter().collect();
+            let test: HashSet<usize> = kf.test_indices(i).iter().copied().collect();
+            prop_assert!(train.is_disjoint(&test));
+            prop_assert_eq!(train.len() + test.len(), n);
+        }
+    }
+
+    #[test]
+    fn vocabulary_words_are_tokenizer_fixed_points(id in 0u32..150_568) {
+        let w = sb_corpus::word_for(id);
+        let tk = sb_tokenizer::Tokenizer::new();
+        let mut out = Vec::new();
+        tk.tokenize_text(&w, &mut out);
+        prop_assert_eq!(out, vec![w]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for email I/O.
+
+use std::fmt;
+
+/// Errors produced by mbox I/O. (Message parsing itself is total and never
+/// fails: malformed input degrades to a body-only message.)
+#[derive(Debug)]
+pub enum EmailError {
+    /// Underlying I/O failure while reading or writing a mailbox.
+    Io(std::io::Error),
+    /// The mbox stream was malformed beyond recovery (e.g. content before
+    /// the first `From ` separator line).
+    MalformedMbox {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EmailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmailError::Io(e) => write!(f, "I/O error: {e}"),
+            EmailError::MalformedMbox { line, reason } => {
+                write!(f, "malformed mbox at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmailError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmailError::Io(e) => Some(e),
+            EmailError::MalformedMbox { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmailError {
+    fn from(e: std::io::Error) -> Self {
+        EmailError::Io(e)
+    }
+}

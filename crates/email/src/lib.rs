@@ -1,0 +1,35 @@
+//! # sb-email — email substrate
+//!
+//! A small, robust RFC-2822-lite email model used by every other crate in
+//! the reproduction:
+//!
+//! * [`message`] — [`Email`], [`Label`] (ham/spam), [`LabeledEmail`] and a
+//!   builder;
+//! * [`parse`] — a tolerant wire-format parser (header folding, missing
+//!   bodies, arbitrary bytes survive as lossy UTF-8);
+//! * [`render`] — the inverse serializer;
+//! * [`mbox`] — streaming mbox (mboxrd quoting) reader and writer;
+//! * [`dataset`] — a labelled email collection with counting and index-based
+//!   splitting helpers (fold logic lives in `sb-corpus`).
+//!
+//! The model is deliberately simpler than full RFC 5322 — no MIME tree, no
+//! encoded-words — because the SpamBayes learner the paper attacks operates
+//! on header lines and flat bodies. What matters here is that parsing is
+//! total (never panics on hostile input) and render∘parse is the identity on
+//! the canonical form, which the property tests in this crate pin down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod mbox;
+pub mod message;
+pub mod parse;
+pub mod render;
+
+pub use dataset::Dataset;
+pub use error::EmailError;
+pub use message::{Email, EmailBuilder, Label, LabeledEmail};
+pub use parse::parse_email;
+pub use render::render_email;

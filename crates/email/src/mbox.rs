@@ -1,0 +1,288 @@
+//! Streaming mbox reader/writer (mboxrd quoting convention).
+//!
+//! The TREC corpus ships as directories of single messages, but a realistic
+//! mail pipeline needs mailbox files; the experiment harness uses this module
+//! to persist generated corpora and attack mailboxes for inspection.
+//!
+//! Format: each message starts with a postmark line `From <addr> <date>`;
+//! body lines that themselves start with one or more `>` followed by
+//! `From ` are quoted with one more `>` on write and unquoted on read
+//! (the *mboxrd* convention, which is reversible — unlike mboxo).
+
+use crate::error::EmailError;
+use crate::message::Email;
+use crate::parse::parse_email;
+use crate::render::render_email;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::io::{BufRead, Write};
+
+/// The postmark used when the message has no `From:` header to echo.
+const DEFAULT_POSTMARK: &str = "From MAILER-DAEMON Thu Jan  1 00:00:00 1970";
+
+/// Write messages to an mbox stream.
+#[derive(Debug)]
+pub struct MboxWriter<W: Write> {
+    inner: W,
+    count: usize,
+}
+
+impl<W: Write> MboxWriter<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Append one message.
+    pub fn write_email(&mut self, email: &Email) -> Result<(), EmailError> {
+        let addr = email
+            .from_addr()
+            .map(extract_addr)
+            .unwrap_or_else(|| "MAILER-DAEMON".to_owned());
+        if addr == "MAILER-DAEMON" {
+            writeln!(self.inner, "{DEFAULT_POSTMARK}")?;
+        } else {
+            writeln!(self.inner, "From {addr} Thu Jan  1 00:00:00 1970")?;
+        }
+        let rendered = render_email(email);
+        // split_inclusive avoids the phantom empty segment split('\n') yields
+        // after a trailing newline; bodies without a final newline gain one
+        // (the format is line-oriented and cannot represent the difference).
+        for line in rendered.split_inclusive('\n') {
+            let text = line.strip_suffix('\n').unwrap_or(line);
+            if is_from_line_modulo_quoting(text) {
+                self.inner.write_all(b">")?;
+            }
+            self.inner.write_all(text.as_bytes())?;
+            self.inner.write_all(b"\n")?;
+        }
+        // Blank line terminates the message.
+        self.inner.write_all(b"\n")?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Messages written so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Flush and recover the inner writer.
+    pub fn finish(mut self) -> Result<W, EmailError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// `true` for `From `-lines and their quoted forms (`>From `, `>>From `, …).
+fn is_from_line_modulo_quoting(line: &str) -> bool {
+    line.trim_start_matches('>').starts_with("From ")
+}
+
+/// Pull a bare address out of a `From:` header value
+/// (`"Alice" <a@b>` → `a@b`; `a@b` → `a@b`).
+fn extract_addr(value: &str) -> String {
+    if let (Some(l), Some(r)) = (value.find('<'), value.rfind('>')) {
+        if l < r {
+            return value[l + 1..r].to_owned();
+        }
+    }
+    value
+        .split_whitespace()
+        .find(|w| w.contains('@'))
+        .unwrap_or("MAILER-DAEMON")
+        .to_owned()
+}
+
+/// Streaming mbox reader: an iterator over parsed messages.
+#[derive(Debug)]
+pub struct MboxReader<R: BufRead> {
+    inner: R,
+    line_no: usize,
+    /// Buffered postmark of the next message (already consumed from input).
+    pending_postmark: bool,
+    done: bool,
+}
+
+impl<R: BufRead> MboxReader<R> {
+    /// Wrap a buffered reader positioned at the start of an mbox stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line_no: 0,
+            pending_postmark: false,
+            done: false,
+        }
+    }
+
+    fn read_line(&mut self, buf: &mut String) -> Result<usize, EmailError> {
+        buf.clear();
+        let n = self.inner.read_line(buf)?;
+        if n > 0 {
+            self.line_no += 1;
+        }
+        Ok(n)
+    }
+
+    fn next_message(&mut self) -> Result<Option<Email>, EmailError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut line = String::new();
+
+        // Find the opening postmark (unless the previous call already ate it).
+        if !self.pending_postmark {
+            loop {
+                let n = self.read_line(&mut line)?;
+                if n == 0 {
+                    self.done = true;
+                    return Ok(None);
+                }
+                let trimmed = line.trim_end_matches(['\n', '\r']);
+                if trimmed.is_empty() {
+                    continue; // inter-message padding
+                }
+                if trimmed.starts_with("From ") {
+                    break;
+                }
+                return Err(EmailError::MalformedMbox {
+                    line: self.line_no,
+                    reason: format!("expected `From ` postmark, got {trimmed:?}"),
+                });
+            }
+        }
+        self.pending_postmark = false;
+
+        // Accumulate message bytes until the next postmark or EOF.
+        let mut buf = BytesMut::new();
+        loop {
+            let n = self.read_line(&mut line)?;
+            if n == 0 {
+                self.done = true;
+                break;
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.starts_with("From ") {
+                self.pending_postmark = true;
+                break;
+            }
+            // Un-quote mboxrd: ">From ..." → "From ...", ">>From" → ">From".
+            if is_from_line_modulo_quoting(trimmed) && trimmed.starts_with('>') {
+                buf.put_slice(&trimmed.as_bytes()[1..]);
+            } else {
+                buf.put_slice(trimmed.as_bytes());
+            }
+            buf.put_u8(b'\n');
+        }
+
+        let raw: Bytes = buf.freeze();
+        let mut text = String::from_utf8_lossy(&raw).into_owned();
+        // Drop the blank terminator line the writer appends.
+        if text.ends_with("\n\n") {
+            text.truncate(text.len() - 1);
+        }
+        Ok(Some(parse_email(&text)))
+    }
+}
+
+impl<R: BufRead> Iterator for MboxReader<R> {
+    type Item = Result<Email, EmailError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_message().transpose()
+    }
+}
+
+/// Read an entire mbox into memory.
+pub fn read_mbox<R: BufRead>(reader: R) -> Result<Vec<Email>, EmailError> {
+    MboxReader::new(reader).collect()
+}
+
+/// Write a slice of messages as an mbox byte vector.
+pub fn write_mbox(emails: &[Email]) -> Result<Vec<u8>, EmailError> {
+    let mut w = MboxWriter::new(Vec::new());
+    for e in emails {
+        w.write_email(e)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Email;
+    use std::io::Cursor;
+
+    fn sample(i: usize) -> Email {
+        Email::builder()
+            .from_addr(format!("user{i}@example.org"))
+            .subject(format!("message {i}"))
+            .body(format!("line one of {i}\nline two\n"))
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_multiple_messages() {
+        let msgs: Vec<Email> = (0..5).map(sample).collect();
+        let bytes = write_mbox(&msgs).unwrap();
+        let back = read_mbox(Cursor::new(bytes)).unwrap();
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn from_lines_in_body_are_quoted_reversibly() {
+        let tricky = Email::builder()
+            .from_addr("a@b")
+            .subject("tricky")
+            .body("From the top\n>From quoted already\n>>From deeper\nnormal\n")
+            .build();
+        let bytes = write_mbox(std::slice::from_ref(&tricky)).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        // All three get one more level of quoting on the wire.
+        assert!(text.contains("\n>From the top\n"));
+        assert!(text.contains("\n>>From quoted already\n"));
+        assert!(text.contains("\n>>>From deeper\n"));
+        let back = read_mbox(Cursor::new(bytes)).unwrap();
+        assert_eq!(back, vec![tricky]);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(read_mbox(Cursor::new(Vec::<u8>::new())).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_before_postmark_is_an_error() {
+        let err = read_mbox(Cursor::new(b"not a postmark\n".to_vec())).unwrap_err();
+        match err {
+            EmailError::MalformedMbox { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headerless_attack_email_roundtrips() {
+        // The paper's dictionary-attack emails have empty headers (§4.1).
+        let mut atk = Email::new();
+        atk.set_body("word1 word2 word3\n");
+        let bytes = write_mbox(std::slice::from_ref(&atk)).unwrap();
+        let back = read_mbox(Cursor::new(bytes)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back[0].has_empty_headers());
+        assert_eq!(back[0].body(), "word1 word2 word3\n");
+    }
+
+    #[test]
+    fn writer_counts() {
+        let mut w = MboxWriter::new(Vec::new());
+        w.write_email(&sample(0)).unwrap();
+        w.write_email(&sample(1)).unwrap();
+        assert_eq!(w.count(), 2);
+    }
+
+    #[test]
+    fn extract_addr_variants() {
+        assert_eq!(extract_addr("Alice <a@b.c>"), "a@b.c");
+        assert_eq!(extract_addr("a@b.c"), "a@b.c");
+        assert_eq!(extract_addr("nothing here"), "MAILER-DAEMON");
+    }
+}

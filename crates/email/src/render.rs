@@ -1,0 +1,67 @@
+//! Serialization back to wire form (the inverse of [`crate::parse`]).
+
+use crate::message::Email;
+
+/// Render a message to canonical wire form: `Name: value\n` per header, a
+/// blank separator line (only when headers exist), then the body verbatim.
+///
+/// `parse_email(render_email(e))` reproduces `e` exactly for canonical
+/// messages (header values without leading whitespace or embedded newlines,
+/// body not starting with a header-shaped line when headers are absent); the
+/// property tests assert this.
+pub fn render_email(email: &Email) -> String {
+    let mut out = String::with_capacity(email.wire_len());
+    for (name, value) in email.headers() {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push('\n');
+    }
+    if !email.headers().is_empty() {
+        out.push('\n');
+    }
+    out.push_str(email.body());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_email;
+
+    #[test]
+    fn render_simple() {
+        let e = Email::builder()
+            .from_addr("a@b")
+            .subject("s")
+            .body("hello\n")
+            .build();
+        assert_eq!(render_email(&e), "From: a@b\nSubject: s\n\nhello\n");
+    }
+
+    #[test]
+    fn headerless_message_renders_body_only() {
+        let mut e = Email::new();
+        e.set_body("word soup");
+        assert_eq!(render_email(&e), "word soup");
+    }
+
+    #[test]
+    fn roundtrip_canonical() {
+        let e = Email::builder()
+            .from_addr("alice@example.org")
+            .to_addr("bob@example.org")
+            .subject("the contract bid")
+            .header("Message-Id", "<1@example.org>")
+            .body("dear bob,\n\nnumbers attached.\n")
+            .build();
+        let back = parse_email(&render_email(&e));
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn roundtrip_empty_body() {
+        let e = Email::builder().subject("x").build();
+        assert_eq!(parse_email(&render_email(&e)), e);
+    }
+}

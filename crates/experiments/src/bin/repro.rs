@@ -1,0 +1,657 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [--seed N] [--scale full|quick] [--out DIR] [--threads N]
+//!
+//! commands:
+//!   table1    print the experimental-parameter registry (paper Table 1)
+//!   fig1      dictionary attacks vs attack fraction (Figure 1)
+//!   tokens    token-volume accounting at 2% contamination (§4.2)
+//!   fig2      focused attack vs guess probability (Figure 2)
+//!   fig3      focused attack vs attack volume (Figure 3)
+//!   fig4      token-score shift scatter data (Figure 4)
+//!   fig5      dynamic threshold defense (Figure 5)
+//!   roni      RONI defense experiment (§5.1)
+//!   variations  Table 1 size/prevalence variations of the dictionary sweep
+//!   headline  the §7 headline numbers (runs fig1+fig2+fig3)
+//!
+//! extension experiments (systems the paper names or defers):
+//!   transfer  attack transfer across the filter zoo (§7 claim)
+//!   constrained  optimal constrained attack budget sweep (§3.4)
+//!   hamattack    ham-labeled integrity attack (§2.2 remark)
+//!   matrix    attack × defense grid (§5 cross terms)
+//!   weeks     week-by-week organization simulation over SMTP (§2.1)
+//!
+//!   extensions  the five extension experiments
+//!   all       everything above
+//! ```
+//!
+//! ASCII tables go to stdout; CSVs to `--out` (default `reports/`).
+
+use sb_experiments::config::{
+    table1, ConstrainedConfig, DefenseMatrixConfig, Fig1Config, Fig5Config, FocusedConfig,
+    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, TransferConfig,
+};
+use sb_experiments::figures::{
+    constrained_exp, defense_matrix, fig1, fig4, fig5, focused, ham_attack_exp, headline,
+    mailflow_weeks, roni_exp, tokens, transfer, variations,
+};
+use sb_experiments::report::{f, pct, Table};
+use sb_experiments::default_threads;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    seed: u64,
+    scale: Scale,
+    out: PathBuf,
+    threads: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
+         transfer|constrained|hamattack|matrix|weeks|extensions|all> \
+         [--seed N] [--scale full|quick] [--out DIR] [--threads N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        seed: 2008,
+        scale: Scale::Full,
+        out: PathBuf::from("reports"),
+        threads: default_threads(),
+    };
+    while let Some(flag) = argv.next() {
+        let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = take()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--scale" => {
+                let v = take()?;
+                args.scale = Scale::parse(&v).ok_or(format!("bad scale {v:?}"))?;
+            }
+            "--out" => args.out = PathBuf::from(take()?),
+            "--threads" => {
+                args.threads = take()?.parse().map_err(|e| format!("bad threads: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn emit(table: &Table, out: &std::path::Path, name: &str) {
+    println!("{}", table.to_ascii());
+    match table.write_csv(out, name) {
+        Ok(path) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("  !! could not write {name}.csv: {e}"),
+    }
+    // The human-readable rendering lands next to the CSV, so `reports/`
+    // stands alone without a terminal scrollback.
+    let txt = out.join(format!("{name}.txt"));
+    match std::fs::write(&txt, table.to_ascii()) {
+        Ok(()) => println!("  -> {}\n", txt.display()),
+        Err(e) => eprintln!("  !! could not write {name}.txt: {e}"),
+    }
+}
+
+fn cmd_table1(args: &Args) {
+    let mut t = Table::new(
+        "Table 1: parameters used in our experiments",
+        &["Parameter", "Dictionary attack", "Focused attack", "RONI", "Threshold"],
+    );
+    for row in table1() {
+        t.row(vec![
+            row.parameter.into(),
+            row.dictionary.into(),
+            row.focused.into(),
+            row.roni.into(),
+            row.threshold.into(),
+        ]);
+    }
+    emit(&t, &args.out, "table1");
+}
+
+fn fig1_table(res: &fig1::Fig1Result) -> Table {
+    let mut t = Table::new(
+        "Figure 1: % test ham misclassified vs attack fraction (10-fold CV)",
+        &[
+            "attack",
+            "fraction",
+            "n_attack",
+            "ham_as_spam%",
+            "ham_spam_or_unsure%",
+            "spam_correct%",
+            "ham_as_spam_sd",
+        ],
+    );
+    for p in &res.points {
+        t.row(vec![
+            p.attack.clone(),
+            f(p.fraction, 3),
+            p.n_attack.to_string(),
+            f(p.ham_as_spam.pct(), 1),
+            f(p.ham_misclassified.pct(), 1),
+            f(p.spam_correct.pct(), 1),
+            f(p.ham_as_spam.std_dev * 100.0, 2),
+        ]);
+    }
+    t
+}
+
+fn cmd_fig1(args: &Args) -> fig1::Fig1Result {
+    let cfg = Fig1Config::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[fig1] train={} folds={} fractions={:?}",
+        cfg.train_size, cfg.folds, cfg.fractions
+    );
+    let res = fig1::run(&cfg, args.threads);
+    emit(&fig1_table(&res), &args.out, "fig1_dictionary");
+    res
+}
+
+fn cmd_tokens(args: &Args) {
+    let size = match args.scale {
+        Scale::Full => 10_000,
+        Scale::Quick => 1_000,
+    };
+    let res = tokens::run(size, 0.02, args.seed);
+    let mut t = Table::new(
+        format!(
+            "§4.2 token volume at 2% contamination ({} msgs, {} corpus tokens)",
+            res.corpus_size, res.corpus_tokens
+        ),
+        &[
+            "attack",
+            "attack_emails",
+            "tokens_per_email",
+            "attack_tokens",
+            "ratio_vs_corpus",
+            "message_fraction%",
+        ],
+    );
+    for r in &res.rows {
+        t.row(vec![
+            r.attack.clone(),
+            r.n_attack_emails.to_string(),
+            r.tokens_per_email.to_string(),
+            r.attack_tokens.to_string(),
+            f(r.ratio, 2),
+            pct(r.message_fraction),
+        ]);
+    }
+    emit(&t, &args.out, "tokens_volume");
+}
+
+fn fig2_table(res: &focused::Fig2Result) -> Table {
+    let mut t = Table::new(
+        "Figure 2: target classification vs guess probability",
+        &["guess_prob", "ham%", "unsure%", "spam%", "n"],
+    );
+    for b in &res.bars {
+        t.row(vec![
+            f(b.guess_prob, 2),
+            pct(b.pct_ham),
+            pct(b.pct_unsure),
+            pct(b.pct_spam),
+            b.n.to_string(),
+        ]);
+    }
+    t
+}
+
+fn cmd_fig2(args: &Args) -> focused::Fig2Result {
+    let cfg = FocusedConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[fig2] inbox={} targets={} reps={} attack_emails={}",
+        cfg.inbox_size, cfg.n_targets, cfg.repetitions, cfg.fig2_attack_count
+    );
+    let res = focused::run_fig2(&cfg, args.threads);
+    emit(&fig2_table(&res), &args.out, "fig2_focused_knowledge");
+    res
+}
+
+fn fig3_table(res: &focused::Fig3Result) -> Table {
+    let mut t = Table::new(
+        "Figure 3: target misclassification vs attack volume (p=0.5)",
+        &["fraction", "n_attack", "target_as_spam%", "target_spam_or_unsure%"],
+    );
+    for p in &res.points {
+        t.row(vec![
+            f(p.fraction, 3),
+            p.n_attack.to_string(),
+            pct(p.pct_spam),
+            pct(p.pct_misclassified),
+        ]);
+    }
+    t
+}
+
+fn cmd_fig3(args: &Args) -> focused::Fig3Result {
+    let cfg = FocusedConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[fig3] inbox={} targets={} reps={} fractions={:?}",
+        cfg.inbox_size, cfg.n_targets, cfg.repetitions, cfg.fig3_fractions
+    );
+    let res = focused::run_fig3(&cfg, args.threads);
+    emit(&fig3_table(&res), &args.out, "fig3_focused_volume");
+    res
+}
+
+fn cmd_fig4(args: &Args) {
+    let cfg = FocusedConfig::at_scale(args.scale, args.seed);
+    let res = fig4::run(&cfg, 60);
+    eprintln!(
+        "[fig4] examined {} targets, found {} outcome cases",
+        res.targets_examined,
+        res.cases.len()
+    );
+    let mut summary = Table::new(
+        "Figure 4: representative focused-attack targets",
+        &[
+            "outcome",
+            "score_before",
+            "score_after",
+            "tokens",
+            "attacked_tokens",
+            "mean_shift_attacked",
+            "mean_shift_other",
+        ],
+    );
+    let mut scatter = Table::new(
+        "Figure 4 scatter: token scores before/after",
+        &["case_outcome", "token", "before", "after", "in_attack"],
+    );
+    for case in &res.cases {
+        let (inc, exc): (Vec<_>, Vec<_>) = case.points.iter().partition(|p| p.in_attack);
+        let mean = |v: &[&fig4::TokenShift]| -> f64 {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().map(|p| p.after - p.before).sum::<f64>() / v.len() as f64
+            }
+        };
+        summary.row(vec![
+            case.outcome.to_string(),
+            f(case.score_before, 3),
+            f(case.score_after, 3),
+            case.points.len().to_string(),
+            inc.len().to_string(),
+            f(mean(&inc), 3),
+            f(mean(&exc), 3),
+        ]);
+        for p in &case.points {
+            scatter.row(vec![
+                case.outcome.to_string(),
+                p.token.clone(),
+                f(p.before, 4),
+                f(p.after, 4),
+                p.in_attack.to_string(),
+            ]);
+        }
+    }
+    emit(&summary, &args.out, "fig4_cases");
+    match scatter.write_csv(&args.out, "fig4_token_shift") {
+        Ok(path) => println!("  -> {} ({} rows)\n", path.display(), scatter.n_rows()),
+        Err(e) => eprintln!("  !! could not write fig4_token_shift.csv: {e}"),
+    }
+}
+
+fn fig5_table(res: &fig5::Fig5Result) -> Table {
+    let mut t = Table::new(
+        "Figure 5: dynamic threshold defense vs dictionary attack",
+        &[
+            "defense",
+            "fraction",
+            "ham_as_spam%",
+            "ham_spam_or_unsure%",
+            "spam_as_unsure%",
+            "spam_correct%",
+        ],
+    );
+    for p in &res.points {
+        t.row(vec![
+            p.defense.name().into(),
+            f(p.fraction, 3),
+            f(p.ham_as_spam.pct(), 1),
+            f(p.ham_misclassified.pct(), 1),
+            f(p.spam_as_unsure.pct(), 1),
+            f(p.spam_correct.pct(), 1),
+        ]);
+    }
+    t
+}
+
+fn cmd_fig5(args: &Args) {
+    let cfg = Fig5Config::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[fig5] train={} folds={} fractions={:?}",
+        cfg.train_size, cfg.folds, cfg.fractions
+    );
+    let res = fig5::run(&cfg, args.threads);
+    emit(&fig5_table(&res), &args.out, "fig5_threshold_defense");
+}
+
+fn cmd_roni(args: &Args) {
+    let cfg = RoniExperimentConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[roni] pool={} reps={} non_attack_spam={}",
+        cfg.pool_size, cfg.reps_per_variant, cfg.non_attack_spam
+    );
+    let res = roni_exp::run(&cfg, args.threads);
+    let mut t = Table::new(
+        "§5.1 RONI: incremental impact (ham-as-ham lost, of 25 validation ham)",
+        &["candidate", "lexicon", "mean_impact", "min/max_impact", "rejected%"],
+    );
+    for v in &res.variants {
+        t.row(vec![
+            v.variant.clone(),
+            v.lexicon_len.to_string(),
+            f(v.mean_impact, 2),
+            format!("min {}", f(v.min_impact, 2)),
+            pct(v.detection_rate),
+        ]);
+    }
+    t.row(vec![
+        format!("non-attack spam (n={})", res.non_attack.n),
+        "-".into(),
+        f(res.non_attack.mean_impact, 2),
+        format!("max {}", f(res.non_attack.max_impact, 2)),
+        pct(res.non_attack.false_positive_rate),
+    ]);
+    emit(&t, &args.out, "roni_defense");
+    println!(
+        "separable: {} (threshold in force: {})\n",
+        res.separable, res.threshold
+    );
+}
+
+fn cmd_variations(args: &Args) {
+    let base = Fig1Config::at_scale(args.scale, args.seed);
+    let full = matches!(args.scale, Scale::Full);
+    eprintln!("[variations] settings={:?}", variations::settings(full));
+    let res = variations::run(&base, full, args.threads);
+    let mut t = Table::new(
+        "Table 1 variations: dictionary sweep across training size / prevalence",
+        &[
+            "train_size",
+            "prevalence",
+            "attack",
+            "fraction",
+            "ham_as_spam%",
+            "ham_spam_or_unsure%",
+        ],
+    );
+    for cell in &res.cells {
+        for p in &cell.result.points {
+            t.row(vec![
+                cell.train_size.to_string(),
+                f(cell.spam_prevalence, 2),
+                p.attack.clone(),
+                f(p.fraction, 3),
+                f(p.ham_as_spam.pct(), 1),
+                f(p.ham_misclassified.pct(), 1),
+            ]);
+        }
+    }
+    emit(&t, &args.out, "table1_variations");
+}
+
+fn cmd_transfer(args: &Args) {
+    let cfg = TransferConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[transfer] train={} test={} fractions={:?} usenet_k={}",
+        cfg.train_size, cfg.test_size, cfg.fractions, cfg.usenet_k
+    );
+    let res = transfer::run(&cfg, args.threads);
+    let mut t = Table::new(
+        "Extension: Usenet dictionary attack across the filter zoo",
+        &[
+            "filter",
+            "fraction",
+            "ham_as_spam%",
+            "ham_spam_or_unsure%",
+            "spam_correct%",
+        ],
+    );
+    for p in &res.points {
+        t.row(vec![
+            p.filter.clone(),
+            f(p.fraction, 3),
+            pct(p.ham_as_spam),
+            pct(p.ham_misclassified),
+            pct(p.spam_caught),
+        ]);
+    }
+    emit(&t, &args.out, "ext_transfer");
+}
+
+fn cmd_constrained(args: &Args) {
+    let cfg = ConstrainedConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[constrained] train={} observed_ham={} budgets={:?} fraction={}",
+        cfg.train_size, cfg.observed_ham, cfg.budgets, cfg.attack_fraction
+    );
+    let res = constrained_exp::run(&cfg, args.threads);
+    let mut t = Table::new(
+        "Extension: optimal constrained attack — damage vs token budget",
+        &[
+            "source",
+            "budget",
+            "words_used",
+            "ham_spam_or_unsure%",
+            "sd",
+        ],
+    );
+    for p in &res.points {
+        t.row(vec![
+            p.source.name().into(),
+            p.budget.to_string(),
+            p.words_used.to_string(),
+            f(p.ham_misclassified.pct(), 1),
+            f(p.ham_misclassified.std_dev * 100.0, 2),
+        ]);
+    }
+    emit(&t, &args.out, "ext_constrained");
+}
+
+fn cmd_hamattack(args: &Args) {
+    let cfg = HamAttackConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[hamattack] inbox={} chaff_counts={:?} campaign_words={} reps={}",
+        cfg.inbox_size, cfg.chaff_counts, cfg.campaign_words, cfg.repetitions
+    );
+    let res = ham_attack_exp::run(&cfg, args.threads);
+    let mut t = Table::new(
+        "Extension: ham-labeled integrity attack — campaign deliverability vs chaff",
+        &[
+            "chaff",
+            "campaign_to_inbox%",
+            "campaign_caught%",
+            "chaff_delivered%",
+            "clean_spam_caught%",
+        ],
+    );
+    for p in &res.points {
+        t.row(vec![
+            p.chaff_count.to_string(),
+            f(p.campaign_to_inbox.pct(), 1),
+            f(p.campaign_caught.pct(), 1),
+            f(p.chaff_delivered.pct(), 1),
+            f(p.clean_spam_caught.pct(), 1),
+        ]);
+    }
+    emit(&t, &args.out, "ext_ham_attack");
+}
+
+fn cmd_matrix(args: &Args) {
+    let cfg = DefenseMatrixConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[matrix] trusted={} candidates={} fractions={:?} targets={}",
+        cfg.trusted_size, cfg.clean_candidates, cfg.dictionary_fractions, cfg.focused_targets
+    );
+    let res = defense_matrix::run(&cfg, args.threads);
+    let mut t = Table::new(
+        "Extension: attack × defense matrix",
+        &[
+            "attack",
+            "defense",
+            "ham_spam_or_unsure%",
+            "ham_as_spam%",
+            "spam_correct%",
+            "spam_as_unsure%",
+            "screened(attack)",
+            "target_flips%",
+        ],
+    );
+    for c in &res.cells {
+        t.row(vec![
+            c.attack.name(),
+            c.defense.name().into(),
+            pct(c.ham_misclassified),
+            pct(c.ham_as_spam),
+            pct(c.spam_caught),
+            pct(c.spam_as_unsure),
+            format!("{}({})", c.screened_out, c.screened_attack),
+            c.target_flips.map(pct).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    emit(&t, &args.out, "ext_defense_matrix");
+}
+
+fn cmd_weeks(args: &Args) {
+    let cfg = MailflowConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "[weeks] users={} days={} retrain_every={} attack/day={} faults={}",
+        cfg.users, cfg.days, cfg.retrain_every, cfg.attack_per_day, cfg.fault_chance
+    );
+    let res = mailflow_weeks::run(&cfg);
+    let mut t = Table::new(
+        "Extension: week-by-week organization simulation (SMTP substrate)",
+        &[
+            "scenario",
+            "week",
+            "ham_misrouted%",
+            "ham_as_spam%",
+            "spam_caught%",
+            "screened_out",
+            "useless",
+        ],
+    );
+    for (scenario, report) in &res.reports {
+        for w in &report.weeks {
+            t.row(vec![
+                scenario.name().into(),
+                w.week.to_string(),
+                pct(w.ham_misrouted),
+                pct(w.ham_as_spam),
+                pct(w.spam_caught),
+                w.screened_out.to_string(),
+                w.filter_useless.to_string(),
+            ]);
+        }
+    }
+    emit(&t, &args.out, "ext_mailflow_weeks");
+    for (scenario, report) in &res.reports {
+        eprintln!(
+            "[weeks] {}: delivered={} failed={} faults(drop/corrupt)={}/{}",
+            scenario.name(),
+            report.total_delivered,
+            report.total_failed,
+            report.fault_stats.dropped,
+            report.fault_stats.corrupted
+        );
+    }
+}
+
+fn cmd_extensions(args: &Args) {
+    cmd_transfer(args);
+    cmd_constrained(args);
+    cmd_hamattack(args);
+    cmd_matrix(args);
+    cmd_weeks(args);
+}
+
+fn headline_table(h: &headline::HeadlineResult) -> Table {
+    let mut t = Table::new(
+        "§7 headline claims: paper vs measured",
+        &["claim", "paper", "measured%"],
+    );
+    for r in &h.rows {
+        t.row(vec![r.claim.into(), r.paper.into(), f(r.measured_pct, 1)]);
+    }
+    t
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let started = std::time::Instant::now();
+    match args.command.as_str() {
+        "table1" => cmd_table1(&args),
+        "fig1" => {
+            cmd_fig1(&args);
+        }
+        "tokens" => cmd_tokens(&args),
+        "fig2" => {
+            cmd_fig2(&args);
+        }
+        "fig3" => {
+            cmd_fig3(&args);
+        }
+        "fig4" => cmd_fig4(&args),
+        "fig5" => cmd_fig5(&args),
+        "roni" => cmd_roni(&args),
+        "variations" => cmd_variations(&args),
+        "transfer" => cmd_transfer(&args),
+        "constrained" => cmd_constrained(&args),
+        "hamattack" => cmd_hamattack(&args),
+        "matrix" => cmd_matrix(&args),
+        "weeks" => cmd_weeks(&args),
+        "extensions" => cmd_extensions(&args),
+        "headline" => {
+            let f1 = cmd_fig1(&args);
+            let f2 = cmd_fig2(&args);
+            let f3 = cmd_fig3(&args);
+            emit(
+                &headline_table(&headline::extract(&f1, &f2, &f3)),
+                &args.out,
+                "headline",
+            );
+        }
+        "all" => {
+            cmd_table1(&args);
+            let f1 = cmd_fig1(&args);
+            cmd_tokens(&args);
+            let f2 = cmd_fig2(&args);
+            let f3 = cmd_fig3(&args);
+            cmd_fig4(&args);
+            cmd_fig5(&args);
+            cmd_roni(&args);
+            cmd_variations(&args);
+            emit(
+                &headline_table(&headline::extract(&f1, &f2, &f3)),
+                &args.out,
+                "headline",
+            );
+            cmd_extensions(&args);
+        }
+        _ => return usage(),
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! §4.2's token-volume accounting: "at 204 attack emails (2% of the
+//! messages), the Usenet attack includes approximately 6.4 times as many
+//! tokens as the original dataset and the Aspell attack includes 7 times."
+//!
+//! A stealth metric: attack *messages* are few (2%) but attack *tokens*
+//! dominate — the paper notes an attacker wanting to evade size-based
+//! detection would need fewer tokens.
+
+use sb_core::{attack_count_for_fraction, DictionaryAttack, DictionaryKind};
+use sb_corpus::{CorpusConfig, TrecCorpus};
+use sb_stats::rng::SeedTree;
+use sb_tokenizer::Tokenizer;
+use serde::{Deserialize, Serialize};
+
+/// One attack's token-volume row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenVolumeRow {
+    /// Attack name.
+    pub attack: String,
+    /// Attack emails at the configured fraction.
+    pub n_attack_emails: u32,
+    /// Tokens per attack email (= lexicon size; each word appears once).
+    pub tokens_per_email: usize,
+    /// Total attack tokens.
+    pub attack_tokens: u64,
+    /// Ratio of attack tokens to original-corpus tokens.
+    pub ratio: f64,
+    /// Attack emails as a fraction of all messages.
+    pub message_fraction: f64,
+}
+
+/// The §4.2 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenVolumeResult {
+    /// Training pool size.
+    pub corpus_size: usize,
+    /// Raw (non-deduplicated) token count of the original pool.
+    pub corpus_tokens: u64,
+    /// Per-attack rows.
+    pub rows: Vec<TokenVolumeRow>,
+}
+
+/// Compute the token-volume comparison at `fraction` contamination (the
+/// paper uses 0.02) on a pool of `corpus_size` messages.
+pub fn run(corpus_size: usize, fraction: f64, seed: u64) -> TokenVolumeResult {
+    let seeds = SeedTree::new(seed).child("tokens");
+    let corpus = TrecCorpus::generate(
+        &CorpusConfig::with_size(corpus_size, 0.5),
+        seeds.child("corpus").seed(),
+    );
+    let tokenizer = Tokenizer::new();
+    let corpus_tokens: u64 = corpus
+        .emails()
+        .iter()
+        .map(|m| tokenizer.token_count(&m.email) as u64)
+        .sum();
+    let n_attack = attack_count_for_fraction(corpus_size, fraction);
+
+    let rows = [
+        DictionaryKind::UsenetTop(90_000),
+        DictionaryKind::Aspell,
+        DictionaryKind::Optimal,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let attack = DictionaryAttack::new(kind);
+        let tokens_per_email = tokenizer.token_count(attack.prototype());
+        let attack_tokens = tokens_per_email as u64 * u64::from(n_attack);
+        TokenVolumeRow {
+            attack: kind.name(),
+            n_attack_emails: n_attack,
+            tokens_per_email,
+            attack_tokens,
+            ratio: attack_tokens as f64 / corpus_tokens as f64,
+            message_fraction: f64::from(n_attack) / (corpus_size as f64 + f64::from(n_attack)),
+        }
+    })
+    .collect();
+
+    TokenVolumeResult {
+        corpus_size,
+        corpus_tokens,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_reproduce_paper_shape() {
+        // Quick scale: 1,000 messages at 2% → same ratio structure (the
+        // ratio is size-invariant: both numerator and denominator scale
+        // with the pool).
+        let res = run(1_000, 0.02, 3);
+        assert_eq!(res.rows.len(), 3);
+        let usenet = &res.rows[0];
+        let aspell = &res.rows[1];
+        let optimal = &res.rows[2];
+        // Aspell (98,568 words) > Usenet (90,000 words) — the paper's 7×
+        // vs 6.4× ordering.
+        assert!(aspell.ratio > usenet.ratio);
+        assert!(optimal.ratio > aspell.ratio);
+        // Ratios land in the paper's ballpark (they report 6.4 and 7; the
+        // synthetic corpus yields the same order of magnitude).
+        assert!(
+            usenet.ratio > 3.0 && usenet.ratio < 15.0,
+            "usenet ratio {}",
+            usenet.ratio
+        );
+        // Messages stay a small fraction even though tokens dominate.
+        assert!(usenet.message_fraction < 0.025);
+    }
+
+    #[test]
+    fn attack_tokens_are_lexicon_times_count() {
+        let res = run(500, 0.02, 4);
+        for row in &res.rows {
+            assert_eq!(
+                row.attack_tokens,
+                row.tokens_per_email as u64 * u64::from(row.n_attack_emails)
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # sb-experiments — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4–§5) on
+//! the synthetic substrate:
+//!
+//! * [`config`] — experiment parameters; `config::table1()` is the paper's
+//!   Table 1 verbatim, and every `full(…)` config is test-pinned to it.
+//! * [`metrics`] — three-way confusion tables and the ham-as-spam /
+//!   ham-as-unsure rates the paper plots.
+//! * [`runner`] — pre-tokenized datasets and deterministic parallel fan-out.
+//! * [`figures`] — one generator per paper artifact (Fig. 1–5, the §5.1
+//!   RONI experiment, the §4.2 token-volume claim, the §7 headlines).
+//! * [`report`] — ASCII/CSV rendering.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p sb-experiments --bin repro -- all --scale full
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use config::{
+    ConstrainedConfig, DefenseMatrixConfig, Fig1Config, Fig5Config, FocusedConfig,
+    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, TransferConfig,
+};
+pub use metrics::{Confusion, RateSummary};
+pub use report::Table;
+pub use runner::{default_threads, parallel_map, TokenizedDataset};

@@ -1,0 +1,205 @@
+//! Evaluation metrics.
+//!
+//! SpamBayes is a three-way classifier, so plain error rates are not enough
+//! (§2.3): the paper reports ham-as-spam (dashed lines) and
+//! ham-as-spam-or-unsure (solid lines) separately, because unsure ham costs
+//! the user almost as much as misfiled ham (§2.1).
+
+use sb_email::Label;
+use sb_filter::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// A 2×3 confusion table: true label × verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    counts: [[u64; 3]; 2],
+}
+
+fn label_idx(l: Label) -> usize {
+    match l {
+        Label::Ham => 0,
+        Label::Spam => 1,
+    }
+}
+
+fn verdict_idx(v: Verdict) -> usize {
+    match v {
+        Verdict::Ham => 0,
+        Verdict::Unsure => 1,
+        Verdict::Spam => 2,
+    }
+}
+
+impl Confusion {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one classification.
+    pub fn record(&mut self, label: Label, verdict: Verdict) {
+        self.counts[label_idx(label)][verdict_idx(verdict)] += 1;
+    }
+
+    /// Raw count for a cell.
+    pub fn count(&self, label: Label, verdict: Verdict) -> u64 {
+        self.counts[label_idx(label)][verdict_idx(verdict)]
+    }
+
+    /// Total messages with this true label.
+    pub fn total(&self, label: Label) -> u64 {
+        self.counts[label_idx(label)].iter().sum()
+    }
+
+    /// Merge another table into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        for l in 0..2 {
+            for v in 0..3 {
+                self.counts[l][v] += other.counts[l][v];
+            }
+        }
+    }
+
+    fn rate(&self, label: Label, verdicts: &[Verdict]) -> f64 {
+        let denom = self.total(label);
+        if denom == 0 {
+            return 0.0;
+        }
+        let num: u64 = verdicts.iter().map(|&v| self.count(label, v)).sum();
+        num as f64 / denom as f64
+    }
+
+    /// Fraction of ham classified as spam (the paper's dashed lines).
+    pub fn ham_as_spam(&self) -> f64 {
+        self.rate(Label::Ham, &[Verdict::Spam])
+    }
+
+    /// Fraction of ham classified as unsure.
+    pub fn ham_as_unsure(&self) -> f64 {
+        self.rate(Label::Ham, &[Verdict::Unsure])
+    }
+
+    /// Fraction of ham classified as spam **or** unsure (the paper's solid
+    /// lines — ham the user effectively loses).
+    pub fn ham_misclassified(&self) -> f64 {
+        self.rate(Label::Ham, &[Verdict::Spam, Verdict::Unsure])
+    }
+
+    /// Fraction of ham correctly delivered.
+    pub fn ham_correct(&self) -> f64 {
+        self.rate(Label::Ham, &[Verdict::Ham])
+    }
+
+    /// Fraction of spam that reaches the inbox.
+    pub fn spam_as_ham(&self) -> f64 {
+        self.rate(Label::Spam, &[Verdict::Ham])
+    }
+
+    /// Fraction of spam classified unsure (the dynamic-threshold defense's
+    /// cost metric in Figure 5's discussion).
+    pub fn spam_as_unsure(&self) -> f64 {
+        self.rate(Label::Spam, &[Verdict::Unsure])
+    }
+
+    /// Fraction of spam correctly filtered.
+    pub fn spam_correct(&self) -> f64 {
+        self.rate(Label::Spam, &[Verdict::Spam])
+    }
+}
+
+/// Averages of per-fold rates, with spread (the paper omits error bars
+/// "since we observed that the variation on our tests was small" — we
+/// record the spread anyway so EXPERIMENTS.md can verify that claim).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateSummary {
+    /// Mean rate across folds.
+    pub mean: f64,
+    /// Standard deviation across folds.
+    pub std_dev: f64,
+}
+
+impl RateSummary {
+    /// Summarize fold-level rates.
+    pub fn from_rates(rates: &[f64]) -> Self {
+        let s = sb_stats::Summary::from_slice(rates);
+        Self {
+            mean: s.mean,
+            std_dev: s.std_dev,
+        }
+    }
+
+    /// Mean as a percentage.
+    pub fn pct(&self) -> f64 {
+        self.mean * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Confusion {
+        let mut c = Confusion::new();
+        // 10 ham: 6 ham, 3 unsure, 1 spam.
+        for _ in 0..6 {
+            c.record(Label::Ham, Verdict::Ham);
+        }
+        for _ in 0..3 {
+            c.record(Label::Ham, Verdict::Unsure);
+        }
+        c.record(Label::Ham, Verdict::Spam);
+        // 5 spam: 4 spam, 1 unsure.
+        for _ in 0..4 {
+            c.record(Label::Spam, Verdict::Spam);
+        }
+        c.record(Label::Spam, Verdict::Unsure);
+        c
+    }
+
+    #[test]
+    fn rates_computed_correctly() {
+        let c = sample();
+        assert_eq!(c.total(Label::Ham), 10);
+        assert_eq!(c.total(Label::Spam), 5);
+        assert!((c.ham_as_spam() - 0.1).abs() < 1e-12);
+        assert!((c.ham_as_unsure() - 0.3).abs() < 1e-12);
+        assert!((c.ham_misclassified() - 0.4).abs() < 1e-12);
+        assert!((c.ham_correct() - 0.6).abs() < 1e-12);
+        assert!((c.spam_as_ham() - 0.0).abs() < 1e-12);
+        assert!((c.spam_as_unsure() - 0.2).abs() < 1e-12);
+        assert!((c.spam_correct() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solid_line_includes_dashed_line() {
+        // ham_misclassified = ham_as_spam + ham_as_unsure, always.
+        let c = sample();
+        assert!(
+            (c.ham_misclassified() - (c.ham_as_spam() + c.ham_as_unsure())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_table_rates_are_zero() {
+        let c = Confusion::new();
+        assert_eq!(c.ham_as_spam(), 0.0);
+        assert_eq!(c.spam_correct(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(Label::Ham), 20);
+        assert!((a.ham_as_spam() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_summary() {
+        let s = RateSummary::from_rates(&[0.1, 0.2, 0.3]);
+        assert!((s.mean - 0.2).abs() < 1e-12);
+        assert!((s.pct() - 20.0).abs() < 1e-9);
+        assert!(s.std_dev > 0.0);
+    }
+}

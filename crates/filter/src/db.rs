@@ -1,0 +1,309 @@
+//! The token count database: the learner's entire mutable state.
+//!
+//! Stores `NS`, `NH` (spam/ham training message counts) and per-token
+//! `NS(w)`, `NH(w)` (spam/ham messages containing `w`) — exactly the
+//! quantities Equation 1 needs. Tokens are counted with **set semantics**:
+//! callers must pass deduplicated token sets (`Tokenizer::token_set`).
+//!
+//! Two non-obvious requirements from the paper shape this API:
+//!
+//! * **`untrain`** — the RONI defense (§5.1) measures the effect of single
+//!   messages by comparing filters with and without them; exact removal is
+//!   cheaper than retraining and is property-tested to be an exact inverse.
+//! * **multiplicity** — all emails of a dictionary attack share one token
+//!   set, so training `k` copies is `O(|dict|)`, not `O(k·|dict|)`. This is
+//!   what makes the paper-scale parameter sweeps tractable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use sb_email::Label;
+
+/// Per-token message counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenCounts {
+    /// Number of spam training messages containing the token (`NS(w)`).
+    pub spam: u32,
+    /// Number of ham training messages containing the token (`NH(w)`).
+    pub ham: u32,
+}
+
+impl TokenCounts {
+    /// `N(w)` of Equation 2: training messages containing the token.
+    pub fn total(&self) -> u32 {
+        self.spam + self.ham
+    }
+}
+
+/// Error from [`TokenDb::untrain`]: removing a message that was never
+/// trained (counts would go negative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UntrainError {
+    /// Token whose count underflowed, or `None` when the per-class message
+    /// count itself underflowed.
+    pub token: Option<String>,
+}
+
+impl std::fmt::Display for UntrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.token {
+            Some(t) => write!(f, "untrain underflow on token {t:?}"),
+            None => write!(f, "untrain underflow on message count"),
+        }
+    }
+}
+
+impl std::error::Error for UntrainError {}
+
+/// The count database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TokenDb {
+    n_spam: u32,
+    n_ham: u32,
+    tokens: HashMap<String, TokenCounts>,
+}
+
+impl TokenDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `NS`: spam messages trained.
+    pub fn n_spam(&self) -> u32 {
+        self.n_spam
+    }
+
+    /// `NH`: ham messages trained.
+    pub fn n_ham(&self) -> u32 {
+        self.n_ham
+    }
+
+    /// Total messages trained.
+    pub fn n_messages(&self) -> u32 {
+        self.n_spam + self.n_ham
+    }
+
+    /// Number of distinct tokens seen.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Counts for a token (zero if unseen).
+    pub fn counts(&self, token: &str) -> TokenCounts {
+        self.tokens.get(token).copied().unwrap_or_default()
+    }
+
+    /// Iterate over `(token, counts)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, TokenCounts)> {
+        self.tokens.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Train one message given its (deduplicated) token set.
+    pub fn train(&mut self, token_set: &[String], label: Label) {
+        self.train_many(token_set, label, 1);
+    }
+
+    /// Train `multiplicity` identical messages sharing `token_set`.
+    ///
+    /// The dictionary attack fast path: every attack email contains the same
+    /// lexicon, so `k` of them just add `k` to each count.
+    pub fn train_many(&mut self, token_set: &[String], label: Label, multiplicity: u32) {
+        if multiplicity == 0 {
+            return;
+        }
+        debug_assert!(is_strictly_sorted_or_small(token_set), "token_set must be deduplicated");
+        match label {
+            Label::Spam => self.n_spam += multiplicity,
+            Label::Ham => self.n_ham += multiplicity,
+        }
+        for tok in token_set {
+            let entry = self.tokens.entry(tok.clone()).or_default();
+            match label {
+                Label::Spam => entry.spam += multiplicity,
+                Label::Ham => entry.ham += multiplicity,
+            }
+        }
+    }
+
+    /// Exactly undo [`TokenDb::train`] for one message.
+    ///
+    /// Fails (leaving the database unchanged in a useful sense: failure is
+    /// detected on the first underflow *before* mutating that token) if the
+    /// message was not previously trained with this label.
+    pub fn untrain(&mut self, token_set: &[String], label: Label) -> Result<(), UntrainError> {
+        self.untrain_many(token_set, label, 1)
+    }
+
+    /// Exactly undo [`TokenDb::train_many`].
+    pub fn untrain_many(
+        &mut self,
+        token_set: &[String],
+        label: Label,
+        multiplicity: u32,
+    ) -> Result<(), UntrainError> {
+        if multiplicity == 0 {
+            return Ok(());
+        }
+        // Validate first so we never partially untrain.
+        let class_count = match label {
+            Label::Spam => self.n_spam,
+            Label::Ham => self.n_ham,
+        };
+        if class_count < multiplicity {
+            return Err(UntrainError { token: None });
+        }
+        for tok in token_set {
+            let c = self.counts(tok);
+            let have = match label {
+                Label::Spam => c.spam,
+                Label::Ham => c.ham,
+            };
+            if have < multiplicity {
+                return Err(UntrainError {
+                    token: Some(tok.clone()),
+                });
+            }
+        }
+        match label {
+            Label::Spam => self.n_spam -= multiplicity,
+            Label::Ham => self.n_ham -= multiplicity,
+        }
+        for tok in token_set {
+            let entry = self
+                .tokens
+                .get_mut(tok)
+                .expect("validated above: token present");
+            match label {
+                Label::Spam => entry.spam -= multiplicity,
+                Label::Ham => entry.ham -= multiplicity,
+            }
+            if entry.spam == 0 && entry.ham == 0 {
+                self.tokens.remove(tok);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another database into this one (counts add).
+    pub fn merge(&mut self, other: &TokenDb) {
+        self.n_spam += other.n_spam;
+        self.n_ham += other.n_ham;
+        for (tok, c) in &other.tokens {
+            let entry = self.tokens.entry(tok.clone()).or_default();
+            entry.spam += c.spam;
+            entry.ham += c.ham;
+        }
+    }
+}
+
+/// Debug-only sanity check: token sets must not contain duplicates. For
+/// large sets (attack lexicons, which are constructed deduplicated) a full
+/// check would be O(n log n) per call, so only small sets are verified.
+fn is_strictly_sorted_or_small(tokens: &[String]) -> bool {
+    if tokens.len() > 4096 {
+        return true;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(tokens.len());
+    tokens.iter().all(|t| seen.insert(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn train_updates_counts() {
+        let mut db = TokenDb::new();
+        db.train(&toks(&["buy", "pills"]), Label::Spam);
+        db.train(&toks(&["meeting", "pills"]), Label::Ham);
+        assert_eq!(db.n_spam(), 1);
+        assert_eq!(db.n_ham(), 1);
+        assert_eq!(db.counts("buy"), TokenCounts { spam: 1, ham: 0 });
+        assert_eq!(db.counts("pills"), TokenCounts { spam: 1, ham: 1 });
+        assert_eq!(db.counts("unseen"), TokenCounts::default());
+        assert_eq!(db.n_tokens(), 3);
+    }
+
+    #[test]
+    fn train_many_is_k_trains() {
+        let mut a = TokenDb::new();
+        let set = toks(&["x", "y"]);
+        a.train_many(&set, Label::Spam, 5);
+        let mut b = TokenDb::new();
+        for _ in 0..5 {
+            b.train(&set, Label::Spam);
+        }
+        assert_eq!(a.n_spam(), b.n_spam());
+        assert_eq!(a.counts("x"), b.counts("x"));
+        assert_eq!(a.counts("y"), b.counts("y"));
+    }
+
+    #[test]
+    fn untrain_is_exact_inverse() {
+        let mut db = TokenDb::new();
+        db.train(&toks(&["alpha", "beta"]), Label::Ham);
+        let snapshot = db.clone();
+        db.train(&toks(&["beta", "gamma"]), Label::Spam);
+        db.untrain(&toks(&["beta", "gamma"]), Label::Spam).unwrap();
+        assert_eq!(db.n_spam(), snapshot.n_spam());
+        assert_eq!(db.n_ham(), snapshot.n_ham());
+        assert_eq!(db.counts("beta"), snapshot.counts("beta"));
+        assert_eq!(db.counts("gamma"), TokenCounts::default());
+        assert_eq!(db.n_tokens(), snapshot.n_tokens());
+    }
+
+    #[test]
+    fn untrain_unknown_message_fails_cleanly() {
+        let mut db = TokenDb::new();
+        db.train(&toks(&["alpha"]), Label::Ham);
+        let err = db.untrain(&toks(&["alpha"]), Label::Spam).unwrap_err();
+        assert_eq!(err.token, None); // n_spam underflow detected first
+        let err = db
+            .untrain(&toks(&["alpha", "nope"]), Label::Ham)
+            .unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("nope"));
+        // Failed untrain left counts intact.
+        assert_eq!(db.n_ham(), 1);
+        assert_eq!(db.counts("alpha"), TokenCounts { spam: 0, ham: 1 });
+    }
+
+    #[test]
+    fn untrain_removes_empty_entries() {
+        let mut db = TokenDb::new();
+        db.train(&toks(&["only"]), Label::Spam);
+        db.untrain(&toks(&["only"]), Label::Spam).unwrap();
+        assert_eq!(db.n_tokens(), 0);
+    }
+
+    #[test]
+    fn multiplicity_zero_is_noop() {
+        let mut db = TokenDb::new();
+        db.train_many(&toks(&["x"]), Label::Spam, 0);
+        assert_eq!(db.n_messages(), 0);
+        assert_eq!(db.n_tokens(), 0);
+        db.untrain_many(&toks(&["x"]), Label::Spam, 0).unwrap();
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TokenDb::new();
+        a.train(&toks(&["x"]), Label::Spam);
+        let mut b = TokenDb::new();
+        b.train(&toks(&["x", "y"]), Label::Ham);
+        a.merge(&b);
+        assert_eq!(a.n_spam(), 1);
+        assert_eq!(a.n_ham(), 1);
+        assert_eq!(a.counts("x"), TokenCounts { spam: 1, ham: 1 });
+        assert_eq!(a.counts("y"), TokenCounts { spam: 0, ham: 1 });
+    }
+
+    #[test]
+    fn token_counts_total() {
+        assert_eq!(TokenCounts { spam: 3, ham: 4 }.total(), 7);
+    }
+}

@@ -1,0 +1,43 @@
+//! # sb-filter — the SpamBayes learner
+//!
+//! A faithful reimplementation of the statistical core the paper attacks
+//! (§2.3): Robinson's smoothed token spam scores combined with Fisher's
+//! method, thresholded into **ham / unsure / spam**.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Eq. 1 `PS(w)` | [`score::raw_spam_prob`] |
+//! | Eq. 2 `f(w)` (s = 0.45, x = 0.5) | [`score::token_score`] |
+//! | δ(E) (≤150 tokens, outside \[0.4, 0.6\]) | [`classify::select_delta`] |
+//! | Eq. 3–4 `I(E)` via χ²₂ₙ | [`classify::fisher_score`] |
+//! | θ0 = 0.15, θ1 = 0.9 | [`FilterOptions`] / [`classify::verdict_for`] |
+//!
+//! Design notes:
+//!
+//! * **Set semantics** — a token counts once per message; the database
+//!   ([`TokenDb`]) stores message-level presence counts `NS(w)`, `NH(w)`.
+//! * **Exact untraining** — [`TokenDb::untrain`] reverses training
+//!   message-by-message; the RONI defense (§5.1) depends on cheap
+//!   with/without comparisons. Property-tested as an exact inverse.
+//! * **Multiplicity training** — `train_many(set, label, k)` trains `k`
+//!   identical messages in `O(|set|)`; dictionary attacks (§3.2) produce
+//!   exactly such batches.
+//! * **Determinism** — δ(E) ordering uses an explicit total order (evidence
+//!   strength, then token string), so classification never depends on hash
+//!   iteration order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod classifier;
+pub mod db;
+pub mod options;
+pub mod persist;
+pub mod score;
+
+pub use classify::{fisher_score, select_delta, verdict_for, Clue, Scored, Verdict};
+pub use classifier::SpamBayes;
+pub use db::{TokenCounts, TokenDb, UntrainError};
+pub use options::FilterOptions;
+pub use persist::{load_db, save_db, PersistError};

@@ -1,0 +1,132 @@
+//! Learner configuration: the constants of Equations 1–4 and the
+//! classification thresholds.
+
+use serde::{Deserialize, Serialize};
+
+/// Options of the SpamBayes learner (defaults match the SpamBayes release
+/// the paper attacks, and the constants quoted in §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterOptions {
+    /// Prior strength `s` in Equation 2 (SpamBayes `unknown_word_strength`).
+    pub unknown_word_strength: f64,
+    /// Prior belief `x` in Equation 2 (SpamBayes `unknown_word_prob`).
+    pub unknown_word_prob: f64,
+    /// Minimum `|f(w) − 0.5|` for a token to enter δ(E) (SpamBayes
+    /// `minimum_prob_strength`; the paper's "outside the interval
+    /// [0.4, 0.6]", §2.3 footnote 3).
+    pub minimum_prob_strength: f64,
+    /// Maximum number of tokens in δ(E) (SpamBayes `max_discriminators`;
+    /// "at most 150 tokens", §2.3 footnote 3).
+    pub max_discriminators: usize,
+    /// θ0: scores in `[0, θ0]` are ham (paper default 0.15).
+    pub ham_cutoff: f64,
+    /// θ1: scores in `(θ1, 1]` are spam (paper default 0.9).
+    pub spam_cutoff: f64,
+}
+
+impl Default for FilterOptions {
+    fn default() -> Self {
+        Self {
+            unknown_word_strength: 0.45,
+            unknown_word_prob: 0.5,
+            minimum_prob_strength: 0.1,
+            max_discriminators: 150,
+            ham_cutoff: 0.15,
+            spam_cutoff: 0.9,
+        }
+    }
+}
+
+impl FilterOptions {
+    /// Replace both thresholds (used by the dynamic threshold defense, §5.2).
+    pub fn with_cutoffs(mut self, ham_cutoff: f64, spam_cutoff: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ham_cutoff)
+                && (0.0..=1.0).contains(&spam_cutoff)
+                && ham_cutoff <= spam_cutoff,
+            "cutoffs must satisfy 0 <= ham <= spam <= 1"
+        );
+        self.ham_cutoff = ham_cutoff;
+        self.spam_cutoff = spam_cutoff;
+        self
+    }
+
+    /// Sanity-check invariants (used by deserialization paths).
+    pub fn validate(&self) -> Result<(), String> {
+        // `<=` also rejects NaN, which `!(x > 0.0)` would hide behind a
+        // double negative.
+        if self.unknown_word_strength <= 0.0 || self.unknown_word_strength.is_nan() {
+            return Err("unknown_word_strength must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.unknown_word_prob) {
+            return Err("unknown_word_prob must be in [0,1]".into());
+        }
+        if !(0.0..=0.5).contains(&self.minimum_prob_strength) {
+            return Err("minimum_prob_strength must be in [0,0.5]".into());
+        }
+        if self.max_discriminators == 0 {
+            return Err("max_discriminators must be >= 1".into());
+        }
+        if !(self.ham_cutoff <= self.spam_cutoff
+            && (0.0..=1.0).contains(&self.ham_cutoff)
+            && (0.0..=1.0).contains(&self.spam_cutoff))
+        {
+            return Err("cutoffs must satisfy 0 <= ham <= spam <= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let o = FilterOptions::default();
+        assert_eq!(o.unknown_word_strength, 0.45);
+        assert_eq!(o.unknown_word_prob, 0.5);
+        assert_eq!(o.minimum_prob_strength, 0.1);
+        assert_eq!(o.max_discriminators, 150);
+        assert_eq!(o.ham_cutoff, 0.15);
+        assert_eq!(o.spam_cutoff, 0.9);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn with_cutoffs_updates() {
+        let o = FilterOptions::default().with_cutoffs(0.32, 0.78);
+        assert_eq!(o.ham_cutoff, 0.32);
+        assert_eq!(o.spam_cutoff, 0.78);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_cutoffs_rejected() {
+        let _ = FilterOptions::default().with_cutoffs(0.9, 0.1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let o = FilterOptions {
+            unknown_word_strength: 0.0,
+            ..FilterOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = FilterOptions {
+            max_discriminators: 0,
+            ..FilterOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = FilterOptions {
+            minimum_prob_strength: 0.7,
+            ..FilterOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = FilterOptions {
+            unknown_word_strength: f64::NAN,
+            ..FilterOptions::default()
+        };
+        assert!(o.validate().is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Plain-text persistence for the token database.
+//!
+//! A deliberately simple line format (no external serialization crate
+//! needed), analogous to SpamBayes' exported wordinfo dumps:
+//!
+//! ```text
+//! sbdb 1
+//! nspam 5000
+//! nham 5000
+//! t 13 2 cheap
+//! t 0 7 agenda
+//! ...
+//! ```
+//!
+//! Tokens go last on the line and may contain spaces (e.g. `email name:x`,
+//! `skip:a 20`); they cannot contain newlines (the tokenizer splits on
+//! whitespace), which this module re-validates on write.
+
+use crate::db::{TokenCounts, TokenDb};
+use sb_email::Label;
+use std::io::{BufRead, Write};
+
+/// Errors from loading a database dump.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the dump.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format { line, reason } => {
+                write!(f, "bad database dump at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Write a database dump.
+pub fn save_db<W: Write>(db: &TokenDb, mut w: W) -> Result<(), PersistError> {
+    writeln!(w, "sbdb 1")?;
+    writeln!(w, "nspam {}", db.n_spam())?;
+    writeln!(w, "nham {}", db.n_ham())?;
+    // Deterministic output order for diffability.
+    let mut entries: Vec<(&str, TokenCounts)> = db.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (tok, c) in entries {
+        debug_assert!(!tok.contains('\n'), "token contains newline: {tok:?}");
+        writeln!(w, "t {} {} {}", c.spam, c.ham, tok)?;
+    }
+    Ok(())
+}
+
+/// Read a database dump produced by [`save_db`].
+pub fn load_db<R: BufRead>(r: R) -> Result<TokenDb, PersistError> {
+    let mut lines = r.lines().enumerate();
+    let expect = |got: Option<(usize, std::io::Result<String>)>,
+                  what: &str|
+     -> Result<(usize, String), PersistError> {
+        match got {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(PersistError::Format {
+                line: i + 1,
+                reason: format!("read error: {e}"),
+            }),
+            None => Err(PersistError::Format {
+                line: 0,
+                reason: format!("missing {what}"),
+            }),
+        }
+    };
+
+    let (ln, magic) = expect(lines.next(), "magic header")?;
+    if magic.trim() != "sbdb 1" {
+        return Err(PersistError::Format {
+            line: ln,
+            reason: format!("bad magic {magic:?}"),
+        });
+    }
+    let parse_count = |line: &str, ln: usize, key: &str| -> Result<u32, PersistError> {
+        let mut it = line.splitn(2, ' ');
+        let k = it.next().unwrap_or("");
+        let v = it.next().unwrap_or("");
+        if k != key {
+            return Err(PersistError::Format {
+                line: ln,
+                reason: format!("expected {key}, got {k:?}"),
+            });
+        }
+        v.trim().parse().map_err(|e| PersistError::Format {
+            line: ln,
+            reason: format!("bad count: {e}"),
+        })
+    };
+    let (ln, l) = expect(lines.next(), "nspam")?;
+    let n_spam = parse_count(&l, ln, "nspam")?;
+    let (ln, l) = expect(lines.next(), "nham")?;
+    let n_ham = parse_count(&l, ln, "nham")?;
+
+    let mut db = TokenDb::new();
+    // Reconstruct the message counters with sentinel training; token rows
+    // are then merged in directly.
+    db.train_many(&[], Label::Spam, n_spam);
+    db.train_many(&[], Label::Ham, n_ham);
+
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line.map_err(|e| PersistError::Format {
+            line: ln,
+            reason: format!("read error: {e}"),
+        })?;
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix("t ").ok_or_else(|| PersistError::Format {
+            line: ln,
+            reason: format!("expected token row, got {line:?}"),
+        })?;
+        let mut parts = rest.splitn(3, ' ');
+        let spam: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PersistError::Format {
+                line: ln,
+                reason: "bad spam count".into(),
+            })?;
+        let ham: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PersistError::Format {
+                line: ln,
+                reason: "bad ham count".into(),
+            })?;
+        let tok = parts.next().ok_or_else(|| PersistError::Format {
+            line: ln,
+            reason: "missing token".into(),
+        })?;
+        if spam > n_spam || ham > n_ham {
+            return Err(PersistError::Format {
+                line: ln,
+                reason: format!(
+                    "token counts ({spam},{ham}) exceed message counts ({n_spam},{n_ham})"
+                ),
+            });
+        }
+        if spam > 0 {
+            db.train_many(&[tok.to_owned()], Label::Spam, spam);
+            // train_many bumped n_spam; compensate.
+            db.untrain_many(&[], Label::Spam, spam).expect("sentinel");
+        }
+        if ham > 0 {
+            db.train_many(&[tok.to_owned()], Label::Ham, ham);
+            db.untrain_many(&[], Label::Ham, ham).expect("sentinel");
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_email::Label;
+    use std::io::Cursor;
+
+    fn sample_db() -> TokenDb {
+        let mut db = TokenDb::new();
+        db.train(
+            &["cheap".into(), "email name:bob".into(), "skip:a 20".into()],
+            Label::Spam,
+        );
+        db.train(&["agenda".into(), "cheap".into()], Label::Ham);
+        db
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let back = load_db(Cursor::new(buf)).unwrap();
+        assert_eq!(back.n_spam(), db.n_spam());
+        assert_eq!(back.n_ham(), db.n_ham());
+        assert_eq!(back.n_tokens(), db.n_tokens());
+        for (tok, c) in db.iter() {
+            assert_eq!(back.counts(tok), c, "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn tokens_with_spaces_roundtrip() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let back = load_db(Cursor::new(buf)).unwrap();
+        assert_eq!(back.counts("email name:bob").spam, 1);
+        assert_eq!(back.counts("skip:a 20").spam, 1);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let db = sample_db();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save_db(&db, &mut a).unwrap();
+        save_db(&db, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_db(Cursor::new(b"wrong 9\n".to_vec())).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = load_db(Cursor::new(b"sbdb 1\nnspam 3\n".to_vec())).unwrap_err();
+        assert!(matches!(err, PersistError::Format { .. }));
+    }
+
+    #[test]
+    fn overlarge_token_counts_rejected() {
+        let dump = "sbdb 1\nnspam 1\nnham 0\nt 5 0 tok\n";
+        let err = load_db(Cursor::new(dump.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 4, .. }));
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = TokenDb::new();
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let back = load_db(Cursor::new(buf)).unwrap();
+        assert_eq!(back.n_messages(), 0);
+        assert_eq!(back.n_tokens(), 0);
+    }
+}

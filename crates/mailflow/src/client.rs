@@ -1,0 +1,492 @@
+//! The sending SMTP state machine and the synchronous delivery pump.
+//!
+//! The client renders commands to wire lines, pushes them through the
+//! (possibly faulty) transport, pumps the server, and interprets replies.
+//! Fault handling is where the substance is:
+//!
+//! * **dropped command / dropped reply** → no reply arrives; the client
+//!   retransmits the line a bounded number of times;
+//! * **corrupted command** → the server answers 500/501; the client
+//!   retransmits the original line;
+//! * **corrupted reply** → unparseable; treated like a drop;
+//! * **desynchronization** (e.g. a lost 354 leaves the server in DATA mode
+//!   eating commands as body lines) → [`SmtpClient::recover`] force-feeds a
+//!   terminating dot and a RSET, the standard blind resync dance;
+//! * anything still failing after the per-envelope attempt budget is
+//!   reported as a [`ClientError`], never hidden.
+//!
+//! Every loop is bounded, so delivery terminates for *any* transport
+//! behaviour — property-tested in `tests/prop_mailflow.rs`.
+
+use crate::smtp::{Command, Reply, ReplyCode};
+use crate::transport::{End, FaultyPipe};
+use crate::server::SmtpServer;
+use crate::wire::{dot_stuff, LineCodec};
+use sb_email::Email;
+use sb_email::render::render_email;
+use serde::{Deserialize, Serialize};
+
+/// An envelope: what SMTP actually routes (independent of header fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Envelope sender.
+    pub mail_from: String,
+    /// Envelope recipients.
+    pub rcpt_to: Vec<String>,
+    /// The message content.
+    pub email: Email,
+}
+
+impl Envelope {
+    /// Single-recipient convenience constructor.
+    pub fn to_one(mail_from: impl Into<String>, rcpt: impl Into<String>, email: Email) -> Self {
+        Self {
+            mail_from: mail_from.into(),
+            rcpt_to: vec![rcpt.into()],
+            email,
+        }
+    }
+}
+
+/// Why a delivery failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientError {
+    /// The server rejected the transaction with a permanent (5xx) code
+    /// repeatedly.
+    Rejected {
+        /// The last reply code seen.
+        code: u16,
+        /// Which command drew the rejection.
+        during: String,
+    },
+    /// No usable reply after all retransmissions (dropped lines, corrupted
+    /// replies, or a wedged session).
+    Stalled {
+        /// Which command stalled.
+        during: String,
+    },
+    /// The per-envelope attempt budget ran out.
+    AttemptsExhausted,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected { code, during } => {
+                write!(f, "rejected with {code} during {during}")
+            }
+            ClientError::Stalled { during } => write!(f, "no reply during {during}"),
+            ClientError::AttemptsExhausted => write!(f, "delivery attempts exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Per-delivery accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryReport {
+    /// Envelopes delivered (250 after the data dot).
+    pub delivered: usize,
+    /// Envelopes abandoned, with their final errors.
+    pub failed: Vec<ClientError>,
+    /// Total command retransmissions performed.
+    pub retransmissions: u64,
+    /// Blind resynchronization dances performed.
+    pub recoveries: u64,
+}
+
+/// The SMTP-lite client.
+#[derive(Debug, Clone)]
+pub struct SmtpClient {
+    helo_domain: String,
+    /// Full restarts allowed per envelope.
+    max_attempts: u32,
+    /// Retransmissions allowed per command line.
+    per_command_retries: u32,
+}
+
+impl SmtpClient {
+    /// A client announcing `helo_domain`, with default retry budgets.
+    pub fn new(helo_domain: impl Into<String>) -> Self {
+        Self {
+            helo_domain: helo_domain.into(),
+            max_attempts: 3,
+            per_command_retries: 4,
+        }
+    }
+
+    /// Override the retry budgets (attempts ≥ 1, retries ≥ 1).
+    pub fn with_budgets(mut self, max_attempts: u32, per_command_retries: u32) -> Self {
+        assert!(max_attempts >= 1 && per_command_retries >= 1);
+        self.max_attempts = max_attempts;
+        self.per_command_retries = per_command_retries;
+        self
+    }
+
+    /// Deliver a batch of envelopes over one SMTP session, pumping `server`
+    /// through `pipe`. Returns per-batch accounting; individual failures do
+    /// not abort the batch.
+    pub fn deliver_all(
+        &self,
+        pipe: &mut FaultyPipe,
+        server: &mut SmtpServer,
+        envelopes: &[Envelope],
+    ) -> DeliveryReport {
+        let mut report = DeliveryReport::default();
+        let mut session = Session {
+            pipe,
+            server,
+            client_codec: LineCodec::new(),
+            retransmissions: 0,
+            recoveries: 0,
+            per_command_retries: self.per_command_retries,
+        };
+
+        // Greeting: the server banner may be dropped; HELO works regardless.
+        session.pump_server();
+        session.drain_client_replies();
+        let _ = session.exchange(&Command::Helo(self.helo_domain.clone()).render(), &[250]);
+
+        for env in envelopes {
+            match self.deliver_envelope(&mut session, env) {
+                Ok(()) => report.delivered += 1,
+                Err(e) => report.failed.push(e),
+            }
+        }
+        let _ = session.exchange(&Command::Quit.render(), &[221]);
+        report.retransmissions = session.retransmissions;
+        report.recoveries = session.recoveries;
+        report
+    }
+
+    fn deliver_envelope(
+        &self,
+        session: &mut Session<'_>,
+        env: &Envelope,
+    ) -> Result<(), ClientError> {
+        for _attempt in 0..self.max_attempts {
+            match self.try_once(session, env) {
+                Ok(()) => return Ok(()),
+                Err(ClientError::Rejected { code, during }) if code >= 550 => {
+                    // Genuine policy rejection (bad mailbox, oversized):
+                    // retrying cannot help. RSET keeps the session clean for
+                    // the next envelope.
+                    session.resync();
+                    return Err(ClientError::Rejected { code, during });
+                }
+                Err(_) => {
+                    // Stall or desync: blind resync, then burn an attempt.
+                    session.resync();
+                }
+            }
+        }
+        Err(ClientError::AttemptsExhausted)
+    }
+
+    fn try_once(&self, session: &mut Session<'_>, env: &Envelope) -> Result<(), ClientError> {
+        session.exchange_strict(&Command::MailFrom(env.mail_from.clone()).render(), &[250], "MAIL")?;
+        for rcpt in &env.rcpt_to {
+            session.exchange_strict(&Command::RcptTo(rcpt.clone()).render(), &[250], "RCPT")?;
+        }
+        session.exchange_strict(&Command::Data.render(), &[354], "DATA")?;
+        // Body lines draw no replies; send them in one burst per line so the
+        // fault injector sees realistic chunk granularity.
+        let wire = dot_stuff(&render_email(&env.email));
+        for line in wire.split_inclusive("\r\n") {
+            session.send_raw(line.as_bytes());
+        }
+        session.pump_server();
+        // The terminating dot was part of `wire`; wait for the final 250.
+        match session.await_reply() {
+            Some(r) if r.code == ReplyCode::Ok => Ok(()),
+            Some(r) if r.code == ReplyCode::TooMuchData => Err(ClientError::Rejected {
+                code: 552,
+                during: "DATA-END".into(),
+            }),
+            Some(r) => Err(ClientError::Rejected {
+                code: r.code.code(),
+                during: "DATA-END".into(),
+            }),
+            None => {
+                // The dot (or its reply) was lost: retransmit just the dot.
+                for _ in 0..self.per_command_retries {
+                    session.send_raw(b".\r\n");
+                    session.pump_server();
+                    if let Some(r) = session.await_reply() {
+                        return if r.code == ReplyCode::Ok {
+                            Ok(())
+                        } else {
+                            Err(ClientError::Rejected {
+                                code: r.code.code(),
+                                during: "DATA-END".into(),
+                            })
+                        };
+                    }
+                }
+                Err(ClientError::Stalled {
+                    during: "DATA-END".into(),
+                })
+            }
+        }
+    }
+}
+
+/// One live client↔server pumping context.
+struct Session<'a> {
+    pipe: &'a mut FaultyPipe,
+    server: &'a mut SmtpServer,
+    client_codec: LineCodec,
+    retransmissions: u64,
+    recoveries: u64,
+    per_command_retries: u32,
+}
+
+impl Session<'_> {
+    /// Push client bytes through the faulty pipe.
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.pipe.write(End::Client, bytes);
+    }
+
+    /// Let the server consume everything in flight and emit replies.
+    fn pump_server(&mut self) {
+        let bytes = self.pipe.read(End::Server);
+        if bytes.is_empty() {
+            return;
+        }
+        // The server frames with its own codec; a persistent one per session
+        // would be marginally more realistic, but command lines never split
+        // across our chunk boundary (one write = one line), so a local codec
+        // that drains fully is equivalent — except for byte-corruption runs,
+        // where a corrupted terminator could leave a partial line stranded.
+        // We accept losing that tail: it models a broken line on a real
+        // wire, and the client's retransmission path covers it.
+        let mut codec = LineCodec::new();
+        codec.feed(&bytes);
+        while let Some(item) = codec.next_line() {
+            match item {
+                Ok(line) => {
+                    if let Some(reply) = self.server.handle_line(&line) {
+                        self.pipe.write(End::Server, format!("{}\r\n", reply.render()).as_bytes());
+                    }
+                }
+                Err(_) => {
+                    // Oversized garbage: a real server would answer 500; ours
+                    // does too, so the client can resync.
+                    let reply = Reply::new(ReplyCode::SyntaxError, "line too long");
+                    self.pipe.write(End::Server, format!("{}\r\n", reply.render()).as_bytes());
+                }
+            }
+        }
+    }
+
+    /// Read one parsed reply from the client side, if any arrived.
+    fn await_reply(&mut self) -> Option<Reply> {
+        let bytes = self.pipe.read(End::Client);
+        self.client_codec.feed(&bytes);
+        while let Some(item) = self.client_codec.next_line() {
+            if let Ok(line) = item {
+                if let Some(r) = Reply::parse(&line) {
+                    return Some(r);
+                }
+                // Corrupted reply: ignore; caller will retransmit.
+            }
+        }
+        None
+    }
+
+    /// Discard any stale replies sitting in the client's direction.
+    fn drain_client_replies(&mut self) {
+        while self.await_reply().is_some() {}
+    }
+
+    /// Send a command line until one of `want` (numeric codes) comes back.
+    /// Returns the final reply, or None if the budget ran out.
+    ///
+    /// Reply-code triage: 500/501 almost certainly mean the command was
+    /// corrupted in flight, so the original line is retransmitted; 4xx are
+    /// transient and also retransmitted; 503 means client and server have
+    /// desynchronized (retransmission cannot fix that — the caller's resync
+    /// dance can) and 55x are genuine policy rejections, so both return
+    /// immediately.
+    fn exchange(&mut self, line: &str, want: &[u16]) -> Option<Reply> {
+        for attempt in 0..=self.per_command_retries {
+            if attempt > 0 {
+                self.retransmissions += 1;
+            }
+            self.send_raw(format!("{line}\r\n").as_bytes());
+            self.pump_server();
+            if let Some(r) = self.await_reply() {
+                let code = r.code.code();
+                if want.contains(&code) {
+                    return Some(r);
+                }
+                if code == 503 || code >= 550 {
+                    return Some(r);
+                }
+                // 4xx / 500 / 501: retransmit.
+            }
+        }
+        None
+    }
+
+    /// Like [`Self::exchange`] but mapping outcomes onto [`ClientError`].
+    fn exchange_strict(
+        &mut self,
+        line: &str,
+        want: &[u16],
+        during: &str,
+    ) -> Result<Reply, ClientError> {
+        match self.exchange(line, want) {
+            Some(r) if want.contains(&r.code.code()) => Ok(r),
+            Some(r) => Err(ClientError::Rejected {
+                code: r.code.code(),
+                during: during.into(),
+            }),
+            None => Err(ClientError::Stalled {
+                during: during.into(),
+            }),
+        }
+    }
+
+    /// Blind resynchronization: terminate any data mode the server might be
+    /// stuck in, then RSET. Ignores outcomes — this is a best-effort dance.
+    fn resync(&mut self) {
+        self.recoveries += 1;
+        self.send_raw(b".\r\n");
+        self.pump_server();
+        self.drain_client_replies();
+        let _ = self.exchange(&Command::Rset.render(), &[250]);
+        self.drain_client_replies();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::FaultConfig;
+
+    fn envelope(i: usize) -> Envelope {
+        Envelope::to_one(
+            format!("sender{i}@out.example"),
+            "victim@corp.example",
+            Email::builder()
+                .subject(format!("message {i}"))
+                .body(format!("body of message {i}\nwith two lines"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn delivers_over_reliable_pipe() {
+        let mut pipe = FaultyPipe::reliable();
+        let mut server = SmtpServer::new("mx.corp.example");
+        pipe.write(End::Server, format!("{}\r\n", server.greeting().render()).as_bytes());
+        let client = SmtpClient::new("out.example");
+        let envs: Vec<Envelope> = (0..5).map(envelope).collect();
+        let report = client.deliver_all(&mut pipe, &mut server, &envs);
+        assert_eq!(report.delivered, 5, "failures: {:?}", report.failed);
+        assert!(report.failed.is_empty());
+        assert_eq!(report.retransmissions, 0);
+        let accepted = server
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, crate::server::ServerEvent::MessageAccepted(_)))
+            .count();
+        assert_eq!(accepted, 5);
+    }
+
+    #[test]
+    fn message_content_survives_the_wire() {
+        let mut pipe = FaultyPipe::reliable();
+        let mut server = SmtpServer::new("mx");
+        let client = SmtpClient::new("out");
+        let email = Email::builder()
+            .subject("dots and lines")
+            .body(".leading dot\nmiddle\n..two dots\nlast")
+            .build();
+        let env = Envelope::to_one("a@b", "c@d", email.clone());
+        let report = client.deliver_all(&mut pipe, &mut server, &[env]);
+        assert_eq!(report.delivered, 1);
+        match &server.take_events()[0] {
+            crate::server::ServerEvent::MessageAccepted(m) => {
+                assert_eq!(m.email.subject(), email.subject());
+                assert_eq!(m.email.body().trim_end(), email.body());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn survives_moderate_faults() {
+        // 5% drop + 5% corruption: all messages should still arrive thanks
+        // to retransmission, with a nonzero retry count.
+        let mut total_delivered = 0;
+        let mut total_retx = 0;
+        for seed in 0..10 {
+            let mut pipe = FaultyPipe::new(
+                FaultConfig {
+                    drop_chance: 0.05,
+                    corrupt_chance: 0.05,
+                },
+                seed,
+            );
+            let mut server = SmtpServer::new("mx");
+            let client = SmtpClient::new("out").with_budgets(4, 6);
+            let envs: Vec<Envelope> = (0..10).map(envelope).collect();
+            let report = client.deliver_all(&mut pipe, &mut server, &envs);
+            total_delivered += report.delivered;
+            total_retx += report.retransmissions;
+        }
+        assert!(
+            total_delivered >= 95,
+            "too many losses at 5% fault rate: {total_delivered}/100"
+        );
+        assert!(total_retx > 0, "faults injected but nothing retransmitted");
+    }
+
+    #[test]
+    fn harsh_faults_terminate_and_report() {
+        // 15%/15%: deliveries may fail, but the pump must terminate and
+        // failures must be reported, not silently dropped.
+        let mut pipe = FaultyPipe::new(FaultConfig::harsh(), 99);
+        let mut server = SmtpServer::new("mx");
+        let client = SmtpClient::new("out");
+        let envs: Vec<Envelope> = (0..20).map(envelope).collect();
+        let report = client.deliver_all(&mut pipe, &mut server, &envs);
+        assert_eq!(report.delivered + report.failed.len(), 20);
+    }
+
+    #[test]
+    fn delivery_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut pipe = FaultyPipe::new(FaultConfig::harsh(), seed);
+            let mut server = SmtpServer::new("mx");
+            let client = SmtpClient::new("out");
+            let envs: Vec<Envelope> = (0..10).map(envelope).collect();
+            let r = client.deliver_all(&mut pipe, &mut server, &envs);
+            (r.delivered, r.retransmissions, r.recoveries)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn multi_recipient_envelope() {
+        let mut pipe = FaultyPipe::reliable();
+        let mut server = SmtpServer::new("mx");
+        let client = SmtpClient::new("out");
+        let env = Envelope {
+            mail_from: "hr@corp".into(),
+            rcpt_to: vec!["u1@corp".into(), "u2@corp".into(), "u3@corp".into()],
+            email: Email::builder().body("all hands").build(),
+        };
+        let report = client.deliver_all(&mut pipe, &mut server, &[env]);
+        assert_eq!(report.delivered, 1);
+        match &server.take_events()[0] {
+            crate::server::ServerEvent::MessageAccepted(m) => {
+                assert_eq!(m.rcpt_to.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

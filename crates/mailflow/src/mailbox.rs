@@ -1,0 +1,305 @@
+//! Per-user mailboxes and the §2.1 reading model.
+//!
+//! The paper's user-cost argument rests on how clients *route* the three
+//! verdicts: spam to a "Spam-High" folder the user essentially never reads,
+//! unsure to a "Spam-Low" folder the user must grudgingly skim to avoid
+//! missing real mail, ham to the inbox. [`Mailbox`] performs the routing;
+//! [`UserModel`] turns folder contents into the costs the paper reasons
+//! about (missed ham, spam faced, time wasted in the unsure folder).
+
+use sb_email::{Email, Label};
+use sb_filter::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// The three folders of the §2.1 client model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Folder {
+    /// Delivered normally.
+    Inbox,
+    /// "Spam-Low": the unsure holding pen.
+    Unsure,
+    /// "Spam-High": filtered away.
+    Spam,
+}
+
+impl Folder {
+    /// Where a verdict routes a message.
+    pub fn for_verdict(v: Verdict) -> Folder {
+        match v {
+            Verdict::Ham => Folder::Inbox,
+            Verdict::Unsure => Folder::Unsure,
+            Verdict::Spam => Folder::Spam,
+        }
+    }
+}
+
+/// A delivered message with its routing and ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredMessage {
+    /// The message.
+    pub email: Email,
+    /// Ground-truth label (known to the simulation, not the user).
+    pub truth: Label,
+    /// The filter's verdict at delivery time.
+    pub verdict: Verdict,
+    /// Simulation day the message arrived.
+    pub day: u32,
+}
+
+/// One user's mail store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Mailbox {
+    inbox: Vec<StoredMessage>,
+    unsure: Vec<StoredMessage>,
+    spam: Vec<StoredMessage>,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route a classified message into its folder.
+    pub fn deliver(&mut self, email: Email, truth: Label, verdict: Verdict, day: u32) {
+        let stored = StoredMessage {
+            email,
+            truth,
+            verdict,
+            day,
+        };
+        match Folder::for_verdict(verdict) {
+            Folder::Inbox => self.inbox.push(stored),
+            Folder::Unsure => self.unsure.push(stored),
+            Folder::Spam => self.spam.push(stored),
+        }
+    }
+
+    /// Messages in a folder.
+    pub fn folder(&self, f: Folder) -> &[StoredMessage] {
+        match f {
+            Folder::Inbox => &self.inbox,
+            Folder::Unsure => &self.unsure,
+            Folder::Spam => &self.spam,
+        }
+    }
+
+    /// Total messages stored.
+    pub fn len(&self) -> usize {
+        self.inbox.len() + self.unsure.len() + self.spam.len()
+    }
+
+    /// True when nothing has been delivered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of messages in `folder` whose ground truth is `truth`.
+    pub fn count(&self, folder: Folder, truth: Label) -> usize {
+        self.folder(folder).iter().filter(|m| m.truth == truth).count()
+    }
+
+    /// Remove everything (start of a new evaluation window).
+    pub fn clear(&mut self) {
+        self.inbox.clear();
+        self.unsure.clear();
+        self.spam.clear();
+    }
+}
+
+/// How a user reads their folders (§2.1's behavioural assumptions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserModel {
+    /// Whether the user skims the unsure folder at all.
+    pub reads_unsure: bool,
+    /// Whether the user ever checks the spam folder (the paper: "rarely
+    /// (if ever)"; default false).
+    pub reads_spam: bool,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        Self {
+            reads_unsure: true,
+            reads_spam: false,
+        }
+    }
+}
+
+/// The user-visible costs of a mailbox state under a reading model. All
+/// counts are message counts over whatever window the mailbox holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserCosts {
+    /// Ham the user never sees (in spam always; in unsure too if unread).
+    pub ham_lost: usize,
+    /// Ham the user only finds by skimming the unsure folder.
+    pub ham_delayed: usize,
+    /// Spam the user is exposed to (inbox, plus unsure if read).
+    pub spam_faced: usize,
+    /// Total messages the user must skim in the unsure folder.
+    pub unsure_burden: usize,
+}
+
+impl UserModel {
+    /// Evaluate the §2.1 costs for a mailbox.
+    pub fn costs(&self, mbox: &Mailbox) -> UserCosts {
+        let ham_in_spam = mbox.count(Folder::Spam, Label::Ham);
+        let ham_in_unsure = mbox.count(Folder::Unsure, Label::Ham);
+        let spam_in_inbox = mbox.count(Folder::Inbox, Label::Spam);
+        let spam_in_unsure = mbox.count(Folder::Unsure, Label::Spam);
+        let spam_in_spam = mbox.count(Folder::Spam, Label::Spam);
+
+        let mut costs = UserCosts {
+            ham_lost: ham_in_spam,
+            ham_delayed: 0,
+            spam_faced: spam_in_inbox,
+            unsure_burden: 0,
+        };
+        if self.reads_unsure {
+            costs.ham_delayed += ham_in_unsure;
+            costs.spam_faced += spam_in_unsure;
+            costs.unsure_burden = ham_in_unsure + spam_in_unsure;
+        } else {
+            costs.ham_lost += ham_in_unsure;
+        }
+        if self.reads_spam {
+            // Reading spam-high recovers lost ham but faces all the spam.
+            costs.ham_lost -= ham_in_spam;
+            costs.ham_delayed += ham_in_spam;
+            costs.spam_faced += spam_in_spam;
+        }
+        costs
+    }
+
+    /// The paper's "filter has become useless" predicate: the user gains no
+    /// time-saving when the share of incoming mail they still have to look
+    /// at (inbox + unsure if read) approaches what no filter would give
+    /// them, or when real mail is being lost.
+    pub fn filter_useless(&self, mbox: &Mailbox, loss_tolerance: f64) -> bool {
+        let total_ham = mbox.count(Folder::Inbox, Label::Ham)
+            + mbox.count(Folder::Unsure, Label::Ham)
+            + mbox.count(Folder::Spam, Label::Ham);
+        if total_ham == 0 {
+            return false;
+        }
+        let costs = self.costs(mbox);
+        let misrouted = costs.ham_lost + costs.ham_delayed;
+        misrouted as f64 / total_ham as f64 > loss_tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn email(i: usize) -> Email {
+        Email::builder().body(format!("message {i}")).build()
+    }
+
+    fn mixed_mailbox() -> Mailbox {
+        let mut m = Mailbox::new();
+        // 4 ham in inbox, 2 ham in unsure, 1 ham in spam,
+        // 1 spam in inbox, 3 spam in unsure, 5 spam in spam.
+        for i in 0..4 {
+            m.deliver(email(i), Label::Ham, Verdict::Ham, 1);
+        }
+        for i in 4..6 {
+            m.deliver(email(i), Label::Ham, Verdict::Unsure, 1);
+        }
+        m.deliver(email(6), Label::Ham, Verdict::Spam, 1);
+        m.deliver(email(7), Label::Spam, Verdict::Ham, 2);
+        for i in 8..11 {
+            m.deliver(email(i), Label::Spam, Verdict::Unsure, 2);
+        }
+        for i in 11..16 {
+            m.deliver(email(i), Label::Spam, Verdict::Spam, 2);
+        }
+        m
+    }
+
+    #[test]
+    fn routing_follows_verdicts() {
+        let m = mixed_mailbox();
+        assert_eq!(m.folder(Folder::Inbox).len(), 5);
+        assert_eq!(m.folder(Folder::Unsure).len(), 5);
+        assert_eq!(m.folder(Folder::Spam).len(), 6);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn counts_by_truth() {
+        let m = mixed_mailbox();
+        assert_eq!(m.count(Folder::Inbox, Label::Ham), 4);
+        assert_eq!(m.count(Folder::Inbox, Label::Spam), 1);
+        assert_eq!(m.count(Folder::Unsure, Label::Ham), 2);
+        assert_eq!(m.count(Folder::Spam, Label::Ham), 1);
+    }
+
+    #[test]
+    fn default_user_costs() {
+        let m = mixed_mailbox();
+        let costs = UserModel::default().costs(&m);
+        // Loses the 1 ham in spam; skims unsure so the 2 ham there are
+        // delayed, not lost; faces 1 inbox spam + 3 unsure spam.
+        assert_eq!(costs.ham_lost, 1);
+        assert_eq!(costs.ham_delayed, 2);
+        assert_eq!(costs.spam_faced, 4);
+        assert_eq!(costs.unsure_burden, 5);
+    }
+
+    #[test]
+    fn non_unsure_reader_loses_more_ham() {
+        let m = mixed_mailbox();
+        let user = UserModel {
+            reads_unsure: false,
+            reads_spam: false,
+        };
+        let costs = user.costs(&m);
+        assert_eq!(costs.ham_lost, 3); // spam-folder ham + unread unsure ham
+        assert_eq!(costs.spam_faced, 1); // inbox spam only
+        assert_eq!(costs.unsure_burden, 0);
+    }
+
+    #[test]
+    fn spam_folder_reader_recovers_ham_at_a_price() {
+        let m = mixed_mailbox();
+        let user = UserModel {
+            reads_unsure: true,
+            reads_spam: true,
+        };
+        let costs = user.costs(&m);
+        assert_eq!(costs.ham_lost, 0);
+        assert_eq!(costs.ham_delayed, 3);
+        // Faces every spam in the store.
+        assert_eq!(costs.spam_faced, 9);
+    }
+
+    #[test]
+    fn useless_predicate_tracks_misrouted_ham() {
+        let mut m = Mailbox::new();
+        for i in 0..10 {
+            m.deliver(email(i), Label::Ham, Verdict::Ham, 1);
+        }
+        let user = UserModel::default();
+        assert!(!user.filter_useless(&m, 0.2));
+        // Push 8 more ham into unsure: 8/18 misrouted > 20%.
+        for i in 10..18 {
+            m.deliver(email(i), Label::Ham, Verdict::Unsure, 1);
+        }
+        assert!(user.filter_useless(&m, 0.2));
+    }
+
+    #[test]
+    fn empty_mailbox_is_never_useless() {
+        let m = Mailbox::new();
+        assert!(!UserModel::default().filter_useless(&m, 0.0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = mixed_mailbox();
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

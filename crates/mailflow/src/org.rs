@@ -1,0 +1,640 @@
+//! The organization simulation: §2.1–§2.2 as a running system.
+//!
+//! One shared SpamBayes instance filters all incoming mail for an
+//! organization's users. Mail — legitimate, background spam, and attack —
+//! arrives over the SMTP-lite wire (one connection per message, faults and
+//! all), is classified, routed to per-user mailboxes, and *also* recorded
+//! into the training pool. Every `retrain_every` days the organization
+//! retrains from the pool, exactly as the paper's contamination assumption
+//! requires: attack messages are genuinely spam, so they are trained as
+//! spam, and that is precisely what poisons the filter.
+//!
+//! Defenses hook into the retraining step: RONI screens new pool entries
+//! against a trusted bootstrap set (§5.1), the dynamic threshold recalibrates
+//! θ0/θ1 from a held-out split of the pool (§5.2), or both.
+//!
+//! The output is a week-by-week report of user-visible damage, which is the
+//! time-axis view of the paper's Figure 1: the attack lands in the pool
+//! during week *n* and detonates at the week-*n* retrain.
+
+use crate::client::{Envelope, SmtpClient};
+use crate::mailbox::{Mailbox, UserCosts, UserModel};
+use crate::server::{ServerEvent, SmtpServer};
+use crate::transport::{FaultConfig, FaultStats, FaultyPipe};
+use sb_core::{calibrate, AttackGenerator, RoniConfig, RoniDefense, ThresholdConfig, TrainItem};
+use sb_corpus::{CorpusConfig, EmailGenerator};
+use sb_email::{Dataset, Email, Label, LabeledEmail};
+use sb_filter::{FilterOptions, SpamBayes, Verdict};
+use sb_stats::rng::SeedTree;
+use sb_tokenizer::Tokenizer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Daily traffic volumes, organization-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// Legitimate messages per day.
+    pub ham_per_day: u32,
+    /// Background (non-attack) spam per day.
+    pub spam_per_day: u32,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        Self {
+            ham_per_day: 30,
+            spam_per_day: 30,
+        }
+    }
+}
+
+/// Which defense the organization runs at retraining time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefensePolicy {
+    /// Train on everything (the paper's baseline victim).
+    None,
+    /// RONI-screen new pool entries against the trusted bootstrap (§5.1).
+    Roni,
+    /// Recalibrate θ0/θ1 from the (contaminated) pool (§5.2). `strict`
+    /// selects the g = 0.05 variant, otherwise g = 0.10.
+    DynamicThreshold {
+        /// Use the 0.05 utility target instead of 0.10.
+        strict: bool,
+    },
+    /// RONI screening followed by threshold recalibration.
+    RoniPlusThreshold,
+}
+
+/// An attack campaign: when it starts and how much it sends.
+pub struct AttackPlan {
+    /// First day (1-based) attack mail is sent.
+    pub start_day: u32,
+    /// Attack messages per day from `start_day` on.
+    pub per_day: u32,
+    /// The attack email generator (dictionary, focused, …).
+    pub generator: Box<dyn AttackGenerator + Send + Sync>,
+}
+
+impl std::fmt::Debug for AttackPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackPlan")
+            .field("start_day", &self.start_day)
+            .field("per_day", &self.per_day)
+            .field("generator", &self.generator.name())
+            .finish()
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug)]
+pub struct OrgConfig {
+    /// Recipient user addresses (mail is spread round-robin).
+    pub users: Vec<String>,
+    /// Days to simulate.
+    pub days: u32,
+    /// Retrain every this many days (the paper's "e.g., weekly").
+    pub retrain_every: u32,
+    /// Daily volumes.
+    pub traffic: TrafficMix,
+    /// Wire faults.
+    pub faults: FaultConfig,
+    /// Defense at retraining time.
+    pub defense: DefensePolicy,
+    /// Size of the trusted, clean bootstrap training set.
+    pub bootstrap_size: usize,
+    /// Corpus model for ham/spam generation.
+    pub corpus: CorpusConfig,
+    /// The attack campaign, if any.
+    pub attack: Option<AttackPlan>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl OrgConfig {
+    /// A small default organization: 5 users, 4 weeks, weekly retraining,
+    /// reliable wire, no attack, no defense.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            users: (0..5).map(|i| format!("user{i}@corp.example")).collect(),
+            days: 28,
+            retrain_every: 7,
+            traffic: TrafficMix::default(),
+            faults: FaultConfig::none(),
+            defense: DefensePolicy::None,
+            bootstrap_size: 400,
+            corpus: CorpusConfig::with_size(400, 0.5),
+            attack: None,
+            seed,
+        }
+    }
+}
+
+/// Filter state: plain thresholds or a calibrated pair.
+enum ActiveFilter {
+    Plain(SpamBayes),
+    Calibrated(sb_core::CalibratedFilter),
+}
+
+impl ActiveFilter {
+    fn classify(&self, email: &Email) -> Verdict {
+        match self {
+            ActiveFilter::Plain(f) => f.classify(email).verdict,
+            ActiveFilter::Calibrated(c) => c.classify(email).verdict,
+        }
+    }
+}
+
+/// One week of user-visible outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeekReport {
+    /// Week number, 1-based.
+    pub week: u32,
+    /// Messages offered to SMTP this week.
+    pub offered: usize,
+    /// Messages accepted by the server.
+    pub accepted: usize,
+    /// Fraction of this week's ham classified spam.
+    pub ham_as_spam: f64,
+    /// Fraction of this week's ham classified spam or unsure.
+    pub ham_misrouted: f64,
+    /// Fraction of this week's true spam classified spam.
+    pub spam_caught: f64,
+    /// Fraction of this week's true spam classified unsure.
+    pub spam_as_unsure: f64,
+    /// Pool entries rejected by RONI at this week's retrain (0 when the
+    /// defense is off or the week had no retrain).
+    pub screened_out: usize,
+    /// Aggregated §2.1 user costs for the week.
+    pub costs: UserCosts,
+    /// The §2.1 "no advantage from continued use" predicate (> 20% of ham
+    /// misrouted).
+    pub filter_useless: bool,
+}
+
+/// Full simulation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgReport {
+    /// Per-week outcomes.
+    pub weeks: Vec<WeekReport>,
+    /// Wire fault counters across the whole run.
+    pub fault_stats: FaultStats,
+    /// Total messages delivered into mailboxes.
+    pub total_delivered: usize,
+    /// Total SMTP delivery failures (after retries).
+    pub total_failed: usize,
+}
+
+impl OrgReport {
+    /// Highest ham-misrouted rate over all weeks (the attack's high-water
+    /// mark).
+    pub fn worst_week_ham_misrouted(&self) -> f64 {
+        self.weeks.iter().map(|w| w.ham_misrouted).fold(0.0, f64::max)
+    }
+}
+
+/// The running organization.
+pub struct MailOrg {
+    cfg: OrgConfig,
+    seeds: SeedTree,
+    generator: EmailGenerator,
+    tokenizer: Tokenizer,
+    filter: ActiveFilter,
+    /// Trusted bootstrap messages (never contaminated; RONI's yardstick).
+    bootstrap: Dataset,
+    /// Accepted-but-unscreened messages since the last retrain.
+    fresh_pool: Vec<LabeledEmail>,
+    /// Screened, training-eligible pool (starts as the bootstrap).
+    pool: Dataset,
+    mailboxes: HashMap<String, Mailbox>,
+    ham_counter: u64,
+    spam_counter: u64,
+}
+
+impl MailOrg {
+    /// Bootstrap an organization: generate the clean training set and train
+    /// the initial filter.
+    pub fn new(cfg: OrgConfig) -> Self {
+        assert!(!cfg.users.is_empty(), "need at least one user");
+        assert!(cfg.retrain_every >= 1, "retrain_every must be >= 1");
+        let seeds = SeedTree::new(cfg.seed).child("mailorg");
+        let generator = EmailGenerator::new(cfg.corpus.clone(), seeds.child("corpus").seed());
+
+        // Clean bootstrap pool, half ham half spam, generated off-wire (the
+        // organization's historical mail archive).
+        let mut bootstrap = Dataset::new();
+        let n_ham = cfg.bootstrap_size / 2;
+        let mut ham_counter = 0u64;
+        let mut spam_counter = 0u64;
+        for _ in 0..n_ham {
+            bootstrap.push(LabeledEmail::ham(generator.ham(ham_counter)));
+            ham_counter += 1;
+        }
+        for _ in 0..(cfg.bootstrap_size - n_ham) {
+            bootstrap.push(LabeledEmail::spam(generator.spam(spam_counter)));
+            spam_counter += 1;
+        }
+
+        let mut filter = SpamBayes::new();
+        for m in bootstrap.emails() {
+            filter.train(&m.email, m.label);
+        }
+
+        let mailboxes = cfg
+            .users
+            .iter()
+            .map(|u| (u.clone(), Mailbox::new()))
+            .collect();
+
+        let mut pool = Dataset::new();
+        pool.extend_from(&bootstrap);
+
+        Self {
+            cfg,
+            seeds,
+            generator,
+            tokenizer: Tokenizer::new(),
+            filter: ActiveFilter::Plain(filter),
+            bootstrap,
+            fresh_pool: Vec::new(),
+            pool,
+            mailboxes,
+            ham_counter,
+            spam_counter,
+        }
+    }
+
+    /// A user's mailbox.
+    pub fn mailbox(&self, user: &str) -> Option<&Mailbox> {
+        self.mailboxes.get(user)
+    }
+
+    /// Run the full simulation.
+    pub fn run(mut self) -> OrgReport {
+        let mut weeks = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let mut total_delivered = 0usize;
+        let mut total_failed = 0usize;
+
+        let n_weeks = self.cfg.days.div_ceil(self.cfg.retrain_every);
+        let mut day = 0u32;
+        for week in 1..=n_weeks {
+            // Per-week delivery ledger: (truth, verdict).
+            let mut ledger: Vec<(Label, Verdict)> = Vec::new();
+            let mut offered = 0usize;
+            let mut accepted = 0usize;
+            let mut week_costs_box = Mailbox::new();
+
+            for _ in 0..self.cfg.retrain_every {
+                day += 1;
+                if day > self.cfg.days {
+                    break;
+                }
+                let (o, a, d, f, stats) =
+                    self.run_day(day, &mut ledger, &mut week_costs_box);
+                offered += o;
+                accepted += a;
+                total_delivered += d;
+                total_failed += f;
+                fault_stats.dropped += stats.dropped;
+                fault_stats.corrupted += stats.corrupted;
+                fault_stats.passed += stats.passed;
+            }
+
+            // Retrain at week end (§2.1: periodic retraining).
+            let screened_out = self.retrain(week);
+
+            // Week metrics from the ledger.
+            let n_ham = ledger.iter().filter(|(t, _)| *t == Label::Ham).count();
+            let n_spam = ledger.len() - n_ham;
+            let ham_as_spam = count(&ledger, Label::Ham, Verdict::Spam);
+            let ham_as_unsure = count(&ledger, Label::Ham, Verdict::Unsure);
+            let spam_as_spam = count(&ledger, Label::Spam, Verdict::Spam);
+            let spam_as_unsure = count(&ledger, Label::Spam, Verdict::Unsure);
+            let user = UserModel::default();
+            let report = WeekReport {
+                week,
+                offered,
+                accepted,
+                ham_as_spam: rate(ham_as_spam, n_ham),
+                ham_misrouted: rate(ham_as_spam + ham_as_unsure, n_ham),
+                spam_caught: rate(spam_as_spam, n_spam),
+                spam_as_unsure: rate(spam_as_unsure, n_spam),
+                screened_out,
+                costs: user.costs(&week_costs_box),
+                filter_useless: user.filter_useless(&week_costs_box, 0.2),
+            };
+            weeks.push(report);
+        }
+
+        OrgReport {
+            weeks,
+            fault_stats,
+            total_delivered,
+            total_failed,
+        }
+    }
+
+    /// One day: generate traffic, deliver it over SMTP, classify, route,
+    /// pool. Returns (offered, accepted, delivered, failed, fault stats).
+    fn run_day(
+        &mut self,
+        day: u32,
+        ledger: &mut Vec<(Label, Verdict)>,
+        week_costs_box: &mut Mailbox,
+    ) -> (usize, usize, usize, usize, FaultStats) {
+        let day_seeds = self.seeds.child("day").index(u64::from(day));
+        let mut rng = day_seeds.child("traffic").rng();
+
+        // Compose today's outbound traffic with ground truth attached.
+        let mut outbound: Vec<(Email, Label)> = Vec::new();
+        for _ in 0..self.cfg.traffic.ham_per_day {
+            outbound.push((self.generator.ham(self.ham_counter), Label::Ham));
+            self.ham_counter += 1;
+        }
+        for _ in 0..self.cfg.traffic.spam_per_day {
+            outbound.push((self.generator.spam(self.spam_counter), Label::Spam));
+            self.spam_counter += 1;
+        }
+        if let Some(plan) = &self.cfg.attack {
+            if day >= plan.start_day && plan.per_day > 0 {
+                let mut atk_rng = day_seeds.child("attack").rng();
+                let batch = plan.generator.generate(plan.per_day, &mut atk_rng);
+                for email in batch.materialize() {
+                    // Ground truth: attack mail IS spam (§2.2) — that is the
+                    // whole point of the contamination assumption.
+                    outbound.push((email, Label::Spam));
+                }
+            }
+        }
+        // Shuffle so attack mail interleaves with the day's traffic.
+        shuffle(&mut outbound, &mut rng);
+
+        let mut fault_stats = FaultStats::default();
+        let (mut offered, mut accepted, mut delivered, mut failed) = (0, 0, 0, 0);
+
+        let client = SmtpClient::new("outside.example");
+        for (i, (email, truth)) in outbound.into_iter().enumerate() {
+            offered += 1;
+            // One SMTP connection per message: exact truth↔delivery mapping
+            // even when deliveries fail.
+            let mut pipe = FaultyPipe::new(self.cfg.faults, day_seeds.child("pipe").index(i as u64).seed());
+            let mut server = SmtpServer::new("mx.corp.example");
+            let rcpt = &self.cfg.users[i % self.cfg.users.len()];
+            let env = Envelope::to_one("sender@outside.example", rcpt.clone(), email);
+            let report = client.deliver_all(&mut pipe, &mut server, &[env]);
+            let s = pipe.stats();
+            fault_stats.dropped += s.dropped;
+            fault_stats.corrupted += s.corrupted;
+            fault_stats.passed += s.passed;
+
+            let mut got = None;
+            for ev in server.take_events() {
+                if let ServerEvent::MessageAccepted(m) = ev {
+                    got = Some(m);
+                }
+            }
+            match (report.delivered, got) {
+                (1, Some(msg)) => {
+                    accepted += 1;
+                    // Classify the message as received (post-wire).
+                    let verdict = self.filter.classify(&msg.email);
+                    ledger.push((truth, verdict));
+                    let mbox = self
+                        .mailboxes
+                        .get_mut(rcpt)
+                        .expect("recipient mailbox exists");
+                    mbox.deliver(msg.email.clone(), truth, verdict, day);
+                    week_costs_box.deliver(msg.email.clone(), truth, verdict, day);
+                    delivered += 1;
+                    // Into the pool with its ground-truth training label.
+                    self.fresh_pool.push(LabeledEmail::new(msg.email, truth));
+                }
+                _ => {
+                    failed += 1;
+                }
+            }
+        }
+        (offered, accepted, delivered, failed, fault_stats)
+    }
+
+    /// Retrain from the pool, applying the configured defense. Returns how
+    /// many fresh messages the screen rejected.
+    fn retrain(&mut self, week: u32) -> usize {
+        let week_seeds = self.seeds.child("retrain").index(u64::from(week));
+        let fresh: Vec<LabeledEmail> = std::mem::take(&mut self.fresh_pool);
+        let mut screened_out = 0usize;
+
+        // Phase 1: admission control on the fresh messages.
+        match self.cfg.defense {
+            DefensePolicy::Roni | DefensePolicy::RoniPlusThreshold => {
+                let mut rng = week_seeds.child("roni").rng();
+                let mut roni = RoniDefense::new(
+                    RoniConfig::default(),
+                    &self.bootstrap,
+                    FilterOptions::default(),
+                    &mut rng,
+                );
+                for msg in fresh {
+                    let m = roni.measure_email(&msg.email);
+                    if m.rejected {
+                        screened_out += 1;
+                    } else {
+                        self.pool.push(msg);
+                    }
+                }
+            }
+            _ => {
+                for msg in fresh {
+                    self.pool.push(msg);
+                }
+            }
+        }
+
+        // Phase 2: rebuild the filter from the (screened) pool.
+        let wants_threshold = matches!(
+            self.cfg.defense,
+            DefensePolicy::DynamicThreshold { .. } | DefensePolicy::RoniPlusThreshold
+        );
+        self.filter = if wants_threshold && self.pool.len() >= 4 {
+            let items: Vec<TrainItem> = self
+                .pool
+                .emails()
+                .iter()
+                .map(|m| TrainItem::new(self.tokenizer.token_set(&m.email), m.label))
+                .collect();
+            // RoniPlusThreshold uses the loose (g = 0.10) variant: RONI has
+            // already removed the gross outliers, so the milder threshold
+            // costs less spam-as-unsure.
+            let cfg = if matches!(self.cfg.defense, DefensePolicy::DynamicThreshold { strict: true })
+            {
+                ThresholdConfig::strict()
+            } else {
+                ThresholdConfig::loose()
+            };
+            let mut rng = week_seeds.child("calibrate").rng();
+            ActiveFilter::Calibrated(calibrate(&items, cfg, FilterOptions::default(), &mut rng))
+        } else {
+            let mut f = SpamBayes::new();
+            for m in self.pool.emails() {
+                f.train(&m.email, m.label);
+            }
+            ActiveFilter::Plain(f)
+        };
+        screened_out
+    }
+}
+
+fn count(ledger: &[(Label, Verdict)], t: Label, v: Verdict) -> usize {
+    ledger.iter().filter(|(lt, lv)| *lt == t && *lv == v).count()
+}
+
+fn rate(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Fisher–Yates with our own RNG (keeps `rand` out of the non-dev deps).
+fn shuffle<T>(items: &mut [T], rng: &mut sb_stats::rng::Xoshiro256pp) {
+    for i in (1..items.len()).rev() {
+        let j = (rng.next() as usize) % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::{DictionaryAttack, DictionaryKind};
+
+    fn base_config(seed: u64) -> OrgConfig {
+        let mut cfg = OrgConfig::small(seed);
+        // Keep unit-test scale small; integration tests run bigger.
+        cfg.days = 14;
+        cfg.bootstrap_size = 200;
+        cfg.corpus = CorpusConfig::with_size(200, 0.5);
+        cfg.traffic = TrafficMix {
+            ham_per_day: 10,
+            spam_per_day: 10,
+        };
+        cfg
+    }
+
+    fn with_attack(mut cfg: OrgConfig, per_day: u32) -> OrgConfig {
+        cfg.attack = Some(AttackPlan {
+            start_day: 1,
+            per_day,
+            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
+        });
+        cfg
+    }
+
+    #[test]
+    fn clean_run_keeps_filter_usable() {
+        let report = MailOrg::new(base_config(1)).run();
+        assert_eq!(report.weeks.len(), 2);
+        for w in &report.weeks {
+            assert!(
+                w.ham_misrouted < 0.2,
+                "week {} misroutes {}",
+                w.week,
+                w.ham_misrouted
+            );
+            assert!(!w.filter_useless);
+            assert!(w.spam_caught > 0.5, "week {} catches {}", w.week, w.spam_caught);
+        }
+        assert_eq!(report.total_failed, 0);
+    }
+
+    #[test]
+    fn attack_detonates_at_first_retrain() {
+        let report = MailOrg::new(with_attack(base_config(2), 8)).run();
+        // Week 1: filter still clean (attack mail only sits in the pool).
+        // Week 2: the retrained filter is poisoned.
+        let w1 = &report.weeks[0];
+        let w2 = &report.weeks[1];
+        assert!(
+            w2.ham_misrouted > w1.ham_misrouted + 0.2,
+            "no detonation: week1 {} week2 {}",
+            w1.ham_misrouted,
+            w2.ham_misrouted
+        );
+        assert!(w2.filter_useless, "poisoned filter should be useless");
+    }
+
+    #[test]
+    fn roni_defense_blocks_the_campaign() {
+        let undefended = MailOrg::new(with_attack(base_config(3), 8)).run();
+        let mut cfg = with_attack(base_config(3), 8);
+        cfg.defense = DefensePolicy::Roni;
+        let defended = MailOrg::new(cfg).run();
+        let w2u = &undefended.weeks[1];
+        let w2d = &defended.weeks[1];
+        assert!(
+            w2d.ham_misrouted < w2u.ham_misrouted / 2.0,
+            "RONI ineffective: defended {} vs undefended {}",
+            w2d.ham_misrouted,
+            w2u.ham_misrouted
+        );
+        // Both retrains see attack mail in their fresh pools (the campaign
+        // runs all 14 days), so both weeks screen some out.
+        assert!(
+            defended.weeks[0].screened_out > 0,
+            "RONI should have screened attack mail at week 1's retrain"
+        );
+        assert!(
+            defended.weeks[1].screened_out > 0,
+            "RONI should keep screening at week 2's retrain"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = MailOrg::new(with_attack(base_config(7), 4)).run();
+        let b = MailOrg::new(with_attack(base_config(7), 4)).run();
+        for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(wa.ham_misrouted, wb.ham_misrouted);
+            assert_eq!(wa.screened_out, wb.screened_out);
+        }
+    }
+
+    #[test]
+    fn faulty_wire_degrades_gracefully() {
+        let mut cfg = base_config(11);
+        cfg.faults = FaultConfig {
+            drop_chance: 0.05,
+            corrupt_chance: 0.05,
+        };
+        let report = MailOrg::new(cfg).run();
+        // Deliveries mostly succeed; any failures are accounted, not lost.
+        let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
+        assert_eq!(
+            report.total_delivered + report.total_failed,
+            offered,
+            "accounting must balance"
+        );
+        assert!(report.fault_stats.dropped + report.fault_stats.corrupted > 0);
+        assert!(report.total_delivered as f64 / offered as f64 > 0.9);
+    }
+
+    #[test]
+    fn mailboxes_accumulate_by_user() {
+        let org = MailOrg::new(base_config(13));
+        let users = org.cfg.users.clone();
+        // Run manually for a couple of days via the public run() — then
+        // check distribution through the report instead; mailboxes are
+        // internal. Simplest: run and confirm every user got mail.
+        let mut org = org;
+        let mut ledger = Vec::new();
+        let mut scratch = Mailbox::new();
+        org.run_day(1, &mut ledger, &mut scratch);
+        for u in &users {
+            assert!(
+                !org.mailbox(u).expect("mailbox").is_empty(),
+                "user {u} got no mail"
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Chi-square distribution functions.
+//!
+//! SpamBayes combines per-token spam scores with Fisher's method (Equation 4
+//! of the paper): the statistic `−2 Σ ln f(w)` is chi-square distributed with
+//! `2n` degrees of freedom under the null, so the message score needs the
+//! chi-square CDF/survival function.
+//!
+//! Because the degrees of freedom are always even (`2n` for `n` tokens),
+//! SpamBayes uses the closed-form survival series
+//! `Q(x | 2n) = e^{−m} Σ_{i<n} m^i / i!` with `m = x/2`; [`chi2q_even`]
+//! reproduces it (including its numerically careful term accumulation), and
+//! the general-dof [`chi2_cdf`] / [`chi2_sf`] are provided for completeness
+//! and for cross-checking in tests.
+
+use crate::special::{gamma_p, gamma_q};
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom:
+/// `P(X ≤ x)`.
+pub fn chi2_cdf(x: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "chi2_cdf requires dof > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(f64::from(dof) / 2.0, x / 2.0)
+}
+
+/// Survival function of the chi-square distribution: `P(X ≥ x) = 1 − CDF`.
+pub fn chi2_sf(x: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "chi2_sf requires dof > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(f64::from(dof) / 2.0, x / 2.0)
+}
+
+/// Fast chi-square survival function for even degrees of freedom `2·half_dof`,
+/// the exact routine SpamBayes' `chi2Q` implements.
+///
+/// `chi2q_even(x, n) = e^{−x/2} Σ_{i=0}^{n−1} (x/2)^i / i!`
+///
+/// For large `x` the result underflows to 0, which is the desired behaviour
+/// in Fisher combining (overwhelming evidence). Returns a value in `[0, 1]`.
+pub fn chi2q_even(x: f64, half_dof: u32) -> f64 {
+    assert!(half_dof > 0, "chi2q_even requires half_dof > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let m = x / 2.0;
+    // exp(-m) underflows for m > ~745; everything multiplies it, so shortcut.
+    if m > 745.0 {
+        // Accumulate in log space to preserve the tail for moderate overflow;
+        // past the point where even the largest term vanishes, return 0.
+        // Largest term index ~ floor(m); ln(term_max) ≈ m·ln m − lnΓ(m+1) − m.
+        // For half_dof ≤ a few hundred and m ≫ half_dof the sum is tiny.
+        let mut best = f64::NEG_INFINITY;
+        let ln_m = m.ln();
+        for i in 0..half_dof {
+            let ln_term = -m + f64::from(i) * ln_m - crate::special::ln_factorial(u64::from(i));
+            if ln_term > best {
+                best = ln_term;
+            }
+        }
+        if best < -745.0 {
+            return 0.0;
+        }
+        // Fall through using scaled accumulation.
+        let mut sum = 0.0f64;
+        for i in 0..half_dof {
+            let ln_term = -m + f64::from(i) * ln_m - crate::special::ln_factorial(u64::from(i));
+            sum += (ln_term).exp();
+        }
+        return sum.clamp(0.0, 1.0);
+    }
+    let mut term = (-m).exp();
+    let mut sum = term;
+    for i in 1..half_dof {
+        term *= m / f64::from(i);
+        sum += term;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // scipy.stats.chi2.cdf(1.0, 2) = 0.3934693402873666
+        assert!(close(chi2_cdf(1.0, 2), 0.393_469_340_287_366_6, 1e-12));
+        // chi2.cdf(5.0, 4) = 0.7127025048163542
+        assert!(close(chi2_cdf(5.0, 4), 0.712_702_504_816_354_2, 1e-12));
+        // chi2.cdf(10.0, 10) = 0.5595067149347875
+        assert!(close(chi2_cdf(10.0, 10), 0.559_506_714_934_787_5, 1e-12));
+        // Odd dof exercised through the general path:
+        // chi2.cdf(3.0, 3) = 0.6083748237289109
+        assert!(close(chi2_cdf(3.0, 3), 0.608_374_823_728_910_9, 1e-10));
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        for &dof in &[1u32, 2, 3, 8, 20, 100, 300] {
+            for &x in &[0.1, 1.0, 5.0, 25.0, 120.0] {
+                let s = chi2_cdf(x, dof) + chi2_sf(x, dof);
+                assert!(close(s, 1.0, 1e-12), "dof={dof} x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_dof_fast_path_matches_general() {
+        for &n in &[1u32, 2, 5, 20, 75, 150] {
+            for &x in &[0.0, 0.5, 2.0, 10.0, 40.0, 200.0, 600.0] {
+                let fast = chi2q_even(x, n);
+                let general = chi2_sf(x, 2 * n);
+                assert!(
+                    (fast - general).abs() < 1e-9,
+                    "n={n} x={x}: fast={fast} general={general}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chi2q_even_exponential_case() {
+        // With 2 dof (half_dof = 1) the survival function is exp(-x/2).
+        for &x in &[0.0, 0.4, 1.0, 3.0, 9.0] {
+            assert!(close(chi2q_even(x, 1), (-x / 2.0).exp(), 1e-14));
+        }
+    }
+
+    #[test]
+    fn chi2q_even_extreme_inputs() {
+        // Overwhelming evidence must underflow to exactly 0, never NaN.
+        let v = chi2q_even(1.0e6, 150);
+        assert_eq!(v, 0.0);
+        // x = 0 is certainty of the null.
+        assert_eq!(chi2q_even(0.0, 150), 1.0);
+        // Large-but-not-underflowing region stays in [0,1] and finite.
+        for &x in &[1400.0, 1490.0, 1600.0, 5000.0] {
+            let q = chi2q_even(x, 150);
+            assert!((0.0..=1.0).contains(&q), "x={x} q={q}");
+            assert!(q.is_finite());
+        }
+    }
+
+    #[test]
+    fn chi2q_even_monotone_decreasing_in_x() {
+        for &n in &[1u32, 10, 150] {
+            let mut prev = 1.0;
+            for i in 0..500 {
+                let x = i as f64;
+                let q = chi2q_even(x, n);
+                assert!(q <= prev + 1e-12, "n={n} x={x}");
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn chi2q_even_monotone_increasing_in_dof() {
+        // More degrees of freedom shift mass right: survival grows with n.
+        for &x in &[1.0, 10.0, 50.0] {
+            let mut prev = 0.0;
+            for n in 1..100u32 {
+                let q = chi2q_even(x, n);
+                assert!(q >= prev - 1e-12, "x={x} n={n}");
+                prev = q;
+            }
+        }
+    }
+}

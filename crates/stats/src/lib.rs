@@ -1,0 +1,33 @@
+//! # sb-stats — statistical substrate
+//!
+//! Numerical building blocks for the SpamBayes-poisoning reproduction:
+//!
+//! * [`special`] — log-gamma and regularized incomplete gamma functions,
+//!   implemented from scratch (no external stats crate).
+//! * [`chi2`] — chi-square CDF / survival function, including the fast
+//!   even-degrees-of-freedom path used by SpamBayes' Fisher combining
+//!   (Equation 4 of the paper).
+//! * [`dist`] — Zipf, categorical (alias method), truncated log-normal and
+//!   Bernoulli-subset samplers used by the synthetic corpus generator.
+//! * [`rng`] — deterministic RNG plumbing: `SplitMix64`, `Xoshiro256pp`, and
+//!   a [`rng::SeedTree`] for deriving independent per-experiment /
+//!   per-fold / per-repetition streams from one master seed.
+//! * [`summary`] — online (Welford) accumulators, percentiles and fixed-bin
+//!   histograms used for reporting.
+//!
+//! Everything in this crate is deterministic given its inputs; nothing reads
+//! the clock, the environment, or global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod dist;
+pub mod rng;
+pub mod special;
+pub mod summary;
+
+pub use chi2::{chi2_cdf, chi2_sf, chi2q_even};
+pub use dist::{AliasSampler, LogNormalLen, Zipf};
+pub use rng::{SeedTree, SplitMix64, Xoshiro256pp};
+pub use summary::{Histogram, OnlineStats, Summary};

@@ -1,0 +1,312 @@
+//! Deterministic random-number plumbing.
+//!
+//! All experiments in this workspace are driven by a single `u64` master
+//! seed. Independent streams for sub-tasks (folds, repetitions, targets,
+//! attack construction, …) are derived through a [`SeedTree`], so results are
+//! bit-reproducible regardless of execution order or thread count.
+//!
+//! Two PRNGs are provided:
+//!
+//! * [`SplitMix64`] — tiny, fast, used for seed derivation and places where
+//!   stream quality demands are modest;
+//! * [`Xoshiro256pp`] — the general-purpose generator used by corpus and
+//!   attack sampling (xoshiro256++ by Blackman & Vigna, public domain).
+//!
+//! Both implement [`rand::RngCore`] + [`rand::SeedableRng`], so the whole
+//! `rand` API (`random_range`, `random_bool`, shuffles, …) works on them.
+
+use rand::rand_core::impls::fill_bytes_via_next;
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64 PRNG (Steele, Lea & Flood).
+///
+/// Primarily used to derive child seeds: the output of SplitMix64 over a
+/// counter is equidistributed in 64 bits and decorrelates similar inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a raw 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advance the state and return the next 64-bit output.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // reference algorithm's name; not an Iterator
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_next(self, dest)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+/// xoshiro256++ PRNG (Blackman & Vigna). 256 bits of state, period 2^256−1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed the generator; state words are expanded from `seed` via SplitMix64
+    /// as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next();
+        }
+        // An all-zero state is the one forbidden fixed point; the SplitMix64
+        // expansion of any seed cannot produce it in practice, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+
+    /// Advance the state and return the next 64-bit output.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // reference algorithm's name; not an Iterator
+    pub fn next(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_next(self, dest)
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(b);
+        }
+        if s == [0; 4] {
+            return Self::new(0);
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+/// A deterministic tree of seeds.
+///
+/// Every node is identified by the path of labels/indices taken from the
+/// root; deriving the same path always yields the same seed, and sibling
+/// paths yield decorrelated seeds. This is how one master seed fans out to
+/// per-fold, per-repetition, per-target RNG streams without any coordination
+/// between threads.
+///
+/// ```
+/// use sb_stats::rng::SeedTree;
+///
+/// let root = SeedTree::new(42);
+/// let fold3 = root.child("fold").index(3);
+/// let a = fold3.rng();
+/// let b = root.child("fold").index(3).rng();
+/// assert_eq!(a, b); // same path, same stream
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    state: u64,
+}
+
+impl SeedTree {
+    /// Root of a seed tree.
+    pub fn new(master_seed: u64) -> Self {
+        // One SplitMix64 step decorrelates adjacent master seeds.
+        Self {
+            state: SplitMix64::new(master_seed).next(),
+        }
+    }
+
+    /// Derive a child node from a string label (FNV-1a mixed into the state).
+    pub fn child(&self, label: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: SplitMix64::new(self.state ^ h).next(),
+        }
+    }
+
+    /// Derive a child node from a numeric index.
+    pub fn index(&self, i: u64) -> Self {
+        Self {
+            state: SplitMix64::new(self.state.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(17)).next(),
+        }
+    }
+
+    /// The raw 64-bit seed at this node.
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    /// A fresh general-purpose RNG seeded at this node.
+    pub fn rng(&self) -> Xoshiro256pp {
+        Xoshiro256pp::new(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next();
+        let second = rng.next();
+        assert_ne!(first, second);
+        // Determinism: same seed, same sequence.
+        let mut rng2 = SplitMix64::new(1234567);
+        assert_eq!(rng2.next(), first);
+        assert_eq!(rng2.next(), second);
+    }
+
+    #[test]
+    fn splitmix_known_answer() {
+        // Known-answer test vector: seed 0 produces these first three outputs
+        // (verified against the reference implementation in the xoshiro paper).
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = Xoshiro256pp::new(1);
+        let mut b = Xoshiro256pp::new(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn xoshiro_uniformity_smoke() {
+        // Crude equidistribution check: mean of u01 samples near 0.5.
+        let mut rng = Xoshiro256pp::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn seed_tree_paths_are_stable_and_distinct() {
+        let root = SeedTree::new(7);
+        let a = root.child("corpus").index(0).seed();
+        let b = root.child("corpus").index(1).seed();
+        let c = root.child("attack").index(0).seed();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, SeedTree::new(7).child("corpus").index(0).seed());
+    }
+
+    #[test]
+    fn seed_tree_label_order_matters() {
+        let root = SeedTree::new(3);
+        assert_ne!(
+            root.child("a").child("b").seed(),
+            root.child("b").child("a").seed()
+        );
+    }
+
+    #[test]
+    fn seed_tree_indices_do_not_collide_locally() {
+        let root = SeedTree::new(11).child("fold");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(root.index(i).seed()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        let mut rng = Xoshiro256pp::new(5);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seedable_from_seed_roundtrip() {
+        let s = [9u8; 32];
+        let mut a = Xoshiro256pp::from_seed(s);
+        let mut b = Xoshiro256pp::from_seed(s);
+        assert_eq!(a.next(), b.next());
+        let mut c = SplitMix64::from_seed([1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut d = SplitMix64::from_seed([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.next(), d.next());
+    }
+}

@@ -1,0 +1,176 @@
+//! # sb-tokenizer — SpamBayes-style tokenization
+//!
+//! Converts an [`sb_email::Email`] into the token stream the learner
+//! consumes. The rules reproduce the behaviours of the SpamBayes tokenizer
+//! that matter to the paper's attacks:
+//!
+//! * body words split on whitespace, edge punctuation trimmed, lowercased;
+//! * words shorter than 3 characters dropped; words longer than 12 become
+//!   `skip:<first-char> <length-bucket>` tokens;
+//! * URLs decomposed into `proto:`/`url:` component tokens;
+//! * mail addresses into `email name:` / `email addr:` tokens;
+//! * selected headers mined with per-header prefixes (`subject:`,
+//!   `from:addr:`, `message-id:@…`, …).
+//!
+//! The learner uses **set semantics** — a token counts once per message no
+//! matter how often it repeats (this is why the paper's attack emails need
+//! only *contain* each dictionary word once). [`Tokenizer::token_set`]
+//! implements that reduction; [`Tokenizer::tokenize`] preserves the raw
+//! stream for diagnostics and token-volume accounting (§4.2 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod header;
+pub mod options;
+pub mod url;
+pub mod word;
+
+pub use options::TokenizerOptions;
+
+use sb_email::Email;
+
+/// The tokenizer: [`TokenizerOptions`] plus the tokenization entry points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tokenizer {
+    opts: TokenizerOptions,
+}
+
+impl Tokenizer {
+    /// Tokenizer with SpamBayes-default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizer with explicit options.
+    pub fn with_options(opts: TokenizerOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &TokenizerOptions {
+        &self.opts
+    }
+
+    /// Tokenize headers + body, preserving duplicates and document order.
+    pub fn tokenize(&self, email: &Email) -> Vec<String> {
+        let mut out = Vec::new();
+        header::tokenize_headers(email, &self.opts, &mut out);
+        self.tokenize_text(email.body(), &mut out);
+        out
+    }
+
+    /// Tokenize free text (no headers) into `out`.
+    pub fn tokenize_text(&self, text: &str, out: &mut Vec<String>) {
+        let cleaned: std::borrow::Cow<'_, str> = if self.opts.crack_urls {
+            std::borrow::Cow::Owned(url::crack_urls(text, &self.opts, out))
+        } else {
+            std::borrow::Cow::Borrowed(text)
+        };
+        for raw in cleaned.split_whitespace() {
+            word::tokenize_word(raw, &self.opts, out);
+        }
+    }
+
+    /// Tokenize with set semantics: sorted, deduplicated. This is what the
+    /// learner trains and classifies on.
+    pub fn token_set(&self, email: &Email) -> Vec<String> {
+        let mut tokens = self.tokenize(email);
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+
+    /// Number of raw (non-deduplicated) tokens; used by the §4.2
+    /// token-volume accounting.
+    pub fn token_count(&self, email: &Email) -> usize {
+        self.tokenize(email).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_email::Email;
+
+    #[test]
+    fn body_and_headers_both_tokenized() {
+        let e = Email::builder()
+            .subject("Urgent offer")
+            .from_addr("seller@spam.example")
+            .body("Buy cheap pills now http://pills.example/buy")
+            .build();
+        let t = Tokenizer::new().tokenize(&e);
+        assert!(t.contains(&"subject:urgent".to_owned()));
+        assert!(t.contains(&"from:addr:spam.example".to_owned()));
+        assert!(t.contains(&"cheap".to_owned()));
+        assert!(t.contains(&"pills".to_owned()));
+        assert!(t.contains(&"proto:http".to_owned()));
+        assert!(t.contains(&"url:pills".to_owned()));
+    }
+
+    #[test]
+    fn token_set_deduplicates() {
+        let mut e = Email::new();
+        e.set_body("spam spam spam eggs");
+        let tk = Tokenizer::new();
+        assert_eq!(tk.tokenize(&e).len(), 4);
+        let set = tk.token_set(&e);
+        assert_eq!(set, vec!["eggs".to_owned(), "spam".to_owned()]);
+    }
+
+    #[test]
+    fn token_set_is_sorted() {
+        let mut e = Email::new();
+        e.set_body("zebra apple mango");
+        let set = Tokenizer::new().token_set(&e);
+        let mut sorted = set.clone();
+        sorted.sort();
+        assert_eq!(set, sorted);
+    }
+
+    #[test]
+    fn headerless_attack_email_has_only_body_tokens() {
+        let mut e = Email::new();
+        e.set_body("lexicon words flood inbox");
+        let t = Tokenizer::new().tokenize(&e);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|tok| !tok.contains(':')));
+    }
+
+    #[test]
+    fn empty_email_yields_no_tokens() {
+        assert!(Tokenizer::new().tokenize(&Email::new()).is_empty());
+    }
+
+    #[test]
+    fn url_cracking_disableable() {
+        let opts = TokenizerOptions {
+            crack_urls: false,
+            ..Default::default()
+        };
+        let mut e = Email::new();
+        e.set_body("see http://example.org/x");
+        let t = Tokenizer::with_options(opts).tokenize(&e);
+        assert!(!t.iter().any(|tok| tok.starts_with("proto:")));
+    }
+
+    #[test]
+    fn token_count_counts_duplicates() {
+        let mut e = Email::new();
+        e.set_body("a b c word word word");
+        // "a" "b" "c" dropped as too short; three "word"s counted.
+        assert_eq!(Tokenizer::new().token_count(&e), 3);
+    }
+
+    #[test]
+    fn multiline_bodies_tokenize_across_lines() {
+        let mut e = Email::new();
+        e.set_body("first line\nsecond line\r\nthird line");
+        let set = Tokenizer::new().token_set(&e);
+        assert!(set.contains(&"first".to_owned()));
+        assert!(set.contains(&"second".to_owned()));
+        assert!(set.contains(&"third".to_owned()));
+        assert!(set.contains(&"line".to_owned()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Tokenizer configuration.
+//!
+//! Mirrors the SpamBayes `Options` knobs that affect tokenization. The paper
+//! notes (footnote 1) that tokenization is the *primary difference* between
+//! SpamBayes, BogoFilter and SpamAssassin's learner — so these options are
+//! the lever for emulating the other filters' behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling token generation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizerOptions {
+    /// Words shorter than this are dropped (SpamBayes: 3).
+    pub min_word_size: usize,
+    /// Words longer than this become `skip:` tokens (SpamBayes: 12).
+    pub max_word_size: usize,
+    /// Emit `skip:<c> <len-bucket>` tokens for over-long words.
+    pub generate_long_skips: bool,
+    /// Lowercase word tokens (SpamBayes folds case for plain words).
+    pub lowercase: bool,
+    /// Decompose URLs into `proto:` / `url:` tokens.
+    pub crack_urls: bool,
+    /// Decompose mail addresses into `email name:` / `email addr:` tokens.
+    pub crack_addresses: bool,
+    /// Tokenize `Subject:` words with a `subject:` prefix.
+    pub tokenize_subject: bool,
+    /// Tokenize address headers (`From`, `To`, `Cc`, `Sender`, `Reply-To`).
+    pub tokenize_address_headers: bool,
+    /// Emit `message-id:@domain` for the Message-Id header.
+    pub tokenize_message_id: bool,
+    /// Emit value tokens for `Content-Type` / `X-Mailer`.
+    pub tokenize_mailer_headers: bool,
+    /// Tokenize `Received:` host names (off by default, like SpamBayes'
+    /// conservative configuration).
+    pub tokenize_received: bool,
+}
+
+impl Default for TokenizerOptions {
+    fn default() -> Self {
+        Self {
+            min_word_size: 3,
+            max_word_size: 12,
+            generate_long_skips: true,
+            lowercase: true,
+            crack_urls: true,
+            crack_addresses: true,
+            tokenize_subject: true,
+            tokenize_address_headers: true,
+            tokenize_message_id: true,
+            tokenize_mailer_headers: true,
+            tokenize_received: false,
+        }
+    }
+}
+
+impl TokenizerOptions {
+    /// A body-only profile: ignores every header. Useful for experiments
+    /// isolating the paper's "attacker controls bodies, not headers"
+    /// assumption (§2.2).
+    pub fn body_only() -> Self {
+        Self {
+            tokenize_subject: false,
+            tokenize_address_headers: false,
+            tokenize_message_id: false,
+            tokenize_mailer_headers: false,
+            tokenize_received: false,
+            ..Self::default()
+        }
+    }
+
+    /// A BogoFilter-flavoured profile: same learner, slightly different
+    /// token rules (no skip tokens, case-sensitive), per the paper's
+    /// footnote 1. Provided for the "other filters may also be vulnerable"
+    /// extension experiments.
+    pub fn bogofilter_flavor() -> Self {
+        Self {
+            generate_long_skips: false,
+            lowercase: false,
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! URL decomposition (SpamBayes `crack_urls` equivalent).
+//!
+//! URLs are strong spam signals; SpamBayes splits them into protocol and
+//! component tokens rather than treating the whole URL as one rare token.
+
+use crate::options::TokenizerOptions;
+use crate::word::fold;
+
+/// Scan `text` for URLs; push `proto:`/`url:` tokens for each and return the
+/// text with URLs blanked out so word tokenization doesn't see them twice.
+pub(crate) fn crack_urls(text: &str, opts: &TokenizerOptions, out: &mut Vec<String>) -> String {
+    let mut result = String::with_capacity(text.len());
+    let mut rest = text;
+    loop {
+        match find_url(rest) {
+            Some((start, end, scheme)) => {
+                result.push_str(&rest[..start]);
+                result.push(' ');
+                let url = &rest[start..end];
+                emit_url_tokens(url, scheme, opts, out);
+                rest = &rest[end..];
+            }
+            None => {
+                result.push_str(rest);
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// Locate the next URL: `(start, end, scheme)`. Recognizes explicit schemes
+/// (`http://`, `https://`, `ftp://`) and bare `www.` hosts.
+fn find_url(text: &str) -> Option<(usize, usize, &'static str)> {
+    const SCHEMES: [(&str, &str); 3] = [("http://", "http"), ("https://", "https"), ("ftp://", "ftp")];
+    let mut best: Option<(usize, usize, &'static str)> = None;
+    for (prefix, scheme) in SCHEMES {
+        if let Some(pos) = find_ascii_case_insensitive(text, prefix) {
+            if best.is_none_or(|(b, _, _)| pos < b) {
+                let end = url_end(text, pos);
+                best = Some((pos, end, scheme));
+            }
+        }
+    }
+    // Bare "www." host, only at a word boundary.
+    if let Some(pos) = find_ascii_case_insensitive(text, "www.") {
+        let at_boundary = pos == 0
+            || text[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_whitespace() || c == '(' || c == '<' || c == '"');
+        if at_boundary && best.is_none_or(|(b, _, _)| pos < b) {
+            let end = url_end(text, pos);
+            best = Some((pos, end, "http"));
+        }
+    }
+    best
+}
+
+/// ASCII-case-insensitive substring search.
+fn find_ascii_case_insensitive(haystack: &str, needle: &str) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let hb = haystack.as_bytes();
+    let nb = needle.as_bytes();
+    'outer: for i in 0..=(hb.len() - nb.len()) {
+        for j in 0..nb.len() {
+            if !hb[i + j].eq_ignore_ascii_case(&nb[j]) {
+                continue 'outer;
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// A URL ends at whitespace or a closing delimiter.
+fn url_end(text: &str, start: usize) -> usize {
+    text[start..]
+        .find(|c: char| c.is_whitespace() || c == '>' || c == ')' || c == '"' || c == '\'')
+        .map(|off| start + off)
+        .unwrap_or(text.len())
+}
+
+/// Emit tokens for one URL.
+fn emit_url_tokens(url: &str, scheme: &'static str, opts: &TokenizerOptions, out: &mut Vec<String>) {
+    out.push(format!("proto:{scheme}"));
+    // Strip the scheme prefix if present; bare www. hosts keep their "www"
+    // label (SpamBayes emits url:www for them too).
+    let rest = url.split_once("://").map_or(url, |x| x.1);
+    // host[:port][/path...]
+    let (host_port, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i + 1..]),
+        None => (rest, ""),
+    };
+    let host = host_port.split(':').next().unwrap_or(host_port);
+    for label in host.split('.') {
+        let label = label.trim_matches(|c: char| c.is_ascii_punctuation());
+        if !label.is_empty() {
+            out.push(format!("url:{}", fold(label, opts)));
+        }
+    }
+    for seg in path.split(['/', '?', '&', '=']) {
+        let seg = seg.trim_matches(|c: char| c.is_ascii_punctuation());
+        if !seg.is_empty() && seg.len() <= 40 {
+            out.push(format!("url:{}", fold(seg, opts)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crack(text: &str) -> (Vec<String>, String) {
+        let mut out = Vec::new();
+        let cleaned = crack_urls(text, &TokenizerOptions::default(), &mut out);
+        (out, cleaned)
+    }
+
+    #[test]
+    fn http_url_decomposed() {
+        let (tokens, cleaned) = crack("visit http://Pills.Example.COM/buy/now today");
+        assert!(tokens.contains(&"proto:http".to_owned()));
+        assert!(tokens.contains(&"url:pills".to_owned()));
+        assert!(tokens.contains(&"url:example".to_owned()));
+        assert!(tokens.contains(&"url:com".to_owned()));
+        assert!(tokens.contains(&"url:buy".to_owned()));
+        assert!(tokens.contains(&"url:now".to_owned()));
+        assert!(!cleaned.contains("http://"));
+        assert!(cleaned.contains("visit"));
+        assert!(cleaned.contains("today"));
+    }
+
+    #[test]
+    fn https_and_ftp_schemes() {
+        let (t1, _) = crack("https://secure.example.org");
+        assert!(t1.contains(&"proto:https".to_owned()));
+        let (t2, _) = crack("ftp://files.example.org");
+        assert!(t2.contains(&"proto:ftp".to_owned()));
+    }
+
+    #[test]
+    fn bare_www_recognized_at_boundary() {
+        let (tokens, _) = crack("go to www.example.com now");
+        assert!(tokens.contains(&"proto:http".to_owned()));
+        assert!(tokens.contains(&"url:example".to_owned()));
+    }
+
+    #[test]
+    fn www_mid_word_not_a_url() {
+        let (tokens, cleaned) = crack("swww.ord");
+        assert!(tokens.is_empty());
+        assert_eq!(cleaned, "swww.ord");
+    }
+
+    #[test]
+    fn url_ends_at_closing_delimiters() {
+        let (tokens, cleaned) = crack("(see http://example.org/page) rest");
+        assert!(tokens.contains(&"url:page".to_owned()));
+        assert!(cleaned.contains(") rest"));
+    }
+
+    #[test]
+    fn multiple_urls_all_cracked() {
+        let (tokens, _) = crack("http://a.com and http://b.net");
+        assert!(tokens.contains(&"url:a".to_owned()));
+        assert!(tokens.contains(&"url:b".to_owned()));
+        assert_eq!(tokens.iter().filter(|t| *t == "proto:http").count(), 2);
+    }
+
+    #[test]
+    fn port_stripped_from_host() {
+        let (tokens, _) = crack("http://example.org:8080/x");
+        assert!(tokens.contains(&"url:example".to_owned()));
+        assert!(!tokens.iter().any(|t| t.contains("8080")));
+    }
+
+    #[test]
+    fn no_urls_leaves_text_untouched() {
+        let (tokens, cleaned) = crack("plain words only");
+        assert!(tokens.is_empty());
+        assert_eq!(cleaned, "plain words only");
+    }
+}

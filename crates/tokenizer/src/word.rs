@@ -1,0 +1,152 @@
+//! Word-level token rules (SpamBayes `tokenize_word` equivalents).
+
+use crate::options::TokenizerOptions;
+
+/// Outcome of pushing one raw word through the word rules.
+pub(crate) fn tokenize_word(word: &str, opts: &TokenizerOptions, out: &mut Vec<String>) {
+    let trimmed = trim_punct(word);
+    if trimmed.is_empty() {
+        return;
+    }
+    // Embedded mail address?
+    if opts.crack_addresses && trimmed.contains('@') {
+        if let Some((local, domain)) = split_address(trimmed) {
+            out.push(format!("email name:{}", fold(local, opts)));
+            out.push(format!("email addr:{}", fold(domain, opts)));
+            return;
+        }
+    }
+    let len = trimmed.chars().count();
+    if len < opts.min_word_size {
+        return; // too short: contributes nothing (SpamBayes drops it)
+    }
+    if len > opts.max_word_size {
+        if opts.generate_long_skips {
+            // SpamBayes: "skip:%c %d" with the length bucketed to tens.
+            let first = trimmed.chars().next().unwrap_or('?');
+            out.push(format!("skip:{} {}", first, len / 10 * 10));
+        }
+        return;
+    }
+    out.push(fold(trimmed, opts));
+}
+
+/// Case folding per options.
+pub(crate) fn fold(s: &str, opts: &TokenizerOptions) -> String {
+    if opts.lowercase {
+        s.to_lowercase()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Strip leading/trailing punctuation (quotes, brackets, sentence marks) but
+/// keep interior punctuation ("don't", "e-mail", "u.s.a" survive).
+pub(crate) fn trim_punct(word: &str) -> &str {
+    word.trim_matches(|c: char| {
+        c.is_ascii_punctuation() && c != '$' // '$' is famously spammy; keep it
+    })
+}
+
+/// Split `local@domain`, requiring non-empty halves and a dot in the domain
+/// or a short bare host.
+pub(crate) fn split_address(word: &str) -> Option<(&str, &str)> {
+    let at = word.find('@')?;
+    let (local, rest) = word.split_at(at);
+    let domain = &rest[1..];
+    if local.is_empty() || domain.is_empty() || domain.contains('@') {
+        return None;
+    }
+    Some((local, domain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(word: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        tokenize_word(word, &TokenizerOptions::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn normal_word_is_lowercased() {
+        assert_eq!(run("Hello"), vec!["hello"]);
+    }
+
+    #[test]
+    fn short_words_dropped() {
+        assert!(run("a").is_empty());
+        assert!(run("ab").is_empty());
+        assert_eq!(run("abc"), vec!["abc"]);
+    }
+
+    #[test]
+    fn long_words_become_skip_tokens() {
+        let t = run("supercalifragilistic"); // 20 chars
+        assert_eq!(t, vec!["skip:s 20"]);
+        let t = run("abcdefghijklm"); // 13 chars
+        assert_eq!(t, vec!["skip:a 10"]);
+    }
+
+    #[test]
+    fn twelve_char_word_kept_thirteen_skipped() {
+        assert_eq!(run("abcdefghijkl"), vec!["abcdefghijkl"]);
+        assert_eq!(run("abcdefghijklm"), vec!["skip:a 10"]);
+    }
+
+    #[test]
+    fn punctuation_trimmed_but_interior_kept() {
+        assert_eq!(run("(bid,"), vec!["bid"]);
+        assert_eq!(run("don't"), vec!["don't"]);
+        assert_eq!(run("\"e-mail\""), vec!["e-mail"]);
+    }
+
+    #[test]
+    fn dollar_sign_survives() {
+        assert_eq!(run("$100k"), vec!["$100k"]);
+    }
+
+    #[test]
+    fn addresses_crack_into_name_and_domain() {
+        let t = run("Alice.Smith@Example.COM");
+        assert_eq!(t, vec!["email name:alice.smith", "email addr:example.com"]);
+    }
+
+    #[test]
+    fn malformed_address_falls_through_to_word_rules() {
+        // "@" with empty local part is not an address; too short anyway.
+        assert!(run("@b").is_empty());
+        // Trailing '@' is edge punctuation: trimmed, then ordinary word rules.
+        assert_eq!(run("weird@"), vec!["weird"]);
+    }
+
+    #[test]
+    fn skip_generation_can_be_disabled() {
+        let opts = TokenizerOptions {
+            generate_long_skips: false,
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        tokenize_word("supercalifragilistic", &opts, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn case_sensitivity_option() {
+        let opts = TokenizerOptions {
+            lowercase: false,
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        tokenize_word("Hello", &opts, &mut out);
+        assert_eq!(out, vec!["Hello"]);
+    }
+
+    #[test]
+    fn unicode_words_counted_by_chars_not_bytes() {
+        // 6 characters, 12 bytes: must be treated as length 6.
+        assert_eq!(run("привет"), vec!["привет"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests: tokenization is total and its outputs obey the size and
+//! shape rules regardless of input.
+
+use proptest::prelude::*;
+use sb_email::Email;
+use sb_tokenizer::{Tokenizer, TokenizerOptions};
+
+proptest! {
+    #[test]
+    fn never_panics_on_arbitrary_bodies(body in "\\PC{0,600}") {
+        let mut e = Email::new();
+        e.set_body(body);
+        let _ = Tokenizer::new().tokenize(&e);
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut e = Email::new();
+        e.set_body(String::from_utf8_lossy(&bytes).into_owned());
+        let _ = Tokenizer::new().tokenize(&e);
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_headers(
+        name in "[A-Za-z][A-Za-z0-9-]{0,15}",
+        value in "\\PC{0,100}",
+        body in "[ -~]{0,100}",
+    ) {
+        let mut e = Email::new();
+        e.push_header(name, value);
+        e.set_body(body);
+        let _ = Tokenizer::new().tokenize(&e);
+    }
+
+    #[test]
+    fn plain_word_tokens_respect_length_bounds(body in "([a-z]{1,20} ){0,30}") {
+        let mut e = Email::new();
+        e.set_body(body);
+        let opts = TokenizerOptions::default();
+        for tok in Tokenizer::new().tokenize(&e) {
+            if !tok.contains(':') {
+                let n = tok.chars().count();
+                prop_assert!(
+                    n >= opts.min_word_size && n <= opts.max_word_size,
+                    "token {tok:?} has length {n}"
+                );
+            } else {
+                prop_assert!(tok.starts_with("skip:"), "unexpected prefixed token {tok:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn token_set_is_sorted_and_unique(body in "\\PC{0,300}") {
+        let mut e = Email::new();
+        e.set_body(body);
+        let set = Tokenizer::new().token_set(&e);
+        for w in set.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly ascending: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn set_semantics_idempotent_under_body_repetition(body in "([a-z]{3,10} ){1,20}") {
+        // Repeating a body must not change the token set — the property the
+        // attacks rely on: one occurrence of a dictionary word is enough.
+        let mut once = Email::new();
+        once.set_body(body.clone());
+        let mut thrice = Email::new();
+        thrice.set_body(format!("{body} {body} {body}"));
+        let tk = Tokenizer::new();
+        prop_assert_eq!(tk.token_set(&once), tk.token_set(&thrice));
+    }
+
+    #[test]
+    fn tokens_never_contain_whitespace(body in "\\PC{0,300}") {
+        let mut e = Email::new();
+        e.set_body(body);
+        // These SpamBayes-inherited prefixes contain a literal space; the
+        // remainder of such tokens must still be whitespace-free.
+        const SPACED_PREFIXES: [&str; 4] =
+            ["skip:", "subject:skip:", "email name:", "email addr:"];
+        for tok in Tokenizer::new().tokenize(&e) {
+            let rest = SPACED_PREFIXES
+                .iter()
+                .find_map(|p| tok.strip_prefix(p))
+                .unwrap_or(&tok);
+            if tok.starts_with("skip:") || tok.starts_with("subject:skip:") {
+                // skip tokens are "skip:<char> <bucket>"; tail is digits.
+                prop_assert!(rest.split(' ').count() <= 2, "token {tok:?}");
+            } else {
+                prop_assert!(!rest.contains(char::is_whitespace), "token {tok:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Paul Graham's *A Plan for Spam* classifier (2002) — the ancestor of the
+//! SpamBayes/BogoFilter family and the simplest member of the zoo.
+//!
+//! Differences from the Robinson/Fisher learner the paper attacks:
+//!
+//! * **occurrence counts**, not message-presence counts (a token appearing
+//!   five times in one ham message counts five);
+//! * ham occurrences are **doubled** ("to bias against false positives");
+//! * tokens seen fewer than 5 times score a fixed 0.4 (mild ham lean);
+//! * known tokens score `min(1, b/nbad) / (min(1, 2g/ngood) + min(1, b/nbad))`
+//!   clamped to `[0.01, 0.99]`;
+//! * the **15** most extreme clues are combined with plain naive-Bayes odds
+//!   `Πp / (Πp + Π(1−p))` — no chi-square;
+//! * the decision is **binary** at 0.9 (no unsure band). We map it onto the
+//!   workspace's tri-state [`Verdict`] with an empty unsure band so the
+//!   transfer experiments can report it uniformly.
+//!
+//! The attack-relevant consequence of these choices: naive-Bayes odds
+//! saturate much faster than Fisher's chi-square, so a handful of poisoned
+//! tokens drives the combined score to ~1.0 — Graham's filter is *more*
+//! fragile under the dictionary attack than SpamBayes, not less.
+
+use crate::StatFilter;
+use sb_email::{Email, Label};
+use sb_filter::{Scored, Verdict};
+use sb_tokenizer::{Tokenizer, TokenizerOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of the Graham classifier (defaults per the essay).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrahamOptions {
+    /// Multiplier applied to ham occurrence counts (essay: 2).
+    pub ham_bias: f64,
+    /// Tokens with fewer total occurrences score [`Self::unknown_prob`]
+    /// (essay: 5).
+    pub min_occurrences: u32,
+    /// Score of unknown / rare tokens (essay: 0.4).
+    pub unknown_prob: f64,
+    /// Clamp for known-token scores (essay: [0.01, 0.99]).
+    pub clamp: (f64, f64),
+    /// Number of most-interesting clues combined (essay: 15).
+    pub max_clues: usize,
+    /// Spam decision threshold on the combined probability (essay: 0.9).
+    pub spam_threshold: f64,
+}
+
+impl Default for GrahamOptions {
+    fn default() -> Self {
+        Self {
+            ham_bias: 2.0,
+            min_occurrences: 5,
+            unknown_prob: 0.4,
+            clamp: (0.01, 0.99),
+            max_clues: 15,
+            spam_threshold: 0.9,
+        }
+    }
+}
+
+/// Occurrence counts for one token.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Occ {
+    spam: u32,
+    ham: u32,
+}
+
+/// The *A Plan for Spam* filter.
+#[derive(Debug, Clone)]
+pub struct GrahamFilter {
+    opts: GrahamOptions,
+    tokenizer: Tokenizer,
+    counts: HashMap<String, Occ>,
+    n_spam: u32,
+    n_ham: u32,
+}
+
+impl Default for GrahamFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GrahamFilter {
+    /// A fresh filter with essay defaults.
+    pub fn new() -> Self {
+        Self::with_options(GrahamOptions::default())
+    }
+
+    /// A filter with explicit options. Tokenization is the workspace default
+    /// profile (Graham's own tokenizer rules — alphanumerics plus dashes,
+    /// apostrophes and dollar signs — are close enough that the shared
+    /// tokenizer keeps the comparison about the *learner*).
+    pub fn with_options(opts: GrahamOptions) -> Self {
+        assert!(opts.max_clues >= 1, "max_clues must be >= 1");
+        assert!(opts.ham_bias > 0.0, "ham_bias must be positive");
+        Self {
+            opts,
+            tokenizer: Tokenizer::with_options(TokenizerOptions::default()),
+            counts: HashMap::new(),
+            n_spam: 0,
+            n_ham: 0,
+        }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &GrahamOptions {
+        &self.opts
+    }
+
+    /// Token occurrences, **not** deduplicated: Graham counts every
+    /// occurrence.
+    fn occurrences(&self, email: &Email) -> Vec<String> {
+        self.tokenizer.tokenize(email)
+    }
+
+    /// The per-token spam probability p(w) of the essay.
+    pub fn token_prob(&self, token: &str) -> f64 {
+        let occ = self.counts.get(token).copied().unwrap_or_default();
+        let total = occ.spam + occ.ham;
+        if total < self.opts.min_occurrences || self.n_spam == 0 || self.n_ham == 0 {
+            return self.opts.unknown_prob;
+        }
+        let g = (self.opts.ham_bias * f64::from(occ.ham) / f64::from(self.n_ham)).min(1.0);
+        let b = (f64::from(occ.spam) / f64::from(self.n_spam)).min(1.0);
+        let p = b / (g + b);
+        p.clamp(self.opts.clamp.0, self.opts.clamp.1)
+    }
+
+    /// Combine clue probabilities with naive-Bayes odds.
+    fn combine(clues: &[f64]) -> f64 {
+        if clues.is_empty() {
+            return 0.5;
+        }
+        // Work in log space: products of 15 probabilities underflow f64 only
+        // in pathological configurations, but log space costs nothing.
+        let ln_p: f64 = clues.iter().map(|p| p.ln()).sum();
+        let ln_q: f64 = clues.iter().map(|p| (1.0 - p).ln()).sum();
+        // p / (p + q) = 1 / (1 + exp(ln_q - ln_p))
+        1.0 / (1.0 + (ln_q - ln_p).exp())
+    }
+
+    /// The most interesting clues for a message: the `max_clues` tokens with
+    /// scores furthest from 0.5, deterministic under ties.
+    pub fn interesting_clues(&self, email: &Email) -> Vec<(String, f64)> {
+        let mut seen: Vec<(String, f64)> = Vec::new();
+        let mut dedup = std::collections::HashSet::new();
+        for t in self.occurrences(email) {
+            if dedup.insert(t.clone()) {
+                let p = self.token_prob(&t);
+                seen.push((t, p));
+            }
+        }
+        seen.sort_unstable_by(|a, b| {
+            let da = (a.1 - 0.5).abs();
+            let db = (b.1 - 0.5).abs();
+            db.partial_cmp(&da)
+                .expect("probabilities are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        seen.truncate(self.opts.max_clues);
+        seen
+    }
+}
+
+impl StatFilter for GrahamFilter {
+    fn name(&self) -> &'static str {
+        "graham"
+    }
+
+    fn train(&mut self, email: &Email, label: Label) {
+        for t in self.occurrences(email) {
+            let occ = self.counts.entry(t).or_default();
+            match label {
+                Label::Spam => occ.spam += 1,
+                Label::Ham => occ.ham += 1,
+            }
+        }
+        match label {
+            Label::Spam => self.n_spam += 1,
+            Label::Ham => self.n_ham += 1,
+        }
+    }
+
+    fn train_many(&mut self, email: &Email, label: Label, n: u32) {
+        if n == 0 {
+            return;
+        }
+        for t in self.occurrences(email) {
+            let occ = self.counts.entry(t).or_default();
+            match label {
+                Label::Spam => occ.spam += n,
+                Label::Ham => occ.ham += n,
+            }
+        }
+        match label {
+            Label::Spam => self.n_spam += n,
+            Label::Ham => self.n_ham += n,
+        }
+    }
+
+    fn classify(&self, email: &Email) -> Scored {
+        let clues = self.interesting_clues(email);
+        let probs: Vec<f64> = clues.iter().map(|&(_, p)| p).collect();
+        let score = Self::combine(&probs);
+        let verdict = if score > self.opts.spam_threshold {
+            Verdict::Spam
+        } else {
+            Verdict::Ham
+        };
+        Scored {
+            score,
+            verdict,
+            n_clues: probs.len(),
+        }
+    }
+
+    fn training_counts(&self) -> (u32, u32) {
+        (self.n_spam, self.n_ham)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(b: &str) -> Email {
+        Email::builder().body(b).build()
+    }
+
+    fn trained() -> GrahamFilter {
+        let mut f = GrahamFilter::new();
+        for i in 0..20 {
+            f.train(&body(&format!("cheap pills offer blast{i}")), Label::Spam);
+            f.train(&body(&format!("meeting agenda notes item{i}")), Label::Ham);
+        }
+        f
+    }
+
+    #[test]
+    fn unknown_tokens_score_point_four() {
+        let f = trained();
+        assert_eq!(f.token_prob("neverseen"), 0.4);
+    }
+
+    #[test]
+    fn rare_tokens_score_point_four() {
+        let mut f = trained();
+        // Seen, but below the 5-occurrence floor.
+        f.train(&body("sporadic"), Label::Spam);
+        assert_eq!(f.token_prob("sporadic"), 0.4);
+    }
+
+    #[test]
+    fn pure_spam_token_clamps_to_099() {
+        let f = trained();
+        assert_eq!(f.token_prob("pills"), 0.99);
+    }
+
+    #[test]
+    fn pure_ham_token_clamps_to_001() {
+        let f = trained();
+        assert_eq!(f.token_prob("agenda"), 0.01);
+    }
+
+    #[test]
+    fn ham_bias_doubles_ham_evidence() {
+        let mut f = GrahamFilter::new();
+        // "both" appears once per message in 10 spam and 10 ham.
+        for _ in 0..10 {
+            f.train(&body("both"), Label::Spam);
+            f.train(&body("both"), Label::Ham);
+        }
+        // b = 1, g = min(1, 2·1) = 1 → p = 0.5… but with doubling g would
+        // saturate at 1: p = 1/(1+1) = 0.5. Check the asymmetric case too.
+        assert!((f.token_prob("both") - 0.5).abs() < 1e-12);
+        let mut f2 = GrahamFilter::new();
+        // 5 spam / 10 messages, 5 ham / 20 messages: b = 0.5, raw g = 0.25,
+        // doubled g = 0.5 → p = 0.5 instead of 0.667 without the bias.
+        for i in 0..10 {
+            let t = if i < 5 { "tilt other" } else { "other" };
+            f2.train(&body(t), Label::Spam);
+        }
+        for i in 0..20 {
+            let t = if i < 5 { "tilt filler" } else { "filler" };
+            f2.train(&body(t), Label::Ham);
+        }
+        assert!((f2.token_prob("tilt") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_spam_and_ham() {
+        let f = trained();
+        let s = f.classify(&body("cheap pills offer"));
+        assert_eq!(s.verdict, Verdict::Spam);
+        assert!(s.score > 0.99);
+        let h = f.classify(&body("meeting agenda notes"));
+        assert_eq!(h.verdict, Verdict::Ham);
+        assert!(h.score < 0.01);
+    }
+
+    #[test]
+    fn empty_message_scores_half_ham() {
+        let f = trained();
+        let s = f.classify(&Email::new());
+        assert_eq!(s.score, 0.5);
+        // 0.5 <= 0.9 → below the binary spam threshold.
+        assert_eq!(s.verdict, Verdict::Ham);
+        assert_eq!(s.n_clues, 0);
+    }
+
+    #[test]
+    fn max_clues_caps_evidence() {
+        let f = trained();
+        let long = (0..100)
+            .map(|_| "pills")
+            .collect::<Vec<_>>()
+            .join(" ");
+        let s = f.classify(&body(&long));
+        assert!(s.n_clues <= f.options().max_clues);
+    }
+
+    #[test]
+    fn occurrence_counting_weights_repeats() {
+        let mut f = GrahamFilter::new();
+        // "echo" appears 5 times in a single spam message: crosses the
+        // occurrence floor immediately.
+        f.train(&body("echo echo echo echo echo"), Label::Spam);
+        f.train(&body("calm words here"), Label::Ham);
+        assert_eq!(f.token_prob("echo"), 0.99);
+    }
+
+    #[test]
+    fn combine_is_odds_product() {
+        // Two 0.9 clues: odds 81:1 → p = 81/82.
+        let p = GrahamFilter::combine(&[0.9, 0.9]);
+        assert!((p - 81.0 / 82.0).abs() < 1e-12);
+        // Symmetric clues cancel.
+        assert!((GrahamFilter::combine(&[0.9, 0.1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dictionary_poisoning_flips_ham() {
+        // Ham vocabulary appearing in *every* ham message is pinned at or
+        // below 0.5 by the per-class frequency normalization (same effect as
+        // Eq. 1 in SpamBayes) — the attack flips *mid-frequency* tokens,
+        // which is what real ham vocabulary consists of. Each of the four
+        // business words below appears in 5 of 20 ham messages.
+        let vocab = ["quarterly", "budget", "forecast", "ledger"];
+        let mut f = GrahamFilter::new();
+        for i in 0..20 {
+            let w = vocab[i % 4];
+            f.train(&body(&format!("{w} common filler{i}")), Label::Ham);
+            f.train(&body(&format!("cheap pills offer blast{i}")), Label::Spam);
+        }
+        let target = body("quarterly budget forecast ledger");
+        assert_eq!(f.classify(&target).verdict, Verdict::Ham);
+        // §3.2 applied to Graham: the vocabulary trained as spam, en masse.
+        f.train_many(&target, Label::Spam, 200);
+        let h = f.classify(&target);
+        assert_eq!(
+            h.verdict,
+            Verdict::Spam,
+            "poisoned ham must flip: score {}",
+            h.score
+        );
+    }
+
+    #[test]
+    fn all_ham_tokens_resist_poisoning() {
+        // The flip side of the above: a token in 100% of ham has g = 1, so
+        // p = b/(1+b) ≤ 0.5 no matter how much the attacker trains. Graham's
+        // ham-side frequency normalization is an accidental (partial)
+        // defense the paper's Eq. 1 shares.
+        let mut f = trained(); // "meeting" in all 20 ham messages
+        f.train_many(&body("meeting"), Label::Spam, 500);
+        assert!(f.token_prob("meeting") <= 0.5 + 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the filter zoo: every variant must uphold the basic
+//! contracts of a statistical filter no matter what bytes it is fed.
+
+use proptest::prelude::*;
+use sb_email::{Email, Label};
+use sb_filter::SpamBayes;
+use sb_variants::{BogoFilter, GrahamFilter, MultinomialNb, SaBayes, SaFull, StatFilter};
+
+fn zoo() -> Vec<Box<dyn StatFilter>> {
+    vec![
+        Box::new(SpamBayes::new()),
+        Box::new(GrahamFilter::new()),
+        Box::new(BogoFilter::new()),
+        Box::new(SaBayes::new()),
+        Box::new(SaFull::new()),
+        Box::new(MultinomialNb::new()),
+    ]
+}
+
+/// Arbitrary text bodies: printable-ish ASCII plus some unicode and control
+/// characters to shake the tokenizers.
+fn arb_body() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{00e9}\u{4e2d}\n\t]{0,400}").unwrap()
+}
+
+fn arb_subject() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,60}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scores stay on [0, 1] and classification never panics, for any input.
+    #[test]
+    fn scores_bounded_on_arbitrary_input(
+        bodies in proptest::collection::vec((arb_body(), any::<bool>()), 1..12),
+        probe in arb_body(),
+        subject in arb_subject(),
+    ) {
+        for mut f in zoo() {
+            for (body, is_spam) in &bodies {
+                let label = if *is_spam { Label::Spam } else { Label::Ham };
+                f.train(&Email::builder().subject(subject.clone()).body(body.clone()).build(), label);
+            }
+            let s = f.classify(&Email::builder().body(probe.clone()).build());
+            prop_assert!((0.0..=1.0).contains(&s.score),
+                "{}: score out of range: {}", f.name(), s.score);
+        }
+    }
+
+    /// Training more spam copies of a message never lowers its spam score
+    /// (monotone contamination — the mechanism behind every attack in the
+    /// paper).
+    #[test]
+    fn more_spam_training_never_lowers_score(
+        body in "[a-z]{3,10}( [a-z]{3,10}){2,10}",
+        reps in 1u32..20,
+    ) {
+        for mut f in zoo() {
+            // A little balanced background so priors are defined.
+            for i in 0..5 {
+                f.train(&Email::builder().body(format!("background spamword{i}")).build(), Label::Spam);
+                f.train(&Email::builder().body(format!("background hamword{i}")).build(), Label::Ham);
+            }
+            let e = Email::builder().body(body.clone()).build();
+            let before = f.classify(&e).score;
+            f.train_many(&e, Label::Spam, reps);
+            let after = f.classify(&e).score;
+            prop_assert!(after >= before - 1e-9,
+                "{}: spam training lowered score {} -> {}", f.name(), before, after);
+        }
+    }
+
+    /// train_many(n) is exactly n single trains, for every filter.
+    #[test]
+    fn train_many_equivalence(
+        body in "[a-z]{3,8}( [a-z]{3,8}){0,6}",
+        n in 1u32..12,
+    ) {
+        for (mut a, mut b) in zoo().into_iter().zip(zoo()) {
+            let e = Email::builder().body(body.clone()).build();
+            a.train_many(&e, Label::Spam, n);
+            for _ in 0..n {
+                b.train(&e, Label::Spam);
+            }
+            // Counts must agree; scores must agree on the trained message.
+            prop_assert_eq!(a.training_counts(), b.training_counts());
+            let (sa, sb) = (a.classify(&e).score, b.classify(&e).score);
+            prop_assert!((sa - sb).abs() < 1e-12, "{}: {} vs {}", a.name(), sa, sb);
+        }
+    }
+
+    /// Classification is a pure function: classifying twice gives the same
+    /// answer and does not mutate the filter.
+    #[test]
+    fn classify_is_pure(
+        train_body in "[a-z]{3,8}( [a-z]{3,8}){0,6}",
+        probe in arb_body(),
+    ) {
+        for mut f in zoo() {
+            f.train(&Email::builder().body(train_body.clone()).build(), Label::Spam);
+            f.train(&Email::builder().body("some calm text here").build(), Label::Ham);
+            let e = Email::builder().body(probe.clone()).build();
+            let first = f.classify(&e);
+            let second = f.classify(&e);
+            prop_assert_eq!(first.score.to_bits(), second.score.to_bits(), "{}", f.name());
+            prop_assert_eq!(first.verdict, second.verdict, "{}", f.name());
+        }
+    }
+}
+
+/// Deterministic (non-proptest) cross-variant check: the dictionary attack
+/// transfers to every pure learner, at small scale.
+///
+/// Ham vocabulary is *mid-frequency* (each word in 5 of 20 ham messages):
+/// tokens appearing in every ham message are pinned at or below 0.5 by the
+/// per-class normalization every learner in the zoo shares, so the attack's
+/// leverage — like in the paper's corpus — is the long tail of words each
+/// present in a fraction of legitimate mail.
+#[test]
+fn dictionary_attack_transfers_to_pure_learners() {
+    let vocab = ["quarterly", "budget", "forecast", "ledger"];
+    for mut f in zoo() {
+        for i in 0..20 {
+            let w = vocab[i % 4];
+            f.train(
+                &Email::builder()
+                    .body(format!("cheap pills offer winner{i} click"))
+                    .build(),
+                Label::Spam,
+            );
+            f.train(
+                &Email::builder()
+                    .body(format!("{w} common filler{i}"))
+                    .build(),
+                Label::Ham,
+            );
+        }
+        let target = Email::builder().body(vocab.join(" ")).build();
+        let before = f.classify(&target);
+        assert_eq!(
+            before.verdict,
+            sb_filter::Verdict::Ham,
+            "{}: clean baseline must deliver ham",
+            f.name()
+        );
+        // Poison: the ham vocabulary trained as spam, 200 copies.
+        f.train_many(&target, Label::Spam, 200);
+        let after = f.classify(&target);
+        if f.name() == "sa-full" {
+            // The designed exception: static rules keep clean ham deliverable.
+            assert_ne!(
+                after.verdict,
+                sb_filter::Verdict::Spam,
+                "sa-full must resist pure-Bayes poisoning"
+            );
+        } else {
+            assert_ne!(
+                after.verdict,
+                sb_filter::Verdict::Ham,
+                "{}: attack failed to move ham out of the inbox (score {})",
+                f.name(),
+                after.score
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Filter zoo: does the paper's attack transfer beyond SpamBayes?
+//!
+//! §7 claims the attacks "should also apply to other spam filtering
+//! systems based on similar learning algorithms, such as BogoFilter and
+//! the Bayesian component of SpamAssassin", while §1 notes SpamAssassin
+//! "uses the learner only as one component of a broader filtering
+//! strategy". This example trains six filters on the same inbox, runs the
+//! same Usenet dictionary attack against all of them, and prints who
+//! survives.
+//!
+//! ```text
+//! cargo run --release --example filter_zoo
+//! ```
+
+use spambayes_repro::core::{attack_count_for_fraction, AttackGenerator, DictionaryAttack, DictionaryKind};
+use spambayes_repro::corpus::{CorpusConfig, TrecCorpus};
+use spambayes_repro::email::Label;
+use spambayes_repro::filter::{SpamBayes, Verdict};
+use spambayes_repro::stats::rng::Xoshiro256pp;
+use spambayes_repro::variants::{
+    BogoFilter, GrahamFilter, MultinomialNb, SaBayes, SaFull, StatFilter,
+};
+
+fn zoo() -> Vec<Box<dyn StatFilter>> {
+    vec![
+        Box::new(SpamBayes::new()),
+        Box::new(GrahamFilter::new()),
+        Box::new(BogoFilter::new()),
+        Box::new(SaBayes::new()),
+        Box::new(SaFull::new()),
+        Box::new(MultinomialNb::new()),
+    ]
+}
+
+fn main() {
+    // One inbox, one attack, six filters.
+    let train_size = 1_000;
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(train_size + 200, 0.5), 77);
+    let (train, test) = corpus.emails().split_at(train_size);
+
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(25_000));
+    let n_attack = attack_count_for_fraction(train_size, 0.05);
+    let batch = attack.generate(n_attack, &mut Xoshiro256pp::new(9));
+    let (proto, copies) = &batch.groups()[0];
+
+    println!(
+        "== {} training messages, {}-word Usenet attack x{} (5% of training) ==\n",
+        train_size,
+        attack.lexicon_len(),
+        copies
+    );
+    println!(
+        "{:<12} | {:>10} | {:>10} | {:>12} | verdict on clean ham",
+        "filter", "ham lost", "ham->spam", "spam caught"
+    );
+    println!("{}", "-".repeat(70));
+
+    for mut filter in zoo() {
+        for msg in train {
+            filter.train(&msg.email, msg.label);
+        }
+        filter.train_many(proto, Label::Spam, *copies);
+
+        let (mut ham_lost, mut ham_spam, mut n_ham) = (0, 0, 0);
+        let (mut spam_ok, mut n_spam) = (0, 0);
+        for msg in test {
+            let v = filter.classify(&msg.email).verdict;
+            match msg.label {
+                Label::Ham => {
+                    n_ham += 1;
+                    if v != Verdict::Ham {
+                        ham_lost += 1;
+                    }
+                    if v == Verdict::Spam {
+                        ham_spam += 1;
+                    }
+                }
+                Label::Spam => {
+                    n_spam += 1;
+                    if v == Verdict::Spam {
+                        spam_ok += 1;
+                    }
+                }
+            }
+        }
+        let fresh = corpus.fresh_ham(0);
+        println!(
+            "{:<12} | {:>9.1}% | {:>9.1}% | {:>11.1}% | {}",
+            filter.name(),
+            100.0 * ham_lost as f64 / n_ham as f64,
+            100.0 * ham_spam as f64 / n_ham as f64,
+            100.0 * spam_ok as f64 / n_spam as f64,
+            filter.classify(&fresh).verdict,
+        );
+    }
+
+    println!(
+        "\nEvery pure statistical learner loses ham to the poisoned vocabulary;\n\
+         sa-full survives because its static rules are invariant to training\n\
+         contamination and bound the Bayes component to 3.7 of 5.0 points."
+    );
+}

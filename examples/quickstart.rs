@@ -1,0 +1,80 @@
+//! Quickstart: train a SpamBayes filter on a synthetic inbox, poison it
+//! with a dictionary attack, watch it break, and repair it with RONI.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spambayes_repro::core::{
+    AttackGenerator, DictionaryAttack, DictionaryKind, RoniConfig, RoniDefense,
+};
+use spambayes_repro::corpus::{CorpusConfig, TrecCorpus};
+use spambayes_repro::filter::{FilterOptions, SpamBayes, Verdict};
+use spambayes_repro::stats::rng::Xoshiro256pp;
+use spambayes_repro::email::Label;
+
+fn main() {
+    // 1. A 600-message inbox at 50% spam, deterministic from a seed.
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(600, 0.5), 42);
+    println!(
+        "corpus: {} messages ({} ham / {} spam)",
+        corpus.dataset().len(),
+        corpus.dataset().n_ham(),
+        corpus.dataset().n_spam()
+    );
+
+    // 2. Train the filter.
+    let mut filter = SpamBayes::new();
+    for msg in corpus.emails() {
+        filter.train(&msg.email, msg.label);
+    }
+
+    // 3. It works: fresh ham is delivered, fresh spam is filtered.
+    let fresh_ham = corpus.fresh_ham(0);
+    let fresh_spam = corpus.fresh_spam(0);
+    println!("fresh ham   -> {}", filter.classify(&fresh_ham).verdict);
+    println!("fresh spam  -> {}", filter.classify(&fresh_spam).verdict);
+    assert_eq!(filter.verdict(&fresh_ham), Verdict::Ham);
+
+    // 4. The attacker sends 6 dictionary-attack emails (1% of the inbox),
+    //    which the victim dutifully trains as spam.
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(90_000));
+    let batch = attack.generate(6, &mut Xoshiro256pp::new(7));
+    println!(
+        "\ninjecting {} attack emails ({} tokens each)...",
+        batch.len(),
+        attack.lexicon_len()
+    );
+    let mut poisoned = filter.clone();
+    for (tokens, n) in batch.token_groups(poisoned.tokenizer()) {
+        poisoned.train_tokens(&tokens, Label::Spam, n);
+    }
+
+    // 5. The same fresh ham is now lost.
+    let verdict = poisoned.classify(&fresh_ham);
+    println!(
+        "fresh ham   -> {} (score {:.3}) — the filter is broken",
+        verdict.verdict, verdict.score
+    );
+    assert_ne!(verdict.verdict, Verdict::Ham);
+
+    // 6. RONI to the rescue: screen candidates before training.
+    let mut roni = RoniDefense::new(
+        RoniConfig::default(),
+        corpus.dataset(),
+        FilterOptions::default(),
+        &mut Xoshiro256pp::new(8),
+    );
+    let attack_tokens = poisoned.tokenizer().token_set(attack.prototype());
+    let normal_spam_tokens = poisoned.tokenizer().token_set(&fresh_spam);
+    let m_attack = roni.measure(&attack_tokens);
+    let m_normal = roni.measure(&normal_spam_tokens);
+    println!(
+        "\nRONI impact: attack email {:.1} ham lost (rejected: {}), \
+         ordinary spam {:.1} (rejected: {})",
+        m_attack.mean_ham_impact, m_attack.rejected, m_normal.mean_ham_impact, m_normal.rejected
+    );
+    assert!(m_attack.rejected);
+    assert!(!m_normal.rejected);
+    println!("RONI keeps the attack out of the training set. Filter survives.");
+}

@@ -1,0 +1,55 @@
+//! # spambayes-repro — facade crate
+//!
+//! Reproduction of Nelson et al., *"Exploiting Machine Learning to Subvert
+//! Your Spam Filter"* (2008): the SpamBayes learner, the dictionary and
+//! focused causative-availability attacks against it, and the RONI and
+//! dynamic-threshold defenses — plus the synthetic corpus substrate and the
+//! experiment harness that regenerates every figure and table in the paper.
+//!
+//! This crate simply re-exports the workspace members under stable names;
+//! depend on it to get the whole system, or on the individual `sb-*` crates
+//! for narrower footprints:
+//!
+//! * [`stats`] — special functions, chi-square, distributions, seed trees
+//! * [`email`] — message model, parser, renderer, mbox I/O
+//! * [`tokenizer`] — SpamBayes-style tokenization
+//! * [`filter`] — the SpamBayes learner (Robinson × Fisher)
+//! * [`corpus`] — synthetic TREC-2005 / Usenet / Aspell substrate
+//! * [`core`] — attacks (dictionary, focused) and defenses (RONI, threshold)
+//! * [`variants`] — the other filters the paper names (Graham, BogoFilter,
+//!   SpamAssassin's Bayes component and full rule engine) for the §7
+//!   attack-transfer extension
+//! * [`mailflow`] — SMTP-lite delivery substrate and the §2.1 organization
+//!   simulation (weekly retraining, contamination entering over the wire)
+//! * [`experiments`] — cross-validation harness, metrics, figure generators
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use spambayes_repro::corpus::{CorpusConfig, TrecCorpus};
+//! use spambayes_repro::filter::{SpamBayes, Verdict};
+//!
+//! // Generate a small labelled inbox and train a filter.
+//! let corpus = TrecCorpus::generate(&CorpusConfig::small(), 42);
+//! let mut filter = SpamBayes::default();
+//! for msg in corpus.emails() {
+//!     filter.train(&msg.email, msg.label);
+//! }
+//! // Classify something.
+//! let verdict = filter.classify(&corpus.emails()[0].email).verdict;
+//! assert!(matches!(verdict, Verdict::Ham | Verdict::Unsure | Verdict::Spam));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sb_core as core;
+pub use sb_corpus as corpus;
+pub use sb_email as email;
+pub use sb_experiments as experiments;
+pub use sb_filter as filter;
+pub use sb_mailflow as mailflow;
+pub use sb_stats as stats;
+pub use sb_tokenizer as tokenizer;
+pub use sb_variants as variants;

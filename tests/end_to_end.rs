@@ -1,0 +1,158 @@
+//! End-to-end integration: corpus → filter → attack → defense, across all
+//! crates through the facade's public API only.
+
+use spambayes_repro::core::{
+    attack_count_for_fraction, calibrate, AttackBatch, AttackGenerator, DictionaryAttack,
+    DictionaryKind, FocusedAttack, RoniConfig, RoniDefense, ThresholdConfig, TrainItem,
+};
+use spambayes_repro::corpus::{CorpusConfig, TrecCorpus};
+use spambayes_repro::email::Label;
+use spambayes_repro::filter::{FilterOptions, SpamBayes, Verdict};
+use spambayes_repro::stats::rng::Xoshiro256pp;
+
+fn trained_filter(corpus: &TrecCorpus) -> SpamBayes {
+    let mut filter = SpamBayes::new();
+    for msg in corpus.emails() {
+        filter.train(&msg.email, msg.label);
+    }
+    filter
+}
+
+#[test]
+fn clean_filter_has_high_accuracy_on_fresh_traffic() {
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(800, 0.5), 1);
+    let filter = trained_filter(&corpus);
+    let mut ham_ok = 0;
+    let mut spam_ok = 0;
+    let n = 100;
+    for k in 0..n {
+        if filter.verdict(&corpus.fresh_ham(k)) == Verdict::Ham {
+            ham_ok += 1;
+        }
+        if filter.verdict(&corpus.fresh_spam(k)) == Verdict::Spam {
+            spam_ok += 1;
+        }
+    }
+    assert!(ham_ok >= 95, "ham accuracy {ham_ok}/{n}");
+    assert!(spam_ok >= 95, "spam accuracy {spam_ok}/{n}");
+}
+
+#[test]
+fn dictionary_attack_degrades_then_roni_recovers() {
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(600, 0.5), 2);
+    let base = trained_filter(&corpus);
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(90_000));
+    let n_attack = attack_count_for_fraction(600, 0.05);
+
+    // Degradation.
+    let mut poisoned = base.clone();
+    let batch = attack.generate(n_attack, &mut Xoshiro256pp::new(3));
+    for (tokens, n) in batch.token_groups(poisoned.tokenizer()) {
+        poisoned.train_tokens(&tokens, AttackBatch::training_label(), n);
+    }
+    let mut lost = 0;
+    for k in 0..50 {
+        if poisoned.verdict(&corpus.fresh_ham(k)) != Verdict::Ham {
+            lost += 1;
+        }
+    }
+    assert!(lost >= 40, "attack too weak: only {lost}/50 ham lost");
+
+    // RONI screens the attack out.
+    let mut roni = RoniDefense::new(
+        RoniConfig::default(),
+        corpus.dataset(),
+        FilterOptions::default(),
+        &mut Xoshiro256pp::new(4),
+    );
+    let measurement = roni.measure_email(attack.prototype());
+    assert!(measurement.rejected);
+}
+
+#[test]
+fn focused_attack_blocks_target_but_not_other_ham() {
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(800, 0.5), 5);
+    let mut filter = trained_filter(&corpus);
+    let target = corpus.fresh_ham(0);
+    assert_eq!(filter.verdict(&target), Verdict::Ham);
+
+    let attack = FocusedAttack::new(&target, 0.9, Some(corpus.fresh_spam(0)));
+    let batch = attack.generate(60, &mut Xoshiro256pp::new(6));
+    for (tokens, n) in batch.token_groups(filter.tokenizer()) {
+        filter.train_tokens(&tokens, Label::Spam, n);
+    }
+
+    // The target is blocked…
+    assert_ne!(filter.verdict(&target), Verdict::Ham, "target still delivered");
+    // …while unrelated fresh ham mostly still arrives (targeted, not
+    // indiscriminate — the §3.1 taxonomy distinction).
+    let mut ok = 0;
+    for k in 1..41 {
+        if filter.verdict(&corpus.fresh_ham(k)) == Verdict::Ham {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 32, "collateral damage too high: only {ok}/40 ham survive");
+}
+
+#[test]
+fn dynamic_threshold_defends_ham_under_dictionary_attack() {
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(600, 0.5), 7);
+    let tokenizer = spambayes_repro::tokenizer::Tokenizer::new();
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(90_000));
+    let attack_tokens = std::sync::Arc::new(tokenizer.token_set(attack.prototype()));
+    let n_attack = attack_count_for_fraction(600, 0.05);
+
+    let mut items: Vec<TrainItem> = corpus
+        .emails()
+        .iter()
+        .map(|m| TrainItem::new(tokenizer.token_set(&m.email), m.label))
+        .collect();
+    for _ in 0..n_attack {
+        items.push(TrainItem {
+            tokens: std::sync::Arc::clone(&attack_tokens),
+            label: Label::Spam,
+        });
+    }
+
+    // Undefended contaminated filter loses ham…
+    let mut plain = SpamBayes::new();
+    for it in &items {
+        plain.train_tokens(&it.tokens, it.label, 1);
+    }
+    let mut plain_lost = 0;
+    // …defended filter recovers most of it.
+    let cal = calibrate(
+        &items,
+        ThresholdConfig::loose(),
+        FilterOptions::default(),
+        &mut Xoshiro256pp::new(8),
+    );
+    let mut defended_lost = 0;
+    for k in 0..50 {
+        let tokens = tokenizer.token_set(&corpus.fresh_ham(k));
+        if plain.classify_tokens(&tokens).verdict != Verdict::Ham {
+            plain_lost += 1;
+        }
+        if cal.classify_tokens(&tokens).verdict != Verdict::Ham {
+            defended_lost += 1;
+        }
+    }
+    assert!(plain_lost >= 40, "attack too weak: {plain_lost}/50");
+    assert!(
+        defended_lost < plain_lost / 2,
+        "defense ineffective: {defended_lost} vs {plain_lost}"
+    );
+}
+
+#[test]
+fn attack_batches_roundtrip_through_mbox() {
+    // Attack emails survive serialization to a mailbox and back — the
+    // format an operator would use to inspect quarantined mail.
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(500));
+    let batch = attack.generate(3, &mut Xoshiro256pp::new(9));
+    let emails = batch.materialize();
+    let bytes = spambayes_repro::email::mbox::write_mbox(&emails).unwrap();
+    let back = spambayes_repro::email::mbox::read_mbox(std::io::Cursor::new(bytes)).unwrap();
+    assert_eq!(back, emails);
+}

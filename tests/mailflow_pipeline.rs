@@ -1,0 +1,162 @@
+//! Cross-crate integration: the attack travels the full §2.1 deployment
+//! path — SMTP wire → server → filter → mailbox → training pool → weekly
+//! retrain — through the facade's public API only.
+
+use spambayes_repro::core::{AttackGenerator, DictionaryAttack, DictionaryKind};
+use spambayes_repro::corpus::{CorpusConfig, TrecCorpus};
+use spambayes_repro::email::Label;
+use spambayes_repro::filter::SpamBayes;
+use spambayes_repro::mailflow::{
+    AttackPlan, DefensePolicy, Envelope, FaultConfig, FaultyPipe, MailOrg, OrgConfig,
+    ServerEvent, SmtpClient, SmtpServer, TrafficMix,
+};
+use spambayes_repro::stats::rng::Xoshiro256pp;
+
+/// A dictionary-attack email survives the wire byte-for-token: what the
+/// server hands the filter poisons it exactly as an API-level injection
+/// would.
+#[test]
+fn attack_email_round_trips_the_wire() {
+    let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(10_000));
+    let proto = attack
+        .generate(1, &mut Xoshiro256pp::new(1))
+        .materialize()
+        .remove(0);
+
+    let mut pipe = FaultyPipe::reliable();
+    let mut server = SmtpServer::new("mx.corp");
+    let client = SmtpClient::new("attacker.example");
+    let env = Envelope::to_one("a@attacker.example", "victim@corp", proto.clone());
+    let report = client.deliver_all(&mut pipe, &mut server, &[env]);
+    assert_eq!(report.delivered, 1);
+
+    let received = server
+        .take_events()
+        .into_iter()
+        .find_map(|e| match e {
+            ServerEvent::MessageAccepted(m) => Some(m.email),
+            _ => None,
+        })
+        .expect("message accepted");
+
+    // Token sets identical before/after the wire: the contamination
+    // assumption loses nothing to transport.
+    let mut filter = SpamBayes::new();
+    let sent_tokens = filter.token_set(&proto);
+    let got_tokens = filter.token_set(&received);
+    assert_eq!(sent_tokens, got_tokens);
+
+    // And it trains like the real thing.
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(400, 0.5), 7);
+    for m in corpus.emails() {
+        filter.train(&m.email, m.label);
+    }
+    let target = corpus.fresh_ham(0);
+    let before = filter.classify(&target).score;
+    filter.train_tokens(&got_tokens, Label::Spam, 20);
+    let after = filter.classify(&target).score;
+    assert!(after > before, "wire-delivered attack must poison: {before} -> {after}");
+}
+
+fn org_config(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
+    OrgConfig {
+        users: (0..3).map(|i| format!("u{i}@corp.example")).collect(),
+        days: 14,
+        retrain_every: 7,
+        traffic: TrafficMix {
+            ham_per_day: 12,
+            spam_per_day: 12,
+        },
+        faults: FaultConfig {
+            drop_chance: 0.02,
+            corrupt_chance: 0.02,
+        },
+        defense,
+        bootstrap_size: 200,
+        corpus: CorpusConfig::with_size(200, 0.5),
+        attack: attack.then(|| AttackPlan {
+            start_day: 1,
+            per_day: 8,
+            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
+        }),
+        seed,
+    }
+}
+
+/// The full story on a lossy wire: detonation at the retrain boundary,
+/// defused by RONI, with delivery accounting intact throughout.
+#[test]
+fn organization_detonation_and_roni_on_lossy_wire() {
+    let hit = MailOrg::new(org_config(DefensePolicy::None, true, 5)).run();
+    let defended = MailOrg::new(org_config(DefensePolicy::Roni, true, 5)).run();
+
+    // Accounting balances despite faults.
+    for report in [&hit, &defended] {
+        let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
+        assert_eq!(report.total_delivered + report.total_failed, offered);
+        assert!(report.fault_stats.dropped + report.fault_stats.corrupted > 0);
+    }
+
+    // Week 1 healthy, week 2 poisoned (undefended).
+    assert!(hit.weeks[0].ham_misrouted < 0.2, "{}", hit.weeks[0].ham_misrouted);
+    assert!(
+        hit.weeks[1].ham_misrouted > hit.weeks[0].ham_misrouted + 0.2,
+        "no detonation: {} -> {}",
+        hit.weeks[0].ham_misrouted,
+        hit.weeks[1].ham_misrouted
+    );
+
+    // RONI keeps week 2 usable and screens the campaign.
+    assert!(
+        defended.weeks[1].ham_misrouted < hit.weeks[1].ham_misrouted / 2.0,
+        "RONI ineffective: {} vs {}",
+        defended.weeks[1].ham_misrouted,
+        hit.weeks[1].ham_misrouted
+    );
+    assert!(defended.weeks.iter().map(|w| w.screened_out).sum::<usize>() > 0);
+}
+
+/// Verdict routing lands mail in the right folders, visible through user
+/// mailboxes.
+#[test]
+fn mailboxes_reflect_verdicts() {
+    use spambayes_repro::mailflow::{Folder, Mailbox};
+
+    let mut mbox = Mailbox::new();
+    let corpus = TrecCorpus::generate(&CorpusConfig::with_size(300, 0.5), 11);
+    let mut filter = SpamBayes::new();
+    for m in corpus.emails() {
+        filter.train(&m.email, m.label);
+    }
+    for k in 0..30 {
+        let ham = corpus.fresh_ham(k);
+        let v = filter.classify(&ham).verdict;
+        mbox.deliver(ham, Label::Ham, v, 1);
+        let spam = corpus.fresh_spam(k);
+        let v = filter.classify(&spam).verdict;
+        mbox.deliver(spam, Label::Spam, v, 1);
+    }
+    assert_eq!(mbox.len(), 60);
+    // A clean filter keeps the inbox overwhelmingly ham and the spam
+    // folder overwhelmingly spam.
+    let inbox_ham = mbox.count(Folder::Inbox, Label::Ham);
+    let inbox_spam = mbox.count(Folder::Inbox, Label::Spam);
+    assert!(inbox_ham >= 25, "{inbox_ham}");
+    assert!(inbox_spam <= 2, "{inbox_spam}");
+    assert!(mbox.count(Folder::Spam, Label::Spam) >= 25);
+}
+
+/// Identical seeds give identical simulations across the whole stack —
+/// SMTP faults, corpus, retraining, defenses.
+#[test]
+fn full_stack_determinism() {
+    let a = MailOrg::new(org_config(DefensePolicy::Roni, true, 99)).run();
+    let b = MailOrg::new(org_config(DefensePolicy::Roni, true, 99)).run();
+    assert_eq!(a.total_delivered, b.total_delivered);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
+        assert_eq!(wa.ham_misrouted, wb.ham_misrouted);
+        assert_eq!(wa.spam_caught, wb.spam_caught);
+        assert_eq!(wa.screened_out, wb.screened_out);
+    }
+}
