@@ -54,14 +54,64 @@ fn bench_classification(c: &mut Criterion) {
     let probes: Vec<Vec<String>> = (0..50)
         .map(|k| filter.token_set(&corpus.fresh_ham(k)))
         .collect();
+    let probe_ids: Vec<Vec<sb_filter::TokenId>> = probes
+        .iter()
+        .map(|p| filter.interner().intern_set(p))
+        .collect();
     let mut g = c.benchmark_group("filter");
     g.throughput(Throughput::Elements(probes.len() as u64));
+    // The pre-PR baseline: string-keyed lookups, per-message ln recompute.
+    g.bench_function("classify_50_fresh_ham_strings", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(filter.classify_tokens_uncached(p));
+            }
+        })
+    });
+    // Interning per call (what `classify_tokens` now does).
     g.bench_function("classify_50_fresh_ham", |b| {
         b.iter(|| {
             for p in &probes {
                 black_box(filter.classify_tokens(p));
             }
         })
+    });
+    // The ID fast path: pre-interned sets + generation-stamped score cache.
+    g.bench_function("classify_50_fresh_ham_ids", |b| {
+        b.iter(|| {
+            for p in &probe_ids {
+                black_box(filter.classify_ids(p));
+            }
+        })
+    });
+    // Parallel batch on the same probes.
+    g.bench_function("classify_50_fresh_ham_ids_batch", |b| {
+        b.iter(|| black_box(filter.classify_ids_batch(&probe_ids)))
+    });
+    g.finish();
+}
+
+fn bench_training_ids(c: &mut Criterion) {
+    let corpus = bench_corpus(200);
+    let items = tokenized(&corpus);
+    let interner = sb_intern::Interner::global();
+    let id_items: Vec<(Vec<sb_filter::TokenId>, Label)> = items
+        .iter()
+        .map(|(tokens, label)| (interner.intern_set(tokens), *label))
+        .collect();
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(id_items.len() as u64));
+    g.bench_function("train_ids_200_emails", |b| {
+        b.iter_batched(
+            SpamBayes::new,
+            |mut filter| {
+                for (ids, label) in &id_items {
+                    filter.train_ids(ids, *label, 1);
+                }
+                filter
+            },
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }
@@ -124,6 +174,7 @@ criterion_group!(
     benches,
     bench_tokenizer,
     bench_training,
+    bench_training_ids,
     bench_classification,
     bench_untrain,
     bench_chi2,

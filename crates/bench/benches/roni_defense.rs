@@ -5,9 +5,83 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use sb_bench::bench_corpus;
 use sb_core::{DictionaryAttack, DictionaryKind, RoniConfig, RoniDefense};
-use sb_filter::FilterOptions;
+use sb_email::Label;
+use sb_filter::{FilterOptions, SpamBayes, Verdict};
 use sb_stats::rng::Xoshiro256pp;
 use sb_tokenizer::Tokenizer;
+
+/// The pre-substrate RONI measurement loop, reconstructed for baseline
+/// comparison: string token sets, string-keyed training, per-message
+/// uncached scoring — exactly what `RoniDefense::measure` did before the
+/// interned refactor.
+struct LegacyRoni {
+    trials: Vec<LegacyTrial>,
+}
+
+struct LegacyTrial {
+    filter: SpamBayes,
+    val: Vec<(Vec<String>, Label)>,
+    baseline_ham: usize,
+}
+
+impl LegacyRoni {
+    fn build(pool: &sb_email::Dataset, cfg: &RoniConfig, rng: &mut Xoshiro256pp) -> Self {
+        let tokenizer = Tokenizer::new();
+        let tokenized: Vec<(Vec<String>, Label)> = pool
+            .emails()
+            .iter()
+            .map(|m| (tokenizer.token_set(&m.email), m.label))
+            .collect();
+        let trials = (0..cfg.trials)
+            .map(|_| {
+                let picks =
+                    sb_corpus::sample_indices(pool.len(), cfg.train_size + cfg.val_size, rng);
+                let (train_idx, val_idx) = picks.split_at(cfg.train_size);
+                let mut filter = SpamBayes::new();
+                for &i in train_idx {
+                    let (set, label) = &tokenized[i];
+                    filter.train_tokens(set, *label, 1);
+                }
+                let val: Vec<(Vec<String>, Label)> =
+                    val_idx.iter().map(|&i| tokenized[i].clone()).collect();
+                let baseline_ham = Self::ham_correct(&filter, &val);
+                LegacyTrial {
+                    filter,
+                    val,
+                    baseline_ham,
+                }
+            })
+            .collect();
+        Self { trials }
+    }
+
+    /// As the seed's `correct_counts`: classify every validation message,
+    /// return the ham-correct count.
+    fn ham_correct(filter: &SpamBayes, val: &[(Vec<String>, Label)]) -> usize {
+        let mut ham_ok = 0;
+        for (set, label) in val {
+            let v = filter.classify_tokens_uncached(set).verdict;
+            if *label == Label::Ham && v == Verdict::Ham {
+                ham_ok += 1;
+            }
+        }
+        ham_ok
+    }
+
+    fn measure(&mut self, candidate: &[String]) -> f64 {
+        let mut sum = 0.0;
+        for trial in &mut self.trials {
+            trial.filter.train_tokens(candidate, Label::Spam, 1);
+            let after = Self::ham_correct(&trial.filter, &trial.val);
+            trial
+                .filter
+                .untrain_tokens(candidate, Label::Spam, 1)
+                .expect("exact untrain");
+            sum += trial.baseline_ham as f64 - after as f64;
+        }
+        sum / self.trials.len() as f64
+    }
+}
 
 fn bench_roni(c: &mut Criterion) {
     let corpus = bench_corpus(200);
@@ -40,11 +114,34 @@ fn bench_roni(c: &mut Criterion) {
         &mut Xoshiro256pp::new(2),
     );
     g.throughput(Throughput::Elements(1));
+    // Pre-substrate baseline: the measurement loop exactly as shipped
+    // before the interned refactor.
+    let mut legacy = LegacyRoni::build(
+        corpus.dataset(),
+        &RoniConfig::default(),
+        &mut Xoshiro256pp::new(2),
+    );
+    g.bench_function("measure_attack_email_10k_lexicon_strings", |b| {
+        b.iter(|| legacy.measure(&attack_tokens))
+    });
+    g.bench_function("measure_ordinary_spam_strings", |b| {
+        b.iter(|| legacy.measure(&normal_tokens))
+    });
+    // The interned path (what `measure` does today).
     g.bench_function("measure_attack_email_10k_lexicon", |b| {
         b.iter(|| roni.measure(&attack_tokens))
     });
     g.bench_function("measure_ordinary_spam", |b| {
         b.iter(|| roni.measure(&normal_tokens))
+    });
+    // Batch screening: 32 candidates screened with per-worker trial clones.
+    let interner = sb_filter::Interner::global();
+    let candidates: Vec<Vec<sb_filter::TokenId>> = (0..32)
+        .map(|k| interner.intern_set(&Tokenizer::new().token_set(&corpus.fresh_spam(k))))
+        .collect();
+    g.throughput(Throughput::Elements(candidates.len() as u64));
+    g.bench_function("measure_batch_32_candidates", |b| {
+        b.iter(|| roni.measure_ids_batch(&candidates))
     });
     g.finish();
 }

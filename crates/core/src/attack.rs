@@ -63,6 +63,20 @@ impl AttackBatch {
             .collect()
     }
 
+    /// Interned form: `(id_set, count)` per group — tokenize + intern once
+    /// per prototype, then train/untrain by id however many times the
+    /// experiment sweeps over the batch.
+    pub fn token_id_groups(
+        &self,
+        tokenizer: &Tokenizer,
+        interner: &sb_intern::Interner,
+    ) -> Vec<(Vec<sb_intern::TokenId>, u32)> {
+        self.groups
+            .iter()
+            .map(|(e, n)| (interner.intern_set(&tokenizer.token_set(e)), *n))
+            .collect()
+    }
+
     /// Materialize every individual email (for mbox export / inspection;
     /// beware memory at paper scale).
     pub fn materialize(&self) -> Vec<Email> {

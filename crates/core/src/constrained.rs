@@ -52,8 +52,8 @@ use crate::taxonomy::AttackClass;
 use sb_email::Email;
 use sb_stats::rng::Xoshiro256pp;
 use sb_tokenizer::Tokenizer;
+use sb_intern::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Estimate attacker knowledge from an observed ham sample: the empirical
@@ -65,7 +65,7 @@ pub fn estimate_knowledge(
     tokenizer: &Tokenizer,
     min_support: usize,
 ) -> WordKnowledge {
-    let mut seen_in: HashMap<String, usize> = HashMap::new();
+    let mut seen_in: FxHashMap<String, usize> = FxHashMap::default();
     for email in sample {
         for token in tokenizer.token_set(email) {
             *seen_in.entry(token).or_insert(0) += 1;

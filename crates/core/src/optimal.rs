@@ -16,13 +16,13 @@
 //!   the constrained optimal attacks the paper leaves to future work,
 //!   exercised here by the `ablation` benchmarks.
 
-use std::collections::HashMap;
+use sb_intern::FxHashMap;
 
 /// Attacker knowledge: per-word appearance probabilities for the victim's
 /// next email (sparse: absent words have probability 0).
 #[derive(Debug, Clone, Default)]
 pub struct WordKnowledge {
-    probs: HashMap<String, f64>,
+    probs: FxHashMap<String, f64>,
 }
 
 impl WordKnowledge {
@@ -76,7 +76,7 @@ impl WordKnowledge {
     /// the knowledge spectrum between the dictionary and focused extremes.
     pub fn interpolate(&self, other: &WordKnowledge, alpha: f64) -> WordKnowledge {
         assert!((0.0..=1.0).contains(&alpha));
-        let mut probs = HashMap::new();
+        let mut probs = FxHashMap::default();
         for (w, &p) in &self.probs {
             probs.insert(w.clone(), alpha * p);
         }

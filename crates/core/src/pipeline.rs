@@ -14,20 +14,33 @@
 //!   they are trained;
 //! * the filter is retrained from the surviving pool each epoch, and
 //!   held-out performance is recorded.
+//!
+//! Substrate notes: every message is tokenized and interned **once** on
+//! arrival — the pool stores `Arc<Vec<TokenId>>`, so the per-epoch
+//! retrain is a pure id-counting loop and held-out probes are classified
+//! through the parallel batch API. Pre-intern recurring probe sets with
+//! [`RetrainingPipeline::intern_probes`] to avoid re-tokenizing them
+//! every epoch.
 
 use crate::roni::RoniDefense;
 use sb_email::{Email, Label};
 use sb_filter::{SpamBayes, Verdict};
+use sb_intern::TokenId;
 use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Decides whether an arriving message may enter the training pool.
+///
+/// Policies receive the message's interned token set — the same ids the
+/// pipeline will train with — so screening never re-tokenizes.
 pub trait ScreeningPolicy {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// `true` to admit the message (given its token set and training label).
-    fn admit(&mut self, token_set: &[String], label: Label) -> bool;
+    /// `true` to admit the message (given its interned token set and
+    /// training label).
+    fn admit(&mut self, token_ids: &[TokenId], label: Label) -> bool;
 }
 
 /// Admit everything (the undefended baseline).
@@ -39,7 +52,7 @@ impl ScreeningPolicy for AdmitAll {
         "admit-all"
     }
 
-    fn admit(&mut self, _token_set: &[String], _label: Label) -> bool {
+    fn admit(&mut self, _token_ids: &[TokenId], _label: Label) -> bool {
         true
     }
 }
@@ -63,10 +76,10 @@ impl ScreeningPolicy for RoniScreen {
         "roni"
     }
 
-    fn admit(&mut self, token_set: &[String], label: Label) -> bool {
+    fn admit(&mut self, token_ids: &[TokenId], label: Label) -> bool {
         match label {
             Label::Ham => true,
-            Label::Spam => !self.roni.measure(token_set).rejected,
+            Label::Spam => !self.roni.measure_ids(token_ids).rejected,
         }
     }
 }
@@ -104,7 +117,7 @@ impl EpochReport {
 /// The retraining loop.
 pub struct RetrainingPipeline<P: ScreeningPolicy> {
     tokenizer: Tokenizer,
-    pool: Vec<(Vec<String>, Label)>,
+    pool: Vec<(Arc<Vec<TokenId>>, Label)>,
     policy: P,
     filter: SpamBayes,
     epoch: usize,
@@ -114,9 +127,15 @@ impl<P: ScreeningPolicy> RetrainingPipeline<P> {
     /// Start from an initial (trusted) pool and a screening policy.
     pub fn new(initial_pool: &[(Email, Label)], policy: P) -> Self {
         let tokenizer = Tokenizer::new();
-        let pool: Vec<(Vec<String>, Label)> = initial_pool
+        let interner = sb_intern::Interner::global();
+        let pool: Vec<(Arc<Vec<TokenId>>, Label)> = initial_pool
             .iter()
-            .map(|(e, l)| (tokenizer.token_set(e), *l))
+            .map(|(e, l)| {
+                (
+                    Arc::new(interner.intern_set(&tokenizer.token_set(e))),
+                    *l,
+                )
+            })
             .collect();
         let mut pipeline = Self {
             tokenizer,
@@ -139,29 +158,63 @@ impl<P: ScreeningPolicy> RetrainingPipeline<P> {
         self.pool.len()
     }
 
+    /// Tokenize + intern a probe set once, for reuse across epochs
+    /// (never re-tokenize recurring held-out traffic).
+    pub fn intern_probes(&self, probes: &[Email]) -> Vec<Arc<Vec<TokenId>>> {
+        let interner = self.filter.interner().clone();
+        probes
+            .iter()
+            .map(|e| Arc::new(interner.intern_set(&self.tokenizer.token_set(e))))
+            .collect()
+    }
+
     fn retrain(&mut self) {
         let mut filter = SpamBayes::new();
-        for (tokens, label) in &self.pool {
-            filter.train_tokens(tokens, *label, 1);
+        for (ids, label) in &self.pool {
+            filter.train_ids(ids, *label, 1);
         }
         self.filter = filter;
     }
 
-    /// Ingest one epoch of arriving mail (already labeled — the paper's
-    /// §2.2 argument: attack mail genuinely is spam, so any labeling
-    /// process marks it spam), retrain, and probe on held-out traffic.
+    /// Ingest one epoch of arriving mail given as emails (tokenizes +
+    /// interns each arrival once, then defers to
+    /// [`RetrainingPipeline::run_epoch_interned`]).
     pub fn run_epoch(
         &mut self,
         arrivals: &[(Email, Label)],
         probe_ham: &[Email],
         probe_spam: &[Email],
     ) -> EpochReport {
+        let interner = self.filter.interner().clone();
+        let arrivals_ids: Vec<(Arc<Vec<TokenId>>, Label)> = arrivals
+            .iter()
+            .map(|(e, l)| {
+                (
+                    Arc::new(interner.intern_set(&self.tokenizer.token_set(e))),
+                    *l,
+                )
+            })
+            .collect();
+        let probe_ham_ids = self.intern_probes(probe_ham);
+        let probe_spam_ids = self.intern_probes(probe_spam);
+        self.run_epoch_interned(&arrivals_ids, &probe_ham_ids, &probe_spam_ids)
+    }
+
+    /// Ingest one epoch of pre-interned arrivals (already labeled — the
+    /// paper's §2.2 argument: attack mail genuinely is spam, so any
+    /// labeling process marks it spam), retrain, and probe on held-out
+    /// traffic through the parallel batch classifier.
+    pub fn run_epoch_interned(
+        &mut self,
+        arrivals: &[(Arc<Vec<TokenId>>, Label)],
+        probe_ham: &[Arc<Vec<TokenId>>],
+        probe_spam: &[Arc<Vec<TokenId>>],
+    ) -> EpochReport {
         let mut admitted = 0;
         let mut vetoed = 0;
-        for (email, label) in arrivals {
-            let tokens = self.tokenizer.token_set(email);
-            if self.policy.admit(&tokens, *label) {
-                self.pool.push((tokens, *label));
+        for (ids, label) in arrivals {
+            if self.policy.admit(ids, *label) {
+                self.pool.push((Arc::clone(ids), *label));
                 admitted += 1;
             } else {
                 vetoed += 1;
@@ -169,18 +222,17 @@ impl<P: ScreeningPolicy> RetrainingPipeline<P> {
         }
         self.retrain();
 
-        let mut ham_ok = 0;
-        let mut ham_lost = 0;
-        for e in probe_ham {
-            if self.filter.verdict(e) == Verdict::Ham {
-                ham_ok += 1;
-            } else {
-                ham_lost += 1;
-            }
-        }
-        let spam_ok = probe_spam
+        let ham_verdicts = self.filter.classify_ids_batch(probe_ham);
+        let ham_ok = ham_verdicts
             .iter()
-            .filter(|e| self.filter.verdict(e) == Verdict::Spam)
+            .filter(|s| s.verdict == Verdict::Ham)
+            .count();
+        let ham_lost = probe_ham.len() - ham_ok;
+        let spam_ok = self
+            .filter
+            .classify_ids_batch(probe_spam)
+            .iter()
+            .filter(|s| s.verdict == Verdict::Spam)
             .count();
 
         let report = EpochReport {
@@ -277,10 +329,23 @@ mod tests {
             &mut Xoshiro256pp::new(1),
         );
         let mut pipeline = RetrainingPipeline::new(&initial, RoniScreen::new(roni));
+        // Pre-intern the recurring probes once, as a production pipeline
+        // would.
+        let probe_ham_ids = pipeline.intern_probes(&probe_ham);
+        let probe_spam_ids = pipeline.intern_probes(&probe_spam);
+        let interner = pipeline.filter().interner().clone();
+        let tokenizer = Tokenizer::new();
         let mut last = None;
         for epoch in 0..3u64 {
-            let arrivals = epoch_traffic(&corpus, epoch * 50, 10, 5);
-            let report = pipeline.run_epoch(&arrivals, &probe_ham, &probe_spam);
+            let arrivals: Vec<(Arc<Vec<TokenId>>, Label)> =
+                epoch_traffic(&corpus, epoch * 50, 10, 5)
+                    .iter()
+                    .map(|(e, l)| {
+                        (Arc::new(interner.intern_set(&tokenizer.token_set(e))), *l)
+                    })
+                    .collect();
+            let report =
+                pipeline.run_epoch_interned(&arrivals, &probe_ham_ids, &probe_spam_ids);
             // Every attack email is vetoed each epoch.
             assert!(report.vetoed >= 5, "epoch {epoch}: vetoed {}", report.vetoed);
             last = Some(report);

@@ -12,15 +12,28 @@
 //! costing ≥ 6.8 ham-as-ham (of 25) while non-attack spam costs ≤ 4.4 — a
 //! separable gap that a simple threshold exploits.
 //!
-//! Implementation note: the with/without comparison uses the filter's exact
-//! `untrain`, so each query costs one train + one untrain + one validation
-//! sweep per trial instead of a full retrain.
+//! ## Why this module is the hot path — and how the substrate pays for it
+//!
+//! Every candidate costs `trials × (train + |val| classifications +
+//! untrain)`; a screened pipeline pays that per *arriving message* per
+//! epoch. Three layers of the interned substrate stack up here:
+//!
+//! * the pool is tokenized **and interned once** at construction; trials
+//!   and candidates move `&[TokenId]` only;
+//! * the filter's exact `untrain` plus the generation-stamped score cache
+//!   mean each trial's validation sweep computes every distinct token's
+//!   `f(w)` once (validation messages share vocabulary heavily);
+//! * trials are independent, so [`RoniDefense::measure_ids`] fans them out
+//!   on scoped threads, and [`RoniDefense::screen_ids`] additionally
+//!   parallelizes across candidates with per-worker trial clones.
 
 use sb_email::{Dataset, Label};
 use sb_filter::{FilterOptions, SpamBayes, Verdict};
+use sb_intern::{par, AsIdSlice, TokenId};
 use sb_stats::rng::Xoshiro256pp;
 use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// RONI parameters (defaults = paper Table 1, RONI column).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,19 +78,37 @@ pub struct RoniMeasurement {
 
 /// A RONI evaluator bound to a clean email pool.
 ///
-/// Construction pre-tokenizes the pool and fixes the `trials` (train,
-/// validation) splits, so evaluating many candidates (the experiment
-/// evaluates hundreds) amortizes all per-pool work.
+/// Construction tokenizes + interns the pool once and fixes the `trials`
+/// (train, validation) splits, so evaluating many candidates (the
+/// experiment evaluates hundreds) amortizes all per-pool work.
 pub struct RoniDefense {
     cfg: RoniConfig,
     trials: Vec<Trial>,
 }
 
+#[derive(Clone)]
 struct Trial {
     filter: SpamBayes,
-    val: Vec<(Vec<String>, Label)>,
+    val: Vec<(Arc<Vec<TokenId>>, Label)>,
     baseline_ham_correct: usize,
     baseline_spam_correct: usize,
+}
+
+impl Trial {
+    /// Measure one candidate against this trial: train, sweep the
+    /// validation set (score-cache warm within the post-train
+    /// generation), untrain exactly.
+    fn measure(&mut self, candidate: &[TokenId]) -> (f64, f64) {
+        self.filter.train_ids(candidate, Label::Spam, 1);
+        let (ham_after, spam_after) = correct_counts(&self.filter, &self.val);
+        self.filter
+            .untrain_ids(candidate, Label::Spam, 1)
+            .expect("untrain of just-trained candidate cannot fail");
+        (
+            self.baseline_ham_correct as f64 - ham_after as f64,
+            self.baseline_spam_correct as f64 - spam_after as f64,
+        )
+    }
 }
 
 impl RoniDefense {
@@ -85,7 +116,12 @@ impl RoniDefense {
     ///
     /// `pool` must contain at least `train_size + val_size` messages; each
     /// trial samples its train and validation sets disjointly.
-    pub fn new(cfg: RoniConfig, pool: &Dataset, opts: FilterOptions, rng: &mut Xoshiro256pp) -> Self {
+    pub fn new(
+        cfg: RoniConfig,
+        pool: &Dataset,
+        opts: FilterOptions,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
         assert!(
             pool.len() >= cfg.train_size + cfg.val_size,
             "pool of {} too small for {}+{}",
@@ -94,10 +130,17 @@ impl RoniDefense {
             cfg.val_size
         );
         let tokenizer = Tokenizer::new();
-        let tokenized: Vec<(Vec<String>, Label)> = pool
+        let interner = sb_intern::Interner::global();
+        // Tokenize + intern once; trials share Arc'd id sets.
+        let tokenized: Vec<(Arc<Vec<TokenId>>, Label)> = pool
             .emails()
             .iter()
-            .map(|m| (tokenizer.token_set(&m.email), m.label))
+            .map(|m| {
+                (
+                    Arc::new(interner.intern_set(&tokenizer.token_set(&m.email))),
+                    m.label,
+                )
+            })
             .collect();
 
         let trials = (0..cfg.trials)
@@ -108,10 +151,10 @@ impl RoniDefense {
                 let mut filter = SpamBayes::new();
                 filter.set_options(opts);
                 for &i in train_idx {
-                    let (set, label) = &tokenized[i];
-                    filter.train_tokens(set, *label, 1);
+                    let (ids, label) = &tokenized[i];
+                    filter.train_ids(ids, *label, 1);
                 }
-                let val: Vec<(Vec<String>, Label)> = val_idx
+                let val: Vec<(Arc<Vec<TokenId>>, Label)> = val_idx
                     .iter()
                     .map(|&i| tokenized[i].clone())
                     .collect();
@@ -132,28 +175,37 @@ impl RoniDefense {
         &self.cfg
     }
 
-    /// Measure one candidate (given as its token set; candidates are always
-    /// trained as spam per the contamination assumption, §2.2).
+    /// Measure one candidate given as a token set (interned internally;
+    /// candidates are always trained as spam per the contamination
+    /// assumption, §2.2).
     pub fn measure(&mut self, candidate_tokens: &[String]) -> RoniMeasurement {
-        let mut ham_deltas = Vec::with_capacity(self.trials.len());
-        let mut spam_deltas = Vec::with_capacity(self.trials.len());
-        for trial in &mut self.trials {
-            trial.filter.train_tokens(candidate_tokens, Label::Spam, 1);
-            let (ham_after, spam_after) = correct_counts(&trial.filter, &trial.val);
-            trial
-                .filter
-                .untrain_tokens(candidate_tokens, Label::Spam, 1)
-                .expect("untrain of just-trained candidate cannot fail");
-            ham_deltas.push(trial.baseline_ham_correct as f64 - ham_after as f64);
-            spam_deltas.push(trial.baseline_spam_correct as f64 - spam_after as f64);
-        }
-        let mean_ham_impact = ham_deltas.iter().sum::<f64>() / ham_deltas.len() as f64;
-        RoniMeasurement {
-            rejected: mean_ham_impact >= self.cfg.reject_threshold,
-            mean_ham_impact,
-            ham_correct_deltas: ham_deltas,
-            spam_correct_deltas: spam_deltas,
-        }
+        let ids = sb_intern::Interner::global().intern_set(candidate_tokens);
+        self.measure_ids(&ids)
+    }
+
+    /// Measure one pre-interned candidate, fanning the independent trials
+    /// out on scoped threads (sequential on single-core hosts, where
+    /// spawning would be pure overhead).
+    pub fn measure_ids(&mut self, candidate: &[TokenId]) -> RoniMeasurement {
+        let deltas: Vec<(f64, f64)> = if self.trials.len() > 1 && par::default_threads() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .trials
+                    .iter_mut()
+                    .map(|trial| scope.spawn(move || trial.measure(candidate)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trial thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.trials
+                .iter_mut()
+                .map(|t| t.measure(candidate))
+                .collect()
+        };
+        measurement_from_deltas(deltas, self.cfg.reject_threshold)
     }
 
     /// Measure a candidate given as an email.
@@ -162,12 +214,75 @@ impl RoniDefense {
         self.measure(&set)
     }
 
+    /// Measure a batch of pre-interned candidates in parallel: each
+    /// worker clones the trial set once and streams its contiguous share
+    /// of candidates through it, so the cost per candidate stays
+    /// `trials × (train + sweep + untrain)` while the wall clock divides
+    /// by the worker count. On a single-core host no clone is made at
+    /// all.
+    pub fn measure_ids_batch(
+        &mut self,
+        candidates: &[impl AsIdSlice + Sync],
+    ) -> Vec<RoniMeasurement> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let threads = par::default_threads().min(candidates.len());
+        let threshold = self.cfg.reject_threshold;
+        if threads == 1 {
+            // Single worker: reuse the live trials directly, no clone.
+            return candidates
+                .iter()
+                .map(|cand| {
+                    let deltas: Vec<(f64, f64)> = self
+                        .trials
+                        .iter_mut()
+                        .map(|t| t.measure(cand.ids()))
+                        .collect();
+                    measurement_from_deltas(deltas, threshold)
+                })
+                .collect();
+        }
+        // Exactly one contiguous chunk per worker, so the trial-set clone
+        // (O(vocabulary) counts + cold score cache per trial) is paid per
+        // worker, not per candidate.
+        let trials = &self.trials;
+        let chunk_size = candidates.len().div_ceil(threads);
+        let chunks: Vec<&[_]> = candidates.chunks(chunk_size).collect();
+        let per_chunk = par::parallel_map(chunks.len(), threads, |k| {
+            let mut local: Vec<Trial> = trials.to_vec();
+            chunks[k]
+                .iter()
+                .map(|cand| {
+                    let deltas: Vec<(f64, f64)> = local
+                        .iter_mut()
+                        .map(|t| t.measure(cand.ids()))
+                        .collect();
+                    measurement_from_deltas(deltas, threshold)
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
     /// Screen a list of candidates; returns `(kept, rejected)` index lists.
     pub fn screen(&mut self, candidates: &[Vec<String>]) -> (Vec<usize>, Vec<usize>) {
+        let interner = sb_intern::Interner::global();
+        let ids: Vec<Vec<TokenId>> = candidates.iter().map(|c| interner.intern_set(c)).collect();
+        self.screen_ids(&ids)
+    }
+
+    /// Screen pre-interned candidates in parallel; returns `(kept,
+    /// rejected)` index lists.
+    pub fn screen_ids(
+        &mut self,
+        candidates: &[impl AsIdSlice + Sync],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let measurements = self.measure_ids_batch(candidates);
         let mut kept = Vec::new();
         let mut rejected = Vec::new();
-        for (i, c) in candidates.iter().enumerate() {
-            if self.measure(c).rejected {
+        for (i, m) in measurements.iter().enumerate() {
+            if m.rejected {
                 rejected.push(i);
             } else {
                 kept.push(i);
@@ -177,14 +292,25 @@ impl RoniDefense {
     }
 }
 
+fn measurement_from_deltas(deltas: Vec<(f64, f64)>, threshold: f64) -> RoniMeasurement {
+    let (ham_deltas, spam_deltas): (Vec<f64>, Vec<f64>) = deltas.into_iter().unzip();
+    let mean_ham_impact = ham_deltas.iter().sum::<f64>() / ham_deltas.len().max(1) as f64;
+    RoniMeasurement {
+        rejected: mean_ham_impact >= threshold,
+        mean_ham_impact,
+        ham_correct_deltas: ham_deltas,
+        spam_correct_deltas: spam_deltas,
+    }
+}
+
 /// Count validation messages classified correctly, per class. `Unsure`
 /// counts as incorrect for both classes (§2.1: unsure ham is nearly as bad
 /// as misfiled ham).
-fn correct_counts(filter: &SpamBayes, val: &[(Vec<String>, Label)]) -> (usize, usize) {
+fn correct_counts(filter: &SpamBayes, val: &[(Arc<Vec<TokenId>>, Label)]) -> (usize, usize) {
     let mut ham_ok = 0;
     let mut spam_ok = 0;
-    for (set, label) in val {
-        let v = filter.classify_tokens(set).verdict;
+    for (ids, label) in val {
+        let v = filter.classify_ids(ids).verdict;
         match (label, v) {
             (Label::Ham, Verdict::Ham) => ham_ok += 1,
             (Label::Spam, Verdict::Spam) => spam_ok += 1,
@@ -209,7 +335,8 @@ mod tests {
     fn dictionary_attack_email_is_rejected_normal_spam_is_not() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(1);
-        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
 
         // A (truncated, for test speed) dictionary-attack email.
         let attack = crate::dictionary::DictionaryAttack::new(
@@ -243,7 +370,8 @@ mod tests {
     fn measure_is_side_effect_free() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(2);
-        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
         let candidate: Vec<String> = (0..50).map(|i| format!("cand{i}")).collect();
         let a = roni.measure(&candidate);
         let b = roni.measure(&candidate);
@@ -254,7 +382,8 @@ mod tests {
     fn screen_partitions_candidates() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(3);
-        let mut roni = RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
         let attack = crate::dictionary::DictionaryAttack::new(
             crate::dictionary::DictionaryKind::UsenetTop(10_000),
         );
@@ -263,6 +392,25 @@ mod tests {
         let (kept, rejected) = roni.screen(&[atk_tokens, harmless]);
         assert_eq!(rejected, vec![0]);
         assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn batch_measurement_matches_sequential() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(9);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let interner = sb_intern::Interner::global();
+        let candidates: Vec<Vec<TokenId>> = (0..6)
+            .map(|k| {
+                let words: Vec<String> = (0..30).map(|i| format!("cand{k}word{i}")).collect();
+                interner.intern_set(&words)
+            })
+            .collect();
+        let sequential: Vec<RoniMeasurement> =
+            candidates.iter().map(|c| roni.measure_ids(c)).collect();
+        let batched = roni.measure_ids_batch(&candidates);
+        assert_eq!(sequential, batched, "batch screening must be bit-identical");
     }
 
     #[test]

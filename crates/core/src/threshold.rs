@@ -18,27 +18,33 @@
 
 use sb_email::Label;
 use sb_filter::{FilterOptions, Scored, SpamBayes};
+use sb_intern::{FxHashMap, TokenId};
 use sb_stats::rng::Xoshiro256pp;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// One training item: a token set (shared for identical attack emails) and
-/// its training label.
+/// One training item: an interned token set (shared for identical attack
+/// emails) and its training label.
 #[derive(Debug, Clone)]
 pub struct TrainItem {
-    /// The deduplicated token set.
-    pub tokens: Arc<Vec<String>>,
+    /// The deduplicated, interned token set.
+    pub ids: Arc<Vec<TokenId>>,
     /// The (possibly attacker-chosen) training label.
     pub label: Label,
 }
 
 impl TrainItem {
-    /// Convenience constructor.
+    /// Convenience constructor: interns the token set on the global table.
     pub fn new(tokens: Vec<String>, label: Label) -> Self {
         Self {
-            tokens: Arc::new(tokens),
+            ids: Arc::new(sb_intern::Interner::global().intern_set(&tokens)),
             label,
         }
+    }
+
+    /// Constructor from an already-interned (shared) id set.
+    pub fn from_ids(ids: Arc<Vec<TokenId>>, label: Label) -> Self {
+        Self { ids, label }
     }
 }
 
@@ -92,6 +98,11 @@ impl CalibratedFilter {
         self.filter.classify_tokens(token_set)
     }
 
+    /// Classify a pre-interned message under the dynamic thresholds.
+    pub fn classify_ids(&self, ids: &[TokenId]) -> Scored {
+        self.filter.classify_ids(ids)
+    }
+
     /// Classify an email under the dynamic thresholds.
     pub fn classify(&self, email: &sb_email::Email) -> Scored {
         let set = self.filter.token_set(email);
@@ -116,39 +127,36 @@ pub fn calibrate(
     // Identical attack emails share one Arc'd token set; group by pointer so
     // k copies train via the O(|set|) multiplicity path instead of k scans.
     // (Grouping changes nothing semantically: counts are additive.)
-    let mut groups: std::collections::HashMap<(*const Vec<String>, Label), u32> =
-        std::collections::HashMap::new();
+    let mut groups: FxHashMap<(*const Vec<TokenId>, Label), u32> = FxHashMap::default();
     for &i in &train_half {
         *groups
-            .entry((Arc::as_ptr(&items[i].tokens), items[i].label))
+            .entry((Arc::as_ptr(&items[i].ids), items[i].label))
             .or_insert(0) += 1;
     }
     // Deterministic training order (counts are additive, but keep ordered
     // iteration anyway so debugging dumps are stable).
     let mut ordered: Vec<(usize, u32)> = Vec::new();
-    let mut seen: std::collections::HashMap<(*const Vec<String>, Label), ()> =
-        std::collections::HashMap::new();
+    let mut seen: FxHashMap<(*const Vec<TokenId>, Label), ()> = FxHashMap::default();
     for &i in &train_half {
-        let key = (Arc::as_ptr(&items[i].tokens), items[i].label);
+        let key = (Arc::as_ptr(&items[i].ids), items[i].label);
         if seen.insert(key, ()).is_none() {
             ordered.push((i, groups[&key]));
         }
     }
     for (i, count) in ordered {
-        filter.train_tokens(&items[i].tokens, items[i].label, count);
+        filter.train_ids(&items[i].ids, items[i].label, count);
     }
 
     // Score the validation half, memoizing by shared token set: identical
     // instances get identical scores, and g(t) counts each instance.
-    let mut score_cache: std::collections::HashMap<*const Vec<String>, f64> =
-        std::collections::HashMap::new();
+    let mut score_cache: FxHashMap<*const Vec<TokenId>, f64> = FxHashMap::default();
     let mut scored: Vec<(f64, Label)> = val_half
         .iter()
         .map(|&i| {
-            let ptr = Arc::as_ptr(&items[i].tokens);
+            let ptr = Arc::as_ptr(&items[i].ids);
             let score = *score_cache
                 .entry(ptr)
-                .or_insert_with(|| filter.classify_tokens(&items[i].tokens).score);
+                .or_insert_with(|| filter.classify_ids(&items[i].ids).score);
             (score, items[i].label)
         })
         .collect();

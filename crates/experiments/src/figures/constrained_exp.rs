@@ -125,7 +125,7 @@ pub fn run(cfg: &ConstrainedConfig, threads: usize) -> ConstrainedResult {
     // Pre-build every (source, budget) attack token set once.
     let usenet_full = sb_corpus::usenet_top(*cfg.budgets.iter().max().expect("budgets nonempty"));
     let aspell_full = sb_corpus::aspell_dictionary();
-    let mut cells: Vec<(WordSource, usize, Arc<Vec<String>>)> = Vec::new();
+    let mut cells: Vec<(WordSource, usize, Arc<Vec<sb_filter::TokenId>>)> = Vec::new();
     for &budget in &cfg.budgets {
         for source in WordSource::ALL {
             let words: Vec<String> = match source {
@@ -144,7 +144,7 @@ pub fn run(cfg: &ConstrainedConfig, threads: usize) -> ConstrainedResult {
                     aspell_full.iter().take(budget).cloned().collect()
                 }
             };
-            cells.push((source, budget, Arc::new(words)));
+            cells.push((source, budget, Arc::new(tokenized.intern_set(&words))));
         }
     }
 
@@ -159,12 +159,12 @@ pub fn run(cfg: &ConstrainedConfig, threads: usize) -> ConstrainedResult {
             .map(|(_, _, lexicon)| {
                 let mut filter = SpamBayes::new();
                 for (tokens, label) in tokenized.select(&train_idx) {
-                    filter.train_tokens(tokens, label, 1);
+                    filter.train_ids(tokens, label, 1);
                 }
-                filter.train_tokens(lexicon, Label::Spam, n_attack);
+                filter.train_ids(lexicon, Label::Spam, n_attack);
                 let mut conf = Confusion::new();
                 for (tokens, label) in tokenized.select(test_idx) {
-                    conf.record(label, filter.classify_tokens(tokens).verdict);
+                    conf.record(label, filter.classify_ids(tokens).verdict);
                 }
                 conf
             })

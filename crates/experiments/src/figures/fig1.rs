@@ -76,13 +76,16 @@ pub fn run(cfg: &Fig1Config, threads: usize) -> Fig1Result {
         &mut seeds.child("folds").rng(),
     );
 
-    // Attack lexicons tokenized once, shared across folds.
-    let variants: Vec<(DictionaryKind, Arc<Vec<String>>)> = cfg
+    // Attack lexicons tokenized + interned once, shared across folds.
+    let variants: Vec<(DictionaryKind, Arc<Vec<sb_filter::TokenId>>)> = cfg
         .variants()
         .into_iter()
         .map(|kind| {
             let attack = DictionaryAttack::new(kind);
-            (kind, Arc::new(tokenizer.token_set(attack.prototype())))
+            (
+                kind,
+                Arc::new(tokenized.intern_set(&tokenizer.token_set(attack.prototype()))),
+            )
         })
         .collect();
 
@@ -96,7 +99,7 @@ pub fn run(cfg: &Fig1Config, threads: usize) -> Fig1Result {
         let test_idx = kfold.test_indices(fold);
         let mut base = SpamBayes::new();
         for (tokens, label) in tokenized.select(&train_idx) {
-            base.train_tokens(tokens, label, 1);
+            base.train_ids(tokens, label, 1);
         }
         let train_len = train_idx.len();
         variants
@@ -109,12 +112,12 @@ pub fn run(cfg: &Fig1Config, threads: usize) -> Fig1Result {
                     .map(|&frac| {
                         let want = attack_count_for_fraction(train_len, frac);
                         if want > trained {
-                            filter.train_tokens(lexicon, Label::Spam, want - trained);
+                            filter.train_ids(lexicon, Label::Spam, want - trained);
                             trained = want;
                         }
                         let mut conf = Confusion::new();
                         for (tokens, label) in tokenized.select(test_idx) {
-                            conf.record(label, filter.classify_tokens(tokens).verdict);
+                            conf.record(label, filter.classify_ids(tokens).verdict);
                         }
                         conf
                     })

@@ -79,25 +79,27 @@ pub fn run(cfg: &FocusedConfig, max_targets: usize) -> Fig4Result {
         examined += 1;
         let target = corpus.fresh_ham(t as u64);
         let target_tokens = tokenizer.token_set(&target);
+        let target_ids = filter.interner().intern_set(&target_tokens);
         let attack = sb_core::FocusedAttack::new(&target, cfg.fig3_guess_prob, None);
         let mut rng = seeds.child("guess").index(t as u64).rng();
         let guessed = attack.guess_tokens(&mut rng);
+        let guessed_ids = filter.interner().intern_set(&guessed);
         let guessed_set: HashSet<&String> = guessed.iter().collect();
 
         let before_scores: Vec<f64> = target_tokens
             .iter()
             .map(|w| filter.token_score(w))
             .collect();
-        let score_before = filter.classify_tokens(&target_tokens).score;
+        let score_before = filter.classify_ids(&target_ids).score;
 
-        filter.train_tokens(&guessed, Label::Spam, cfg.fig2_attack_count);
-        let after = filter.classify_tokens(&target_tokens);
+        filter.train_ids(&guessed_ids, Label::Spam, cfg.fig2_attack_count);
+        let after = filter.classify_ids(&target_ids);
         let after_scores: Vec<f64> = target_tokens
             .iter()
             .map(|w| filter.token_score(w))
             .collect();
         filter
-            .untrain_tokens(&guessed, Label::Spam, cfg.fig2_attack_count)
+            .untrain_ids(&guessed_ids, Label::Spam, cfg.fig2_attack_count)
             .expect("exact untrain");
 
         if found.iter().any(|(v, _)| *v == after.verdict) {

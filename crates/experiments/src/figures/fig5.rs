@@ -98,7 +98,8 @@ pub fn run(cfg: &Fig5Config, threads: usize) -> Fig5Result {
     let kfold = KFold::new(cfg.train_size, cfg.folds, &mut seeds.child("folds").rng());
 
     let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(cfg.usenet_k));
-    let lexicon: Arc<Vec<String>> = Arc::new(tokenizer.token_set(attack.prototype()));
+    let lexicon: Arc<Vec<sb_filter::TokenId>> =
+        Arc::new(tokenized.intern_set(&tokenizer.token_set(attack.prototype())));
 
     // fold → fraction → defense → Confusion
     let per_fold: Vec<Vec<Vec<Confusion>>> = parallel_map(cfg.folds, threads, |fold| {
@@ -115,24 +116,18 @@ pub fn run(cfg: &Fig5Config, threads: usize) -> Fig5Result {
                 // --- No defense: static thresholds on the contaminated set.
                 let mut plain = SpamBayes::new();
                 for (tokens, label) in tokenized.select(&train_idx) {
-                    plain.train_tokens(tokens, label, 1);
+                    plain.train_ids(tokens, label, 1);
                 }
-                plain.train_tokens(&lexicon, Label::Spam, n_attack);
+                plain.train_ids(&lexicon, Label::Spam, n_attack);
 
                 // --- Dynamic thresholds: the defense sees the same
                 // contaminated training material as items.
                 let mut items: Vec<TrainItem> = tokenized
                     .select(&train_idx)
-                    .map(|(tokens, label)| TrainItem {
-                        tokens: Arc::clone(tokens),
-                        label,
-                    })
+                    .map(|(tokens, label)| TrainItem::from_ids(Arc::clone(tokens), label))
                     .collect();
                 for _ in 0..n_attack {
-                    items.push(TrainItem {
-                        tokens: Arc::clone(&lexicon),
-                        label: Label::Spam,
-                    });
+                    items.push(TrainItem::from_ids(Arc::clone(&lexicon), Label::Spam));
                 }
                 let cal05 = calibrate(
                     &items,
@@ -154,13 +149,13 @@ pub fn run(cfg: &Fig5Config, threads: usize) -> Fig5Result {
                         for (tokens, label) in tokenized.select(test_idx) {
                             let verdict = match defense {
                                 Fig5Defense::NoDefense => {
-                                    plain.classify_tokens(tokens).verdict
+                                    plain.classify_ids(tokens).verdict
                                 }
                                 Fig5Defense::Threshold05 => {
-                                    cal05.classify_tokens(tokens).verdict
+                                    cal05.classify_ids(tokens).verdict
                                 }
                                 Fig5Defense::Threshold10 => {
-                                    cal10.classify_tokens(tokens).verdict
+                                    cal10.classify_ids(tokens).verdict
                                 }
                             };
                             conf.record(label, verdict);

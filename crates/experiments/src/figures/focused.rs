@@ -82,7 +82,7 @@ impl Rep {
         let tokenized = TokenizedDataset::from_dataset(corpus.dataset(), &tokenizer);
         let mut filter = SpamBayes::new();
         for (tokens, label) in tokenized.iter() {
-            filter.train_tokens(tokens, label, 1);
+            filter.train_ids(tokens, label, 1);
         }
         Self {
             filter,
@@ -92,12 +92,12 @@ impl Rep {
         }
     }
 
-    /// The `t`-th fresh target and its full token set (headers included: the
-    /// arriving email is classified in full).
-    fn target(&self, t: usize) -> (sb_email::Email, Vec<String>) {
+    /// The `t`-th fresh target and its full interned token set (headers
+    /// included: the arriving email is classified in full).
+    fn target(&self, t: usize) -> (sb_email::Email, Vec<sb_filter::TokenId>) {
         let email = self.corpus.fresh_ham(t as u64);
-        let tokens = self.tokenizer.token_set(&email);
-        (email, tokens)
+        let ids = self.filter.token_ids(&email);
+        (email, ids)
     }
 
     /// A header-donor spam ("the entire header from a randomly selected
@@ -129,15 +129,16 @@ pub fn run_fig2(cfg: &FocusedConfig, threads: usize) -> Fig2Result {
                     .child(&format!("p{pi}"))
                     .rng();
                 let batch = attack.generate(cfg.fig2_attack_count, &mut rng);
-                let groups = batch.token_groups(&state.tokenizer);
+                let groups =
+                    batch.token_id_groups(&state.tokenizer, state.filter.interner());
                 for (set, n) in &groups {
-                    state.filter.train_tokens(set, Label::Spam, *n);
+                    state.filter.train_ids(set, Label::Spam, *n);
                 }
-                let verdict = state.filter.classify_tokens(&target_tokens).verdict;
+                let verdict = state.filter.classify_ids(&target_tokens).verdict;
                 for (set, n) in &groups {
                     state
                         .filter
-                        .untrain_tokens(set, Label::Spam, *n)
+                        .untrain_ids(set, Label::Spam, *n)
                         .expect("exact untrain");
                 }
                 let slot = match verdict {
@@ -192,7 +193,8 @@ pub fn run_fig3(cfg: &FocusedConfig, threads: usize) -> Fig3Result {
             // only the number of identical attack emails.
             let mut rng = state.seeds.child("guess3").index(t as u64).rng();
             let batch = attack.generate(1, &mut rng);
-            let (attack_tokens, _) = &batch.token_groups(&state.tokenizer)[0];
+            let (attack_tokens, _) =
+                &batch.token_id_groups(&state.tokenizer, state.filter.interner())[0];
 
             let mut trained: u32 = 0;
             for (fi, &frac) in cfg.fig3_fractions.iter().enumerate() {
@@ -200,10 +202,10 @@ pub fn run_fig3(cfg: &FocusedConfig, threads: usize) -> Fig3Result {
                 if want > trained {
                     state
                         .filter
-                        .train_tokens(attack_tokens, Label::Spam, want - trained);
+                        .train_ids(attack_tokens, Label::Spam, want - trained);
                     trained = want;
                 }
-                let verdict = state.filter.classify_tokens(&target_tokens).verdict;
+                let verdict = state.filter.classify_ids(&target_tokens).verdict;
                 if verdict == Verdict::Spam {
                     counts[fi][0] += 1;
                 }
@@ -213,7 +215,7 @@ pub fn run_fig3(cfg: &FocusedConfig, threads: usize) -> Fig3Result {
             }
             state
                 .filter
-                .untrain_tokens(attack_tokens, Label::Spam, trained)
+                .untrain_ids(attack_tokens, Label::Spam, trained)
                 .expect("exact untrain");
         }
         counts

@@ -69,14 +69,19 @@ pub fn run(cfg: &RoniExperimentConfig, threads: usize) -> RoniResult {
     let tokenizer = Tokenizer::new();
     let roni_cfg = RoniConfig::default();
 
-    // Tokenize the seven variant prototypes once.
-    let variants: Vec<(DictionaryKind, Arc<Vec<String>>)> = DictionaryKind::roni_variants()
-        .into_iter()
-        .map(|kind| {
-            let attack = DictionaryAttack::new(kind);
-            (kind, Arc::new(tokenizer.token_set(attack.prototype())))
-        })
-        .collect();
+    // Tokenize + intern the seven variant prototypes once.
+    let interner = sb_intern::Interner::global();
+    let variants: Vec<(DictionaryKind, Arc<Vec<sb_intern::TokenId>>)> =
+        DictionaryKind::roni_variants()
+            .into_iter()
+            .map(|kind| {
+                let attack = DictionaryAttack::new(kind);
+                (
+                    kind,
+                    Arc::new(interner.intern_set(&tokenizer.token_set(attack.prototype()))),
+                )
+            })
+            .collect();
 
     let spam_per_rep = cfg.non_attack_spam.div_ceil(cfg.reps_per_variant);
 
@@ -94,7 +99,7 @@ pub fn run(cfg: &RoniExperimentConfig, threads: usize) -> RoniResult {
             let variant_results: Vec<(f64, bool)> = variants
                 .iter()
                 .map(|(_, tokens)| {
-                    let m = roni.measure(tokens);
+                    let m = roni.measure_ids(tokens);
                     (m.mean_ham_impact, m.rejected)
                 })
                 .collect();

@@ -1,31 +1,52 @@
 //! Execution plumbing: pre-tokenized datasets and deterministic parallel
 //! fan-out over folds/repetitions.
 //!
-//! Per the Tokio guide's own advice, CPU-bound fan-out uses plain scoped
-//! threads (crossbeam), not an async runtime. Results are collected in
-//! input order, so parallel and single-threaded runs produce *identical*
-//! output for the same seed.
+//! CPU-bound fan-out uses plain scoped threads (`sb_intern::par`), not an
+//! async runtime. Results are collected in input order, so parallel and
+//! single-threaded runs produce *identical* output for the same seed.
 
 use sb_email::{Dataset, Label};
+use sb_intern::{Interner, TokenId};
 use sb_tokenizer::Tokenizer;
 use std::sync::Arc;
 
-/// A dataset tokenized once up front. Token sets are `Arc`-shared so fold
-/// subsets and attack sweeps never re-tokenize or copy message text.
+/// A dataset tokenized **and interned** once up front. Id sets are
+/// `Arc`-shared so fold subsets and attack sweeps never re-tokenize,
+/// re-intern, or copy message text — every figure's fold loop moves
+/// 4-byte ids through `SpamBayes::{train_ids, classify_ids}`.
 #[derive(Debug, Clone)]
 pub struct TokenizedDataset {
-    items: Vec<(Arc<Vec<String>>, Label)>,
+    interner: Interner,
+    items: Vec<(Arc<Vec<TokenId>>, Label)>,
 }
 
 impl TokenizedDataset {
-    /// Tokenize every message of a dataset.
+    /// Tokenize + intern every message of a dataset (on the process-global
+    /// interner, so ids are valid for any default-constructed filter).
     pub fn from_dataset(data: &Dataset, tokenizer: &Tokenizer) -> Self {
+        let interner = Interner::global();
         let items = data
             .emails()
             .iter()
-            .map(|m| (Arc::new(tokenizer.token_set(&m.email)), m.label))
+            .map(|m| {
+                (
+                    Arc::new(interner.intern_set(&tokenizer.token_set(&m.email))),
+                    m.label,
+                )
+            })
             .collect();
-        Self { items }
+        Self { interner, items }
+    }
+
+    /// The interner the item ids resolve against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern an attack lexicon / probe token set once for reuse across
+    /// folds and fractions.
+    pub fn intern_set(&self, token_set: &[String]) -> Vec<TokenId> {
+        self.interner.intern_set(token_set)
     }
 
     /// Number of messages.
@@ -38,22 +59,22 @@ impl TokenizedDataset {
         self.items.is_empty()
     }
 
-    /// Token set and label of message `i`.
-    pub fn item(&self, i: usize) -> (&Arc<Vec<String>>, Label) {
+    /// Interned token set and label of message `i`.
+    pub fn item(&self, i: usize) -> (&Arc<Vec<TokenId>>, Label) {
         let (t, l) = &self.items[i];
         (t, *l)
     }
 
-    /// Iterate `(tokens, label)` over a set of indices.
+    /// Iterate `(ids, label)` over a set of indices.
     pub fn select<'a>(
         &'a self,
         indices: &'a [usize],
-    ) -> impl Iterator<Item = (&'a Arc<Vec<String>>, Label)> + 'a {
+    ) -> impl Iterator<Item = (&'a Arc<Vec<TokenId>>, Label)> + 'a {
         indices.iter().map(move |&i| self.item(i))
     }
 
     /// All items.
-    pub fn iter(&self) -> impl Iterator<Item = (&Arc<Vec<String>>, Label)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<Vec<TokenId>>, Label)> {
         self.items.iter().map(|(t, l)| (t, *l))
     }
 
@@ -77,40 +98,12 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    assert!(threads >= 1);
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n);
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slot_refs: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                **slot_refs[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    drop(slot_refs);
-    slots.into_iter().map(|s| s.expect("job completed")).collect()
+    sb_intern::par::parallel_map(n, threads, f)
 }
 
 /// Default worker count: physical parallelism, at least 1.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sb_intern::par::default_threads()
 }
 
 #[cfg(test)]
@@ -148,7 +141,10 @@ mod tests {
         assert_eq!(td.len(), 2);
         let (tokens, label) = td.item(0);
         assert_eq!(label, Label::Ham);
-        assert_eq!(**tokens, tk.token_set(&data.emails()[0].email));
+        assert_eq!(
+            **tokens,
+            td.interner().intern_set(&tk.token_set(&data.emails()[0].email))
+        );
         assert_eq!(td.indices_of(Label::Spam), vec![1]);
     }
 

@@ -1,13 +1,13 @@
 //! The user-facing filter: tokenizer + token database + options.
 
 use crate::classify::{
-    score_token_set, score_token_set_with_clues, Clue, Scored, Verdict,
+    score_token_ids, score_token_ids_with_clues, score_token_set, Clue, Scored, Verdict,
 };
 use crate::db::{TokenDb, UntrainError};
 use crate::options::FilterOptions;
 use sb_email::{Email, Label};
+use sb_intern::{par, AsIdSlice, Interner, TokenId};
 use sb_tokenizer::{Tokenizer, TokenizerOptions};
-use serde::{Deserialize, Serialize};
 
 /// A complete SpamBayes filter.
 ///
@@ -23,11 +23,10 @@ use serde::{Deserialize, Serialize};
 /// let v = filter.classify(&Email::builder().body("pills offer").build());
 /// assert_eq!(v.verdict, Verdict::Spam);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SpamBayes {
     db: TokenDb,
     opts: FilterOptions,
-    #[serde(skip, default)]
     tokenizer: Tokenizer,
 }
 
@@ -46,15 +45,33 @@ impl SpamBayes {
         }
     }
 
+    /// A filter on an explicit interner (share the handle across filters
+    /// to exchange raw [`TokenId`]s; the default is the process-global
+    /// table, which is already shared).
+    pub fn with_interner(interner: Interner) -> Self {
+        Self {
+            db: TokenDb::with_interner(interner),
+            opts: FilterOptions::default(),
+            tokenizer: Tokenizer::default(),
+        }
+    }
+
+    /// The interner the filter's database resolves ids against.
+    pub fn interner(&self) -> &Interner {
+        self.db.interner()
+    }
+
     /// Learner options.
     pub fn options(&self) -> &FilterOptions {
         &self.opts
     }
 
     /// Replace the learner options (e.g. dynamic thresholds, §5.2). The
-    /// trained counts are unaffected.
+    /// trained counts are unaffected; cached scores are invalidated
+    /// (f(w) depends on the Eq. 2 prior constants in the options).
     pub fn set_options(&mut self, opts: FilterOptions) {
         self.opts = opts;
+        self.db.invalidate_cache();
     }
 
     /// The tokenizer in use.
@@ -72,10 +89,44 @@ impl SpamBayes {
         self.tokenizer.token_set(email)
     }
 
+    /// The interned token set the filter would use for this email
+    /// (tokenize once, then move 4-byte ids everywhere). Interns every
+    /// token — use for training; classification goes through the
+    /// read-only lookup so attacker-chosen probe vocabulary cannot grow
+    /// the interner.
+    pub fn token_ids(&self, email: &Email) -> Vec<TokenId> {
+        let set = self.tokenizer.token_set(email);
+        self.db.interner().intern_set(&set)
+    }
+
+    /// Resolve a token set to ids for *classification*: read-only against
+    /// the interner whenever dropping never-interned tokens cannot change
+    /// the result (they score the prior `x`, which the δ(E) strength
+    /// filter excludes for every sane configuration). Classifying a
+    /// stream of unseen vocabulary — the dictionary-attack shape — must
+    /// not permanently grow the append-only interner.
+    fn lookup_ids(&self, token_set: &[String]) -> Vec<TokenId> {
+        let unknown_is_never_selected =
+            (self.opts.unknown_word_prob - 0.5).abs() < self.opts.minimum_prob_strength;
+        let interner = self.db.interner();
+        if unknown_is_never_selected {
+            let mut ids: Vec<TokenId> =
+                token_set.iter().filter_map(|t| interner.get(t)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        } else {
+            // Unusual options (e.g. a biased prior with a zero-width
+            // exclusion band): unknown tokens would enter δ(E), so they
+            // must be representable — intern them.
+            interner.intern_set(token_set)
+        }
+    }
+
     /// Train on one labelled message.
     pub fn train(&mut self, email: &Email, label: Label) {
-        let set = self.tokenizer.token_set(email);
-        self.db.train(&set, label);
+        let ids = self.token_ids(email);
+        self.db.train_ids(&ids, label);
     }
 
     /// Train on a pre-tokenized (deduplicated) token set. `multiplicity`
@@ -85,10 +136,15 @@ impl SpamBayes {
         self.db.train_many(token_set, label, multiplicity);
     }
 
+    /// Train on a pre-interned (deduplicated) id set.
+    pub fn train_ids(&mut self, ids: &[TokenId], label: Label, multiplicity: u32) {
+        self.db.train_ids_many(ids, label, multiplicity);
+    }
+
     /// Exactly undo a previous [`SpamBayes::train`] of this message.
     pub fn untrain(&mut self, email: &Email, label: Label) -> Result<(), UntrainError> {
-        let set = self.tokenizer.token_set(email);
-        self.db.untrain(&set, label)
+        let ids = self.token_ids(email);
+        self.db.untrain_ids(&ids, label)
     }
 
     /// Exactly undo a previous [`SpamBayes::train_tokens`].
@@ -101,23 +157,75 @@ impl SpamBayes {
         self.db.untrain_many(token_set, label, multiplicity)
     }
 
-    /// Score and classify a message.
-    pub fn classify(&self, email: &Email) -> Scored {
-        let set = self.tokenizer.token_set(email);
-        score_token_set(&set, &self.db, &self.opts)
+    /// Exactly undo a previous [`SpamBayes::train_ids`].
+    pub fn untrain_ids(
+        &mut self,
+        ids: &[TokenId],
+        label: Label,
+        multiplicity: u32,
+    ) -> Result<(), UntrainError> {
+        self.db.untrain_ids_many(ids, label, multiplicity)
     }
 
-    /// Classify a pre-tokenized set (hot path for the experiment harness,
-    /// which tokenizes each test message once and reuses the set across
-    /// attack fractions).
+    /// Score and classify a message (tokenize → read-only id lookup →
+    /// ID fast path; probe-only vocabulary never grows the interner).
+    pub fn classify(&self, email: &Email) -> Scored {
+        let set = self.tokenizer.token_set(email);
+        let ids = self.lookup_ids(&set);
+        score_token_ids(&ids, &self.db, &self.opts)
+    }
+
+    /// Classify a pre-tokenized set. Interns and takes the ID fast path —
+    /// property-tested bit-identical to the legacy string scoring
+    /// (`classify::score_token_set`), which remains available for
+    /// comparison benchmarks.
     pub fn classify_tokens(&self, token_set: &[String]) -> Scored {
+        let ids = self.lookup_ids(token_set);
+        score_token_ids(&ids, &self.db, &self.opts)
+    }
+
+    /// Classify a pre-tokenized set through the legacy string path (no
+    /// interning, no score cache). Kept as the baseline the benchmarks
+    /// and equivalence property tests compare against.
+    pub fn classify_tokens_uncached(&self, token_set: &[String]) -> Scored {
         score_token_set(token_set, &self.db, &self.opts)
+    }
+
+    /// Classify a pre-interned id set — the hot path for the experiment
+    /// harness, RONI validation sweeps, and epoch probes.
+    pub fn classify_ids(&self, ids: &[TokenId]) -> Scored {
+        score_token_ids(ids, &self.db, &self.opts)
+    }
+
+    /// Classify a batch of pre-interned id sets in parallel (scoped
+    /// threads, results in input order). The generation-stamped score
+    /// cache is shared lock-free across workers, so each distinct token's
+    /// `f(w)`/`ln` triple is computed once for the whole batch.
+    pub fn classify_ids_batch(&self, batch: &[impl AsIdSlice + Sync]) -> Vec<Scored> {
+        self.classify_ids_batch_with_threads(batch, par::default_threads())
+    }
+
+    /// [`SpamBayes::classify_ids_batch`] with an explicit worker count
+    /// (1 = sequential, for determinism-sensitive harness comparisons —
+    /// results are identical either way).
+    pub fn classify_ids_batch_with_threads(
+        &self,
+        batch: &[impl AsIdSlice + Sync],
+        threads: usize,
+    ) -> Vec<Scored> {
+        par::parallel_chunks(batch, threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|ids| score_token_ids(ids.ids(), &self.db, &self.opts))
+                .collect()
+        })
     }
 
     /// Classify with the δ(E) clue list (diagnostics / Figure 4).
     pub fn classify_with_clues(&self, email: &Email) -> (Scored, Vec<Clue>) {
         let set = self.tokenizer.token_set(email);
-        score_token_set_with_clues(&set, &self.db, &self.opts)
+        let ids = self.lookup_ids(&set);
+        score_token_ids_with_clues(&ids, &self.db, &self.opts)
     }
 
     /// The smoothed score `f(w)` of a single token under the current counts.
@@ -238,6 +346,47 @@ mod tests {
             &Email::builder().body("quarterly numbers").build(),
         );
         assert!(clues.iter().any(|c| c.token == "quarterly" && c.score > 0.5));
+    }
+
+    #[test]
+    fn set_options_invalidates_cached_scores() {
+        // Score once (fills the cache), change the Eq. 2 prior strength,
+        // and the new classification must match a fresh filter with the
+        // same counts — not the cached old-options scores.
+        let mut f = trained();
+        let e = spammy(2);
+        let _ = f.classify(&e); // warm the cache under default options
+        let new_opts = FilterOptions {
+            unknown_word_strength: 5.0,
+            ..FilterOptions::default()
+        };
+        f.set_options(new_opts);
+        let got = f.classify(&e);
+        let mut fresh = trained();
+        fresh.set_options(new_opts);
+        assert_eq!(got, fresh.classify(&e), "stale cached f(w) served");
+    }
+
+    #[test]
+    fn classify_does_not_grow_interner() {
+        // Private interner: the global one is shared with concurrently
+        // running tests, so its length is not stable to observe.
+        let mut f = SpamBayes::with_interner(Interner::new());
+        for i in 0..10 {
+            f.train(&spammy(i), Label::Spam);
+            f.train(&hammy(i), Label::Ham);
+        }
+        let before = f.interner().len();
+        let probe = Email::builder()
+            .body("zzz-never-seen-token-1 zzz-never-seen-token-2")
+            .build();
+        let _ = f.classify(&probe);
+        let _ = f.classify_tokens(&f.token_set(&probe));
+        assert_eq!(
+            f.interner().len(),
+            before,
+            "classification must not intern probe-only vocabulary"
+        );
     }
 
     #[test]

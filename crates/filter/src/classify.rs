@@ -17,6 +17,7 @@
 use crate::db::TokenDb;
 use crate::options::FilterOptions;
 use crate::score::token_score;
+use sb_intern::TokenId;
 use sb_stats::chi2::chi2q_even;
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,93 @@ pub fn score_token_set(token_set: &[String], db: &TokenDb, opts: &FilterOptions)
         verdict: verdict_for(score, opts),
         n_clues: delta.len(),
     }
+}
+
+/// Select δ(E) over interned ids, using the database's generation-stamped
+/// score cache. Returns `(id, f(w))` pairs in the same order as
+/// [`select_delta`]: distance from 0.5 descending, ties broken by the
+/// *resolved token string* ascending — never by raw id, which would leak
+/// interning order into classification results.
+pub fn select_delta_ids(
+    ids: &[TokenId],
+    db: &TokenDb,
+    opts: &FilterOptions,
+) -> Vec<(TokenId, f64)> {
+    let mut candidates: Vec<(TokenId, f64)> = ids
+        .iter()
+        .map(|&id| (id, db.cached_f(id, opts)))
+        .filter(|(_, f)| (f - 0.5).abs() >= opts.minimum_prob_strength)
+        .collect();
+    // One lock acquisition for the whole sort: tie-breaks resolve
+    // through a read guard instead of locking per comparison.
+    let reader = db.interner().reader();
+    candidates.sort_unstable_by(|a, b| {
+        let da = (a.1 - 0.5).abs();
+        let db_ = (b.1 - 0.5).abs();
+        db_.partial_cmp(&da)
+            .expect("scores are finite")
+            .then_with(|| reader.cmp_by_str(a.0, b.0))
+    });
+    candidates.truncate(opts.max_discriminators);
+    candidates
+}
+
+/// Fisher-combine the selected clues (the ID fast path: `ln` values come
+/// from the per-generation cache, paid only for δ(E) survivors).
+fn fisher_score_cached(delta: &[(TokenId, f64)], db: &TokenDb) -> f64 {
+    let n = delta.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut sum_ln_f = 0.0f64;
+    let mut sum_ln_1mf = 0.0f64;
+    for &(id, f) in delta {
+        let (ln_f, ln_1mf) = db.cached_lns(id, f);
+        sum_ln_f += ln_f;
+        sum_ln_1mf += ln_1mf;
+    }
+    let h = chi2q_even(-2.0 * sum_ln_f, n as u32); // spam evidence
+    let s = chi2q_even(-2.0 * sum_ln_1mf, n as u32); // ham evidence
+    (1.0 + h - s) / 2.0
+}
+
+/// Score an interned (deduplicated) id set: δ-selection over the cached
+/// score table followed by Fisher combining. Bit-identical to
+/// [`score_token_set`] on the equivalent string set (property-tested in
+/// `tests/prop_intern.rs`).
+pub fn score_token_ids(ids: &[TokenId], db: &TokenDb, opts: &FilterOptions) -> Scored {
+    let delta = select_delta_ids(ids, db, opts);
+    let score = fisher_score_cached(&delta, db);
+    Scored {
+        score,
+        verdict: verdict_for(score, opts),
+        n_clues: delta.len(),
+    }
+}
+
+/// Like [`score_token_ids`] but also returns the clues (resolved back to
+/// strings), most significant first.
+pub fn score_token_ids_with_clues(
+    ids: &[TokenId],
+    db: &TokenDb,
+    opts: &FilterOptions,
+) -> (Scored, Vec<Clue>) {
+    let delta = select_delta_ids(ids, db, opts);
+    let score = fisher_score_cached(&delta, db);
+    let scored = Scored {
+        score,
+        verdict: verdict_for(score, opts),
+        n_clues: delta.len(),
+    };
+    let interner = db.interner();
+    let clues = delta
+        .into_iter()
+        .map(|(id, f)| Clue {
+            token: interner.resolve(id).to_string(),
+            score: f,
+        })
+        .collect();
+    (scored, clues)
 }
 
 /// Like [`score_token_set`] but also returns the clues, most significant

@@ -3,9 +3,44 @@
 //! Stores `NS`, `NH` (spam/ham training message counts) and per-token
 //! `NS(w)`, `NH(w)` (spam/ham messages containing `w`) — exactly the
 //! quantities Equation 1 needs. Tokens are counted with **set semantics**:
-//! callers must pass deduplicated token sets (`Tokenizer::token_set`).
+//! callers must pass deduplicated token sets (`Tokenizer::token_set` /
+//! `Interner::intern_set`).
 //!
-//! Two non-obvious requirements from the paper shape this API:
+//! ## The interned-token substrate
+//!
+//! Counts are keyed by [`TokenId`] into a dense `Vec<TokenCounts>`; every
+//! hot path (Eq. 1–4 scoring, RONI's train/untrain probes, epoch
+//! retraining) moves 4-byte ids instead of hashing and allocating owned
+//! `String`s. The string-keyed API (`train`, `counts`, `iter`, …) remains
+//! as a thin wrapper that interns through the database's [`Interner`]
+//! handle — by default the process-global table, so ids are exchangeable
+//! across independently-constructed filters.
+//!
+//! ## The generation-stamped score cache
+//!
+//! Classification needs `f(w)` (Eq. 2) plus `ln f(w)` / `ln(1 − f(w))`
+//! (Eq. 3–4) per probe token. All of these depend on the *global* counts
+//! `NS`/`NH`, so **any** train/untrain invalidates **every** cached
+//! score. Instead of clearing a table on each mutation (O(vocabulary),
+//! ruinous for RONI's train → validate → untrain inner loop), the
+//! database keeps a monotonically increasing `generation` counter,
+//! bumped by every mutation, and each cache slot carries the generation
+//! it was computed at:
+//!
+//! * read path (`&self`, lock-free): a slot whose stamp equals the
+//!   current generation is valid; otherwise the score is recomputed and
+//!   published with `Release` ordering (stamp written last), so
+//!   concurrent readers either see a complete entry or compute their own
+//!   identical copy — scores are pure functions of (counts, options), so
+//!   racing writers are benign;
+//! * write path (`&mut self`): bump `generation`; O(1) regardless of
+//!   vocabulary size. Stale slots die by stamp mismatch, not by erasure.
+//!
+//! Within one generation (e.g. RONI scoring 50 validation messages
+//! between a train and an untrain) every distinct token's score is
+//! computed once and shared by all messages and all threads.
+//!
+//! Two non-obvious requirements from the paper shape the API:
 //!
 //! * **`untrain`** — the RONI defense (§5.1) measures the effect of single
 //!   messages by comparing filters with and without them; exact removal is
@@ -15,9 +50,11 @@
 //!   what makes the paper-scale parameter sweeps tractable.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::options::FilterOptions;
 use sb_email::Label;
+use sb_intern::{Interner, TokenId};
 
 /// Per-token message counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,6 +69,10 @@ impl TokenCounts {
     /// `N(w)` of Equation 2: training messages containing the token.
     pub fn total(&self) -> u32 {
         self.spam + self.ham
+    }
+
+    fn is_zero(&self) -> bool {
+        self.spam == 0 && self.ham == 0
     }
 }
 
@@ -55,18 +96,96 @@ impl std::fmt::Display for UntrainError {
 
 impl std::error::Error for UntrainError {}
 
-/// The count database.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// One cache slot: a generation stamp for `f(w)` and a separate stamp for
+/// the `ln` pair. The split matters: δ(E) selection needs `f` for *every*
+/// probe token, but Fisher combining needs `ln f` / `ln(1 − f)` only for
+/// the ≤ `max_discriminators` tokens that survive selection — most tokens
+/// sit in the excluded band and must never pay the two `ln` calls.
+/// Stamp 0 means "never filled"; generations start at 1.
+#[derive(Debug, Default)]
+struct ScoreSlot {
+    stamp_f: AtomicU64,
+    f: AtomicU64,
+    stamp_ln: AtomicU64,
+    ln_f: AtomicU64,
+    ln_1mf: AtomicU64,
+}
+
+/// A token's cached score triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedScore {
+    /// Smoothed token score `f(w)` (Eq. 2).
+    pub f: f64,
+    /// `ln f(w)` after the Fisher clamp.
+    pub ln_f: f64,
+    /// `ln (1 − f(w))` after the Fisher clamp.
+    pub ln_1mf: f64,
+}
+
+/// The count database (see module docs for the substrate design).
+///
+/// Deliberately **not** serde-serializable: raw `TokenId`s are positions
+/// in the owning interner and are meaningless to another process (and a
+/// skipped cache/interner would misattribute every count). The durable
+/// format is the string-resolved dump in [`crate::persist`].
+#[derive(Debug)]
 pub struct TokenDb {
+    interner: Interner,
     n_spam: u32,
     n_ham: u32,
-    tokens: HashMap<String, TokenCounts>,
+    /// Dense per-id counts; ids at or beyond `counts.len()` are unseen.
+    counts: Vec<TokenCounts>,
+    /// Number of ids with nonzero counts (the public `n_tokens`).
+    distinct: usize,
+    /// Mutation counter driving cache invalidation (starts at 1).
+    generation: u64,
+    cache: Vec<ScoreSlot>,
+}
+
+impl Default for TokenDb {
+    fn default() -> Self {
+        Self::with_interner(Interner::global())
+    }
+}
+
+impl Clone for TokenDb {
+    fn clone(&self) -> Self {
+        Self {
+            interner: self.interner.clone(),
+            n_spam: self.n_spam,
+            n_ham: self.n_ham,
+            counts: self.counts.clone(),
+            distinct: self.distinct,
+            generation: self.generation,
+            // Fresh, unfilled cache: stamps of 0 never match a generation.
+            cache: (0..self.counts.len()).map(|_| ScoreSlot::default()).collect(),
+        }
+    }
 }
 
 impl TokenDb {
-    /// Empty database.
+    /// Empty database on the process-global interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty database on an explicit interner (share the handle across
+    /// filters to exchange raw ids; see `sb_intern::Interner`).
+    pub fn with_interner(interner: Interner) -> Self {
+        Self {
+            interner,
+            n_spam: 0,
+            n_ham: 0,
+            counts: Vec::new(),
+            distinct: 0,
+            generation: 1,
+            cache: Vec::new(),
+        }
+    }
+
+    /// The interner this database resolves ids against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// `NS`: spam messages trained.
@@ -84,19 +203,74 @@ impl TokenDb {
         self.n_spam + self.n_ham
     }
 
-    /// Number of distinct tokens seen.
+    /// Number of distinct tokens with nonzero counts.
     pub fn n_tokens(&self) -> usize {
-        self.tokens.len()
+        self.distinct
     }
 
-    /// Counts for a token (zero if unseen).
-    pub fn counts(&self, token: &str) -> TokenCounts {
-        self.tokens.get(token).copied().unwrap_or_default()
+    /// The mutation generation (exposed for cache diagnostics and tests).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
-    /// Iterate over `(token, counts)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, TokenCounts)> {
-        self.tokens.iter().map(|(k, v)| (k.as_str(), *v))
+    /// Drop every cached score by advancing the generation. Counts are
+    /// untouched. Callers must invoke this when anything *outside* the
+    /// counts that scores depend on changes — i.e. the `FilterOptions`
+    /// (see `SpamBayes::set_options`).
+    pub fn invalidate_cache(&mut self) {
+        self.bump_generation();
+    }
+
+    /// Counts for a token id (zero if unseen).
+    #[inline]
+    pub fn counts_by_id(&self, id: TokenId) -> TokenCounts {
+        self.counts.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// Counts for a token string (zero if unseen).
+    pub fn counts(&self, token: impl AsRef<str>) -> TokenCounts {
+        match self.interner.get(token.as_ref()) {
+            Some(id) => self.counts_by_id(id),
+            None => TokenCounts::default(),
+        }
+    }
+
+    /// Snapshot of `(token, counts)` pairs with nonzero counts, in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (String, TokenCounts)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| {
+                (
+                    self.interner
+                        .resolve(TokenId(i as u32))
+                        .to_string(),
+                    *c,
+                )
+            })
+    }
+
+    /// Ids with nonzero counts, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = (TokenId, TokenCounts)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| (TokenId(i as u32), *c))
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    fn ensure_capacity(&mut self, max_id: TokenId) {
+        let need = max_id.index() + 1;
+        if self.counts.len() < need {
+            self.counts.resize(need, TokenCounts::default());
+            self.cache.resize_with(need, ScoreSlot::default);
+        }
     }
 
     /// Train one message given its (deduplicated) token set.
@@ -105,20 +279,41 @@ impl TokenDb {
     }
 
     /// Train `multiplicity` identical messages sharing `token_set`.
-    ///
-    /// The dictionary attack fast path: every attack email contains the same
-    /// lexicon, so `k` of them just add `k` to each count.
     pub fn train_many(&mut self, token_set: &[String], label: Label, multiplicity: u32) {
+        debug_assert!(
+            is_distinct_or_large(token_set),
+            "token_set must be deduplicated"
+        );
+        let ids = self.interner.intern_set(token_set);
+        self.train_ids_many(&ids, label, multiplicity);
+    }
+
+    /// Train one message given its interned (deduplicated) id set.
+    pub fn train_ids(&mut self, ids: &[TokenId], label: Label) {
+        self.train_ids_many(ids, label, 1);
+    }
+
+    /// Train `multiplicity` identical messages sharing `ids` — the
+    /// dictionary attack fast path: every attack email contains the same
+    /// lexicon, so `k` of them just add `k` to each count.
+    pub fn train_ids_many(&mut self, ids: &[TokenId], label: Label, multiplicity: u32) {
         if multiplicity == 0 {
             return;
         }
-        debug_assert!(is_strictly_sorted_or_small(token_set), "token_set must be deduplicated");
+        debug_assert!(is_distinct_ids(ids), "id set must be deduplicated");
+        self.bump_generation();
         match label {
             Label::Spam => self.n_spam += multiplicity,
             Label::Ham => self.n_ham += multiplicity,
         }
-        for tok in token_set {
-            let entry = self.tokens.entry(tok.clone()).or_default();
+        if let Some(&max) = ids.iter().max() {
+            self.ensure_capacity(max);
+        }
+        for &id in ids {
+            let entry = &mut self.counts[id.index()];
+            if entry.is_zero() {
+                self.distinct += 1;
+            }
             match label {
                 Label::Spam => entry.spam += multiplicity,
                 Label::Ham => entry.ham += multiplicity,
@@ -127,10 +322,6 @@ impl TokenDb {
     }
 
     /// Exactly undo [`TokenDb::train`] for one message.
-    ///
-    /// Fails (leaving the database unchanged in a useful sense: failure is
-    /// detected on the first underflow *before* mutating that token) if the
-    /// message was not previously trained with this label.
     pub fn untrain(&mut self, token_set: &[String], label: Label) -> Result<(), UntrainError> {
         self.untrain_many(token_set, label, 1)
     }
@@ -139,6 +330,25 @@ impl TokenDb {
     pub fn untrain_many(
         &mut self,
         token_set: &[String],
+        label: Label,
+        multiplicity: u32,
+    ) -> Result<(), UntrainError> {
+        let ids = self.interner.intern_set(token_set);
+        self.untrain_ids_many(&ids, label, multiplicity)
+    }
+
+    /// Exactly undo [`TokenDb::train_ids`].
+    pub fn untrain_ids(&mut self, ids: &[TokenId], label: Label) -> Result<(), UntrainError> {
+        self.untrain_ids_many(ids, label, 1)
+    }
+
+    /// Exactly undo [`TokenDb::train_ids_many`].
+    ///
+    /// Fails without mutating anything if the message was not previously
+    /// trained with this label (validation precedes every write).
+    pub fn untrain_ids_many(
+        &mut self,
+        ids: &[TokenId],
         label: Label,
         multiplicity: u32,
     ) -> Result<(), UntrainError> {
@@ -153,59 +363,158 @@ impl TokenDb {
         if class_count < multiplicity {
             return Err(UntrainError { token: None });
         }
-        for tok in token_set {
-            let c = self.counts(tok);
+        for &id in ids {
+            let c = self.counts_by_id(id);
             let have = match label {
                 Label::Spam => c.spam,
                 Label::Ham => c.ham,
             };
             if have < multiplicity {
                 return Err(UntrainError {
-                    token: Some(tok.clone()),
+                    token: Some(self.interner.resolve(id).to_string()),
                 });
             }
         }
+        self.bump_generation();
         match label {
             Label::Spam => self.n_spam -= multiplicity,
             Label::Ham => self.n_ham -= multiplicity,
         }
-        for tok in token_set {
-            let entry = self
-                .tokens
-                .get_mut(tok)
-                .expect("validated above: token present");
+        for &id in ids {
+            let entry = &mut self.counts[id.index()];
             match label {
                 Label::Spam => entry.spam -= multiplicity,
                 Label::Ham => entry.ham -= multiplicity,
             }
-            if entry.spam == 0 && entry.ham == 0 {
-                self.tokens.remove(tok);
+            if entry.is_zero() {
+                self.distinct -= 1;
             }
         }
         Ok(())
     }
 
-    /// Merge another database into this one (counts add).
+    /// Merge another database into this one (counts add). Databases on
+    /// different interner tables are translated through their strings.
     pub fn merge(&mut self, other: &TokenDb) {
+        self.bump_generation();
         self.n_spam += other.n_spam;
         self.n_ham += other.n_ham;
-        for (tok, c) in &other.tokens {
-            let entry = self.tokens.entry(tok.clone()).or_default();
-            entry.spam += c.spam;
-            entry.ham += c.ham;
+        if self.interner.same_table(&other.interner) {
+            if other.counts.len() > self.counts.len() {
+                self.counts.resize(other.counts.len(), TokenCounts::default());
+                self.cache.resize_with(other.counts.len(), ScoreSlot::default);
+            }
+            for (i, c) in other.counts.iter().enumerate() {
+                if c.is_zero() {
+                    continue;
+                }
+                let entry = &mut self.counts[i];
+                if entry.is_zero() {
+                    self.distinct += 1;
+                }
+                entry.spam += c.spam;
+                entry.ham += c.ham;
+            }
+        } else {
+            for (tok, c) in other.iter() {
+                let id = self.interner.intern(&tok);
+                self.ensure_capacity(id);
+                let entry = &mut self.counts[id.index()];
+                if entry.is_zero() {
+                    self.distinct += 1;
+                }
+                entry.spam += c.spam;
+                entry.ham += c.ham;
+            }
         }
     }
+
+    /// The cached `f(w)` of a token under `opts`, computing and publishing
+    /// it if this generation has not seen the token yet.
+    ///
+    /// Lock-free: concurrent readers may redundantly compute the same
+    /// value (scores are pure in the counts), never a wrong one. Unseen
+    /// tokens (no slot, or zero counts) short-circuit to the prior `x`.
+    #[inline]
+    pub fn cached_f(&self, id: TokenId, opts: &FilterOptions) -> f64 {
+        let Some(slot) = self.cache.get(id.index()) else {
+            // Unseen token: prior score, no slot to publish to.
+            return opts.unknown_word_prob;
+        };
+        if slot.stamp_f.load(Ordering::Acquire) == self.generation {
+            return f64::from_bits(slot.f.load(Ordering::Relaxed));
+        }
+        let f = crate::score::token_score_from_counts(
+            self.n_spam,
+            self.n_ham,
+            self.counts_by_id(id),
+            opts,
+        );
+        slot.f.store(f.to_bits(), Ordering::Relaxed);
+        slot.stamp_f.store(self.generation, Ordering::Release);
+        f
+    }
+
+    /// The cached `(ln f, ln(1 − f))` pair for a token whose `f` is
+    /// already known (from [`TokenDb::cached_f`]). Only δ(E) survivors
+    /// ever call this, so the two `ln`s are paid per *selected* distinct
+    /// token per generation, not per probe token.
+    #[inline]
+    pub fn cached_lns(&self, id: TokenId, f: f64) -> (f64, f64) {
+        let Some(slot) = self.cache.get(id.index()) else {
+            return ln_pair(f);
+        };
+        if slot.stamp_ln.load(Ordering::Acquire) == self.generation {
+            return (
+                f64::from_bits(slot.ln_f.load(Ordering::Relaxed)),
+                f64::from_bits(slot.ln_1mf.load(Ordering::Relaxed)),
+            );
+        }
+        let (ln_f, ln_1mf) = ln_pair(f);
+        slot.ln_f.store(ln_f.to_bits(), Ordering::Relaxed);
+        slot.ln_1mf.store(ln_1mf.to_bits(), Ordering::Relaxed);
+        slot.stamp_ln.store(self.generation, Ordering::Release);
+        (ln_f, ln_1mf)
+    }
+
+    /// The full cached score triple (f + ln pair) — convenience for
+    /// diagnostics and tests; hot paths use [`TokenDb::cached_f`] +
+    /// [`TokenDb::cached_lns`] so unselected tokens skip the `ln`s.
+    pub fn cached_score(&self, id: TokenId, opts: &FilterOptions) -> CachedScore {
+        let f = self.cached_f(id, opts);
+        let (ln_f, ln_1mf) = self.cached_lns(id, f);
+        CachedScore { f, ln_f, ln_1mf }
+    }
+}
+
+/// The `ln` pair of a token score, applying the same clamp Fisher
+/// combining uses so cached values are bit-identical to the legacy
+/// `fisher_score` path.
+#[inline]
+fn ln_pair(f: f64) -> (f64, f64) {
+    let fc = f.clamp(1e-12, 1.0 - 1e-12);
+    (fc.ln(), (1.0 - fc).ln())
 }
 
 /// Debug-only sanity check: token sets must not contain duplicates. For
 /// large sets (attack lexicons, which are constructed deduplicated) a full
 /// check would be O(n log n) per call, so only small sets are verified.
-fn is_strictly_sorted_or_small(tokens: &[String]) -> bool {
+fn is_distinct_or_large(tokens: &[String]) -> bool {
     if tokens.len() > 4096 {
         return true;
     }
     let mut seen = std::collections::HashSet::with_capacity(tokens.len());
     tokens.iter().all(|t| seen.insert(t))
+}
+
+/// Debug-only: id sets arrive sorted-deduplicated from `intern_set`; when
+/// callers build them by hand they must uphold distinctness.
+fn is_distinct_ids(ids: &[TokenId]) -> bool {
+    if ids.len() > 4096 {
+        return true;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+    ids.iter().all(|t| seen.insert(t))
 }
 
 #[cfg(test)]
@@ -303,7 +612,93 @@ mod tests {
     }
 
     #[test]
+    fn merge_across_interners_translates_strings() {
+        let mut a = TokenDb::with_interner(sb_intern::Interner::new());
+        a.train(&toks(&["x"]), Label::Spam);
+        let mut b = TokenDb::with_interner(sb_intern::Interner::new());
+        b.train(&toks(&["x", "y"]), Label::Ham);
+        a.merge(&b);
+        assert_eq!(a.counts("x"), TokenCounts { spam: 1, ham: 1 });
+        assert_eq!(a.counts("y"), TokenCounts { spam: 0, ham: 1 });
+        assert_eq!(a.n_tokens(), 2);
+    }
+
+    #[test]
     fn token_counts_total() {
         assert_eq!(TokenCounts { spam: 3, ham: 4 }.total(), 7);
+    }
+
+    #[test]
+    fn id_and_string_training_agree() {
+        let interner = sb_intern::Interner::new();
+        let set = toks(&["alpha", "beta", "gamma"]);
+        let ids = interner.intern_set(&set);
+        let mut by_str = TokenDb::with_interner(interner.clone());
+        by_str.train(&set, Label::Spam);
+        let mut by_id = TokenDb::with_interner(interner);
+        by_id.train_ids(&ids, Label::Spam);
+        for t in &set {
+            assert_eq!(by_str.counts(t), by_id.counts(t));
+        }
+        assert_eq!(by_str.n_spam(), by_id.n_spam());
+        assert_eq!(by_str.n_tokens(), by_id.n_tokens());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut db = TokenDb::new();
+        let g0 = db.generation();
+        db.train(&toks(&["a"]), Label::Spam);
+        let g1 = db.generation();
+        assert!(g1 > g0);
+        db.untrain(&toks(&["a"]), Label::Spam).unwrap();
+        assert!(db.generation() > g1);
+    }
+
+    #[test]
+    fn cached_score_invalidates_on_mutation() {
+        let opts = FilterOptions::default();
+        let mut db = TokenDb::new();
+        // "win" carries both spam and ham sightings so its PS depends on
+        // the class totals (a pure token's PS is scale-invariant).
+        db.train(&toks(&["win"]), Label::Spam);
+        db.train(&toks(&["win"]), Label::Ham);
+        let id = db.interner().get("win").unwrap();
+        let before = db.cached_score(id, &opts);
+        // Same generation: cached value identical.
+        assert_eq!(db.cached_score(id, &opts), before);
+        // Training more spam changes NS and therefore PS("win") and f.
+        db.train(&toks(&["other"]), Label::Spam);
+        let after = db.cached_score(id, &opts);
+        assert_ne!(before.f, after.f);
+        // And matches a fresh computation.
+        let expect = crate::score::token_score_from_counts(
+            db.n_spam(),
+            db.n_ham(),
+            db.counts("win"),
+            &opts,
+        );
+        assert_eq!(after.f, expect);
+    }
+
+    #[test]
+    fn cached_score_of_unseen_token_is_prior() {
+        let opts = FilterOptions::default();
+        let db = TokenDb::new();
+        let id = db.interner().intern("never-trained-token-xyz");
+        let s = db.cached_score(id, &opts);
+        assert_eq!(s.f, opts.unknown_word_prob);
+    }
+
+    #[test]
+    fn clone_preserves_counts_and_resets_cache() {
+        let opts = FilterOptions::default();
+        let mut db = TokenDb::new();
+        db.train(&toks(&["a", "b"]), Label::Spam);
+        let id = db.interner().get("a").unwrap();
+        let s = db.cached_score(id, &opts);
+        let clone = db.clone();
+        assert_eq!(clone.n_tokens(), db.n_tokens());
+        assert_eq!(clone.cached_score(id, &opts), s);
     }
 }

@@ -24,7 +24,12 @@
 //!   exactly such batches.
 //! * **Determinism** — δ(E) ordering uses an explicit total order (evidence
 //!   strength, then token string), so classification never depends on hash
-//!   iteration order.
+//!   iteration order *or interning order*.
+//! * **Interned substrate** — [`TokenDb`] is keyed by `sb_intern::TokenId`
+//!   (dense `Vec<TokenCounts>`) with a generation-stamped `f(w)`/`ln`
+//!   score cache; the string APIs are thin interning wrappers, and the
+//!   ID paths ([`SpamBayes::classify_ids`], [`SpamBayes::classify_ids_batch`])
+//!   are property-tested bit-identical to the legacy string scoring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +41,12 @@ pub mod options;
 pub mod persist;
 pub mod score;
 
-pub use classify::{fisher_score, select_delta, verdict_for, Clue, Scored, Verdict};
+pub use classify::{
+    fisher_score, score_token_ids, score_token_ids_with_clues, select_delta, select_delta_ids,
+    verdict_for, Clue, Scored, Verdict,
+};
 pub use classifier::SpamBayes;
-pub use db::{TokenCounts, TokenDb, UntrainError};
+pub use db::{CachedScore, TokenCounts, TokenDb, UntrainError};
 pub use options::FilterOptions;
 pub use persist::{load_db, save_db, PersistError};
+pub use sb_intern::{Interner, TokenId};

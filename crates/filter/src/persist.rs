@@ -59,8 +59,8 @@ pub fn save_db<W: Write>(db: &TokenDb, mut w: W) -> Result<(), PersistError> {
     writeln!(w, "nspam {}", db.n_spam())?;
     writeln!(w, "nham {}", db.n_ham())?;
     // Deterministic output order for diffability.
-    let mut entries: Vec<(&str, TokenCounts)> = db.iter().collect();
-    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut entries: Vec<(String, TokenCounts)> = db.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     for (tok, c) in entries {
         debug_assert!(!tok.contains('\n'), "token contains newline: {tok:?}");
         writeln!(w, "t {} {} {}", c.spam, c.ham, tok)?;
@@ -199,7 +199,7 @@ mod tests {
         assert_eq!(back.n_ham(), db.n_ham());
         assert_eq!(back.n_tokens(), db.n_tokens());
         for (tok, c) in db.iter() {
-            assert_eq!(back.counts(tok), c, "token {tok:?}");
+            assert_eq!(back.counts(&tok), c, "token {tok:?}");
         }
     }
 

@@ -1,0 +1,192 @@
+//! Property tests pinning the interned-token substrate to the legacy
+//! string path: ID-based classification must be **bit-identical** — same
+//! scores (not approximately; the same f64 bits), same verdicts, same
+//! clue lists — and the ID-keyed database must keep the exact
+//! untrain-inverse property the RONI defense depends on.
+
+use proptest::prelude::*;
+use sb_email::Label;
+use sb_filter::{
+    classify, FilterOptions, Interner, SpamBayes, TokenDb, TokenId,
+};
+
+/// Small token alphabets keep collisions (shared tokens) likely.
+fn token() -> impl Strategy<Value = String> {
+    "[a-e]{3,5}"
+}
+
+fn token_set() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set(token(), 0..10).prop_map(|s| s.into_iter().collect())
+}
+
+/// Train the same corpus into a db twice: once through the string API,
+/// once through pre-interned ids on a shared interner.
+fn twin_dbs(
+    base: &[(Vec<String>, bool)],
+    interner: &Interner,
+) -> (TokenDb, TokenDb) {
+    let mut by_str = TokenDb::with_interner(interner.clone());
+    let mut by_id = TokenDb::with_interner(interner.clone());
+    for (set, is_spam) in base {
+        let label = if *is_spam { Label::Spam } else { Label::Ham };
+        by_str.train(set, label);
+        by_id.train_ids(&interner.intern_set(set), label);
+    }
+    (by_str, by_id)
+}
+
+proptest! {
+    /// The headline equivalence: for any training history and any probe,
+    /// the ID fast path returns bit-identical scores and verdicts and an
+    /// identical clue list vs. the legacy string scoring.
+    #[test]
+    fn interned_classification_is_bit_identical(
+        base in proptest::collection::vec((token_set(), any::<bool>()), 0..14),
+        probe in token_set(),
+    ) {
+        let interner = Interner::new();
+        let (by_str, by_id) = twin_dbs(&base, &interner);
+        let opts = FilterOptions::default();
+        let probe_ids = interner.intern_set(&probe);
+
+        // Same counts in both databases first (sanity for the rest).
+        prop_assert_eq!(by_str.n_spam(), by_id.n_spam());
+        prop_assert_eq!(by_str.n_ham(), by_id.n_ham());
+        prop_assert_eq!(by_str.n_tokens(), by_id.n_tokens());
+
+        // Legacy string scoring on the string-trained db…
+        let legacy = classify::score_token_set(&probe, &by_str, &opts);
+        let (legacy_scored, legacy_clues) =
+            classify::score_token_set_with_clues(&probe, &by_str, &opts);
+        // …vs the cached ID path on the id-trained db.
+        let fast = classify::score_token_ids(&probe_ids, &by_id, &opts);
+        let (fast_scored, fast_clues) =
+            classify::score_token_ids_with_clues(&probe_ids, &by_id, &opts);
+
+        // Bit-identical: f64 equality, not tolerance.
+        prop_assert_eq!(
+            legacy.score.to_bits(),
+            fast.score.to_bits(),
+            "score mismatch: {} vs {}",
+            legacy.score,
+            fast.score
+        );
+        prop_assert_eq!(legacy.verdict, fast.verdict);
+        prop_assert_eq!(legacy.n_clues, fast.n_clues);
+        prop_assert_eq!(legacy_scored.score.to_bits(), fast_scored.score.to_bits());
+        prop_assert_eq!(legacy_clues.len(), fast_clues.len());
+        for (a, b) in legacy_clues.iter().zip(fast_clues.iter()) {
+            prop_assert_eq!(&a.token, &b.token, "clue order diverged");
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    /// The full-filter view of the same property, including repeated
+    /// classification (cache warm vs cold must not change results).
+    #[test]
+    fn spambayes_id_path_matches_string_path(
+        base in proptest::collection::vec((token_set(), any::<bool>()), 1..10),
+        probe in token_set(),
+    ) {
+        let interner = Interner::new();
+        let mut filter = SpamBayes::with_interner(interner.clone());
+        for (set, is_spam) in &base {
+            filter.train_tokens(set, if *is_spam { Label::Spam } else { Label::Ham }, 1);
+        }
+        let ids = interner.intern_set(&probe);
+        let via_strings = filter.classify_tokens_uncached(&probe);
+        let via_ids_cold = filter.classify_ids(&ids);
+        let via_ids_warm = filter.classify_ids(&ids);
+        prop_assert_eq!(via_strings.score.to_bits(), via_ids_cold.score.to_bits());
+        prop_assert_eq!(&via_strings, &via_ids_cold);
+        prop_assert_eq!(&via_ids_cold, &via_ids_warm, "cache changed a result");
+    }
+
+    /// Batch classification (parallel) is the same function as one-by-one.
+    #[test]
+    fn batch_classification_matches_sequential(
+        base in proptest::collection::vec((token_set(), any::<bool>()), 1..8),
+        probes in proptest::collection::vec(token_set(), 0..12),
+    ) {
+        let interner = Interner::new();
+        let mut filter = SpamBayes::with_interner(interner.clone());
+        for (set, is_spam) in &base {
+            filter.train_tokens(set, if *is_spam { Label::Spam } else { Label::Ham }, 1);
+        }
+        let id_sets: Vec<Vec<TokenId>> =
+            probes.iter().map(|p| interner.intern_set(p)).collect();
+        let one_by_one: Vec<_> = id_sets.iter().map(|ids| filter.classify_ids(ids)).collect();
+        let batched = filter.classify_ids_batch(&id_sets);
+        let batched_seq = filter.classify_ids_batch_with_threads(&id_sets, 1);
+        prop_assert_eq!(&one_by_one, &batched);
+        prop_assert_eq!(&batched, &batched_seq);
+    }
+
+    /// Exact untrain-inverse on the ID-keyed database: train → untrain is
+    /// the identity on counts, token membership, and (bit-identical)
+    /// scores, for any interleaving base history.
+    #[test]
+    fn id_untrain_is_exact_inverse(
+        base in proptest::collection::vec((token_set(), any::<bool>()), 0..12),
+        extra in token_set(),
+        extra_label in any::<bool>(),
+        probe in token_set(),
+    ) {
+        let interner = Interner::new();
+        let mut db = TokenDb::with_interner(interner.clone());
+        for (set, is_spam) in &base {
+            db.train_ids(
+                &interner.intern_set(set),
+                if *is_spam { Label::Spam } else { Label::Ham },
+            );
+        }
+        let snapshot = db.clone();
+        let opts = FilterOptions::default();
+        let probe_ids = interner.intern_set(&probe);
+        let score_before = classify::score_token_ids(&probe_ids, &db, &opts);
+
+        let label = if extra_label { Label::Spam } else { Label::Ham };
+        let extra_ids = interner.intern_set(&extra);
+        db.train_ids(&extra_ids, label);
+        db.untrain_ids(&extra_ids, label).unwrap();
+
+        prop_assert_eq!(db.n_spam(), snapshot.n_spam());
+        prop_assert_eq!(db.n_ham(), snapshot.n_ham());
+        prop_assert_eq!(db.n_tokens(), snapshot.n_tokens());
+        for (id, c) in snapshot.ids() {
+            prop_assert_eq!(db.counts_by_id(id), c);
+        }
+        // Scores recover bit-identically (fresh generation, same counts).
+        let score_after = classify::score_token_ids(&probe_ids, &db, &opts);
+        prop_assert_eq!(score_before.score.to_bits(), score_after.score.to_bits());
+        prop_assert_eq!(score_before, score_after);
+    }
+
+    /// Multiplicity fast path on ids equals repetition (the dictionary
+    /// attack invariant, ID-keyed).
+    #[test]
+    fn id_multiplicity_equals_repetition(
+        set in token_set(),
+        k in 1u32..20,
+        spam in any::<bool>(),
+    ) {
+        let interner = Interner::new();
+        let ids = interner.intern_set(&set);
+        let label = if spam { Label::Spam } else { Label::Ham };
+        let mut a = TokenDb::with_interner(interner.clone());
+        a.train_ids_many(&ids, label, k);
+        let mut b = TokenDb::with_interner(interner.clone());
+        for _ in 0..k {
+            b.train_ids(&ids, label);
+        }
+        prop_assert_eq!(a.n_spam(), b.n_spam());
+        prop_assert_eq!(a.n_ham(), b.n_ham());
+        for (id, c) in a.ids() {
+            prop_assert_eq!(b.counts_by_id(id), c);
+        }
+        // And untraining the multiplicity in one go empties the db.
+        a.untrain_ids_many(&ids, label, k).unwrap();
+        prop_assert_eq!(a.n_tokens(), 0);
+        prop_assert_eq!(a.n_messages(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The token interner: stable `u32` ids for token strings.
+//!
+//! An [`Interner`] is a cheap cloneable *handle*: clones share one
+//! append-only table, so a pipeline, its RONI screen, and every trial
+//! filter inside it can exchange raw [`TokenId`]s without re-hashing
+//! strings or agreeing on anything beyond the handle. A process-global
+//! default table ([`Interner::global`]) backs all components that are not
+//! explicitly constructed with a private interner, which is what makes
+//! ids exchangeable across independently-constructed filters.
+//!
+//! Ids are dense (`0..len`), never reused, and resolve back to their
+//! string for the lifetime of the table — the properties the ID-keyed
+//! `TokenDb` (dense `Vec<TokenCounts>`) and the deterministic
+//! string-order tie-breaks rely on.
+
+use crate::fxhash::FxBuildHasher;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned token: a dense index into the owning [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    // `Arc<str>` is shared between the lookup map and the resolve table,
+    // so each distinct token is stored once.
+    lookup: HashMap<Arc<str>, TokenId, FxBuildHasher>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A shared, append-only string interner (see module docs).
+#[derive(Clone, Default)]
+pub struct Interner {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl std::fmt::Debug for Interner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
+
+impl Interner {
+    /// A fresh, private interner (ids are NOT exchangeable with other
+    /// interners — prefer [`Interner::global`] unless isolation is the
+    /// point, e.g. leak-free benchmarks).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global interner every default-constructed component
+    /// shares.
+    pub fn global() -> Interner {
+        GLOBAL.get_or_init(Interner::new).clone()
+    }
+
+    /// True when `self` and `other` are handles to the same table.
+    pub fn same_table(&self, other: &Interner) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner lock").strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern one token, returning its stable id.
+    pub fn intern(&self, token: &str) -> TokenId {
+        if let Some(&id) = self.inner.read().expect("interner lock").lookup.get(token) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("interner lock");
+        if let Some(&id) = inner.lookup.get(token) {
+            return id; // raced with another writer
+        }
+        let id = TokenId(
+            u32::try_from(inner.strings.len()).expect("interner capacity (2^32 tokens) exceeded"),
+        );
+        let arc: Arc<str> = Arc::from(token);
+        inner.strings.push(Arc::clone(&arc));
+        inner.lookup.insert(arc, id);
+        id
+    }
+
+    /// Intern a slice of tokens.
+    pub fn intern_all(&self, tokens: &[String]) -> Vec<TokenId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Intern a sorted, deduplicated token set, preserving set semantics:
+    /// the result is sorted by id and deduplicated (ids of a
+    /// string-deduplicated set are automatically distinct; sorting by id
+    /// is what the ID-keyed `TokenDb` expects).
+    pub fn intern_set(&self, token_set: &[String]) -> Vec<TokenId> {
+        let mut ids = self.intern_all(token_set);
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The id of an already-interned token, if any.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.inner
+            .read()
+            .expect("interner lock")
+            .lookup
+            .get(token)
+            .copied()
+    }
+
+    /// Resolve an id back to its token.
+    ///
+    /// Panics on an id not produced by this interner (or its clones).
+    pub fn resolve(&self, id: TokenId) -> Arc<str> {
+        Arc::clone(
+            self.inner
+                .read()
+                .expect("interner lock")
+                .strings
+                .get(id.index())
+                .expect("TokenId from a different interner"),
+        )
+    }
+
+    /// Resolve a batch of ids.
+    pub fn resolve_all(&self, ids: &[TokenId]) -> Vec<String> {
+        let inner = self.inner.read().expect("interner lock");
+        ids.iter()
+            .map(|id| {
+                inner
+                    .strings
+                    .get(id.index())
+                    .expect("TokenId from a different interner")
+                    .to_string()
+            })
+            .collect()
+    }
+
+    /// Compare two ids by their resolved strings (the deterministic
+    /// tie-break order used wherever id order would leak interning
+    /// order). For comparison-heavy loops (sorts), prefer
+    /// [`Interner::reader`], which pays the lock once.
+    pub fn cmp_by_str(&self, a: TokenId, b: TokenId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let inner = self.inner.read().expect("interner lock");
+        inner.strings[a.index()].cmp(&inner.strings[b.index()])
+    }
+
+    /// A read guard over the table: resolve and compare ids without
+    /// re-acquiring the lock per call. Hold it only across tight loops —
+    /// it blocks writers (new interning) while alive.
+    pub fn reader(&self) -> InternerReader<'_> {
+        InternerReader {
+            guard: self.inner.read().expect("interner lock"),
+        }
+    }
+}
+
+/// A borrowed read view of an [`Interner`] (see [`Interner::reader`]).
+pub struct InternerReader<'a> {
+    guard: std::sync::RwLockReadGuard<'a, Inner>,
+}
+
+impl InternerReader<'_> {
+    /// Resolve an id to its token.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        self.guard
+            .strings
+            .get(id.index())
+            .expect("TokenId from a different interner")
+    }
+
+    /// Compare two ids by their resolved strings.
+    pub fn cmp_by_str(&self, a: TokenId, b: TokenId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        self.guard.strings[a.index()].cmp(&self.guard.strings[b.index()])
+    }
+}
+
+/// Anything viewable as an id slice — the argument type of the batch
+/// APIs, so callers can pass `Vec<TokenId>`, `&[TokenId]`, or the
+/// `Arc<Vec<TokenId>>` the pipelines share without copying.
+pub trait AsIdSlice {
+    /// The ids.
+    fn ids(&self) -> &[TokenId];
+}
+
+impl AsIdSlice for [TokenId] {
+    fn ids(&self) -> &[TokenId] {
+        self
+    }
+}
+
+impl AsIdSlice for Vec<TokenId> {
+    fn ids(&self) -> &[TokenId] {
+        self
+    }
+}
+
+impl AsIdSlice for Arc<Vec<TokenId>> {
+    fn ids(&self) -> &[TokenId] {
+        self
+    }
+}
+
+impl<T: AsIdSlice + ?Sized> AsIdSlice for &T {
+    fn ids(&self) -> &[TokenId] {
+        (**self).ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("cheap");
+        let b = i.intern("pills");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("cheap"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolve() {
+        let i = Interner::new();
+        let ids: Vec<TokenId> = (0..100).map(|k| i.intern(&format!("t{k}"))).collect();
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), k);
+            assert_eq!(&*i.resolve(*id), format!("t{k}").as_str());
+        }
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let a = Interner::new();
+        let b = a.clone();
+        let id = a.intern("shared");
+        assert_eq!(b.get("shared"), Some(id));
+        assert!(a.same_table(&b));
+        assert!(!a.same_table(&Interner::new()));
+    }
+
+    #[test]
+    fn global_is_one_table() {
+        let a = Interner::global();
+        let b = Interner::global();
+        assert!(a.same_table(&b));
+        let id = a.intern("sb-intern-global-test-token");
+        assert_eq!(b.get("sb-intern-global-test-token"), Some(id));
+    }
+
+    #[test]
+    fn intern_set_sorts_by_id_and_dedups() {
+        let i = Interner::new();
+        let set = vec!["b".to_string(), "a".to_string(), "c".to_string()];
+        let ids = i.intern_set(&set);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cmp_by_str_orders_lexicographically() {
+        let i = Interner::new();
+        let z = i.intern("zebra");
+        let a = i.intern("apple");
+        assert_eq!(i.cmp_by_str(a, z), std::cmp::Ordering::Less);
+        assert_eq!(i.cmp_by_str(z, a), std::cmp::Ordering::Greater);
+        assert_eq!(i.cmp_by_str(a, a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = Interner::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let i = i.clone();
+                scope.spawn(move || {
+                    for k in 0..500 {
+                        i.intern(&format!("tok{}", (k * 7 + t) % 300));
+                    }
+                });
+            }
+        });
+        assert_eq!(i.len(), 300);
+        for k in 0..300 {
+            let tok = format!("tok{k}");
+            let id = i.get(&tok).expect("interned");
+            assert_eq!(&*i.resolve(id), tok.as_str());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Scoped-thread parallel primitives.
+//!
+//! The workspace's parallel batch APIs (classification sweeps, RONI
+//! screening, per-epoch held-out scoring, experiment fan-out) all reduce
+//! to "map a pure function over an index range, preserve input order".
+//! These helpers implement exactly that on `std::thread::scope` — no
+//! external thread-pool dependency, no global executor, deterministic
+//! output order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Default worker count: available parallelism, at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` on up to `threads` workers, returning results in
+/// index order. Work is claimed dynamically (atomic counter), so uneven
+/// job costs balance; `f` must be deterministic per index for reproducible
+/// output.
+pub fn parallel_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker completed every claimed job"))
+            .collect()
+    })
+}
+
+/// Map `f` over contiguous chunks of `items`, in parallel, flattening the
+/// per-chunk result vectors back into input order. `f` receives
+/// `(chunk_start_index, chunk)` and must return one result per item.
+///
+/// Used where per-item work is too small to pay a channel send per item
+/// (e.g. classifying thousands of token sets): chunking amortizes the
+/// coordination to one send per chunk.
+pub fn parallel_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(items.len());
+    if threads == 1 {
+        let out = f(0, items);
+        assert_eq!(out.len(), items.len(), "chunk fn must map 1:1");
+        return out;
+    }
+    // ~4 chunks per worker balances scheduling against coordination.
+    let chunk_size = items.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(k, c)| (k * chunk_size, c))
+        .collect();
+    let results = parallel_map(chunks.len(), threads, |k| {
+        let (start, chunk) = chunks[k];
+        let out = f(start, chunk);
+        assert_eq!(out.len(), chunk.len(), "chunk fn must map 1:1");
+        out
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out = parallel_map(1000, 8, |i| i * 3);
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_single_thread_matches_multi() {
+        let a = parallel_map(57, 1, |i| i as u64 * i as u64);
+        let b = parallel_map(57, 6, |i| i as u64 * i as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_empty_is_empty() {
+        let out: Vec<u8> = parallel_map(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunks_flatten_in_order() {
+        let items: Vec<u32> = (0..997).collect();
+        let out = parallel_chunks(&items, 8, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &v)| {
+                    assert_eq!(v as usize, start + off);
+                    v * 2
+                })
+                .collect()
+        });
+        assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_single_item() {
+        let out = parallel_chunks(&[41u32], 8, |_, c| c.iter().map(|v| v + 1).collect());
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_costs_still_ordered() {
+        let out = parallel_map(64, 4, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -28,7 +28,8 @@ use sb_filter::{FilterOptions, SpamBayes, Verdict};
 use sb_stats::rng::SeedTree;
 use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use sb_intern::{FxHashMap, Interner, TokenId};
+use std::sync::Arc;
 
 /// Daily traffic volumes, organization-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -205,7 +206,11 @@ pub struct MailOrg {
     fresh_pool: Vec<LabeledEmail>,
     /// Screened, training-eligible pool (starts as the bootstrap).
     pool: Dataset,
-    mailboxes: HashMap<String, Mailbox>,
+    /// Interned token sets parallel to `pool`: tokenize once on admission,
+    /// retrain by id every week thereafter.
+    pool_ids: Vec<Arc<Vec<TokenId>>>,
+    interner: Interner,
+    mailboxes: FxHashMap<String, Mailbox>,
     ham_counter: u64,
     spam_counter: u64,
 }
@@ -234,12 +239,17 @@ impl MailOrg {
             spam_counter += 1;
         }
 
+        let tokenizer = Tokenizer::new();
+        let interner = Interner::global();
         let mut filter = SpamBayes::new();
+        let mut pool_ids: Vec<Arc<Vec<TokenId>>> = Vec::with_capacity(bootstrap.len());
         for m in bootstrap.emails() {
-            filter.train(&m.email, m.label);
+            let ids = Arc::new(interner.intern_set(&tokenizer.token_set(&m.email)));
+            filter.train_ids(&ids, m.label, 1);
+            pool_ids.push(ids);
         }
 
-        let mailboxes = cfg
+        let mailboxes: FxHashMap<String, Mailbox> = cfg
             .users
             .iter()
             .map(|u| (u.clone(), Mailbox::new()))
@@ -252,11 +262,13 @@ impl MailOrg {
             cfg,
             seeds,
             generator,
-            tokenizer: Tokenizer::new(),
+            tokenizer,
             filter: ActiveFilter::Plain(filter),
             bootstrap,
             fresh_pool: Vec::new(),
             pool,
+            pool_ids,
+            interner,
             mailboxes,
             ham_counter,
             spam_counter,
@@ -424,7 +436,18 @@ impl MailOrg {
         let fresh: Vec<LabeledEmail> = std::mem::take(&mut self.fresh_pool);
         let mut screened_out = 0usize;
 
-        // Phase 1: admission control on the fresh messages.
+        // Phase 1: admission control on the fresh messages. Each fresh
+        // message is tokenized + interned exactly once here; the id set
+        // drives screening now and every retrain afterwards.
+        let fresh_ids: Vec<Arc<Vec<TokenId>>> = fresh
+            .iter()
+            .map(|msg| {
+                Arc::new(
+                    self.interner
+                        .intern_set(&self.tokenizer.token_set(&msg.email)),
+                )
+            })
+            .collect();
         match self.cfg.defense {
             DefensePolicy::Roni | DefensePolicy::RoniPlusThreshold => {
                 let mut rng = week_seeds.child("roni").rng();
@@ -434,18 +457,20 @@ impl MailOrg {
                     FilterOptions::default(),
                     &mut rng,
                 );
-                for msg in fresh {
-                    let m = roni.measure_email(&msg.email);
+                for (msg, ids) in fresh.into_iter().zip(fresh_ids) {
+                    let m = roni.measure_ids(&ids);
                     if m.rejected {
                         screened_out += 1;
                     } else {
                         self.pool.push(msg);
+                        self.pool_ids.push(ids);
                     }
                 }
             }
             _ => {
-                for msg in fresh {
+                for (msg, ids) in fresh.into_iter().zip(fresh_ids) {
                     self.pool.push(msg);
+                    self.pool_ids.push(ids);
                 }
             }
         }
@@ -460,7 +485,8 @@ impl MailOrg {
                 .pool
                 .emails()
                 .iter()
-                .map(|m| TrainItem::new(self.tokenizer.token_set(&m.email), m.label))
+                .zip(&self.pool_ids)
+                .map(|(m, ids)| TrainItem::from_ids(Arc::clone(ids), m.label))
                 .collect();
             // RoniPlusThreshold uses the loose (g = 0.10) variant: RONI has
             // already removed the gross outliers, so the milder threshold
@@ -475,8 +501,8 @@ impl MailOrg {
             ActiveFilter::Calibrated(calibrate(&items, cfg, FilterOptions::default(), &mut rng))
         } else {
             let mut f = SpamBayes::new();
-            for m in self.pool.emails() {
-                f.train(&m.email, m.label);
+            for (m, ids) in self.pool.emails().iter().zip(&self.pool_ids) {
+                f.train_ids(ids, m.label, 1);
             }
             ActiveFilter::Plain(f)
         };

@@ -1,0 +1,367 @@
+//! Offline shim for `criterion`: the benchmarking API subset this
+//! workspace uses, measuring median wall-clock time per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SMOKE=1` — run every benchmark for a single iteration
+//!   (CI smoke: verifies the bench code paths without the measurement
+//!   cost).
+//! * `CRITERION_JSON=<path>` — append one JSON object per benchmark:
+//!   `{"id": "...", "ns_per_iter": ..., "throughput": ...}`.
+//! * `CRITERION_FILTER=<substr>` — run only benchmarks whose id contains
+//!   the substring (the positional CLI filter arg works too).
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted, ignored: the shim always
+/// times routine-only, per batch element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    /// Median nanoseconds per iteration, filled by `iter*`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm up and calibrate the per-sample iteration count.
+        let mut iters: u64 = 1;
+        let calibration_target = Duration::from_millis(40);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_target || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed < calibration_target / 16 { 8 } else { 2 };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let mut iters: u64 = 1;
+        let calibration_target = Duration::from_millis(40);
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_target || iters >= 1 << 22 {
+                break;
+            }
+            let grow = if elapsed < calibration_target / 16 { 8 } else { 2 };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Like `iter_batched`, timing element-by-element.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn filter_from_env_or_args() -> Option<String> {
+    if let Ok(f) = std::env::var("CRITERION_FILTER") {
+        return Some(f);
+    }
+    // `cargo bench -- <filter>`: first non-flag argument.
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench")
+}
+
+fn record(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter.max(1e-9);
+            format!("{:.0} elem/s", per_sec)
+        }
+        Throughput::Bytes(n) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter.max(1e-9);
+            format!("{:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+    });
+    match &rate {
+        Some(r) => println!("bench: {id:<50} {:>14.0} ns/iter  ({r})", ns_per_iter),
+        None => println!("bench: {id:<50} {:>14.0} ns/iter", ns_per_iter),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let tp = match throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{{\"id\":\"{id}\",\"ns_per_iter\":{ns_per_iter:.1}{tp}}}");
+        }
+    }
+}
+
+/// The benchmark registry/driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: filter_from_env_or_args(),
+            smoke: smoke(),
+        }
+    }
+}
+
+impl Criterion {
+    fn runs(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.runs(id) {
+            let mut b = Bencher {
+                smoke: self.smoke,
+                ns_per_iter: 0.0,
+            };
+            f(&mut b);
+            record(id, b.ns_per_iter, None);
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted and ignored (the shim sizes samples adaptively).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.parent.runs(&full) {
+            let mut b = Bencher {
+                smoke: self.parent.smoke,
+                ns_per_iter: 0.0,
+            };
+            f(&mut b);
+            record(&full, b.ns_per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.parent.runs(&full) {
+            let mut b = Bencher {
+                smoke: self.parent.smoke,
+                ns_per_iter: 0.0,
+            };
+            f(&mut b, input);
+            record(&full, b.ns_per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("CRITERION_SMOKE", "1");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        c.benchmark_group("g").bench_function("f", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+}

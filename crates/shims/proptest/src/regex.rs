@@ -1,0 +1,408 @@
+//! A tiny regex-subset *generator* (not matcher): compiles the patterns
+//! the workspace's property tests use into samplers.
+//!
+//! Supported syntax: literal chars, `[...]` classes (ranges, literal `-`
+//! at the edges, escapes), `(...)` groups with `|` alternation, the
+//! escapes `\n \t \r \\ \. \- \PC \P{C}`, and the quantifiers `{m}`,
+//! `{m,n}`, `*`, `+`, `?`. `\PC` ("not a control/unassigned char")
+//! samples from printable ASCII plus a few multilingual code points,
+//! which is the generator-side analogue the tests rely on.
+
+use super::TestRng;
+
+/// A compiled pattern: a sequence of alternatives.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    alternatives: Vec<Vec<Term>>,
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Pattern),
+}
+
+/// Printable non-control repertoire used for `\PC`: mostly ASCII, with a
+/// sprinkling of non-ASCII letters so tokenizer paths see multibyte UTF-8.
+const NOT_C_EXTRAS: &[char] = &['é', 'ü', 'ß', 'λ', 'Ж', '中', '文', '…', '€', '☂'];
+
+impl Pattern {
+    /// Draw one string matching the pattern.
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    fn sample_into(&self, rng: &mut TestRng, out: &mut String) {
+        let alt = &self.alternatives[rng.below(self.alternatives.len() as u64) as usize];
+        for term in alt {
+            let span = u64::from(term.max - term.min) + 1;
+            let n = term.min + rng.below(span) as u32;
+            for _ in 0..n {
+                match &term.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| u64::from(hi) - u64::from(lo) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let width = u64::from(hi) - u64::from(lo) + 1;
+                            if pick < width {
+                                let cp = u32::from(lo) + pick as u32;
+                                // Class ranges in this workspace never
+                                // straddle the surrogate gap.
+                                out.push(char::from_u32(cp).expect("valid scalar"));
+                                break;
+                            }
+                            pick -= width;
+                        }
+                    }
+                    Atom::Group(p) => p.sample_into(rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Compile a pattern.
+pub fn compile(pattern: &str) -> Result<Pattern, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let p = parse_alternatives(&chars, &mut pos, false)?;
+    if pos != chars.len() {
+        return Err(format!("trailing input at {pos} in {pattern:?}"));
+    }
+    Ok(p)
+}
+
+fn parse_alternatives(chars: &[char], pos: &mut usize, in_group: bool) -> Result<Pattern, String> {
+    let mut alternatives = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' if in_group => break,
+            ')' => return Err("unbalanced ')'".into()),
+            '|' => {
+                *pos += 1;
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let atom = parse_atom(chars, pos)?;
+                let (min, max) = parse_quantifier(chars, pos)?;
+                alternatives
+                    .last_mut()
+                    .expect("at least one alternative")
+                    .push(Term { atom, min, max });
+            }
+        }
+    }
+    Ok(Pattern { alternatives })
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alternatives(chars, pos, true)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err("unterminated group".into());
+            }
+            *pos += 1;
+            Ok(Atom::Group(inner))
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '\\' => {
+            *pos += 1;
+            parse_escape(chars, pos)
+        }
+        '.' => {
+            *pos += 1;
+            // Any char except newline: approximate with the \PC repertoire.
+            Ok(not_c_class())
+        }
+        c => {
+            *pos += 1;
+            Ok(Atom::Literal(c))
+        }
+    }
+}
+
+fn not_c_class() -> Atom {
+    let mut ranges = vec![(' ', '~')];
+    for &c in NOT_C_EXTRAS {
+        ranges.push((c, c));
+    }
+    Atom::Class(ranges)
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+    if *pos >= chars.len() {
+        return Err("dangling backslash".into());
+    }
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        'n' => Ok(Atom::Literal('\n')),
+        't' => Ok(Atom::Literal('\t')),
+        'r' => Ok(Atom::Literal('\r')),
+        'P' => {
+            // \PC or \P{C}: the complement of Unicode category C.
+            if *pos < chars.len() && chars[*pos] == '{' {
+                while *pos < chars.len() && chars[*pos] != '}' {
+                    *pos += 1;
+                }
+                if *pos >= chars.len() {
+                    return Err("unterminated \\P{...}".into());
+                }
+                *pos += 1;
+            } else if *pos < chars.len() {
+                *pos += 1; // single-letter category
+            } else {
+                return Err("dangling \\P".into());
+            }
+            Ok(not_c_class())
+        }
+        other => Ok(Atom::Literal(other)),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    if *pos < chars.len() && chars[*pos] == '^' {
+        return Err("negated classes are not supported by the shim".into());
+    }
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let c = match chars[*pos] {
+            '\\' => {
+                *pos += 1;
+                if *pos >= chars.len() {
+                    return Err("dangling backslash in class".into());
+                }
+                let e = chars[*pos];
+                *pos += 1;
+                match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            c => {
+                *pos += 1;
+                c
+            }
+        };
+        if c == '-' && pending.is_some() && *pos < chars.len() && chars[*pos] != ']' {
+            // Range: pending '-' next.
+            let lo = pending.take().expect("checked");
+            let hi = match chars[*pos] {
+                '\\' => {
+                    *pos += 1;
+                    if *pos >= chars.len() {
+                        return Err("dangling backslash in class".into());
+                    }
+                    let e = chars[*pos];
+                    *pos += 1;
+                    match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }
+                }
+                h => {
+                    *pos += 1;
+                    h
+                }
+            };
+            if hi < lo {
+                return Err(format!("inverted class range {lo:?}-{hi:?}"));
+            }
+            ranges.push((lo, hi));
+        } else {
+            if let Some(p) = pending.take() {
+                ranges.push((p, p));
+            }
+            pending = Some(c);
+        }
+    }
+    if let Some(p) = pending.take() {
+        ranges.push((p, p));
+    }
+    if *pos >= chars.len() {
+        return Err("unterminated class".into());
+    }
+    *pos += 1; // consume ']'
+    if ranges.is_empty() {
+        return Err("empty class".into());
+    }
+    Ok(Atom::Class(ranges))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+    if *pos >= chars.len() {
+        return Ok((1, 1));
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            Ok((0, 8))
+        }
+        '+' => {
+            *pos += 1;
+            Ok((1, 8))
+        }
+        '?' => {
+            *pos += 1;
+            Ok((0, 1))
+        }
+        '{' => {
+            *pos += 1;
+            let mut min_s = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                min_s.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min_s.parse().map_err(|_| "bad quantifier min")?;
+            let max = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut max_s = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    max_s.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if max_s.is_empty() {
+                    min.saturating_add(8) // open-ended {m,}
+                } else {
+                    max_s.parse().map_err(|_| "bad quantifier max")?
+                }
+            } else {
+                min
+            };
+            if *pos >= chars.len() || chars[*pos] != '}' {
+                return Err("unterminated quantifier".into());
+            }
+            *pos += 1;
+            if max < min {
+                return Err("inverted quantifier".into());
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("regex-tests")
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let p = compile("[a-e]{3,5}").unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            assert!((3..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_range_class() {
+        let p = compile("[ -~]{0,100}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn not_c_escape() {
+        let p = compile("\\PC{0,600}").unwrap();
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = p.sample(&mut r);
+            assert!(s.chars().count() <= 600);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_repetition() {
+        let p = compile("([a-z]{1,20} ){0,30}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            if !s.is_empty() {
+                assert!(s.ends_with(' '), "{s:?}");
+            }
+            for word in s.split_whitespace() {
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_leading_alpha() {
+        let p = compile("[A-Za-z][A-Za-z0-9-]{0,15}").unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = p.sample(&mut r);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_unicode() {
+        let p = compile("[ -~\u{00e9}\u{4e2d}\n\t]{0,40}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            for c in s.chars() {
+                assert!(
+                    (' '..='~').contains(&c) || c == '\u{00e9}' || c == '\u{4e2d}' || c == '\n' || c == '\t',
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_in_groups() {
+        let p = compile("(ab|cd)+").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.sample(&mut r);
+            assert!(!s.is_empty());
+            let mut rest = s.as_str();
+            while !rest.is_empty() {
+                let chunk = &rest[..2];
+                assert!(chunk == "ab" || chunk == "cd", "{s:?}");
+                rest = &rest[2..];
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline shim for `rand` 0.9: the trait surface this workspace uses.
+//!
+//! Guarantees: determinism per seed and correct distribution *shapes*
+//! (uniform ranges, unit-interval floats). Streams are **not**
+//! value-compatible with the real rand crate — all known-answer tests in
+//! the workspace pin the underlying generators (`sb_stats::rng`) directly,
+//! never rand adapter output.
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Re-exports mirroring the `rand::rand_core` facade.
+pub mod rand_core {
+    pub use crate::{RngCore, SeedableRng};
+
+    /// Helper implementations for `RngCore` writers.
+    pub mod impls {
+        use crate::RngCore;
+
+        /// Implement `fill_bytes` in terms of `next_u64`.
+        pub fn fill_bytes_via_next<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let last = rng.next_u64().to_le_bytes();
+                rem.copy_from_slice(&last[..rem.len()]);
+            }
+        }
+    }
+}
+
+/// Types samplable uniformly over their whole domain (stand-in for the
+/// `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types uniformly samplable on `[0, bound)`.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)`; caller guarantees `lo < hi`.
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Widening successor used to convert inclusive to exclusive bounds;
+    /// `None` when `hi` is the type maximum.
+    fn checked_succ(self) -> Option<Self>;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // < 2^-64 per draw for every span used in this workspace.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+
+            fn checked_succ(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::uniform_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        match hi.checked_succ() {
+            Some(hi1) => T::uniform_below(rng, lo, hi1),
+            None => {
+                // Full-width inclusive range: rejection-free by definition.
+                T::uniform_below(rng, lo, hi)
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// The user-facing extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw over a type's whole domain (`bool`, ints, unit-interval
+    /// floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice shuffling and choosing (subset of `rand::seq`).
+pub mod seq {
+    use crate::RngCore;
+
+    fn index_below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly choose one element; `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = index_below(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = index_below(rng, self.len());
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            rand_core::impls::fill_bytes_via_next(self, dest)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let a: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: usize = rng.random_range(0..=5);
+            assert!(b <= 5);
+            let f: f64 = rng.random_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = Lcg(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Lcg(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([5u8].choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Lcg(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

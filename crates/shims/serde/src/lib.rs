@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus re-exported no-op derives.
+//!
+//! `use serde::{Deserialize, Serialize};` resolves exactly as with the real
+//! crate (trait in the type namespace, derive macro in the macro
+//! namespace); the derives accept `#[serde(...)]` attributes and expand to
+//! nothing. See `crates/shims/README.md` for the swap-back story.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

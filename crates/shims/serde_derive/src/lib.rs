@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derives accept the same syntax as
+//! the real crate (including inert `#[serde(...)]` attributes) and expand
+//! to nothing. The workspace never serializes through serde — its on-disk
+//! formats are hand-written (see `sb_filter::persist`) — so marker-level
+//! compatibility is all that is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -23,9 +23,9 @@
 use crate::StatFilter;
 use sb_email::{Email, Label};
 use sb_filter::{Scored, Verdict};
+use sb_intern::{FxHashMap, FxHashSet, Interner, TokenId};
 use sb_tokenizer::{Tokenizer, TokenizerOptions};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Tunables of the Graham classifier (defaults per the essay).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,11 +66,15 @@ struct Occ {
 }
 
 /// The *A Plan for Spam* filter.
+///
+/// Occurrence counts are interned (process-global table) and keyed by
+/// `TokenId` in an FxHash map, like the rest of the zoo.
 #[derive(Debug, Clone)]
 pub struct GrahamFilter {
     opts: GrahamOptions,
     tokenizer: Tokenizer,
-    counts: HashMap<String, Occ>,
+    interner: Interner,
+    counts: FxHashMap<TokenId, Occ>,
     n_spam: u32,
     n_ham: u32,
 }
@@ -97,7 +101,8 @@ impl GrahamFilter {
         Self {
             opts,
             tokenizer: Tokenizer::with_options(TokenizerOptions::default()),
-            counts: HashMap::new(),
+            interner: Interner::global(),
+            counts: FxHashMap::default(),
             n_spam: 0,
             n_ham: 0,
         }
@@ -108,15 +113,29 @@ impl GrahamFilter {
         &self.opts
     }
 
-    /// Token occurrences, **not** deduplicated: Graham counts every
-    /// occurrence.
-    fn occurrences(&self, email: &Email) -> Vec<String> {
-        self.tokenizer.tokenize(email)
+    /// Token occurrences as interned ids, **not** deduplicated: Graham
+    /// counts every occurrence. Interns — used on the train path only;
+    /// classification looks tokens up read-only so probe vocabulary
+    /// cannot grow the shared table.
+    fn occurrences(&self, email: &Email) -> Vec<TokenId> {
+        self.tokenizer
+            .tokenize(email)
+            .iter()
+            .map(|t| self.interner.intern(t))
+            .collect()
     }
 
     /// The per-token spam probability p(w) of the essay.
     pub fn token_prob(&self, token: &str) -> f64 {
-        let occ = self.counts.get(token).copied().unwrap_or_default();
+        match self.interner.get(token) {
+            Some(id) => self.token_prob_id(id),
+            None => self.opts.unknown_prob,
+        }
+    }
+
+    /// The per-token spam probability from an interned id.
+    pub fn token_prob_id(&self, token: TokenId) -> f64 {
+        let occ = self.counts.get(&token).copied().unwrap_or_default();
         let total = occ.spam + occ.ham;
         if total < self.opts.min_occurrences || self.n_spam == 0 || self.n_ham == 0 {
             return self.opts.unknown_prob;
@@ -141,13 +160,19 @@ impl GrahamFilter {
     }
 
     /// The most interesting clues for a message: the `max_clues` tokens with
-    /// scores furthest from 0.5, deterministic under ties.
+    /// scores furthest from 0.5, deterministic under ties. Read-only
+    /// against the interner — never-trained tokens score
+    /// `unknown_prob` (identical to the sub-floor case) without being
+    /// interned.
     pub fn interesting_clues(&self, email: &Email) -> Vec<(String, f64)> {
         let mut seen: Vec<(String, f64)> = Vec::new();
-        let mut dedup = std::collections::HashSet::new();
-        for t in self.occurrences(email) {
+        let mut dedup: FxHashSet<String> = FxHashSet::default();
+        for t in self.tokenizer.tokenize(email) {
             if dedup.insert(t.clone()) {
-                let p = self.token_prob(&t);
+                let p = match self.interner.get(&t) {
+                    Some(id) => self.token_prob_id(id),
+                    None => self.opts.unknown_prob,
+                };
                 seen.push((t, p));
             }
         }

@@ -36,9 +36,9 @@
 use crate::StatFilter;
 use sb_email::{Email, Label};
 use sb_filter::{Scored, Verdict};
+use sb_intern::{FxHashMap, Interner, TokenId};
 use sb_tokenizer::{Tokenizer, TokenizerOptions};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Tunables of the naive Bayes baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,11 +69,16 @@ struct Occ {
 }
 
 /// The multinomial naive Bayes filter.
+///
+/// Token occurrences are interned (process-global table) and counted in an
+/// id-keyed FxHash map — the same substrate the SpamBayes learner uses, so
+/// transfer experiments share one string table across the whole zoo.
 #[derive(Debug, Clone)]
 pub struct MultinomialNb {
     opts: NbOptions,
     tokenizer: Tokenizer,
-    counts: HashMap<String, Occ>,
+    interner: Interner,
+    counts: FxHashMap<TokenId, Occ>,
     /// Total token occurrences per class.
     total_spam_tokens: u64,
     total_ham_tokens: u64,
@@ -99,7 +104,8 @@ impl MultinomialNb {
         Self {
             opts,
             tokenizer: Tokenizer::with_options(TokenizerOptions::default()),
-            counts: HashMap::new(),
+            interner: Interner::global(),
+            counts: FxHashMap::default(),
             total_spam_tokens: 0,
             total_ham_tokens: 0,
             n_spam: 0,
@@ -117,9 +123,8 @@ impl MultinomialNb {
         self.counts.len()
     }
 
-    /// `ln P(w | class)` with Laplace smoothing.
-    fn ln_likelihood(&self, token: &str, label: Label) -> f64 {
-        let occ = self.counts.get(token).copied().unwrap_or_default();
+    /// `ln P(w | class)` with Laplace smoothing, from occurrence counts.
+    fn ln_likelihood_occ(&self, occ: Occ, label: Label) -> f64 {
         let v = self.counts.len() as f64;
         let (num, den) = match label {
             Label::Spam => (occ.spam as f64, self.total_spam_tokens as f64),
@@ -128,19 +133,65 @@ impl MultinomialNb {
         ((num + self.opts.alpha) / (den + self.opts.alpha * v.max(1.0))).ln()
     }
 
-    /// The spam posterior `P(spam | E)` of a message.
+    /// `ln P(w | class)` for an interned token.
+    fn ln_likelihood(&self, token: TokenId, label: Label) -> f64 {
+        self.ln_likelihood_occ(self.counts.get(&token).copied().unwrap_or_default(), label)
+    }
+
+    /// The spam posterior `P(spam | E)` of a message. Read-only against
+    /// the interner: never-trained probe tokens fall back to the
+    /// zero-occurrence Laplace term without being interned (classifying
+    /// attacker-chosen vocabulary must not grow the shared table).
     pub fn posterior(&self, email: &Email) -> f64 {
+        let tokens = self.tokenizer.tokenize(email);
+        self.posterior_lookup(&tokens)
+    }
+
+    fn posterior_lookup(&self, tokens: &[String]) -> f64 {
         if self.n_spam == 0 || self.n_ham == 0 {
             return 0.5;
         }
-        let tokens = self.tokenizer.tokenize(email);
         if tokens.is_empty() {
             return 0.5;
         }
         let n = f64::from(self.n_spam) + f64::from(self.n_ham);
         let mut ln_spam = (f64::from(self.n_spam) / n).ln();
         let mut ln_ham = (f64::from(self.n_ham) / n).ln();
-        for t in &tokens {
+        for t in tokens {
+            let occ = self
+                .interner
+                .get(t)
+                .and_then(|id| self.counts.get(&id).copied())
+                .unwrap_or_default();
+            ln_spam += self.ln_likelihood_occ(occ, Label::Spam);
+            ln_ham += self.ln_likelihood_occ(occ, Label::Ham);
+        }
+        1.0 / (1.0 + (ln_ham - ln_spam).exp())
+    }
+
+    /// Tokenize an email into interned occurrence ids (duplicates kept —
+    /// the multinomial model counts every occurrence). Interns: use for
+    /// training and pre-interned pipelines, not per-probe classification.
+    pub fn occurrence_ids(&self, email: &Email) -> Vec<TokenId> {
+        self.tokenizer
+            .tokenize(email)
+            .iter()
+            .map(|t| self.interner.intern(t))
+            .collect()
+    }
+
+    /// The spam posterior from pre-interned occurrence ids.
+    pub fn posterior_ids(&self, ids: &[TokenId]) -> f64 {
+        if self.n_spam == 0 || self.n_ham == 0 {
+            return 0.5;
+        }
+        if ids.is_empty() {
+            return 0.5;
+        }
+        let n = f64::from(self.n_spam) + f64::from(self.n_ham);
+        let mut ln_spam = (f64::from(self.n_spam) / n).ln();
+        let mut ln_ham = (f64::from(self.n_ham) / n).ln();
+        for &t in ids {
             ln_spam += self.ln_likelihood(t, Label::Spam);
             ln_ham += self.ln_likelihood(t, Label::Ham);
         }
@@ -162,9 +213,9 @@ impl StatFilter for MultinomialNb {
         if n == 0 {
             return;
         }
-        let tokens = self.tokenizer.tokenize(email);
-        let added = (tokens.len() as u64) * u64::from(n);
-        for t in tokens {
+        let ids = self.occurrence_ids(email);
+        let added = (ids.len() as u64) * u64::from(n);
+        for t in ids {
             let occ = self.counts.entry(t).or_default();
             match label {
                 Label::Spam => occ.spam += u64::from(n),
@@ -184,7 +235,11 @@ impl StatFilter for MultinomialNb {
     }
 
     fn classify(&self, email: &Email) -> Scored {
-        let score = self.posterior(email);
+        // Tokenize once: the tokens drive both the posterior and the clue
+        // count (every token occurrence contributes in NB); lookup-only
+        // against the interner.
+        let ids = self.tokenizer.tokenize(email);
+        let score = self.posterior_lookup(&ids);
         let verdict = if score <= self.opts.ham_cutoff {
             Verdict::Ham
         } else if score > self.opts.spam_cutoff {
@@ -192,13 +247,10 @@ impl StatFilter for MultinomialNb {
         } else {
             Verdict::Unsure
         };
-        // n_clues: every token occurrence contributes in NB; report the
-        // token count for diagnostic parity with the other filters.
-        let n_clues = self.tokenizer.tokenize(email).len();
         Scored {
             score,
             verdict,
-            n_clues,
+            n_clues: ids.len(),
         }
     }
 

@@ -79,7 +79,7 @@ fn main() {
         // --- no defense ------------------------------------------------
         let mut plain = SpamBayes::new();
         for it in &items {
-            plain.train_tokens(&it.tokens, it.label, 1);
+            plain.train_ids(&it.ids, it.label, 1);
         }
         plain.train_tokens(attack_tokens, Label::Spam, n_attack);
         report(&format!("no-defense x {attack_name}"), &plain, &eval, &target_tokens);
@@ -94,7 +94,7 @@ fn main() {
         let measurement = roni.measure(attack_tokens);
         let mut defended = SpamBayes::new();
         for it in &items {
-            defended.train_tokens(&it.tokens, it.label, 1);
+            defended.train_ids(&it.ids, it.label, 1);
         }
         if !measurement.rejected {
             // RONI let the attack through (the paper's §5.1 negative result
@@ -113,11 +113,11 @@ fn main() {
 
         // --- dynamic threshold ------------------------------------------
         let mut contaminated = items.clone();
+        // One shared Arc for all copies: calibrate() groups identical
+        // attack emails by pointer to train them via one multiplicity pass.
+        let attack_ids = Arc::new(sb_filter::Interner::global().intern_set(attack_tokens));
         for _ in 0..n_attack {
-            contaminated.push(TrainItem {
-                tokens: Arc::clone(attack_tokens),
-                label: Label::Spam,
-            });
+            contaminated.push(TrainItem::from_ids(Arc::clone(&attack_ids), Label::Spam));
         }
         let cal = calibrate(
             &contaminated,

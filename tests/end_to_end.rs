@@ -100,7 +100,10 @@ fn dynamic_threshold_defends_ham_under_dictionary_attack() {
     let corpus = TrecCorpus::generate(&CorpusConfig::with_size(600, 0.5), 7);
     let tokenizer = spambayes_repro::tokenizer::Tokenizer::new();
     let attack = DictionaryAttack::new(DictionaryKind::UsenetTop(90_000));
-    let attack_tokens = std::sync::Arc::new(tokenizer.token_set(attack.prototype()));
+    let attack_ids = std::sync::Arc::new(
+        spambayes_repro::filter::Interner::global()
+            .intern_set(&tokenizer.token_set(attack.prototype())),
+    );
     let n_attack = attack_count_for_fraction(600, 0.05);
 
     let mut items: Vec<TrainItem> = corpus
@@ -109,16 +112,16 @@ fn dynamic_threshold_defends_ham_under_dictionary_attack() {
         .map(|m| TrainItem::new(tokenizer.token_set(&m.email), m.label))
         .collect();
     for _ in 0..n_attack {
-        items.push(TrainItem {
-            tokens: std::sync::Arc::clone(&attack_tokens),
-            label: Label::Spam,
-        });
+        items.push(TrainItem::from_ids(
+            std::sync::Arc::clone(&attack_ids),
+            Label::Spam,
+        ));
     }
 
     // Undefended contaminated filter loses ham…
     let mut plain = SpamBayes::new();
     for it in &items {
-        plain.train_tokens(&it.tokens, it.label, 1);
+        plain.train_ids(&it.ids, it.label, 1);
     }
     let mut plain_lost = 0;
     // …defended filter recovers most of it.
