@@ -127,19 +127,58 @@ fn bench_roni(c: &mut Criterion) {
     g.bench_function("measure_ordinary_spam_strings", |b| {
         b.iter(|| legacy.measure(&normal_tokens))
     });
-    // The interned path (what `measure` does today).
+    // The interned train → sweep → untrain path (what `measure` did
+    // between the substrate PR and the overlay PR): every candidate bumps
+    // each trial's generation twice and rebuilds its score cache. Kept
+    // in-tree behind the `train-untrain` feature as the reference path.
+    let interner = sb_filter::Interner::global();
+    let attack_ids = interner.intern_set(&attack_tokens);
+    let normal_ids = interner.intern_set(&normal_tokens);
+    g.bench_function("measure_attack_email_10k_lexicon_train_untrain", |b| {
+        b.iter(|| roni.measure_ids_train_untrain(&attack_ids).expect("exact untrain"))
+    });
+    g.bench_function("measure_ordinary_spam_train_untrain", |b| {
+        b.iter(|| roni.measure_ids_train_untrain(&normal_ids).expect("exact untrain"))
+    });
+    // The overlay path (what `measure` does today): invalidation-free,
+    // allocation-free in steady state, `&self`. Pre-interned ids, same
+    // as the train/untrain rows above.
     g.bench_function("measure_attack_email_10k_lexicon", |b| {
-        b.iter(|| roni.measure(&attack_tokens))
+        b.iter(|| roni.measure_ids(&attack_ids))
     });
     g.bench_function("measure_ordinary_spam", |b| {
-        b.iter(|| roni.measure(&normal_tokens))
+        b.iter(|| roni.measure_ids(&normal_ids))
     });
-    // Batch screening: 32 candidates screened with per-worker trial clones.
-    let interner = sb_filter::Interner::global();
+    // Fresh-vocabulary candidate (focused-attack / foreign-language
+    // shape): no validation message δ-intersects it, so the overlay
+    // reuses every cached pure-shift verdict and the measurement reduces
+    // to a membership scan. Train/untrain must re-sweep everything.
+    let fresh_ids: Vec<sb_filter::TokenId> = (0..200)
+        .map(|i| interner.intern(&format!("zz-fresh-vocab-{i}")))
+        .collect();
+    g.bench_function("measure_fresh_vocab_spam_train_untrain", |b| {
+        b.iter(|| roni.measure_ids_train_untrain(&fresh_ids).expect("exact untrain"))
+    });
+    g.bench_function("measure_fresh_vocab_spam", |b| {
+        b.iter(|| roni.measure_ids(&fresh_ids))
+    });
+    // Batch screening: 32 distinct candidates. The train/untrain row is
+    // what the pre-overlay batch did per candidate (plus, on multi-core
+    // hosts, a full per-worker clone of every trial database that the
+    // overlay row never pays); the overlay row shares the trial filters
+    // read-only and reuses per-trial scratch state across the batch.
     let candidates: Vec<Vec<sb_filter::TokenId>> = (0..32)
         .map(|k| interner.intern_set(&Tokenizer::new().token_set(&corpus.fresh_spam(k))))
         .collect();
     g.throughput(Throughput::Elements(candidates.len() as u64));
+    g.bench_function("measure_batch_32_candidates_train_untrain", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|c| roni.measure_ids_train_untrain(c).expect("exact untrain"))
+                .collect::<Vec<_>>()
+        })
+    });
     g.bench_function("measure_batch_32_candidates", |b| {
         b.iter(|| roni.measure_ids_batch(&candidates))
     });

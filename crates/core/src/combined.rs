@@ -14,9 +14,11 @@ use crate::roni::{RoniConfig, RoniDefense};
 use crate::threshold::{calibrate, CalibratedFilter, ThresholdConfig, TrainItem};
 use sb_email::{Dataset, LabeledEmail};
 use sb_filter::FilterOptions;
+use sb_intern::TokenId;
 use sb_stats::rng::Xoshiro256pp;
 use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the stacked defense.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -73,17 +75,16 @@ pub fn defend(
 ) -> CombinedOutcome {
     let tokenizer = Tokenizer::new();
 
-    // Phase 1: RONI admission control.
-    let mut roni = RoniDefense::new(cfg.roni, trusted, opts, rng);
-    let mut admitted = Vec::new();
-    let mut rejected = Vec::new();
-    for (i, msg) in candidates.iter().enumerate() {
-        if roni.measure_email(&msg.email).rejected {
-            rejected.push(i);
-        } else {
-            admitted.push(i);
-        }
-    }
+    // Phase 1: RONI admission control. Candidates are tokenized and
+    // interned once, screened in one parallel overlay sweep, and their id
+    // sets reused for calibration below.
+    let roni = RoniDefense::new(cfg.roni, trusted, opts, rng);
+    let interner = sb_intern::Interner::global();
+    let candidate_ids: Vec<Arc<Vec<TokenId>>> = candidates
+        .iter()
+        .map(|m| Arc::new(interner.intern_set(&tokenizer.token_set(&m.email))))
+        .collect();
+    let (admitted, rejected) = roni.screen_ids(&candidate_ids);
 
     // Phase 2: calibrate on trusted + admitted.
     let mut items: Vec<TrainItem> = trusted
@@ -92,8 +93,8 @@ pub fn defend(
         .map(|m| TrainItem::new(tokenizer.token_set(&m.email), m.label))
         .collect();
     for &i in &admitted {
-        items.push(TrainItem::new(
-            tokenizer.token_set(&candidates[i].email),
+        items.push(TrainItem::from_ids(
+            Arc::clone(&candidate_ids[i]),
             candidates[i].label,
         ));
     }

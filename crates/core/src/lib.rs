@@ -55,6 +55,6 @@ pub use focused::FocusedAttack;
 pub use ham_attack::HamLabelAttack;
 pub use optimal::WordKnowledge;
 pub use pipeline::{AdmitAll, EpochReport, RetrainingPipeline, RoniScreen, ScreeningPolicy};
-pub use roni::{RoniConfig, RoniDefense, RoniMeasurement};
+pub use roni::{RoniConfig, RoniDefense, RoniError, RoniMeasurement};
 pub use taxonomy::{AttackClass, Influence, Specificity, Violation};
 pub use threshold::{calibrate, CalibratedFilter, ThresholdConfig, TrainItem};

@@ -18,7 +18,11 @@
 //! Substrate notes: every message is tokenized and interned **once** on
 //! arrival — the pool stores `Arc<Vec<TokenId>>`, so the per-epoch
 //! retrain is a pure id-counting loop and held-out probes are classified
-//! through the parallel batch API. Pre-intern recurring probe sets with
+//! through the parallel batch API. Screening goes through
+//! [`ScreeningPolicy::admit_batch`], so the RONI screen measures an
+//! epoch's spam arrivals in one parallel overlay sweep (read-only against
+//! shared trial filters — no database clones, no cache invalidation).
+//! Pre-intern recurring probe sets with
 //! [`RetrainingPipeline::intern_probes`] to avoid re-tokenizing them
 //! every epoch.
 
@@ -41,6 +45,18 @@ pub trait ScreeningPolicy {
     /// `true` to admit the message (given its interned token set and
     /// training label).
     fn admit(&mut self, token_ids: &[TokenId], label: Label) -> bool;
+
+    /// Admission decisions for a whole epoch of arrivals, one per item in
+    /// order. The default preserves the sequential one-by-one semantics;
+    /// policies whose decisions are independent across candidates (RONI:
+    /// the trial splits are fixed at construction) override this to
+    /// screen the batch in parallel.
+    fn admit_batch(&mut self, items: &[(Arc<Vec<TokenId>>, Label)]) -> Vec<bool> {
+        items
+            .iter()
+            .map(|(ids, label)| self.admit(ids, *label))
+            .collect()
+    }
 }
 
 /// Admit everything (the undefended baseline).
@@ -81,6 +97,28 @@ impl ScreeningPolicy for RoniScreen {
             Label::Ham => true,
             Label::Spam => !self.roni.measure_ids(token_ids).rejected,
         }
+    }
+
+    /// Screen the spam-labeled arrivals of an epoch in one parallel
+    /// overlay sweep (`RoniDefense::measure_ids_batch`): candidate
+    /// measurement is read-only, so workers share the trial filters and
+    /// their warm score caches across the whole batch.
+    fn admit_batch(&mut self, items: &[(Arc<Vec<TokenId>>, Label)]) -> Vec<bool> {
+        let mut admit = vec![true; items.len()];
+        let spam_idx: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, label))| *label == Label::Spam)
+            .map(|(i, _)| i)
+            .collect();
+        let candidates: Vec<Arc<Vec<TokenId>>> = spam_idx
+            .iter()
+            .map(|&i| Arc::clone(&items[i].0))
+            .collect();
+        for (k, m) in self.roni.measure_ids_batch(&candidates).into_iter().enumerate() {
+            admit[spam_idx[k]] = !m.rejected;
+        }
+        admit
     }
 }
 
@@ -212,8 +250,9 @@ impl<P: ScreeningPolicy> RetrainingPipeline<P> {
     ) -> EpochReport {
         let mut admitted = 0;
         let mut vetoed = 0;
-        for (ids, label) in arrivals {
-            if self.policy.admit(ids, *label) {
+        let admits = self.policy.admit_batch(arrivals);
+        for ((ids, label), ok) in arrivals.iter().zip(admits) {
+            if ok {
                 self.pool.push((Arc::clone(ids), *label));
                 admitted += 1;
             } else {

@@ -2,9 +2,9 @@
 //!
 //! Before admitting a candidate message into the training set, measure its
 //! incremental effect: sample small train/validation splits from the clean
-//! pool, train with and without the candidate, and compare validation
-//! performance. A message whose inclusion costs many previously-correct ham
-//! classifications is rejected.
+//! pool, compare validation performance with and without the candidate, and
+//! reject messages whose inclusion costs many previously-correct ham
+//! classifications.
 //!
 //! Paper parameters (Table 1): training sets of 20, validation sets of 50,
 //! 5 independent trials; the statistic is the average decrease in
@@ -12,24 +12,47 @@
 //! costing ≥ 6.8 ham-as-ham (of 25) while non-attack spam costs ≤ 4.4 — a
 //! separable gap that a simple threshold exploits.
 //!
-//! ## Why this module is the hot path — and how the substrate pays for it
+//! ## Overlay measurement
 //!
-//! Every candidate costs `trials × (train + |val| classifications +
-//! untrain)`; a screened pipeline pays that per *arriving message* per
-//! epoch. Three layers of the interned substrate stack up here:
+//! Every candidate costs `trials × |val|` classifications; a screened
+//! pipeline pays that per *arriving message* per epoch. Candidates are
+//! measured through `sb_filter::overlay`: each trial lays a read-only
+//! [`sb_filter::OverlayDb`] — the candidate's token counts plus `NS + 1` —
+//! over its trained base and sweeps the validation set against the
+//! overlay. Compared with the train → sweep → untrain loop this
+//! measurement
 //!
-//! * the pool is tokenized **and interned once** at construction; trials
-//!   and candidates move `&[TokenId]` only;
-//! * the filter's exact `untrain` plus the generation-stamped score cache
-//!   mean each trial's validation sweep computes every distinct token's
-//!   `f(w)` once (validation messages share vocabulary heavily);
-//! * trials are independent, so [`RoniDefense::measure_ids`] fans them out
-//!   on scoped threads, and [`RoniDefense::screen_ids`] additionally
-//!   parallelizes across candidates with per-worker trial clones.
+//! * never mutates a trial's [`sb_filter::TokenDb`], so the base
+//!   generation (and its warm score cache) survives an arbitrarily long
+//!   [`RoniDefense::screen_ids`] sweep untouched;
+//! * is allocation-free in steady state: the candidate delta is built
+//!   once (a sorted-id + bitset view) and shared by every trial, and
+//!   each worker thread pools one dense score scratch plus one verdict
+//!   cache per trial (`MeasureState`), invalidated in O(1) on binding
+//!   changes;
+//! * skips whole validation messages: a message none of whose
+//!   candidate-member tokens is δ-eligible provably classifies exactly
+//!   as under the candidate-free `NS + 1` shift, so its cached verdict
+//!   is reused across all candidates with that shift;
+//! * needs only `&self`, so [`RoniDefense::measure_ids`] fans trials out
+//!   on scoped threads and [`RoniDefense::measure_ids_batch`]
+//!   parallelizes across candidates **without cloning any trial
+//!   database** (the old path cloned every trial's counts per worker);
+//! * is bit-identical to the train/untrain path — property-tested below
+//!   against [`RoniDefense::measure_ids_train_untrain`], which is kept
+//!   (behind `cfg(test)` / the `train-untrain` feature) as the
+//!   reference implementation and benchmark baseline.
+//!
+//! The substrate layers underneath still apply: the pool is tokenized and
+//! interned **once** at construction, trials and candidates move
+//! `&[TokenId]` only, and each trial's baseline sweep fills its
+//! generation-stamped score cache exactly once for the life of the
+//! evaluator.
 
 use sb_email::{Dataset, Label};
-use sb_filter::{FilterOptions, SpamBayes, Verdict};
+use sb_filter::{CandidateDelta, FilterOptions, OverlayScratch, ScoreDb, SpamBayes, Verdict};
 use sb_intern::{par, AsIdSlice, TokenId};
+use std::cell::RefCell;
 use sb_stats::rng::Xoshiro256pp;
 use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
@@ -76,17 +99,47 @@ pub struct RoniMeasurement {
     pub rejected: bool,
 }
 
+/// Error from the train/untrain measurement path: the exact untrain of a
+/// just-trained candidate failed, which means the candidate id slice was
+/// mutated mid-measurement or the trial database was corrupted. Propagated
+/// (rather than panicking) so a malformed candidate cannot take down a
+/// screening worker thread. The overlay path cannot fail: it never
+/// mutates, so there is nothing to undo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoniError {
+    /// Untraining the candidate underflowed a count; the offending trial
+    /// filter is left with the candidate still trained.
+    Untrain(sb_filter::UntrainError),
+}
+
+impl std::fmt::Display for RoniError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoniError::Untrain(e) => write!(f, "candidate measurement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoniError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoniError::Untrain(e) => Some(e),
+        }
+    }
+}
+
 /// A RONI evaluator bound to a clean email pool.
 ///
 /// Construction tokenizes + interns the pool once and fixes the `trials`
 /// (train, validation) splits, so evaluating many candidates (the
-/// experiment evaluates hundreds) amortizes all per-pool work.
+/// experiment evaluates hundreds) amortizes all per-pool work. All
+/// measurement APIs take `&self`: overlay scoring never mutates the trial
+/// filters.
 pub struct RoniDefense {
     cfg: RoniConfig,
     trials: Vec<Trial>,
 }
 
-#[derive(Clone)]
 struct Trial {
     filter: SpamBayes,
     val: Vec<(Arc<Vec<TokenId>>, Label)>,
@@ -94,20 +147,129 @@ struct Trial {
     baseline_spam_correct: usize,
 }
 
+/// Worker-local reusable measurement state for one trial: the dense
+/// overlay score scratch plus a per-validation-message verdict cache.
+///
+/// The verdict cache is the screening loop's biggest lever: a validation
+/// message containing *no* candidate token classifies identically under
+/// every candidate with the same class shift (its tokens' overlay scores
+/// depend only on the base counts and `NS + 1`), so its verdict is
+/// computed once per (trial, base state) and reused for every further
+/// candidate — only messages actually intersecting a candidate pay
+/// δ-selection and Fisher combining. Train/untrain measurement can never
+/// do this: each candidate mutates the base and invalidates everything.
+#[derive(Default)]
+struct MeasureState {
+    scratch: RefCell<OverlayScratch>,
+    verdicts: RefCell<VerdictCache>,
+}
+
+#[derive(Default)]
+struct VerdictCache {
+    /// What the cached verdicts are valid for: `(db uid, generation,
+    /// ΔNS, ΔNH)` — the same binding the overlay scratch uses.
+    key: Option<(u64, u64, u32, u32)>,
+    /// One slot per validation message, filled lazily.
+    verdicts: Vec<Option<Verdict>>,
+}
+
+impl MeasureState {
+    /// One pooled state per trial index on this thread, so bindings (and
+    /// with them the cached scores and verdicts) persist across
+    /// candidates, batch calls, and `RoniDefense` method boundaries.
+    fn thread_local_pool(n: usize) -> Vec<std::rc::Rc<MeasureState>> {
+        thread_local! {
+            static POOL: RefCell<Vec<std::rc::Rc<MeasureState>>> =
+                const { RefCell::new(Vec::new()) };
+        }
+        POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            while pool.len() < n {
+                pool.push(std::rc::Rc::new(MeasureState::default()));
+            }
+            pool[..n].to_vec()
+        })
+    }
+}
+
 impl Trial {
-    /// Measure one candidate against this trial: train, sweep the
-    /// validation set (score-cache warm within the post-train
-    /// generation), untrain exactly.
-    fn measure(&mut self, candidate: &[TokenId]) -> (f64, f64) {
+    /// Measure one candidate against this trial: lay the candidate's
+    /// overlay over the trained base and sweep the validation set. The
+    /// base database is not touched — no generation bump, no cache
+    /// invalidation — and with a reused [`MeasureState`] the sweep is
+    /// allocation-free and skips classification entirely for validation
+    /// messages the candidate does not intersect.
+    fn measure(&self, delta: &CandidateDelta, state: &MeasureState) -> (f64, f64) {
+        let overlay = delta.over_with(self.filter.db(), &state.scratch);
+        let opts = self.filter.options();
+        let db = self.filter.db();
+        let (d_spam, d_ham) = delta.class_shift();
+        let key = (db.uid(), db.generation(), d_spam, d_ham);
+        let mut cache = state.verdicts.borrow_mut();
+        if cache.key != Some(key) {
+            cache.key = Some(key);
+            cache.verdicts.clear();
+            cache.verdicts.resize(self.val.len(), None);
+        }
+
+        let strength = opts.minimum_prob_strength;
+        let mut ham_ok = 0usize;
+        let mut spam_ok = 0usize;
+        for (vi, (ids, label)) in self.val.iter().enumerate() {
+            // Exact skip rule: the candidate can only change this
+            // message's verdict through δ(E), and it can only change
+            // δ(E) through member tokens that are strength-eligible
+            // under the candidate score or under the pure-shift score
+            // (an eligible-shift member would have sat in the cached
+            // δ(E)). Members ineligible under both — e.g. the common
+            // words every message shares — leave δ(E), and hence the
+            // verdict, exactly as in the cached shift-only run.
+            let effective = ids.iter().any(|&id| {
+                delta.contains(id)
+                    && ((overlay.score_f(id, opts) - 0.5).abs() >= strength
+                        || (overlay.shift_f(id, opts) - 0.5).abs() >= strength)
+            });
+            let verdict = if effective {
+                // Candidate-dependent: classify under this overlay.
+                sb_filter::score_token_ids(ids, &overlay, opts).verdict
+            } else {
+                match cache.verdicts[vi] {
+                    Some(v) => v,
+                    None => {
+                        let v = sb_filter::score_token_ids(ids, &overlay, opts).verdict;
+                        cache.verdicts[vi] = Some(v);
+                        v
+                    }
+                }
+            };
+            match (label, verdict) {
+                (Label::Ham, Verdict::Ham) => ham_ok += 1,
+                (Label::Spam, Verdict::Spam) => spam_ok += 1,
+                _ => {}
+            }
+        }
+        (
+            self.baseline_ham_correct as f64 - ham_ok as f64,
+            self.baseline_spam_correct as f64 - spam_ok as f64,
+        )
+    }
+
+    /// The legacy measurement: train, sweep (score cache warm within the
+    /// post-train generation), untrain exactly. Kept as the reference the
+    /// overlay path is property-tested bit-identical against, and as the
+    /// benchmark baseline (`crates/bench/benches/roni_defense.rs`).
+    #[cfg(any(test, feature = "train-untrain"))]
+    fn measure_train_untrain(&mut self, candidate: &[TokenId]) -> Result<(f64, f64), RoniError> {
         self.filter.train_ids(candidate, Label::Spam, 1);
-        let (ham_after, spam_after) = correct_counts(&self.filter, &self.val);
+        let (ham_after, spam_after) =
+            correct_counts(self.filter.db(), self.filter.options(), &self.val);
         self.filter
             .untrain_ids(candidate, Label::Spam, 1)
-            .expect("untrain of just-trained candidate cannot fail");
-        (
+            .map_err(RoniError::Untrain)?;
+        Ok((
             self.baseline_ham_correct as f64 - ham_after as f64,
             self.baseline_spam_correct as f64 - spam_after as f64,
-        )
+        ))
     }
 }
 
@@ -158,7 +320,11 @@ impl RoniDefense {
                     .iter()
                     .map(|&i| tokenized[i].clone())
                     .collect();
-                let (baseline_ham_correct, baseline_spam_correct) = correct_counts(&filter, &val);
+                // This baseline sweep is the *only* time a trial's score
+                // cache is filled; every later overlay measurement reads
+                // through it without invalidating.
+                let (baseline_ham_correct, baseline_spam_correct) =
+                    correct_counts(filter.db(), filter.options(), &val);
                 Trial {
                     filter,
                     val,
@@ -175,24 +341,39 @@ impl RoniDefense {
         &self.cfg
     }
 
+    /// The score-cache generation of each trial's base database —
+    /// diagnostics for the overlay invariant: any amount of candidate
+    /// measurement must leave these unchanged.
+    pub fn trial_generations(&self) -> Vec<u64> {
+        self.trials.iter().map(|t| t.filter.db().generation()).collect()
+    }
+
     /// Measure one candidate given as a token set (interned internally;
     /// candidates are always trained as spam per the contamination
     /// assumption, §2.2).
-    pub fn measure(&mut self, candidate_tokens: &[String]) -> RoniMeasurement {
+    pub fn measure(&self, candidate_tokens: &[String]) -> RoniMeasurement {
         let ids = sb_intern::Interner::global().intern_set(candidate_tokens);
         self.measure_ids(&ids)
     }
 
     /// Measure one pre-interned candidate, fanning the independent trials
     /// out on scoped threads (sequential on single-core hosts, where
-    /// spawning would be pure overhead).
-    pub fn measure_ids(&mut self, candidate: &[TokenId]) -> RoniMeasurement {
+    /// spawning would be pure overhead). The candidate delta is built once
+    /// and shared by every trial; each trial lays its own overlay over it.
+    pub fn measure_ids(&self, candidate: &[TokenId]) -> RoniMeasurement {
+        let delta = CandidateDelta::spam_candidate(candidate);
         let deltas: Vec<(f64, f64)> = if self.trials.len() > 1 && par::default_threads() > 1 {
             std::thread::scope(|scope| {
+                let delta = &delta;
                 let handles: Vec<_> = self
                     .trials
-                    .iter_mut()
-                    .map(|trial| scope.spawn(move || trial.measure(candidate)))
+                    .iter()
+                    .map(|trial| {
+                        scope.spawn(move || {
+                            let state = MeasureState::thread_local_pool(1);
+                            trial.measure(delta, &state[0])
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -200,28 +381,52 @@ impl RoniDefense {
                     .collect()
             })
         } else {
+            // One pooled state per trial: state `i` always pairs with
+            // trial `i`, so its binding — and its memoized scores and
+            // verdicts — hold across repeated measurements on this
+            // thread.
+            let states = MeasureState::thread_local_pool(self.trials.len());
             self.trials
-                .iter_mut()
-                .map(|t| t.measure(candidate))
+                .iter()
+                .zip(&states)
+                .map(|(t, s)| t.measure(&delta, s))
                 .collect()
         };
         measurement_from_deltas(deltas, self.cfg.reject_threshold)
     }
 
+    /// Measure one pre-interned candidate through the legacy train →
+    /// sweep → untrain loop. The overlay path is property-tested
+    /// bit-identical to this; it exists for that test and for the
+    /// overlay-vs-train/untrain benchmark comparison.
+    #[cfg(any(test, feature = "train-untrain"))]
+    pub fn measure_ids_train_untrain(
+        &mut self,
+        candidate: &[TokenId],
+    ) -> Result<RoniMeasurement, RoniError> {
+        let deltas: Result<Vec<(f64, f64)>, RoniError> = self
+            .trials
+            .iter_mut()
+            .map(|t| t.measure_train_untrain(candidate))
+            .collect();
+        Ok(measurement_from_deltas(deltas?, self.cfg.reject_threshold))
+    }
+
     /// Measure a candidate given as an email.
-    pub fn measure_email(&mut self, email: &sb_email::Email) -> RoniMeasurement {
+    pub fn measure_email(&self, email: &sb_email::Email) -> RoniMeasurement {
         let set = Tokenizer::new().token_set(email);
         self.measure(&set)
     }
 
-    /// Measure a batch of pre-interned candidates in parallel: each
-    /// worker clones the trial set once and streams its contiguous share
-    /// of candidates through it, so the cost per candidate stays
-    /// `trials × (train + sweep + untrain)` while the wall clock divides
-    /// by the worker count. On a single-core host no clone is made at
-    /// all.
+    /// Measure a batch of pre-interned candidates in parallel. Overlay
+    /// measurement is read-only, so every worker shares the same trial
+    /// set — no per-worker database clones (the pre-overlay cost was one
+    /// O(vocabulary) counts copy plus a cold score cache per trial per
+    /// worker). Each candidate's delta is built once for all trials, and
+    /// each worker reuses one dense scratch memo across its whole share
+    /// of the batch, so steady-state screening does not allocate.
     pub fn measure_ids_batch(
-        &mut self,
+        &self,
         candidates: &[impl AsIdSlice + Sync],
     ) -> Vec<RoniMeasurement> {
         if candidates.is_empty() {
@@ -229,34 +434,26 @@ impl RoniDefense {
         }
         let threads = par::default_threads().min(candidates.len());
         let threshold = self.cfg.reject_threshold;
-        if threads == 1 {
-            // Single worker: reuse the live trials directly, no clone.
-            return candidates
-                .iter()
-                .map(|cand| {
-                    let deltas: Vec<(f64, f64)> = self
-                        .trials
-                        .iter_mut()
-                        .map(|t| t.measure(cand.ids()))
-                        .collect();
-                    measurement_from_deltas(deltas, threshold)
-                })
-                .collect();
-        }
-        // Exactly one contiguous chunk per worker, so the trial-set clone
-        // (O(vocabulary) counts + cold score cache per trial) is paid per
-        // worker, not per candidate.
-        let trials = &self.trials;
+        // One contiguous chunk per worker: the scratch memo is per-chunk
+        // state, claimed per (candidate, trial) overlay by epoch bumps.
         let chunk_size = candidates.len().div_ceil(threads);
         let chunks: Vec<&[_]> = candidates.chunks(chunk_size).collect();
         let per_chunk = par::parallel_map(chunks.len(), threads, |k| {
-            let mut local: Vec<Trial> = trials.to_vec();
+            // Per-worker, per-trial states: trial `i`'s binding stays
+            // constant across the worker's whole chunk, so after the
+            // first candidate every non-candidate token scores from warm
+            // slots and every untouched validation message reuses its
+            // cached verdict outright.
+            let states = MeasureState::thread_local_pool(self.trials.len());
             chunks[k]
                 .iter()
                 .map(|cand| {
-                    let deltas: Vec<(f64, f64)> = local
-                        .iter_mut()
-                        .map(|t| t.measure(cand.ids()))
+                    let delta = CandidateDelta::spam_candidate(cand.ids());
+                    let deltas: Vec<(f64, f64)> = self
+                        .trials
+                        .iter()
+                        .zip(&states)
+                        .map(|(t, s)| t.measure(&delta, s))
                         .collect();
                     measurement_from_deltas(deltas, threshold)
                 })
@@ -266,16 +463,17 @@ impl RoniDefense {
     }
 
     /// Screen a list of candidates; returns `(kept, rejected)` index lists.
-    pub fn screen(&mut self, candidates: &[Vec<String>]) -> (Vec<usize>, Vec<usize>) {
+    pub fn screen(&self, candidates: &[Vec<String>]) -> (Vec<usize>, Vec<usize>) {
         let interner = sb_intern::Interner::global();
         let ids: Vec<Vec<TokenId>> = candidates.iter().map(|c| interner.intern_set(c)).collect();
         self.screen_ids(&ids)
     }
 
     /// Screen pre-interned candidates in parallel; returns `(kept,
-    /// rejected)` index lists.
+    /// rejected)` index lists. The trial databases' generations are
+    /// unchanged afterwards, however long the sweep.
     pub fn screen_ids(
-        &mut self,
+        &self,
         candidates: &[impl AsIdSlice + Sync],
     ) -> (Vec<usize>, Vec<usize>) {
         let measurements = self.measure_ids_batch(candidates);
@@ -303,14 +501,19 @@ fn measurement_from_deltas(deltas: Vec<(f64, f64)>, threshold: f64) -> RoniMeasu
     }
 }
 
-/// Count validation messages classified correctly, per class. `Unsure`
-/// counts as incorrect for both classes (§2.1: unsure ham is nearly as bad
-/// as misfiled ham).
-fn correct_counts(filter: &SpamBayes, val: &[(Arc<Vec<TokenId>>, Label)]) -> (usize, usize) {
+/// Count validation messages classified correctly, per class, against any
+/// score source — a trial's trained [`sb_filter::TokenDb`] (baselines) or
+/// a candidate overlay (measurements). `Unsure` counts as incorrect for
+/// both classes (§2.1: unsure ham is nearly as bad as misfiled ham).
+fn correct_counts<D: ScoreDb>(
+    db: &D,
+    opts: &FilterOptions,
+    val: &[(Arc<Vec<TokenId>>, Label)],
+) -> (usize, usize) {
     let mut ham_ok = 0;
     let mut spam_ok = 0;
     for (ids, label) in val {
-        let v = filter.classify_ids(ids).verdict;
+        let v = sb_filter::score_token_ids(ids, db, opts).verdict;
         match (label, v) {
             (Label::Ham, Verdict::Ham) => ham_ok += 1,
             (Label::Spam, Verdict::Spam) => spam_ok += 1,
@@ -323,6 +526,7 @@ fn correct_counts(filter: &SpamBayes, val: &[(Arc<Vec<TokenId>>, Label)]) -> (us
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use sb_corpus::{CorpusConfig, TrecCorpus};
 
     fn pool() -> Dataset {
@@ -335,7 +539,7 @@ mod tests {
     fn dictionary_attack_email_is_rejected_normal_spam_is_not() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(1);
-        let mut roni =
+        let roni =
             RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
 
         // A (truncated, for test speed) dictionary-attack email.
@@ -370,19 +574,52 @@ mod tests {
     fn measure_is_side_effect_free() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(2);
-        let mut roni =
+        let roni =
             RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
         let candidate: Vec<String> = (0..50).map(|i| format!("cand{i}")).collect();
         let a = roni.measure(&candidate);
         let b = roni.measure(&candidate);
-        assert_eq!(a, b, "repeated measurement must be identical (untrain exactness)");
+        assert_eq!(a, b, "repeated measurement must be identical");
+    }
+
+    /// The overlay invariant of the PR: measuring and screening never
+    /// bump any trial database's generation.
+    #[test]
+    fn screening_leaves_base_generations_unchanged() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(8);
+        let roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let generations = roni.trial_generations();
+
+        let attack = crate::dictionary::DictionaryAttack::new(
+            crate::dictionary::DictionaryKind::UsenetTop(10_000),
+        );
+        let interner = sb_intern::Interner::global();
+        let mut candidates: Vec<Vec<TokenId>> = (0..8)
+            .map(|k| {
+                let words: Vec<String> = (0..40).map(|i| format!("gen{k}w{i}")).collect();
+                interner.intern_set(&words)
+            })
+            .collect();
+        candidates
+            .push(interner.intern_set(&Tokenizer::new().token_set(attack.prototype())));
+
+        let _ = roni.measure_ids(&candidates[0]);
+        let (kept, rejected) = roni.screen_ids(&candidates);
+        assert_eq!(kept.len() + rejected.len(), candidates.len());
+        assert_eq!(
+            roni.trial_generations(),
+            generations,
+            "screening invalidated a trial's score cache"
+        );
     }
 
     #[test]
     fn screen_partitions_candidates() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(3);
-        let mut roni =
+        let roni =
             RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
         let attack = crate::dictionary::DictionaryAttack::new(
             crate::dictionary::DictionaryKind::UsenetTop(10_000),
@@ -398,7 +635,7 @@ mod tests {
     fn batch_measurement_matches_sequential() {
         let pool = pool();
         let mut rng = Xoshiro256pp::new(9);
-        let mut roni =
+        let roni =
             RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
         let interner = sb_intern::Interner::global();
         let candidates: Vec<Vec<TokenId>> = (0..6)
@@ -414,11 +651,103 @@ mod tests {
     }
 
     #[test]
+    fn train_untrain_path_matches_overlay_on_attack_email() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(10);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let attack = crate::dictionary::DictionaryAttack::new(
+            crate::dictionary::DictionaryKind::UsenetTop(10_000),
+        );
+        let ids = sb_intern::Interner::global()
+            .intern_set(&Tokenizer::new().token_set(attack.prototype()));
+        let via_overlay = roni.measure_ids(&ids);
+        let via_tu = roni.measure_ids_train_untrain(&ids).unwrap();
+        assert_eq!(via_overlay, via_tu);
+    }
+
+    proptest! {
+        /// The tentpole equivalence: for arbitrary candidate token sets
+        /// (fresh vocabulary, pool vocabulary, or a mix), overlay
+        /// measurement is bit-identical — per trial, per statistic — to
+        /// the train → sweep → untrain reference path.
+        #[test]
+        fn overlay_measure_is_bit_identical_to_train_untrain(
+            words in proptest::collection::btree_set("[a-h]{2,6}", 0..40),
+            from_pool in 0usize..40,
+            seed in 1u64..500,
+        ) {
+            let cfg = RoniConfig {
+                train_size: 10,
+                val_size: 20,
+                trials: 3,
+                reject_threshold: 5.1,
+            };
+            let corpus = TrecCorpus::generate(&CorpusConfig::with_size(60, 0.5), 31);
+            let pool = corpus.dataset().clone();
+            let mut rng = Xoshiro256pp::new(seed);
+            let mut roni =
+                RoniDefense::new(cfg, &pool, FilterOptions::default(), &mut rng);
+            // Candidates mix fresh vocabulary with real pool vocabulary,
+            // so the equivalence is exercised across the verdict-cache
+            // skip rule's whole range: untouched messages, messages
+            // touched only by δ-ineligible members, and messages whose
+            // members force a full rescore.
+            let mut candidate: Vec<String> = words.into_iter().collect();
+            candidate.extend(
+                Tokenizer::new()
+                    .token_set(&pool.emails()[seed as usize % pool.len()].email)
+                    .into_iter()
+                    .take(from_pool),
+            );
+            candidate.sort_unstable();
+            candidate.dedup();
+            let ids = sb_intern::Interner::global().intern_set(&candidate);
+
+            let via_overlay = roni.measure_ids(&ids);
+            let via_tu = roni.measure_ids_train_untrain(&ids).unwrap();
+
+            prop_assert_eq!(
+                via_overlay.mean_ham_impact.to_bits(),
+                via_tu.mean_ham_impact.to_bits(),
+                "mean impact diverged: {} vs {}",
+                via_overlay.mean_ham_impact,
+                via_tu.mean_ham_impact
+            );
+            for (a, b) in via_overlay
+                .ham_correct_deltas
+                .iter()
+                .zip(&via_tu.ham_correct_deltas)
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "ham delta diverged");
+            }
+            for (a, b) in via_overlay
+                .spam_correct_deltas
+                .iter()
+                .zip(&via_tu.spam_correct_deltas)
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "spam delta diverged");
+            }
+            prop_assert_eq!(via_overlay.rejected, via_tu.rejected);
+        }
+    }
+
+    #[test]
     fn config_default_matches_table1() {
         let c = RoniConfig::default();
         assert_eq!(c.train_size, 20);
         assert_eq!(c.val_size, 50);
         assert_eq!(c.trials, 5);
+    }
+
+    #[test]
+    fn roni_error_display_carries_token() {
+        let err = RoniError::Untrain(sb_filter::UntrainError {
+            token: Some("poison".into()),
+        });
+        let msg = err.to_string();
+        assert!(msg.contains("poison"), "message: {msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -147,17 +147,26 @@ pub fn calibrate(
         filter.train_ids(&items[i].ids, items[i].label, count);
     }
 
-    // Score the validation half, memoizing by shared token set: identical
-    // instances get identical scores, and g(t) counts each instance.
-    let mut score_cache: FxHashMap<*const Vec<TokenId>, f64> = FxHashMap::default();
+    // Score the validation half: deduplicate by shared token set
+    // (identical attack instances score once and count per instance in
+    // g(t)), then classify the distinct sets through the parallel batch
+    // API — the score cache shares each token's f(w) across workers.
+    let mut uniq: Vec<Arc<Vec<TokenId>>> = Vec::new();
+    let mut slot_of: FxHashMap<*const Vec<TokenId>, usize> = FxHashMap::default();
+    for &i in &val_half {
+        slot_of
+            .entry(Arc::as_ptr(&items[i].ids))
+            .or_insert_with(|| {
+                uniq.push(Arc::clone(&items[i].ids));
+                uniq.len() - 1
+            });
+    }
+    let uniq_scores = filter.classify_ids_batch(&uniq);
     let mut scored: Vec<(f64, Label)> = val_half
         .iter()
         .map(|&i| {
-            let ptr = Arc::as_ptr(&items[i].ids);
-            let score = *score_cache
-                .entry(ptr)
-                .or_insert_with(|| filter.classify_ids(&items[i].ids).score);
-            (score, items[i].label)
+            let slot = slot_of[&Arc::as_ptr(&items[i].ids)];
+            (uniq_scores[slot].score, items[i].label)
         })
         .collect();
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));

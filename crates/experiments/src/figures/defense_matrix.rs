@@ -170,21 +170,23 @@ fn train_defended(
             (Defended::Plain(f), 0, 0)
         }
         MatrixDefense::Roni => {
-            let mut roni = RoniDefense::new(RoniConfig::default(), trusted, opts, rng);
+            let roni = RoniDefense::new(RoniConfig::default(), trusted, opts, rng);
             let mut f = SpamBayes::new();
             for m in trusted.emails() {
                 f.train(&m.email, m.label);
             }
-            let (mut out, mut out_atk) = (0usize, 0usize);
-            for (i, m) in candidates.iter().enumerate() {
-                if roni.measure_email(&m.email).rejected {
-                    out += 1;
-                    if is_attack[i] {
-                        out_atk += 1;
-                    }
-                } else {
-                    f.train(&m.email, m.label);
-                }
+            // Tokenize + intern each candidate once; one parallel overlay
+            // screening sweep, then the kept ids train directly.
+            let interner = f.interner().clone();
+            let candidate_ids: Vec<Vec<sb_intern::TokenId>> = candidates
+                .iter()
+                .map(|m| interner.intern_set(&tokenizer.token_set(&m.email)))
+                .collect();
+            let (kept, rejected) = roni.screen_ids(&candidate_ids);
+            let out_atk = rejected.iter().filter(|&&i| is_attack[i]).count();
+            let out = rejected.len();
+            for &i in &kept {
+                f.train_ids(&candidate_ids[i], candidates[i].label, 1);
             }
             (Defended::Plain(f), out, out_atk)
         }

@@ -90,7 +90,10 @@ pub fn run(cfg: &RoniExperimentConfig, threads: usize) -> RoniResult {
     let per_rep: Vec<(Vec<(f64, bool)>, Vec<(f64, bool)>)> =
         parallel_map(cfg.reps_per_variant, threads, |rep| {
             let rep_seeds = seeds.child("rep").index(rep as u64);
-            let mut roni = RoniDefense::new(
+            // Overlay measurement is read-only (`&self`), so one
+            // evaluator serves the variant sweep and the non-attack
+            // control without its trial caches ever being invalidated.
+            let roni = RoniDefense::new(
                 roni_cfg,
                 corpus.dataset(),
                 FilterOptions::default(),

@@ -101,7 +101,10 @@ where
     sb_intern::par::parallel_map(n, threads, f)
 }
 
-/// Default worker count: physical parallelism, at least 1.
+/// Default worker count: physical parallelism, at least 1. Honors the
+/// `SB_THREADS` override (see `sb_intern::par::default_threads`) — CI's
+/// single-threaded job sets `SB_THREADS=1` to force every experiment
+/// fan-out onto the sequential single-core path.
 pub fn default_threads() -> usize {
     sb_intern::par::default_threads()
 }

@@ -14,7 +14,7 @@
 //! message with no significant tokens scores exactly 0.5 (unsure), matching
 //! SpamBayes.
 
-use crate::db::TokenDb;
+use crate::db::{ScoreDb, TokenDb};
 use crate::options::FilterOptions;
 use crate::score::token_score;
 use sb_intern::TokenId;
@@ -138,19 +138,20 @@ pub fn score_token_set(token_set: &[String], db: &TokenDb, opts: &FilterOptions)
     }
 }
 
-/// Select δ(E) over interned ids, using the database's generation-stamped
-/// score cache. Returns `(id, f(w))` pairs in the same order as
-/// [`select_delta`]: distance from 0.5 descending, ties broken by the
-/// *resolved token string* ascending — never by raw id, which would leak
-/// interning order into classification results.
-pub fn select_delta_ids(
+/// Select δ(E) over interned ids against any [`ScoreDb`] — the trained
+/// [`TokenDb`] (generation-stamped score cache) or a candidate
+/// [`crate::overlay::OverlayDb`]. Returns `(id, f(w))` pairs in the same
+/// order as [`select_delta`]: distance from 0.5 descending, ties broken by
+/// the *resolved token string* ascending — never by raw id, which would
+/// leak interning order into classification results.
+pub fn select_delta_ids<D: ScoreDb + ?Sized>(
     ids: &[TokenId],
-    db: &TokenDb,
+    db: &D,
     opts: &FilterOptions,
 ) -> Vec<(TokenId, f64)> {
     let mut candidates: Vec<(TokenId, f64)> = ids
         .iter()
-        .map(|&id| (id, db.cached_f(id, opts)))
+        .map(|&id| (id, db.score_f(id, opts)))
         .filter(|(_, f)| (f - 0.5).abs() >= opts.minimum_prob_strength)
         .collect();
     // One lock acquisition for the whole sort: tie-breaks resolve
@@ -168,8 +169,8 @@ pub fn select_delta_ids(
 }
 
 /// Fisher-combine the selected clues (the ID fast path: `ln` values come
-/// from the per-generation cache, paid only for δ(E) survivors).
-fn fisher_score_cached(delta: &[(TokenId, f64)], db: &TokenDb) -> f64 {
+/// from the source's cache/memo, paid only for δ(E) survivors).
+fn fisher_score_cached<D: ScoreDb + ?Sized>(delta: &[(TokenId, f64)], db: &D) -> f64 {
     let n = delta.len();
     if n == 0 {
         return 0.5;
@@ -177,7 +178,7 @@ fn fisher_score_cached(delta: &[(TokenId, f64)], db: &TokenDb) -> f64 {
     let mut sum_ln_f = 0.0f64;
     let mut sum_ln_1mf = 0.0f64;
     for &(id, f) in delta {
-        let (ln_f, ln_1mf) = db.cached_lns(id, f);
+        let (ln_f, ln_1mf) = db.score_lns(id, f);
         sum_ln_f += ln_f;
         sum_ln_1mf += ln_1mf;
     }
@@ -186,11 +187,13 @@ fn fisher_score_cached(delta: &[(TokenId, f64)], db: &TokenDb) -> f64 {
     (1.0 + h - s) / 2.0
 }
 
-/// Score an interned (deduplicated) id set: δ-selection over the cached
-/// score table followed by Fisher combining. Bit-identical to
-/// [`score_token_set`] on the equivalent string set (property-tested in
-/// `tests/prop_intern.rs`).
-pub fn score_token_ids(ids: &[TokenId], db: &TokenDb, opts: &FilterOptions) -> Scored {
+/// Score an interned (deduplicated) id set against any [`ScoreDb`]:
+/// δ-selection over the source's scores followed by Fisher combining.
+/// On a [`TokenDb`] this is bit-identical to [`score_token_set`] on the
+/// equivalent string set (property-tested in `tests/prop_intern.rs`); on
+/// an overlay it is bit-identical to scoring after training the overlay's
+/// candidate (property-tested in `sb-core::roni`).
+pub fn score_token_ids<D: ScoreDb + ?Sized>(ids: &[TokenId], db: &D, opts: &FilterOptions) -> Scored {
     let delta = select_delta_ids(ids, db, opts);
     let score = fisher_score_cached(&delta, db);
     Scored {
@@ -202,9 +205,9 @@ pub fn score_token_ids(ids: &[TokenId], db: &TokenDb, opts: &FilterOptions) -> S
 
 /// Like [`score_token_ids`] but also returns the clues (resolved back to
 /// strings), most significant first.
-pub fn score_token_ids_with_clues(
+pub fn score_token_ids_with_clues<D: ScoreDb + ?Sized>(
     ids: &[TokenId],
-    db: &TokenDb,
+    db: &D,
     opts: &FilterOptions,
 ) -> (Scored, Vec<Clue>) {
     let delta = select_delta_ids(ids, db, opts);

@@ -96,6 +96,34 @@ impl std::fmt::Display for UntrainError {
 
 impl std::error::Error for UntrainError {}
 
+/// Read-only access to per-token scores — the scoring substrate that
+/// [`crate::classify::score_token_ids`] (and therefore
+/// `SpamBayes::classify_ids`) is generic over.
+///
+/// Two implementations exist:
+///
+/// * [`TokenDb`] — the trained counts, backed by the generation-stamped
+///   score cache;
+/// * [`crate::overlay::OverlayDb`] — a borrowed base plus a candidate
+///   delta (`counts + candidate, NS + 1`), used by the RONI defense to
+///   measure candidates without mutating (or invalidating) the base.
+///
+/// Implementations must be pure in their underlying counts: repeated
+/// lookups of the same id under the same options return bit-identical
+/// values.
+pub trait ScoreDb {
+    /// The interner ids resolve against (used for the deterministic
+    /// string-order tie-breaks in δ(E) selection).
+    fn interner(&self) -> &Interner;
+
+    /// The smoothed token score `f(w)` (Eq. 2) under `opts`.
+    fn score_f(&self, id: TokenId, opts: &FilterOptions) -> f64;
+
+    /// The `(ln f, ln(1 − f))` pair for a token whose `f` is already
+    /// known from [`ScoreDb::score_f`]. Called only for δ(E) survivors.
+    fn score_lns(&self, id: TokenId, f: f64) -> (f64, f64);
+}
+
 /// One cache slot: a generation stamp for `f(w)` and a separate stamp for
 /// the `ln` pair. The split matters: δ(E) selection needs `f` for *every*
 /// probe token, but Fisher combining needs `ln f` / `ln(1 − f)` only for
@@ -139,8 +167,13 @@ pub struct TokenDb {
     distinct: usize,
     /// Mutation counter driving cache invalidation (starts at 1).
     generation: u64,
+    /// Process-unique instance identity (see [`TokenDb::uid`]).
+    uid: u64,
     cache: Vec<ScoreSlot>,
 }
+
+/// Next value for [`TokenDb::uid`]; starts at 1 so 0 can mean "unbound".
+static NEXT_DB_UID: AtomicU64 = AtomicU64::new(1);
 
 impl Default for TokenDb {
     fn default() -> Self {
@@ -157,6 +190,9 @@ impl Clone for TokenDb {
             counts: self.counts.clone(),
             distinct: self.distinct,
             generation: self.generation,
+            // A clone is a distinct instance: same (uid, generation) must
+            // never describe two databases whose counts can diverge.
+            uid: NEXT_DB_UID.fetch_add(1, Ordering::Relaxed),
             // Fresh, unfilled cache: stamps of 0 never match a generation.
             cache: (0..self.counts.len()).map(|_| ScoreSlot::default()).collect(),
         }
@@ -179,6 +215,7 @@ impl TokenDb {
             counts: Vec::new(),
             distinct: 0,
             generation: 1,
+            uid: NEXT_DB_UID.fetch_add(1, Ordering::Relaxed),
             cache: Vec::new(),
         }
     }
@@ -213,12 +250,57 @@ impl TokenDb {
         self.generation
     }
 
+    /// A process-unique identity for this database *instance* (clones get
+    /// fresh uids). `(uid, generation)` therefore pins an exact counts
+    /// state, which is what `overlay::OverlayScratch` binds its memoized
+    /// scores to so they can outlive a single overlay.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
     /// Drop every cached score by advancing the generation. Counts are
     /// untouched. Callers must invoke this when anything *outside* the
     /// counts that scores depend on changes — i.e. the `FilterOptions`
-    /// (see `SpamBayes::set_options`).
+    /// (see `SpamBayes::set_options`), or after a bulk load that bypassed
+    /// the training APIs (see `persist::load_db_into`).
     pub fn invalidate_cache(&mut self) {
         self.bump_generation();
+    }
+
+    /// Remove every count and trained message, keeping the interner
+    /// handle, count/cache allocations, and invalidating all cached
+    /// scores. The reload entry point: `persist::load_db_into` clears a
+    /// warm database before replaying a dump into it.
+    pub fn clear(&mut self) {
+        self.bump_generation();
+        self.n_spam = 0;
+        self.n_ham = 0;
+        self.distinct = 0;
+        self.counts.fill(TokenCounts::default());
+    }
+
+    /// Bulk-set the per-class message counts during a load. Does **not**
+    /// bump the generation — the loader invalidates once at the end, not
+    /// per row.
+    pub(crate) fn set_message_counts_for_load(&mut self, n_spam: u32, n_ham: u32) {
+        self.n_spam = n_spam;
+        self.n_ham = n_ham;
+    }
+
+    /// Bulk-add one token's counts during a load (additive, matching the
+    /// training semantics for duplicate dump rows). Does **not** bump the
+    /// generation — see [`TokenDb::set_message_counts_for_load`].
+    pub(crate) fn add_counts_for_load(&mut self, id: TokenId, counts: TokenCounts) {
+        if counts.is_zero() {
+            return;
+        }
+        self.ensure_capacity(id);
+        let entry = &mut self.counts[id.index()];
+        if entry.is_zero() {
+            self.distinct += 1;
+        }
+        entry.spam += counts.spam;
+        entry.ham += counts.ham;
     }
 
     /// Counts for a token id (zero if unseen).
@@ -487,11 +569,26 @@ impl TokenDb {
     }
 }
 
+impl ScoreDb for TokenDb {
+    fn interner(&self) -> &Interner {
+        TokenDb::interner(self)
+    }
+
+    fn score_f(&self, id: TokenId, opts: &FilterOptions) -> f64 {
+        self.cached_f(id, opts)
+    }
+
+    fn score_lns(&self, id: TokenId, f: f64) -> (f64, f64) {
+        self.cached_lns(id, f)
+    }
+}
+
 /// The `ln` pair of a token score, applying the same clamp Fisher
 /// combining uses so cached values are bit-identical to the legacy
-/// `fisher_score` path.
+/// `fisher_score` path (and to the overlay path, which shares this
+/// function).
 #[inline]
-fn ln_pair(f: f64) -> (f64, f64) {
+pub(crate) fn ln_pair(f: f64) -> (f64, f64) {
     let fc = f.clamp(1e-12, 1.0 - 1e-12);
     (fc.ln(), (1.0 - fc).ln())
 }

@@ -30,6 +30,10 @@
 //!   score cache; the string APIs are thin interning wrappers, and the
 //!   ID paths ([`SpamBayes::classify_ids`], [`SpamBayes::classify_ids_batch`])
 //!   are property-tested bit-identical to the legacy string scoring.
+//! * **Overlay scoring** — ID scoring is generic over [`ScoreDb`]; an
+//!   [`OverlayDb`] lays a candidate's [`CandidateDelta`] over a borrowed
+//!   database to score "as if trained" without mutating it, which is what
+//!   makes RONI candidate measurement invalidation-free (see [`overlay`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod classify;
 pub mod classifier;
 pub mod db;
 pub mod options;
+pub mod overlay;
 pub mod persist;
 pub mod score;
 
@@ -46,7 +51,8 @@ pub use classify::{
     verdict_for, Clue, Scored, Verdict,
 };
 pub use classifier::SpamBayes;
-pub use db::{CachedScore, TokenCounts, TokenDb, UntrainError};
+pub use db::{CachedScore, ScoreDb, TokenCounts, TokenDb, UntrainError};
 pub use options::FilterOptions;
-pub use persist::{load_db, save_db, PersistError};
+pub use overlay::{CandidateDelta, OverlayDb, OverlayScratch};
+pub use persist::{load_db, load_db_into, save_db, PersistError};
 pub use sb_intern::{Interner, TokenId};

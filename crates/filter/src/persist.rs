@@ -17,7 +17,6 @@
 //! whitespace), which this module re-validates on write.
 
 use crate::db::{TokenCounts, TokenDb};
-use sb_email::Label;
 use std::io::{BufRead, Write};
 
 /// Errors from loading a database dump.
@@ -68,8 +67,38 @@ pub fn save_db<W: Write>(db: &TokenDb, mut w: W) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// Read a database dump produced by [`save_db`].
+/// Read a database dump produced by [`save_db`] into a fresh database on
+/// the process-global interner.
 pub fn load_db<R: BufRead>(r: R) -> Result<TokenDb, PersistError> {
+    let mut db = TokenDb::new();
+    load_db_into(&mut db, r)?;
+    Ok(db)
+}
+
+/// Read a database dump produced by [`save_db`] into an existing
+/// database, replacing its contents — the warm-reload path (e.g. a
+/// serving filter re-reading its dump after an out-of-band retrain).
+///
+/// The target keeps its interner handle and allocations. Any previously
+/// cached scores are **invalidated**: the load writes counts through the
+/// bulk path, which bypasses the per-mutation generation bump, so serving
+/// pre-load `f(w)` entries afterwards would silently misclassify — the
+/// regression test `load_into_warm_db_invalidates_cache` pins this.
+///
+/// On error the target is left cleared (never with a half-applied dump).
+pub fn load_db_into<R: BufRead>(db: &mut TokenDb, r: R) -> Result<(), PersistError> {
+    db.clear();
+    let res = load_rows(db, r);
+    if res.is_err() {
+        db.clear();
+    }
+    // The bulk row writes bypass the per-mutation generation bump;
+    // invalidate once so no pre-load cached score survives the reload.
+    db.invalidate_cache();
+    res
+}
+
+fn load_rows<R: BufRead>(db: &mut TokenDb, r: R) -> Result<(), PersistError> {
     let mut lines = r.lines().enumerate();
     let expect = |got: Option<(usize, std::io::Result<String>)>,
                   what: &str|
@@ -113,12 +142,7 @@ pub fn load_db<R: BufRead>(r: R) -> Result<TokenDb, PersistError> {
     let n_spam = parse_count(&l, ln, "nspam")?;
     let (ln, l) = expect(lines.next(), "nham")?;
     let n_ham = parse_count(&l, ln, "nham")?;
-
-    let mut db = TokenDb::new();
-    // Reconstruct the message counters with sentinel training; token rows
-    // are then merged in directly.
-    db.train_many(&[], Label::Spam, n_spam);
-    db.train_many(&[], Label::Ham, n_ham);
+    db.set_message_counts_for_load(n_spam, n_ham);
 
     for (i, line) in lines {
         let ln = i + 1;
@@ -160,17 +184,10 @@ pub fn load_db<R: BufRead>(r: R) -> Result<TokenDb, PersistError> {
                 ),
             });
         }
-        if spam > 0 {
-            db.train_many(&[tok.to_owned()], Label::Spam, spam);
-            // train_many bumped n_spam; compensate.
-            db.untrain_many(&[], Label::Spam, spam).expect("sentinel");
-        }
-        if ham > 0 {
-            db.train_many(&[tok.to_owned()], Label::Ham, ham);
-            db.untrain_many(&[], Label::Ham, ham).expect("sentinel");
-        }
+        let id = db.interner().intern(tok);
+        db.add_counts_for_load(id, TokenCounts { spam, ham });
     }
-    Ok(db)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -250,5 +267,141 @@ mod tests {
         let back = load_db(Cursor::new(buf)).unwrap();
         assert_eq!(back.n_messages(), 0);
         assert_eq!(back.n_tokens(), 0);
+    }
+
+    /// Loading into a warm database must not serve pre-load cached
+    /// scores: the bulk row writes bypass the per-mutation generation
+    /// bump, so `load_db_into` has to invalidate explicitly.
+    #[test]
+    fn load_into_warm_db_invalidates_cache() {
+        use crate::options::FilterOptions;
+        let opts = FilterOptions::default();
+
+        // Warm database: "win" is spam-leaning and its score is cached.
+        let mut warm = TokenDb::new();
+        warm.train(&["win".into()], Label::Spam);
+        warm.train(&["win".into()], Label::Ham);
+        warm.train(&["other".into()], Label::Spam);
+        let id = warm.interner().get("win").unwrap();
+        let stale = warm.cached_score(id, &opts);
+
+        // A dump in which "win" has very different counts and totals.
+        let mut other = TokenDb::new();
+        for _ in 0..5 {
+            other.train(&["win".into(), "meet".into()], Label::Ham);
+        }
+        other.train(&["win".into()], Label::Spam);
+        let mut dump = Vec::new();
+        save_db(&other, &mut dump).unwrap();
+
+        load_db_into(&mut warm, Cursor::new(dump.clone())).unwrap();
+        assert_eq!(warm.n_spam(), other.n_spam());
+        assert_eq!(warm.n_ham(), other.n_ham());
+        assert_eq!(warm.counts("win"), other.counts("win"));
+        // The reloaded score must match a cold load of the same dump,
+        // bit for bit — not the pre-load cached value.
+        let cold = load_db(Cursor::new(dump)).unwrap();
+        let got = warm.cached_score(id, &opts);
+        let cold_id = cold.interner().get("win").unwrap();
+        let want = cold.cached_score(cold_id, &opts);
+        assert_eq!(got.f.to_bits(), want.f.to_bits(), "stale f(w) served");
+        assert_ne!(got.f.to_bits(), stale.f.to_bits(), "test not probative");
+    }
+
+    #[test]
+    fn load_into_replaces_rather_than_merges() {
+        let mut db = TokenDb::new();
+        db.train(&["gone".into()], Label::Spam);
+        let fresh = sample_db();
+        let mut dump = Vec::new();
+        save_db(&fresh, &mut dump).unwrap();
+        load_db_into(&mut db, Cursor::new(dump)).unwrap();
+        assert_eq!(db.counts("gone"), TokenCounts::default());
+        assert_eq!(db.n_tokens(), fresh.n_tokens());
+        assert_eq!(db.n_messages(), fresh.n_messages());
+    }
+
+    #[test]
+    fn load_into_error_leaves_db_cleared() {
+        let mut db = TokenDb::new();
+        db.train(&["keepme".into()], Label::Ham);
+        let bad = "sbdb 1\nnspam 1\nnham 1\nt 1 0 ok\nt 9 9 overflow\n";
+        let err = load_db_into(&mut db, Cursor::new(bad.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 5, .. }));
+        // Never a half-applied dump: the target is empty, not partial.
+        assert_eq!(db.n_messages(), 0);
+        assert_eq!(db.n_tokens(), 0);
+        assert_eq!(db.counts("ok"), TokenCounts::default());
+    }
+
+    /// Tokens carrying leading / trailing / interior whitespace (the
+    /// tokenizer emits e.g. `skip:a 20`; the db accepts anything without
+    /// a newline) must survive the line format byte-for-byte.
+    #[test]
+    fn whitespace_tokens_roundtrip_exactly() {
+        let tokens = [
+            " leading",
+            "trailing ",
+            " both ",
+            "a  b",
+            "three   spaces",
+            "tab\tinside",
+            " ",
+            "",
+        ];
+        let mut db = TokenDb::new();
+        db.train(
+            &tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            Label::Spam,
+        );
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let back = load_db(Cursor::new(buf)).unwrap();
+        assert_eq!(back.n_tokens(), db.n_tokens());
+        for t in tokens {
+            assert_eq!(
+                back.counts(t),
+                TokenCounts { spam: 1, ham: 0 },
+                "token {t:?} did not roundtrip"
+            );
+        }
+    }
+
+    /// `PersistError::Format` must report the 1-based line of the actual
+    /// defect, for every row kind.
+    #[test]
+    fn format_errors_carry_exact_line_numbers() {
+        let cases: [(&str, usize, &str); 6] = [
+            ("nonsense\n", 1, "bad magic"),
+            ("sbdb 1\nnspam x\nnham 0\n", 2, "bad nspam value"),
+            ("sbdb 1\nnspam 0\nnham y\n", 3, "bad nham value"),
+            ("sbdb 1\nnspam 1\nnham 1\nx 1 0 tok\n", 4, "bad row prefix"),
+            ("sbdb 1\nnspam 1\nnham 1\nt 1 0 a\nt 1 b\n", 5, "bad ham count"),
+            (
+                "sbdb 1\nnspam 1\nnham 1\nt 1 0 a\n\nt 1 0\n",
+                6,
+                "missing token after blank line",
+            ),
+        ];
+        for (dump, want_line, what) in cases {
+            let err = load_db(Cursor::new(dump.as_bytes().to_vec())).unwrap_err();
+            match err {
+                PersistError::Format { line, .. } => {
+                    assert_eq!(line, want_line, "{what}: wrong line in {err}")
+                }
+                other => panic!("{what}: expected Format, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_after_nspam_reports_missing_nham() {
+        let err = load_db(Cursor::new(b"sbdb 1\nnspam 3\n".to_vec())).unwrap_err();
+        match err {
+            PersistError::Format { reason, .. } => {
+                assert!(reason.contains("nham"), "reason: {reason}")
+            }
+            other => panic!("expected Format, got {other}"),
+        }
     }
 }

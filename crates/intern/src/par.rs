@@ -9,12 +9,29 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::OnceLock;
 
-/// Default worker count: available parallelism, at least 1.
+/// Default worker count: the `SB_THREADS` environment variable if set to a
+/// positive integer (read once per process), otherwise available
+/// parallelism, at least 1.
+///
+/// `SB_THREADS=1` forces every batch API onto its sequential fallback —
+/// the same code path a genuinely single-core host takes — which CI
+/// exercises in a dedicated job so that path cannot rot unnoticed on
+/// multi-core runners.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    let forced = *OVERRIDE.get_or_init(|| {
+        std::env::var("SB_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    });
+    forced.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Map `f` over `0..n` on up to `threads` workers, returning results in

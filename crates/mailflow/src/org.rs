@@ -451,17 +451,22 @@ impl MailOrg {
         match self.cfg.defense {
             DefensePolicy::Roni | DefensePolicy::RoniPlusThreshold => {
                 let mut rng = week_seeds.child("roni").rng();
-                let mut roni = RoniDefense::new(
+                let roni = RoniDefense::new(
                     RoniConfig::default(),
                     &self.bootstrap,
                     FilterOptions::default(),
                     &mut rng,
                 );
-                for (msg, ids) in fresh.into_iter().zip(fresh_ids) {
-                    let m = roni.measure_ids(&ids);
-                    if m.rejected {
-                        screened_out += 1;
-                    } else {
+                // One parallel overlay sweep over the week's arrivals;
+                // the shared trial filters are never mutated by it.
+                let (kept, rejected) = roni.screen_ids(&fresh_ids);
+                screened_out += rejected.len();
+                let mut admit = vec![false; fresh.len()];
+                for i in kept {
+                    admit[i] = true;
+                }
+                for ((msg, ids), ok) in fresh.into_iter().zip(fresh_ids).zip(admit) {
+                    if ok {
                         self.pool.push(msg);
                         self.pool_ids.push(ids);
                     }

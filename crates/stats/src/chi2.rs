@@ -40,42 +40,59 @@ pub fn chi2_sf(x: f64, dof: u32) -> f64 {
 ///
 /// For large `x` the result underflows to 0, which is the desired behaviour
 /// in Fisher combining (overwhelming evidence). Returns a value in `[0, 1]`.
+///
+/// Both accumulation regimes update the term incrementally
+/// (`term ×= m / i`) rather than recomputing `m^i / i!` per index — the
+/// naïve form overflows `m^i` long before `i!` can cancel it — and both
+/// stop early once the series has converged: past the largest term
+/// (`i > m`) the terms decay strictly geometrically, so once a term can no
+/// longer move the sum the remaining `half_dof − i` iterations are dead
+/// work. With `max_discriminators`-sized messages this is invisible, but a
+/// caller combining tens of thousands of clues (very long messages under a
+/// raised cap) would otherwise pay the full `half_dof` loop *and*, on the
+/// pre-fix code path, lose the answer to overflow.
 pub fn chi2q_even(x: f64, half_dof: u32) -> f64 {
     assert!(half_dof > 0, "chi2q_even requires half_dof > 0");
     if x <= 0.0 {
         return 1.0;
     }
     let m = x / 2.0;
-    // exp(-m) underflows for m > ~745; everything multiplies it, so shortcut.
-    if m > 745.0 {
-        // Accumulate in log space to preserve the tail for moderate overflow;
-        // past the point where even the largest term vanishes, return 0.
-        // Largest term index ~ floor(m); ln(term_max) ≈ m·ln m − lnΓ(m+1) − m.
-        // For half_dof ≤ a few hundred and m ≫ half_dof the sum is tiny.
-        let mut best = f64::NEG_INFINITY;
-        let ln_m = m.ln();
-        for i in 0..half_dof {
-            let ln_term = -m + f64::from(i) * ln_m - crate::special::ln_factorial(u64::from(i));
-            if ln_term > best {
-                best = ln_term;
-            }
-        }
-        if best < -745.0 {
-            return 0.0;
-        }
-        // Fall through using scaled accumulation.
-        let mut sum = 0.0f64;
-        for i in 0..half_dof {
-            let ln_term = -m + f64::from(i) * ln_m - crate::special::ln_factorial(u64::from(i));
-            sum += (ln_term).exp();
-        }
-        return sum.clamp(0.0, 1.0);
+    // exp(-m) goes subnormal at m ≈ 708 (and to 0 at ≈ 745): below that
+    // the starting term keeps only a handful of mantissa bits, and every
+    // incremental product inherits the damage — the sum converges to a
+    // value off in the third decimal. Switch to log space with margin.
+    if m > 700.0 {
+        return chi2q_even_log(m, half_dof);
     }
     let mut term = (-m).exp();
     let mut sum = term;
     for i in 1..half_dof {
         term *= m / f64::from(i);
         sum += term;
+        // Converged: beyond the peak every later term is smaller by at
+        // least `m / i < 1`, so nothing representable remains to add.
+        if f64::from(i) > m && term < sum * f64::EPSILON {
+            break;
+        }
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Log-space accumulation for `m > 700`: track `ln(e^{−m} m^i / i!)` with
+/// the same incremental update (`ln_term += ln m − ln i`) and sum the
+/// terms that survive the exp underflow cutoff at full precision.
+fn chi2q_even_log(m: f64, half_dof: u32) -> f64 {
+    let ln_m = m.ln();
+    let mut ln_term = -m; // i = 0: ln(e^{−m} · m⁰/0!)
+    let mut sum = ln_term.exp();
+    for i in 1..half_dof {
+        ln_term += ln_m - f64::from(i).ln();
+        sum += ln_term.exp();
+        // Past the peak and below the exp(-745) underflow floor: every
+        // remaining term exponentiates to exactly 0.
+        if f64::from(i) > m && ln_term < -745.0 {
+            break;
+        }
     }
     sum.clamp(0.0, 1.0)
 }
@@ -146,6 +163,62 @@ mod tests {
             assert!((0.0..=1.0).contains(&q), "x={x} q={q}");
             assert!(q.is_finite());
         }
+    }
+
+    /// The "very long message" regime: huge even dof, checked against the
+    /// general-dof survival function across the distribution's bulk (where
+    /// the old naive-term accumulation lost the answer) and both sides of
+    /// the `m > 745` log-space boundary.
+    #[test]
+    fn chi2q_even_large_dof_matches_general() {
+        for &n in &[500u32, 2_000, 10_000] {
+            let nf = f64::from(n);
+            for &x in &[nf, 1.8 * nf, 2.0 * nf, 2.2 * nf, 3.0 * nf] {
+                let fast = chi2q_even(x, n);
+                let general = chi2_sf(x, 2 * n);
+                assert!(
+                    (fast - general).abs() < 1e-9 * (1.0 + general.abs()),
+                    "n={n} x={x}: fast={fast} general={general}"
+                );
+                assert!((0.0..=1.0).contains(&fast), "n={n} x={x}: {fast}");
+            }
+        }
+    }
+
+    /// Straddle the log-space switchover (m = x/2 = 700) with dof large
+    /// enough that the sum is not yet saturated: both regimes must agree
+    /// with the general path and with each other's limits. (The old
+    /// switchover at 745 let the direct path start from a *subnormal*
+    /// `exp(−m)` — ~3 mantissa bits — and return values off by ~2e-3;
+    /// this test pins the fixed boundary.)
+    #[test]
+    fn chi2q_even_log_space_boundary_is_seamless() {
+        for &n in &[400u32, 760, 2_000] {
+            let mut prev = f64::INFINITY;
+            for &x in &[1380.0, 1399.9, 1400.1, 1480.0, 1500.0, 1600.0] {
+                let q = chi2q_even(x, n);
+                let general = chi2_sf(x, 2 * n);
+                assert!(
+                    (q - general).abs() < 1e-9 * (1.0 + general.abs()),
+                    "n={n} x={x}: fast={q} general={general}"
+                );
+                assert!(q <= prev + 1e-12, "not monotone across boundary: n={n} x={x}");
+                prev = q;
+            }
+        }
+    }
+
+    /// The convergence early-exit: with dof far above the statistic the
+    /// series saturates at 1 after ~m terms; the remaining millions of
+    /// iterations must be skipped (this test would take seconds without
+    /// the exit) without changing the answer.
+    #[test]
+    fn chi2q_even_early_exit_is_exact() {
+        let q = chi2q_even(10.0, 50_000_000);
+        assert!((q - 1.0).abs() < 1e-12, "q = {q}");
+        // And in the log-space regime.
+        let q = chi2q_even(1600.0, 50_000_000);
+        assert!((q - 1.0).abs() < 1e-9, "q = {q}");
     }
 
     #[test]

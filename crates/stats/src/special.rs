@@ -75,13 +75,18 @@ pub fn gamma_q(a: f64, x: f64) -> f64 {
 }
 
 /// Series representation of `P(a, x)`; converges fast for `x < a + 1`.
+///
+/// Near the `x ≈ a` boundary convergence needs ~`√(70·a)` terms, so the
+/// iteration cap scales with `a` (a flat 500 silently truncated the series
+/// for `a ≳ 3500`, i.e. chi-square dof ≳ 7000 — the "very long message"
+/// regime of `chi2::chi2q_even`'s boundary tests).
 fn gamma_p_series(a: f64, x: f64) -> f64 {
-    const MAX_ITER: usize = 500;
+    let max_iter = 500 + (70.0 * a).sqrt() as usize;
     const EPS: f64 = 1e-15;
     let mut ap = a;
     let mut sum = 1.0 / a;
     let mut del = sum;
-    for _ in 0..MAX_ITER {
+    for _ in 0..max_iter {
         ap += 1.0;
         del *= x / ap;
         sum += del;
@@ -96,14 +101,15 @@ fn gamma_p_series(a: f64, x: f64) -> f64 {
 /// Continued-fraction representation of `Q(a, x)` (modified Lentz algorithm);
 /// converges fast for `x ≥ a + 1`.
 fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
-    const MAX_ITER: usize = 500;
+    // Like the series, Lentz iterations grow with `a` near `x ≈ a`.
+    let max_iter = 500 + (70.0 * a).sqrt() as usize;
     const EPS: f64 = 1e-15;
     const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
     let mut b = x + 1.0 - a;
     let mut c = 1.0 / FPMIN;
     let mut d = 1.0 / b;
     let mut h = d;
-    for i in 1..=MAX_ITER {
+    for i in 1..=max_iter {
         let an = -(i as f64) * (i as f64 - a);
         b += 2.0;
         d = an * d + b;

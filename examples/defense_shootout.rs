@@ -85,7 +85,7 @@ fn main() {
         report(&format!("no-defense x {attack_name}"), &plain, &eval, &target_tokens);
 
         // --- RONI ------------------------------------------------------
-        let mut roni = RoniDefense::new(
+        let roni = RoniDefense::new(
             RoniConfig::default(),
             corpus.dataset(),
             FilterOptions::default(),

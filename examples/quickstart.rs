@@ -59,7 +59,7 @@ fn main() {
     assert_ne!(verdict.verdict, Verdict::Ham);
 
     // 6. RONI to the rescue: screen candidates before training.
-    let mut roni = RoniDefense::new(
+    let roni = RoniDefense::new(
         RoniConfig::default(),
         corpus.dataset(),
         FilterOptions::default(),

@@ -66,7 +66,7 @@ fn main() {
     // Now the same campaign, but every incoming message is screened by
     // RONI before being admitted to training.
     println!("\nwith RONI screening (threshold {}):", RoniConfig::default().reject_threshold);
-    let mut roni = RoniDefense::new(
+    let roni = RoniDefense::new(
         RoniConfig::default(),
         corpus.dataset(),
         FilterOptions::default(),

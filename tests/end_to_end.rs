@@ -59,7 +59,7 @@ fn dictionary_attack_degrades_then_roni_recovers() {
     assert!(lost >= 40, "attack too weak: only {lost}/50 ham lost");
 
     // RONI screens the attack out.
-    let mut roni = RoniDefense::new(
+    let roni = RoniDefense::new(
         RoniConfig::default(),
         corpus.dataset(),
         FilterOptions::default(),
