@@ -1,0 +1,70 @@
+//! PR 3 bench: sharded organization day loop vs the single-shard baseline.
+//!
+//! The organization simulation's hot path is the day loop — SMTP-lite
+//! delivery plus classification for every message — which PR 3 shards
+//! across worker threads with a deterministic merge at the weekly retrain.
+//! These benches measure one full retrain period (day loop + merge +
+//! retrain) at shard counts 1/2/4, at two traffic volumes. Reports are
+//! bit-identical across shard counts (property-tested in
+//! `sb-mailflow/tests/prop_mailflow.rs`), so the ratio between rows is
+//! pure scheduling: on a multi-core host with `SB_THREADS` ≥ shards the
+//! sharded rows should beat the single-shard baseline; on one core they
+//! document the (small) coordination overhead instead.
+//!
+//! `CRITERION_JSON=BENCH_pr3.raw.json cargo bench -p sb-bench --bench
+//! org_sharded` emits the raw medians the checked-in BENCH_pr3.json
+//! summarizes (the shim appends to CRITERION_JSON — point it at a fresh
+//! file, never at the summary itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_corpus::CorpusConfig;
+use sb_mailflow::{DefensePolicy, FaultConfig, MailOrg, OrgConfig, TrafficMix};
+
+/// One retrain period for `users` users at `per_day` ham + `per_day` spam
+/// daily, split over `shards` worker shards.
+fn org(users: usize, per_day: u32, shards: usize) -> OrgConfig {
+    OrgConfig {
+        users: (0..users).map(|i| format!("user{i}@bench.example")).collect(),
+        days: 7,
+        retrain_every: 7,
+        traffic: TrafficMix {
+            ham_per_day: per_day,
+            spam_per_day: per_day,
+        },
+        faults: FaultConfig::none(),
+        defense: DefensePolicy::None,
+        bootstrap_size: 200,
+        corpus: CorpusConfig::with_size(200, 0.5),
+        attack: None,
+        shards,
+        seed: 0xB0B,
+    }
+}
+
+fn bench_sharded_week(c: &mut Criterion) {
+    let mut g = c.benchmark_group("org_sharded");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for &(users, per_day, label) in &[(8usize, 30u32, "8users_60msg_day"), (16, 60, "16users_120msg_day")] {
+        // 7 days × (ham + spam) messages through the wire per iteration.
+        g.throughput(Throughput::Elements(7 * 2 * u64::from(per_day)));
+        for shards in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("shards_{shards}")),
+                &shards,
+                |b, &shards| {
+                    b.iter_batched(
+                        || MailOrg::new(org(users, per_day, shards)),
+                        |org| org.run(),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_week);
+criterion_main!(benches);

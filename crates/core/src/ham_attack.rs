@@ -84,10 +84,11 @@ impl HamLabelAttack {
         let mut groups = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let mut words = self.campaign_tokens.clone();
-            // Sample camouflage without replacement (partial Fisher–Yates).
+            // Sample camouflage without replacement (partial Fisher–Yates;
+            // `next_below` keeps the draw unbiased on the full u64 stream).
             let mut pool = self.camouflage.clone();
             for k in 0..self.camouflage_per_email {
-                let j = k + (rng.next() as usize) % (pool.len() - k);
+                let j = k + rng.next_below((pool.len() - k) as u64) as usize;
                 pool.swap(k, j);
             }
             words.extend_from_slice(&pool[..self.camouflage_per_email]);

@@ -477,17 +477,51 @@ impl RoniDefense {
         candidates: &[impl AsIdSlice + Sync],
     ) -> (Vec<usize>, Vec<usize>) {
         let measurements = self.measure_ids_batch(candidates);
-        let mut kept = Vec::new();
-        let mut rejected = Vec::new();
-        for (i, m) in measurements.iter().enumerate() {
-            if m.rejected {
-                rejected.push(i);
-            } else {
-                kept.push(i);
-            }
-        }
-        (kept, rejected)
+        split_verdicts(&measurements)
     }
+
+    /// [`Self::screen_ids`] behind the shared fallible surface. The overlay
+    /// sweep is read-only and cannot fail, but callers that must also run
+    /// the legacy train-untrain path (where an inexact untrain surfaces as
+    /// [`RoniError`]) get one `Result` shape for both — retrain loops match
+    /// on it instead of `expect`ing, so a screening failure degrades the
+    /// run instead of aborting it.
+    pub fn try_screen_ids(
+        &self,
+        candidates: &[impl AsIdSlice + Sync],
+    ) -> Result<(Vec<usize>, Vec<usize>), RoniError> {
+        Ok(self.screen_ids(candidates))
+    }
+
+    /// Screen through the legacy train → sweep → untrain loop, surfacing
+    /// any untrain failure as [`RoniError`] — the same `Result` shape as
+    /// [`Self::try_screen_ids`], so the two measurement paths are
+    /// interchangeable at the retrain call site.
+    #[cfg(any(test, feature = "train-untrain"))]
+    pub fn try_screen_ids_train_untrain(
+        &mut self,
+        candidates: &[impl AsIdSlice + Sync],
+    ) -> Result<(Vec<usize>, Vec<usize>), RoniError> {
+        let measurements: Result<Vec<RoniMeasurement>, RoniError> = candidates
+            .iter()
+            .map(|c| self.measure_ids_train_untrain(c.ids()))
+            .collect();
+        Ok(split_verdicts(&measurements?))
+    }
+}
+
+/// Partition measurement indices into `(kept, rejected)` lists.
+fn split_verdicts(measurements: &[RoniMeasurement]) -> (Vec<usize>, Vec<usize>) {
+    let mut kept = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if m.rejected {
+            rejected.push(i);
+        } else {
+            kept.push(i);
+        }
+    }
+    (kept, rejected)
 }
 
 fn measurement_from_deltas(deltas: Vec<(f64, f64)>, threshold: f64) -> RoniMeasurement {
@@ -664,6 +698,33 @@ mod tests {
         let via_overlay = roni.measure_ids(&ids);
         let via_tu = roni.measure_ids_train_untrain(&ids).unwrap();
         assert_eq!(via_overlay, via_tu);
+    }
+
+    #[test]
+    fn try_screen_surfaces_agree_across_paths() {
+        let pool = pool();
+        let mut rng = Xoshiro256pp::new(12);
+        let mut roni =
+            RoniDefense::new(RoniConfig::default(), &pool, FilterOptions::default(), &mut rng);
+        let attack = crate::dictionary::DictionaryAttack::new(
+            crate::dictionary::DictionaryKind::UsenetTop(10_000),
+        );
+        let interner = sb_intern::Interner::global();
+        let mut candidates: Vec<Vec<TokenId>> = (0..4)
+            .map(|k| {
+                let words: Vec<String> = (0..25).map(|i| format!("surf{k}word{i}")).collect();
+                interner.intern_set(&words)
+            })
+            .collect();
+        candidates
+            .push(interner.intern_set(&Tokenizer::new().token_set(attack.prototype())));
+
+        let overlay = roni.try_screen_ids(&candidates).expect("overlay path is infallible");
+        let legacy = roni
+            .try_screen_ids_train_untrain(&candidates)
+            .expect("exact untrain on fresh candidates");
+        assert_eq!(overlay, legacy, "the two screening surfaces must partition identically");
+        assert_eq!(overlay, roni.screen_ids(&candidates));
     }
 
     proptest! {

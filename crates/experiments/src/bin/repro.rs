@@ -47,13 +47,16 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     threads: usize,
+    /// Shard override for the `weeks` organization simulation (None =
+    /// the scale config's default).
+    shards: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
          transfer|constrained|hamattack|matrix|weeks|extensions|all> \
-         [--seed N] [--scale full|quick] [--out DIR] [--threads N]"
+         [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Full,
         out: PathBuf::from("reports"),
         threads: default_threads(),
+        shards: None,
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -79,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(take()?),
             "--threads" => {
                 args.threads = take()?.parse().map_err(|e| format!("bad threads: {e}"))?
+            }
+            "--shards" => {
+                args.shards = Some(take()?.parse().map_err(|e| format!("bad shards: {e}"))?)
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -529,10 +536,22 @@ fn cmd_matrix(args: &Args) {
 }
 
 fn cmd_weeks(args: &Args) {
-    let cfg = MailflowConfig::at_scale(args.scale, args.seed);
+    let mut cfg = MailflowConfig::at_scale(args.scale, args.seed);
+    if let Some(shards) = args.shards {
+        cfg.shards = shards;
+    }
+    // Honor --threads like every other subcommand: the org runs
+    // min(workers, shards) scoped workers and reports are bit-identical
+    // across shard counts, so capping shards caps parallelism without
+    // changing a single number.
+    cfg.shards = match cfg.shards {
+        0 => args.threads,
+        s => s.min(args.threads),
+    };
     eprintln!(
-        "[weeks] users={} days={} retrain_every={} attack/day={} faults={}",
-        cfg.users, cfg.days, cfg.retrain_every, cfg.attack_per_day, cfg.fault_chance
+        "[weeks] users={} days={} retrain_every={} attack/day={} faults={} shards={}",
+        cfg.users, cfg.days, cfg.retrain_every, cfg.attack_per_day, cfg.fault_chance,
+        if cfg.shards == 0 { "auto".into() } else { cfg.shards.to_string() }
     );
     let res = mailflow_weeks::run(&cfg);
     let mut t = Table::new(

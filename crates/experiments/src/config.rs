@@ -512,6 +512,10 @@ pub struct MailflowConfig {
     pub bootstrap_size: usize,
     /// Wire fault probability (drop and corrupt each).
     pub fault_chance: f64,
+    /// Worker shards the organization's users are partitioned across
+    /// (0 = one shard per available worker thread). Weekly reports are
+    /// bit-identical for every value; this only sets the parallelism.
+    pub shards: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -530,6 +534,7 @@ impl MailflowConfig {
             usenet_k: 5_000,
             bootstrap_size: 400,
             fault_chance: 0.01,
+            shards: 0,
             seed,
         }
     }
@@ -547,6 +552,7 @@ impl MailflowConfig {
             usenet_k: 2_000,
             bootstrap_size: 200,
             fault_chance: 0.0,
+            shards: 2,
             seed,
         }
     }

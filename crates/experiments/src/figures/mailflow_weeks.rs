@@ -120,6 +120,10 @@ fn org_config(cfg: &MailflowConfig, scenario: Scenario) -> OrgConfig {
         bootstrap_size: cfg.bootstrap_size,
         corpus: CorpusConfig::with_size(cfg.bootstrap_size, 0.5),
         attack,
+        // Sharding is a pure parallelism knob: reports are bit-identical
+        // for every shard count, so scenarios stay comparable whatever the
+        // host's worker budget.
+        shards: cfg.shards,
         // Same seed across scenarios: identical traffic, so differences are
         // attributable to the attack/defense alone.
         seed: cfg.seed,

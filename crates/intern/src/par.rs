@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Default worker count: the `SB_THREADS` environment variable if set to a
 /// positive integer (read once per process), otherwise available
@@ -72,6 +72,73 @@ where
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
             slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker completed every claimed job"))
+            .collect()
+    })
+}
+
+/// Map `f` over a slice of *owned worker states*, in parallel, returning
+/// results in index order. Each state is handed to exactly one worker at a
+/// time by `&mut`, so stateful shard workers (per-shard mailboxes, fresh
+/// pools, accumulators) need no interior locking of their own; work is
+/// claimed dynamically from a shared queue so uneven shard costs balance.
+///
+/// `SB_THREADS=1` (or `threads == 1`, or a single state) degrades to a
+/// plain sequential loop — the exact code path a single-core host takes —
+/// so results must not depend on scheduling; `f` must be deterministic per
+/// `(index, state)`.
+pub fn parallel_map_mut<S, R, F>(states: &mut [S], threads: usize, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    let n = states.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return states.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+    // Reversed so `pop()` hands out index 0 first; per-job work is shard-
+    // sized (a whole day loop), so one lock per claim is noise.
+    let jobs: Mutex<Vec<(usize, &mut S)>> = Mutex::new(states.iter_mut().enumerate().rev().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let job = jobs.lock().expect("job queue poisoned").pop();
+                    match job {
+                        Some((i, s)) => {
+                            if tx.send((i, f(i, s))).is_err() {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        // Re-raise a worker's own panic payload rather than tripping over
+        // its missing slot with an unrelated bookkeeping message.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
         slots
             .into_iter()
@@ -162,6 +229,46 @@ mod tests {
     fn chunks_single_item() {
         let out = parallel_chunks(&[41u32], 8, |_, c| c.iter().map(|v| v + 1).collect());
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn map_mut_preserves_order_and_mutations() {
+        let mut states: Vec<u64> = (0..100).collect();
+        let out = parallel_map_mut(&mut states, 8, |i, s| {
+            *s += 1_000;
+            i as u64 * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+        assert_eq!(states, (1_000..1_100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_mut_single_thread_matches_multi() {
+        let mut a: Vec<u64> = (0..37).collect();
+        let mut b = a.clone();
+        let ra = parallel_map_mut(&mut a, 1, |i, s| *s * i as u64);
+        let rb = parallel_map_mut(&mut b, 6, |i, s| *s * i as u64);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn map_mut_propagates_worker_panics() {
+        let mut states: Vec<u32> = (0..8).collect();
+        let _ = parallel_map_mut(&mut states, 4, |i, _| {
+            if i == 3 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn map_mut_empty_is_empty() {
+        let mut states: Vec<u8> = Vec::new();
+        let out: Vec<u8> = parallel_map_mut(&mut states, 4, |_, _| unreachable!());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! * [`server`] / [`client`] — minimal SMTP state machines;
 //! * [`mailbox`] — per-user folders driven by filter verdicts (§2.1's
 //!   spam-high / spam-low / inbox reading model);
-//! * [`org`] — the organization simulation: days tick, mail flows, the
-//!   filter retrains weekly, attacks ramp, defenses screen.
+//! * [`org`] — the organization simulation: days tick, mail flows across
+//!   user shards on worker threads, the filter retrains weekly on the
+//!   deterministic shard-merge of the fresh pools, attacks ramp, defenses
+//!   screen. Weekly reports are bit-identical for every shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -105,6 +105,16 @@ impl Mailbox {
         self.unsure.clear();
         self.spam.clear();
     }
+
+    /// Fold another mailbox's contents into this one. Folder membership is
+    /// preserved; [`UserModel`] costs are counts over folder contents, so
+    /// absorbing per-shard week boxes in any shard order yields the same
+    /// costs as one organization-wide box.
+    pub fn absorb(&mut self, other: Mailbox) {
+        self.inbox.extend(other.inbox);
+        self.unsure.extend(other.unsure);
+        self.spam.extend(other.spam);
+    }
 }
 
 /// How a user reads their folders (§2.1's behavioural assumptions).
@@ -301,5 +311,23 @@ mod tests {
         let mut m = mixed_mailbox();
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_folders_and_costs() {
+        let whole = mixed_mailbox();
+        // Split the same deliveries across two boxes, then absorb.
+        let mut a = Mailbox::new();
+        let mut b = Mailbox::new();
+        for folder in [Folder::Inbox, Folder::Unsure, Folder::Spam] {
+            for (i, msg) in whole.folder(folder).iter().enumerate() {
+                let target = if i % 2 == 0 { &mut a } else { &mut b };
+                target.deliver(msg.email.clone(), msg.truth, msg.verdict, msg.day);
+            }
+        }
+        a.absorb(b);
+        assert_eq!(a.len(), whole.len());
+        let user = UserModel::default();
+        assert_eq!(user.costs(&a), user.costs(&whole));
     }
 }

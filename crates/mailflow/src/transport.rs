@@ -175,7 +175,8 @@ impl FaultyPipe {
         }
         if self.cfg.corrupt_chance > 0.0 && self.uniform() < self.cfg.corrupt_chance {
             let mut copy = bytes.to_vec();
-            let idx = (self.rng.next() as usize) % copy.len();
+            // Unbiased byte pick (Lemire rejection on the full u64 stream).
+            let idx = self.rng.next_below(copy.len() as u64) as usize;
             // Flip a low bit so printable ASCII stays printable-ish but the
             // token/command is wrong; never corrupt CR/LF framing bytes, so
             // the fault stays a *payload* fault rather than a framing fault

@@ -5,9 +5,37 @@
 use proptest::prelude::*;
 use sb_email::Email;
 use sb_mailflow::{
-    dot_stuff, dot_unstuff, Command, Envelope, FaultConfig, FaultyPipe, LineCodec, Reply,
-    SmtpClient, SmtpServer, MAX_LINE_LEN,
+    dot_stuff, dot_unstuff, Command, DefensePolicy, Envelope, FaultConfig, FaultyPipe, LineCodec,
+    MailOrg, OrgConfig, OrgReport, Reply, SmtpClient, SmtpServer, TrafficMix, MAX_LINE_LEN,
 };
+
+/// A proptest-sized organization: small enough that a full multi-week
+/// simulation (every message over the SMTP wire, weekly retrains) runs in
+/// well under a second per shard count.
+fn tiny_org(seed: u64, faulty: bool, defense: DefensePolicy, shards: usize) -> OrgConfig {
+    let mut cfg = OrgConfig::small(seed);
+    cfg.days = 10;
+    cfg.retrain_every = 5;
+    cfg.bootstrap_size = 120;
+    cfg.corpus = sb_corpus::CorpusConfig::with_size(120, 0.5);
+    cfg.traffic = TrafficMix {
+        ham_per_day: 6,
+        spam_per_day: 6,
+    };
+    if faulty {
+        cfg.faults = FaultConfig {
+            drop_chance: 0.02,
+            corrupt_chance: 0.02,
+        };
+    }
+    cfg.defense = defense;
+    cfg.shards = shards;
+    cfg
+}
+
+fn run_at(seed: u64, faulty: bool, defense: DefensePolicy, shards: usize) -> OrgReport {
+    MailOrg::new(tiny_org(seed, faulty, defense, shards)).run()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -171,5 +199,34 @@ proptest! {
         // Render normalizes trailing whitespace; compare trimmed.
         let expect = body.replace("\r\n", "\n");
         prop_assert_eq!(got.body().trim_end(), expect.trim_end());
+    }
+}
+
+proptest! {
+    // Each case runs three full organization simulations; a handful of
+    // cases already covers seeds, wire faults, and both defense shapes.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole invariant of the sharded mailflow: for arbitrary
+    /// seeds, wire-fault settings, and retrain defenses, the weekly
+    /// report is **bit-identical** for shard counts 1, 2, and 4 — every
+    /// rate, counter, fault statistic, and RONI screening decision.
+    #[test]
+    fn weekly_reports_are_bit_identical_across_shard_counts(
+        seed in any::<u64>(),
+        faulty in any::<bool>(),
+        roni in any::<bool>(),
+    ) {
+        let defense = if roni { DefensePolicy::Roni } else { DefensePolicy::None };
+        let baseline = run_at(seed, faulty, defense, 1);
+        for shards in [2usize, 4] {
+            let sharded = run_at(seed, faulty, defense, shards);
+            prop_assert_eq!(
+                &baseline,
+                &sharded,
+                "shards={} diverged from the single-shard report",
+                shards
+            );
+        }
     }
 }

@@ -79,6 +79,9 @@ fn org_config(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
             per_day: 8,
             generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
         }),
+        // Exercise the sharded day loop through the facade; results are
+        // bit-identical to shards: 1 (property-tested in sb-mailflow).
+        shards: 2,
         seed,
     }
 }
@@ -147,16 +150,23 @@ fn mailboxes_reflect_verdicts() {
 }
 
 /// Identical seeds give identical simulations across the whole stack —
-/// SMTP faults, corpus, retraining, defenses.
+/// SMTP faults, corpus, retraining, defenses — *and* across shard counts:
+/// the sharded day loop is a pure parallelization of the single-shard one.
 #[test]
 fn full_stack_determinism() {
     let a = MailOrg::new(org_config(DefensePolicy::Roni, true, 99)).run();
     let b = MailOrg::new(org_config(DefensePolicy::Roni, true, 99)).run();
-    assert_eq!(a.total_delivered, b.total_delivered);
-    assert_eq!(a.fault_stats, b.fault_stats);
-    for (wa, wb) in a.weeks.iter().zip(&b.weeks) {
-        assert_eq!(wa.ham_misrouted, wb.ham_misrouted);
-        assert_eq!(wa.spam_caught, wb.spam_caught);
-        assert_eq!(wa.screened_out, wb.screened_out);
+    let mut single = org_config(DefensePolicy::Roni, true, 99);
+    single.shards = 1;
+    let c = MailOrg::new(single).run();
+    for other in [&b, &c] {
+        assert_eq!(a.total_delivered, other.total_delivered);
+        assert_eq!(a.fault_stats, other.fault_stats);
+        for (wa, wb) in a.weeks.iter().zip(&other.weeks) {
+            assert_eq!(wa.ham_misrouted, wb.ham_misrouted);
+            assert_eq!(wa.spam_caught, wb.spam_caught);
+            assert_eq!(wa.screened_out, wb.screened_out);
+            assert_eq!(wa.costs, wb.costs);
+        }
     }
 }
