@@ -31,11 +31,12 @@ fn org(users: usize, per_day: u32, shards: usize) -> OrgConfig {
             ham_per_day: per_day,
             spam_per_day: per_day,
         },
+        user_traffic: Vec::new(),
         faults: FaultConfig::none(),
         defense: DefensePolicy::None,
         bootstrap_size: 200,
         corpus: CorpusConfig::with_size(200, 0.5),
-        attack: None,
+        attacks: Vec::new(),
         shards,
         seed: 0xB0B,
     }

@@ -1,0 +1,260 @@
+//! Declarative attack campaigns: the composition layer of the scenario
+//! engine.
+//!
+//! The paper evaluates one attack at a time; the scenario engine runs
+//! **several concurrent campaigns** against one organization — different
+//! lexicons, staggered start/stop windows, different intensities, different
+//! target users. This module is the attack half of that declaration: a
+//! [`CampaignSpec`] names *which* attack runs ([`AttackKind`]), *when*
+//! (`start_day..=end_day`), *how hard* (`per_day`), and *at whom*
+//! (`targets`), without holding any generator state — `build_generator`
+//! materializes the [`AttackGenerator`] on demand, so specs stay `Clone` +
+//! comparable and can be parsed from scenario files.
+//!
+//! Composition semantics (enforced by `sb-mailflow`'s day plan, validated
+//! here): campaigns are independent Poisson-free schedules — on any day,
+//! every active campaign contributes exactly `per_day` messages, and the
+//! contributions interleave with organic traffic in the day's arrival
+//! permutation. Overlap needs no special casing; it is just two campaigns
+//! active on the same day ([`CampaignSpec::overlaps`]).
+
+use crate::attack::AttackGenerator;
+use crate::dictionary::{DictionaryAttack, DictionaryKind};
+use serde::{Deserialize, Serialize};
+
+/// A buildable attack family, parseable from scenario files.
+///
+/// Currently the dictionary family (§3.2) — the attacks that need no
+/// per-victim artifacts (a focused attack would need the target email
+/// itself, which a declarative spec cannot carry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// A dictionary attack with the given lexicon.
+    Dictionary(DictionaryKind),
+}
+
+impl AttackKind {
+    /// Parse a spec-file attack name:
+    ///
+    /// * `optimal` — the §3.4 whole-vocabulary attack;
+    /// * `aspell` / `aspell-half` — the English-dictionary variants;
+    /// * `usenet:K` — the top-`K` Usenet ranking (e.g. `usenet:25000`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if let Some(k) = s.strip_prefix("usenet:") {
+            let k: usize = k
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad usenet truncation {k:?}: {e}"))?;
+            if k == 0 {
+                return Err("usenet truncation must be >= 1".into());
+            }
+            return Ok(AttackKind::Dictionary(DictionaryKind::UsenetTop(k)));
+        }
+        match s {
+            "optimal" => Ok(AttackKind::Dictionary(DictionaryKind::Optimal)),
+            "aspell" => Ok(AttackKind::Dictionary(DictionaryKind::Aspell)),
+            "aspell-half" => Ok(AttackKind::Dictionary(DictionaryKind::AspellHalf)),
+            other => Err(format!(
+                "unknown attack kind {other:?} (expected optimal | aspell | aspell-half | usenet:K)"
+            )),
+        }
+    }
+
+    /// Report name (matches the underlying generator's name).
+    pub fn name(&self) -> String {
+        match self {
+            AttackKind::Dictionary(kind) => kind.name(),
+        }
+    }
+
+    /// Materialize the generator. Each call builds a fresh instance, so a
+    /// spec can be run many times (shard matrices, repetitions) without
+    /// sharing state.
+    pub fn build_generator(&self) -> Box<dyn AttackGenerator + Send + Sync> {
+        match self {
+            AttackKind::Dictionary(kind) => Box::new(DictionaryAttack::new(*kind)),
+        }
+    }
+}
+
+/// One declared campaign: an attack, its schedule window, its intensity,
+/// and its target users.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Which attack runs.
+    pub attack: AttackKind,
+    /// First day (1-based) campaign mail is sent.
+    pub start_day: u32,
+    /// Last day (inclusive) campaign mail is sent; `None` runs to the end
+    /// of the simulation.
+    pub end_day: Option<u32>,
+    /// Campaign messages per active day.
+    pub per_day: u32,
+    /// Target users as indices into the organization's user list; `None`
+    /// spreads the campaign round-robin over every user.
+    pub targets: Option<Vec<usize>>,
+}
+
+impl CampaignSpec {
+    /// An everyone-targeting, never-stopping campaign (the paper's shape).
+    pub fn new(attack: AttackKind, start_day: u32, per_day: u32) -> Self {
+        Self {
+            attack,
+            start_day,
+            end_day: None,
+            per_day,
+            targets: None,
+        }
+    }
+
+    /// Whether the campaign sends mail on `day` (1-based).
+    pub fn active_on(&self, day: u32) -> bool {
+        self.per_day > 0
+            && day >= self.start_day
+            && self.end_day.is_none_or(|end| day <= end)
+    }
+
+    /// Whether two campaigns have at least one common active day (both
+    /// windows non-empty and intersecting).
+    pub fn overlaps(&self, other: &CampaignSpec) -> bool {
+        let end_a = self.end_day.unwrap_or(u32::MAX);
+        let end_b = other.end_day.unwrap_or(u32::MAX);
+        self.per_day > 0
+            && other.per_day > 0
+            && self.start_day <= end_b
+            && other.start_day <= end_a
+    }
+
+    /// Validate the spec against an organization shape. `n_users` is the
+    /// size of the user list `targets` indexes into.
+    pub fn validate(&self, n_users: usize) -> Result<(), String> {
+        if self.start_day == 0 {
+            return Err("campaign start_day is 1-based; 0 is invalid".into());
+        }
+        if let Some(end) = self.end_day {
+            if end < self.start_day {
+                return Err(format!(
+                    "campaign window is empty: end_day {end} < start_day {}",
+                    self.start_day
+                ));
+            }
+        }
+        if let Some(targets) = &self.targets {
+            if targets.is_empty() {
+                return Err("campaign target list is empty (omit it to target everyone)".into());
+            }
+            if let Some(&bad) = targets.iter().find(|&&u| u >= n_users) {
+                return Err(format!(
+                    "campaign targets user {bad}, but the organization has only {n_users} users"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate a whole campaign set (the composition the scenario engine
+/// schedules). Returns per-campaign errors prefixed with the campaign
+/// index.
+pub fn validate_campaigns(specs: &[CampaignSpec], n_users: usize) -> Result<(), String> {
+    for (i, spec) in specs.iter().enumerate() {
+        spec.validate(n_users)
+            .map_err(|e| format!("campaign {i} ({}): {e}", spec.attack.name()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_stats::rng::Xoshiro256pp;
+
+    #[test]
+    fn parse_covers_the_dictionary_family() {
+        assert_eq!(
+            AttackKind::parse("usenet:2000"),
+            Ok(AttackKind::Dictionary(DictionaryKind::UsenetTop(2_000)))
+        );
+        assert_eq!(
+            AttackKind::parse(" aspell "),
+            Ok(AttackKind::Dictionary(DictionaryKind::Aspell))
+        );
+        assert_eq!(
+            AttackKind::parse("aspell-half"),
+            Ok(AttackKind::Dictionary(DictionaryKind::AspellHalf))
+        );
+        assert_eq!(
+            AttackKind::parse("optimal"),
+            Ok(AttackKind::Dictionary(DictionaryKind::Optimal))
+        );
+        assert!(AttackKind::parse("usenet:0").is_err());
+        assert!(AttackKind::parse("usenet:lots").is_err());
+        assert!(AttackKind::parse("focused").is_err());
+    }
+
+    #[test]
+    fn built_generator_matches_the_declared_kind() {
+        let kind = AttackKind::parse("usenet:500").unwrap();
+        let generator = kind.build_generator();
+        assert_eq!(generator.name(), kind.name());
+        let batch = generator.generate(3, &mut Xoshiro256pp::new(1));
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn activity_window_is_inclusive() {
+        let mut spec = CampaignSpec::new(AttackKind::parse("aspell").unwrap(), 3, 2);
+        spec.end_day = Some(5);
+        assert!(!spec.active_on(2));
+        assert!(spec.active_on(3));
+        assert!(spec.active_on(5));
+        assert!(!spec.active_on(6));
+        // Open-ended campaigns never stop.
+        spec.end_day = None;
+        assert!(spec.active_on(10_000));
+        // Zero intensity means never active.
+        spec.per_day = 0;
+        assert!(!spec.active_on(4));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_window_based() {
+        let kind = || AttackKind::parse("optimal").unwrap();
+        let mut a = CampaignSpec::new(kind(), 1, 5);
+        a.end_day = Some(7);
+        let mut b = CampaignSpec::new(kind(), 8, 5);
+        b.end_day = Some(14);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        b.start_day = 7;
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        // An open-ended campaign overlaps everything after its start.
+        let open = CampaignSpec::new(kind(), 3, 1);
+        assert!(open.overlaps(&a));
+        assert!(open.overlaps(&b));
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let kind = || AttackKind::parse("aspell").unwrap();
+        let ok = CampaignSpec::new(kind(), 1, 4);
+        assert!(ok.validate(5).is_ok());
+        let mut empty_window = CampaignSpec::new(kind(), 9, 4);
+        empty_window.end_day = Some(3);
+        assert!(empty_window.validate(5).is_err());
+        let mut bad_target = CampaignSpec::new(kind(), 1, 4);
+        bad_target.targets = Some(vec![0, 5]);
+        assert!(bad_target.validate(5).is_err());
+        assert!(bad_target.validate(6).is_ok());
+        let mut no_targets = CampaignSpec::new(kind(), 1, 4);
+        no_targets.targets = Some(vec![]);
+        assert!(no_targets.validate(5).is_err());
+        let day_zero = CampaignSpec::new(kind(), 0, 4);
+        assert!(day_zero.validate(5).is_err());
+        assert!(validate_campaigns(&[ok, bad_target], 5)
+            .unwrap_err()
+            .contains("campaign 1"));
+    }
+}

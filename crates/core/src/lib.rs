@@ -14,6 +14,7 @@
 //! | Optimal *constrained* attack (§3.4 future work) | [`constrained`] |
 //! | Ham-labeled integrity attack (§2.2 closing remark) | [`ham_attack`] |
 //! | Periodic retraining loop (§2.1–§2.2) | [`pipeline`] |
+//! | Declarative multi-campaign composition (scenario engine) | [`campaign`] |
 //! | RONI defense (§5.1) | [`roni`] |
 //! | Dynamic threshold defense (§5.2) | [`threshold`] |
 //! | Stacked RONI + threshold defense (future-work config) | [`combined`] |
@@ -36,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod campaign;
 pub mod combined;
 pub mod constrained;
 pub mod dictionary;
@@ -48,6 +50,7 @@ pub mod taxonomy;
 pub mod threshold;
 
 pub use attack::{build_attack_email, AttackBatch, AttackGenerator, HeaderMode};
+pub use campaign::{validate_campaigns, AttackKind, CampaignSpec};
 pub use combined::{defend, CombinedConfig, CombinedOutcome};
 pub use constrained::{blend_with_lexicon, estimate_knowledge, AttackContext, ConstrainedAttack};
 pub use dictionary::{attack_count_for_fraction, DictionaryAttack, DictionaryKind};

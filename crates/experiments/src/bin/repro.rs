@@ -21,6 +21,8 @@
 //!   hamattack    ham-labeled integrity attack (§2.2 remark)
 //!   matrix    attack × defense grid (§5 cross terms)
 //!   weeks     week-by-week organization simulation over SMTP (§2.1)
+//!   scenarios run the committed scenario suite (multi-campaign overlap,
+//!             per-user traffic skews) and print each golden digest
 //!
 //!   extensions  the five extension experiments
 //!   all       everything above
@@ -30,8 +32,10 @@
 
 use sb_experiments::config::{
     table1, ConstrainedConfig, DefenseMatrixConfig, Fig1Config, Fig5Config, FocusedConfig,
-    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, TransferConfig,
+    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, ScenarioSuiteConfig,
+    TransferConfig,
 };
+use sb_experiments::scenario::{golden_digest, ScenarioSpec};
 use sb_experiments::figures::{
     constrained_exp, defense_matrix, fig1, fig4, fig5, focused, ham_attack_exp, headline,
     mailflow_weeks, roni_exp, tokens, transfer, variations,
@@ -47,16 +51,19 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     threads: usize,
-    /// Shard override for the `weeks` organization simulation (None =
-    /// the scale config's default).
+    /// Shard override for the `weeks` / `scenarios` organization
+    /// simulations (None = the config's own default).
     shards: Option<usize>,
+    /// Directory of `*.scenario` files for the `scenarios` subcommand.
+    scenarios_dir: PathBuf,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
-         transfer|constrained|hamattack|matrix|weeks|extensions|all> \
-         [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N]"
+         transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all> \
+         [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
+         [--scenarios DIR]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("reports"),
         threads: default_threads(),
         shards: None,
+        scenarios_dir: ScenarioSuiteConfig::default().dir,
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -87,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => {
                 args.shards = Some(take()?.parse().map_err(|e| format!("bad shards: {e}"))?)
             }
+            "--scenarios" => args.scenarios_dir = PathBuf::from(take()?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -592,6 +601,83 @@ fn cmd_weeks(args: &Args) {
     }
 }
 
+fn cmd_scenarios(args: &Args) -> Result<(), String> {
+    let suite = ScenarioSuiteConfig {
+        dir: args.scenarios_dir.clone(),
+        ..ScenarioSuiteConfig::default()
+    };
+    let files = suite
+        .scenario_files()
+        .map_err(|e| format!("cannot list {}: {e}", suite.dir.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no *.scenario files under {} (run from the repository root, or pass --scenarios DIR)",
+            suite.dir.display()
+        ));
+    }
+    let mut t = Table::new(
+        "Scenario suite: multi-campaign organization runs",
+        &[
+            "scenario",
+            "week",
+            "offered",
+            "ham_misrouted%",
+            "ham_as_spam%",
+            "spam_caught%",
+            "screened_out",
+            "bounced",
+            "useless",
+        ],
+    );
+    for path in &files {
+        let spec = ScenarioSpec::load(path).map_err(|e| e.to_string())?;
+        let campaigns: Vec<String> = spec.campaigns.iter().map(|c| c.attack.name()).collect();
+        eprintln!(
+            "[scenarios] {}: users={} days={} campaigns=[{}] defense={:?}",
+            spec.name,
+            spec.users,
+            spec.days,
+            campaigns.join(", "),
+            spec.defense,
+        );
+        // `--shards` follows the `weeks` convention: 0 = auto (one shard
+        // per worker thread), anything else capped by --threads. Reports
+        // are bit-identical for every value.
+        let report = match args.shards {
+            Some(0) => spec.run_with_shards(args.threads),
+            Some(shards) => spec.run_with_shards(shards.min(args.threads)),
+            None => spec.run_with_threads(args.threads),
+        };
+        for w in &report.weeks {
+            t.row(vec![
+                spec.name.clone(),
+                w.week.to_string(),
+                w.offered.to_string(),
+                pct(w.ham_misrouted),
+                pct(w.ham_as_spam),
+                pct(w.spam_caught),
+                w.screened_out.to_string(),
+                w.bounced.to_string(),
+                w.filter_useless.to_string(),
+            ]);
+        }
+        // The canonical digest, exactly what the golden harness locks.
+        let digest = golden_digest(&spec.name, &report);
+        let digest_path = args.out.join(format!("scenario_{}.golden.csv", spec.name));
+        if let Err(e) = std::fs::create_dir_all(&args.out) {
+            eprintln!("  !! could not create {}: {e}", args.out.display());
+        } else if let Err(e) = std::fs::write(&digest_path, &digest) {
+            eprintln!("  !! could not write {}: {e}", digest_path.display());
+        } else {
+            println!("  -> {}", digest_path.display());
+        }
+        let hash = digest.lines().last().unwrap_or_default();
+        println!("  [{}] {}", spec.name, hash);
+    }
+    emit(&t, &args.out, "scenario_suite");
+    Ok(())
+}
+
 fn cmd_extensions(args: &Args) {
     cmd_transfer(args);
     cmd_constrained(args);
@@ -641,6 +727,12 @@ fn main() -> ExitCode {
         "hamattack" => cmd_hamattack(&args),
         "matrix" => cmd_matrix(&args),
         "weeks" => cmd_weeks(&args),
+        "scenarios" => {
+            if let Err(e) = cmd_scenarios(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "extensions" => cmd_extensions(&args),
         "headline" => {
             let f1 = cmd_fig1(&args);

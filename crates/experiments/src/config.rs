@@ -566,6 +566,42 @@ impl MailflowConfig {
     }
 }
 
+/// The scenario suite: where the committed scenario files live and which
+/// shard counts the golden harness verifies bit-identity across. One
+/// definition shared by `repro scenarios` and the `golden_scenarios`
+/// integration test, so CI and the CLI can never drift apart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSuiteConfig {
+    /// Directory of `*.scenario` files, relative to the repository root.
+    pub dir: std::path::PathBuf,
+    /// Shard counts every scenario's report must be bit-identical across.
+    pub shard_matrix: Vec<usize>,
+}
+
+impl Default for ScenarioSuiteConfig {
+    fn default() -> Self {
+        Self {
+            dir: std::path::PathBuf::from("scenarios"),
+            shard_matrix: vec![1, 2, 4],
+        }
+    }
+}
+
+impl ScenarioSuiteConfig {
+    /// The committed scenario files in `dir`, sorted by file name (the
+    /// suite's canonical order). Errors are I/O only; an empty directory
+    /// yields an empty list.
+    pub fn scenario_files(&self) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut files: Vec<_> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "scenario"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+}
+
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table1Row {

@@ -89,15 +89,13 @@ impl MailflowResult {
 }
 
 fn org_config(cfg: &MailflowConfig, scenario: Scenario) -> OrgConfig {
-    let attack = match scenario {
-        Scenario::Clean => None,
-        _ => Some(AttackPlan {
-            start_day: cfg.attack_start_day,
-            per_day: cfg.attack_per_day,
-            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(
-                cfg.usenet_k,
-            ))),
-        }),
+    let attacks = match scenario {
+        Scenario::Clean => Vec::new(),
+        _ => vec![AttackPlan::new(
+            cfg.attack_start_day,
+            cfg.attack_per_day,
+            Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(cfg.usenet_k))),
+        )],
     };
     let defense = match scenario {
         Scenario::Roni => DefensePolicy::Roni,
@@ -112,6 +110,7 @@ fn org_config(cfg: &MailflowConfig, scenario: Scenario) -> OrgConfig {
             ham_per_day: cfg.ham_per_day,
             spam_per_day: cfg.spam_per_day,
         },
+        user_traffic: Vec::new(),
         faults: FaultConfig {
             drop_chance: cfg.fault_chance,
             corrupt_chance: cfg.fault_chance,
@@ -119,7 +118,7 @@ fn org_config(cfg: &MailflowConfig, scenario: Scenario) -> OrgConfig {
         defense,
         bootstrap_size: cfg.bootstrap_size,
         corpus: CorpusConfig::with_size(cfg.bootstrap_size, 0.5),
-        attack,
+        attacks,
         // Sharding is a pure parallelism knob: reports are bit-identical
         // for every shard count, so scenarios stay comparable whatever the
         // host's worker budget.

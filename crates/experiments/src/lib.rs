@@ -11,6 +11,9 @@
 //! * [`figures`] — one generator per paper artifact (Fig. 1–5, the §5.1
 //!   RONI experiment, the §4.2 token-volume claim, the §7 headlines).
 //! * [`report`] — ASCII/CSV rendering.
+//! * [`scenario`] — the declarative multi-campaign scenario engine and
+//!   the golden-digest regression format (`repro scenarios`, the
+//!   `golden_scenarios` integration test, `SB_UPDATE_GOLDEN=1`).
 //!
 //! The `repro` binary drives everything:
 //!
@@ -26,11 +29,14 @@ pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 
 pub use config::{
     ConstrainedConfig, DefenseMatrixConfig, Fig1Config, Fig5Config, FocusedConfig,
-    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, TransferConfig,
+    HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, ScenarioSuiteConfig,
+    TransferConfig,
 };
 pub use metrics::{Confusion, RateSummary};
 pub use report::Table;
 pub use runner::{default_threads, parallel_map, TokenizedDataset};
+pub use scenario::{fnv1a64, golden_digest, ScenarioError, ScenarioSpec};

@@ -1,0 +1,608 @@
+//! The scenario engine: declarative multi-campaign organization runs with
+//! a golden-report regression harness.
+//!
+//! A [`ScenarioSpec`] declares one complete organization simulation — the
+//! user population, heterogeneous per-user traffic mixes, the defense, and
+//! **any number of concurrent attack campaigns** with staggered windows,
+//! intensities, and target users — in a small plain-text format that lives
+//! under `scenarios/` in the repository. (The spec types derive the serde
+//! markers for the swap-back story, but like every other artifact format
+//! in this workspace the file format itself is hand-rolled; see
+//! `crates/shims/README.md`.)
+//!
+//! ## Spec format
+//!
+//! Line-oriented `key = value` pairs, `#` comments, with one `[campaign]`
+//! section per attack campaign:
+//!
+//! ```text
+//! name = overlap-two-campaigns
+//! seed = 2008
+//! users = 6
+//! days = 15
+//! retrain_every = 5
+//! bootstrap = 160
+//! defense = roni            # none | roni | threshold | threshold-strict | roni+threshold
+//! traffic = 12/12           # org-wide ham/spam per day (round-robin split)
+//! user_traffic = 18/6, 12/12, 12/12, 12/12, 12/12, 6/30   # optional, per user
+//! faults = 0.01/0.01        # optional drop/corrupt chances
+//! shards = 0                # optional parallelism hint (0 = auto)
+//!
+//! [campaign]
+//! attack = usenet:2000      # optimal | aspell | aspell-half | usenet:K
+//! start_day = 1
+//! end_day = 10              # optional; inclusive
+//! per_day = 5
+//! targets = 0, 1            # optional user indices
+//! ```
+//!
+//! ## Golden digests
+//!
+//! [`golden_digest`] renders an [`OrgReport`] as a canonical CSV — every
+//! weekly metric printed with exact round-trip float formatting — and
+//! seals it with an FNV-1a 64 hash line. The digests for the committed
+//! scenarios live under `tests/golden/` and are locked by the
+//! `golden_scenarios` integration test: reports must be **bit-identical**
+//! across shard counts and across refactors. After an *intentional*
+//! behavior change, refresh them with
+//!
+//! ```text
+//! SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios
+//! ```
+
+use crate::runner::default_threads;
+use sb_core::campaign::{validate_campaigns, AttackKind, CampaignSpec};
+use sb_corpus::CorpusConfig;
+use sb_mailflow::{
+    AttackPlan, DefensePolicy, FaultConfig, MailOrg, OrgConfig, OrgReport, TrafficMix,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A fully declared organization scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (also the golden-digest file stem).
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of users (addresses are generated as `user<i>@corp.example`).
+    pub users: usize,
+    /// Days to simulate.
+    pub days: u32,
+    /// Retrain period in days.
+    pub retrain_every: u32,
+    /// Clean bootstrap training-set size (also sizes the corpus model).
+    pub bootstrap: usize,
+    /// Organization-wide daily (ham, spam) volumes, split round-robin
+    /// (ignored when `user_traffic` is non-empty).
+    pub traffic: (u32, u32),
+    /// Optional per-user daily (ham, spam) rates, one entry per user.
+    pub user_traffic: Vec<(u32, u32)>,
+    /// Wire-fault (drop, corrupt) chances.
+    pub faults: (f64, f64),
+    /// Defense at retraining time.
+    pub defense: DefensePolicy,
+    /// Worker-shard hint (0 = auto). Reports are bit-identical for every
+    /// value; the golden harness overrides this with its own matrix.
+    pub shards: usize,
+    /// The attack campaigns (empty = clean baseline).
+    pub campaigns: Vec<CampaignSpec>,
+}
+
+/// A scenario-file syntax or validation error, with a 1-based line number
+/// where one applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line the error was detected on (0 = whole file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse `"a/b"` into a pair.
+fn parse_pair<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<(T, T), ScenarioError>
+where
+    T::Err: std::fmt::Display,
+{
+    let (a, b) = s
+        .split_once('/')
+        .ok_or_else(|| err(line, format!("{what} must be <a>/<b>, got {s:?}")))?;
+    let parse = |v: &str| {
+        v.trim()
+            .parse::<T>()
+            .map_err(|e| err(line, format!("bad {what} component {v:?}: {e}")))
+    };
+    Ok((parse(a)?, parse(b)?))
+}
+
+fn parse_defense(s: &str, line: usize) -> Result<DefensePolicy, ScenarioError> {
+    match s {
+        "none" => Ok(DefensePolicy::None),
+        "roni" => Ok(DefensePolicy::Roni),
+        "threshold" => Ok(DefensePolicy::DynamicThreshold { strict: false }),
+        "threshold-strict" => Ok(DefensePolicy::DynamicThreshold { strict: true }),
+        "roni+threshold" => Ok(DefensePolicy::RoniPlusThreshold),
+        other => Err(err(
+            line,
+            format!(
+                "unknown defense {other:?} (expected none | roni | threshold | threshold-strict | roni+threshold)"
+            ),
+        )),
+    }
+}
+
+/// An under-construction campaign section.
+#[derive(Default)]
+struct CampaignDraft {
+    first_line: usize,
+    attack: Option<AttackKind>,
+    start_day: Option<u32>,
+    end_day: Option<u32>,
+    per_day: Option<u32>,
+    targets: Option<Vec<usize>>,
+}
+
+impl CampaignDraft {
+    fn finish(self) -> Result<CampaignSpec, ScenarioError> {
+        let line = self.first_line;
+        Ok(CampaignSpec {
+            attack: self
+                .attack
+                .ok_or_else(|| err(line, "campaign section is missing `attack = …`"))?,
+            start_day: self
+                .start_day
+                .ok_or_else(|| err(line, "campaign section is missing `start_day = …`"))?,
+            end_day: self.end_day,
+            per_day: self
+                .per_day
+                .ok_or_else(|| err(line, "campaign section is missing `per_day = …`"))?,
+            targets: self.targets,
+        })
+    }
+}
+
+impl ScenarioSpec {
+    /// Parse a scenario from its text form.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let mut name = None;
+        let mut seed = None;
+        let mut users = None;
+        let mut days = None;
+        let mut retrain_every = None;
+        let mut bootstrap = None;
+        let mut traffic = None;
+        let mut user_traffic = Vec::new();
+        let mut faults = (0.0f64, 0.0f64);
+        let mut defense = DefensePolicy::None;
+        let mut shards = 0usize;
+        let mut campaigns: Vec<CampaignSpec> = Vec::new();
+        let mut draft: Option<CampaignDraft> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[campaign]" {
+                if let Some(d) = draft.take() {
+                    campaigns.push(d.finish()?);
+                }
+                draft = Some(CampaignDraft {
+                    first_line: lineno,
+                    ..CampaignDraft::default()
+                });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got {line:?}")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(err(lineno, format!("key {key:?} has no value")));
+            }
+            let parse_u32 = |v: &str| {
+                v.parse::<u32>()
+                    .map_err(|e| err(lineno, format!("bad {key} value {v:?}: {e}")))
+            };
+            if let Some(d) = draft.as_mut() {
+                // Inside a campaign section.
+                match key {
+                    "attack" => d.attack = Some(AttackKind::parse(value).map_err(|e| err(lineno, e))?),
+                    "start_day" => d.start_day = Some(parse_u32(value)?),
+                    "end_day" => d.end_day = Some(parse_u32(value)?),
+                    "per_day" => d.per_day = Some(parse_u32(value)?),
+                    "targets" => {
+                        let targets = value
+                            .split(',')
+                            .map(|t| {
+                                t.trim().parse::<usize>().map_err(|e| {
+                                    err(lineno, format!("bad target user {t:?}: {e}"))
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        d.targets = Some(targets);
+                    }
+                    other => {
+                        return Err(err(lineno, format!("unknown campaign key {other:?}")))
+                    }
+                }
+                continue;
+            }
+            match key {
+                "name" => name = Some(value.to_string()),
+                "seed" => {
+                    seed = Some(value.parse::<u64>().map_err(|e| {
+                        err(lineno, format!("bad seed {value:?}: {e}"))
+                    })?)
+                }
+                "users" => {
+                    users = Some(value.parse::<usize>().map_err(|e| {
+                        err(lineno, format!("bad users {value:?}: {e}"))
+                    })?)
+                }
+                "days" => days = Some(parse_u32(value)?),
+                "retrain_every" => retrain_every = Some(parse_u32(value)?),
+                "bootstrap" => {
+                    bootstrap = Some(value.parse::<usize>().map_err(|e| {
+                        err(lineno, format!("bad bootstrap {value:?}: {e}"))
+                    })?)
+                }
+                "traffic" => traffic = Some(parse_pair::<u32>(value, lineno, "traffic")?),
+                "user_traffic" => {
+                    user_traffic = value
+                        .split(',')
+                        .map(|p| parse_pair::<u32>(p.trim(), lineno, "user_traffic entry"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "faults" => faults = parse_pair::<f64>(value, lineno, "faults")?,
+                "defense" => defense = parse_defense(value, lineno)?,
+                "shards" => {
+                    shards = value.parse::<usize>().map_err(|e| {
+                        err(lineno, format!("bad shards {value:?}: {e}"))
+                    })?
+                }
+                other => return Err(err(lineno, format!("unknown key {other:?}"))),
+            }
+        }
+        if let Some(d) = draft.take() {
+            campaigns.push(d.finish()?);
+        }
+
+        let spec = ScenarioSpec {
+            name: name.ok_or_else(|| err(0, "missing `name = …`"))?,
+            seed: seed.ok_or_else(|| err(0, "missing `seed = …`"))?,
+            users: users.ok_or_else(|| err(0, "missing `users = …`"))?,
+            days: days.ok_or_else(|| err(0, "missing `days = …`"))?,
+            retrain_every: retrain_every.ok_or_else(|| err(0, "missing `retrain_every = …`"))?,
+            bootstrap: bootstrap.ok_or_else(|| err(0, "missing `bootstrap = …`"))?,
+            traffic: traffic.ok_or_else(|| err(0, "missing `traffic = …`"))?,
+            user_traffic,
+            faults,
+            defense,
+            shards,
+            campaigns,
+        };
+        spec.validate().map_err(|message| ScenarioError { line: 0, message })?;
+        Ok(spec)
+    }
+
+    /// Load and parse a scenario file.
+    pub fn load(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        ScenarioSpec::parse(&text).map_err(|mut e| {
+            e.message = format!("{}: {}", path.display(), e.message);
+            e
+        })
+    }
+
+    /// Cross-field validation (campaign targets vs user count, shapes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() || !self.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+            return Err(format!(
+                "scenario name {:?} must be a nonempty [A-Za-z0-9_-]+ token (it names the golden file)",
+                self.name
+            ));
+        }
+        if self.users == 0 {
+            return Err("need at least one user".into());
+        }
+        if self.days == 0 || self.retrain_every == 0 {
+            return Err("days and retrain_every must be >= 1".into());
+        }
+        if self.bootstrap < 4 {
+            return Err("bootstrap must be >= 4 messages".into());
+        }
+        if !self.user_traffic.is_empty() && self.user_traffic.len() != self.users {
+            return Err(format!(
+                "user_traffic has {} entries for {} users",
+                self.user_traffic.len(),
+                self.users
+            ));
+        }
+        let (drop, corrupt) = self.faults;
+        if !(0.0..=1.0).contains(&drop) || !(0.0..=1.0).contains(&corrupt) {
+            return Err("fault chances must be in [0, 1]".into());
+        }
+        validate_campaigns(&self.campaigns, self.users)
+    }
+
+    /// Materialize the [`OrgConfig`], overriding the shard hint (the
+    /// golden harness runs the same spec at several shard counts).
+    pub fn org_config_with_shards(&self, shards: usize) -> OrgConfig {
+        OrgConfig {
+            users: (0..self.users).map(|i| format!("user{i}@corp.example")).collect(),
+            days: self.days,
+            retrain_every: self.retrain_every,
+            traffic: TrafficMix {
+                ham_per_day: self.traffic.0,
+                spam_per_day: self.traffic.1,
+            },
+            user_traffic: self
+                .user_traffic
+                .iter()
+                .map(|&(ham_per_day, spam_per_day)| TrafficMix { ham_per_day, spam_per_day })
+                .collect(),
+            faults: FaultConfig {
+                drop_chance: self.faults.0,
+                corrupt_chance: self.faults.1,
+            },
+            defense: self.defense,
+            bootstrap_size: self.bootstrap,
+            corpus: CorpusConfig::with_size(self.bootstrap, 0.5),
+            attacks: self.campaigns.iter().map(AttackPlan::from_campaign).collect(),
+            shards,
+            seed: self.seed,
+        }
+    }
+
+    /// Materialize the [`OrgConfig`] with the spec's own shard hint.
+    pub fn org_config(&self) -> OrgConfig {
+        self.org_config_with_shards(self.shards)
+    }
+
+    /// Run the scenario at an explicit shard count.
+    pub fn run_with_shards(&self, shards: usize) -> OrgReport {
+        MailOrg::new(self.org_config_with_shards(shards)).run()
+    }
+
+    /// Run the scenario with its own shard hint capped by `threads` (the
+    /// same `--threads` semantics as the `repro weeks` subcommand: capping
+    /// shards caps parallelism without changing a single report number).
+    pub fn run_with_threads(&self, threads: usize) -> OrgReport {
+        let shards = match self.shards {
+            0 => threads,
+            s => s.min(threads),
+        };
+        self.run_with_shards(shards)
+    }
+
+    /// Run with the spec's shard hint and the host's default worker count.
+    pub fn run(&self) -> OrgReport {
+        self.run_with_threads(default_threads())
+    }
+}
+
+/// FNV-1a 64 over raw bytes — the digest seal. Stable, dependency-free,
+/// and byte-exact: any change to the canonical CSV changes the hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Exact `f64` rendering: Rust's `{:?}` prints the shortest string that
+/// round-trips, so equal digests imply bit-equal rates.
+fn fx(x: f64) -> String {
+    format!("{x:?}")
+}
+
+/// Render a report as the canonical golden digest: a CSV of every weekly
+/// metric and the run totals, sealed with an FNV-1a 64 hash line.
+pub fn golden_digest(name: &str, report: &OrgReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario,{name}");
+    let _ = writeln!(
+        out,
+        "week,offered,accepted,bounced,ham_as_spam,ham_misrouted,spam_caught,spam_as_unsure,\
+         screened_out,screen_error,ham_lost,ham_delayed,spam_faced,unsure_burden,filter_useless"
+    );
+    for w in &report.weeks {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            w.week,
+            w.offered,
+            w.accepted,
+            w.bounced,
+            fx(w.ham_as_spam),
+            fx(w.ham_misrouted),
+            fx(w.spam_caught),
+            fx(w.spam_as_unsure),
+            w.screened_out,
+            w.screen_error.as_deref().unwrap_or(""),
+            w.costs.ham_lost,
+            w.costs.ham_delayed,
+            w.costs.spam_faced,
+            w.costs.unsure_burden,
+            w.filter_useless,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "totals,delivered,{},failed,{},bounced,{},dropped,{},corrupted,{},passed,{}",
+        report.total_delivered,
+        report.total_failed,
+        report.total_bounced,
+        report.fault_stats.dropped,
+        report.fault_stats.corrupted,
+        report.fault_stats.passed,
+    );
+    let _ = writeln!(out, "fnv1a64,{:#018x}", fnv1a64(out.as_bytes()));
+    out
+}
+
+/// Point out the first line where two digests diverge (for golden-test
+/// failure messages).
+pub fn first_divergence(golden: &str, fresh: &str) -> Option<(usize, String, String)> {
+    let mut golden_lines = golden.lines();
+    let mut fresh_lines = fresh.lines();
+    let mut lineno = 0;
+    loop {
+        lineno += 1;
+        match (golden_lines.next(), fresh_lines.next()) {
+            (None, None) => return None,
+            (g, f) if g == f => {}
+            (g, f) => {
+                return Some((
+                    lineno,
+                    g.unwrap_or("<end of file>").to_string(),
+                    f.unwrap_or("<end of file>").to_string(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# A two-campaign scenario.
+name = demo
+seed = 7
+users = 4
+days = 10
+retrain_every = 5
+bootstrap = 120
+traffic = 8/8
+defense = roni
+faults = 0.01/0.02
+
+[campaign]
+attack = usenet:1000
+start_day = 1
+end_day = 6
+per_day = 3
+targets = 0, 2
+
+[campaign]
+attack = aspell-half
+start_day = 4
+per_day = 2
+";
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = ScenarioSpec::parse(SPEC).expect("valid spec");
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.users, 4);
+        assert_eq!(spec.traffic, (8, 8));
+        assert_eq!(spec.faults, (0.01, 0.02));
+        assert_eq!(spec.defense, DefensePolicy::Roni);
+        assert_eq!(spec.campaigns.len(), 2);
+        assert_eq!(spec.campaigns[0].end_day, Some(6));
+        assert_eq!(spec.campaigns[0].targets, Some(vec![0, 2]));
+        assert_eq!(spec.campaigns[1].end_day, None);
+        assert_eq!(spec.campaigns[1].targets, None);
+        assert!(spec.campaigns[0].overlaps(&spec.campaigns[1]));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = SPEC.replace("per_day = 3", "per_day = lots");
+        let e = ScenarioSpec::parse(&bad).unwrap_err();
+        assert!(e.line > 0, "line missing in {e}");
+        assert!(e.to_string().contains("per_day"), "{e}");
+
+        let unknown = SPEC.replace("defense = roni", "defence = roni");
+        let e = ScenarioSpec::parse(&unknown).unwrap_err();
+        assert!(e.to_string().contains("defence"), "{e}");
+
+        let missing = SPEC.replace("name = demo", "");
+        let e = ScenarioSpec::parse(&missing).unwrap_err();
+        assert!(e.to_string().contains("name"), "{e}");
+    }
+
+    #[test]
+    fn validation_crosses_fields() {
+        let bad_targets = SPEC.replace("targets = 0, 2", "targets = 0, 9");
+        let e = ScenarioSpec::parse(&bad_targets).unwrap_err();
+        assert!(e.to_string().contains("4 users"), "{e}");
+
+        let bad_mix = format!("{SPEC}\nuser_traffic = 1/1, 2/2\n");
+        // user_traffic must come before the campaign sections to be a
+        // top-level key; appending puts it inside campaign 2.
+        let e = ScenarioSpec::parse(&bad_mix).unwrap_err();
+        assert!(e.to_string().contains("unknown campaign key"), "{e}");
+
+        let with_mix = SPEC.replace(
+            "traffic = 8/8",
+            "traffic = 8/8\nuser_traffic = 1/1, 2/2",
+        );
+        let e = ScenarioSpec::parse(&with_mix).unwrap_err();
+        assert!(e.to_string().contains("2 entries"), "{e}");
+    }
+
+    #[test]
+    fn org_config_reflects_the_spec() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let cfg = spec.org_config_with_shards(3);
+        assert_eq!(cfg.users.len(), 4);
+        assert_eq!(cfg.shards, 3);
+        assert_eq!(cfg.attacks.len(), 2);
+        assert_eq!(cfg.attacks[0].end_day, Some(6));
+        assert_eq!(cfg.attacks[0].targets, Some(vec![0, 2]));
+        assert_eq!(cfg.faults.drop_chance, 0.01);
+        assert_eq!(cfg.defense, DefensePolicy::Roni);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sealed() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        // Shrink for test speed: no campaigns, tiny window.
+        let mut small = spec.clone();
+        small.campaigns.clear();
+        small.days = 5;
+        small.defense = DefensePolicy::None;
+        let report = small.run_with_shards(1);
+        let a = golden_digest(&small.name, &report);
+        let b = golden_digest(&small.name, &small.run_with_shards(2));
+        assert_eq!(a, b, "digest must be shard-invariant");
+        // The hash line seals everything above it.
+        let body = a.rsplit_once("fnv1a64,").unwrap().0;
+        let expect = format!("fnv1a64,{:#018x}\n", fnv1a64(body.as_bytes()));
+        assert!(a.ends_with(&expect), "hash line mismatch in {a}");
+        // Tampering is caught by first_divergence.
+        let tampered = a.replace("totals,delivered", "totals,delivred");
+        let (line, g, f) = first_divergence(&a, &tampered).expect("divergence");
+        assert!(g.contains("delivered") && f.contains("delivred"), "line {line}");
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+    }
+}

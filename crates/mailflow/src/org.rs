@@ -9,6 +9,16 @@
 //! requires: attack messages are genuinely spam, so they are trained as
 //! spam, and that is precisely what poisons the filter.
 //!
+//! Traffic is declarative: each user has their own daily ham/spam rates
+//! ([`OrgConfig::user_traffic`], defaulting to an equal split of the
+//! organization-wide [`OrgConfig::traffic`]), and **any number** of attack
+//! campaigns run concurrently ([`OrgConfig::attacks`]) with staggered
+//! start/stop windows, per-day intensities, and optional target-user
+//! lists. Each day's outbound list composes every user's quota with every
+//! active campaign's batch, then one arrival permutation assigns wire
+//! positions — the scenario-engine substrate the `sb-experiments` golden
+//! suite locks down.
+//!
 //! # Shard/merge architecture
 //!
 //! Users are partitioned round-robin across [`OrgConfig::shards`] worker
@@ -27,7 +37,7 @@
 //!
 //! * every random stream derives from the [`SeedTree`] by day and
 //!   organization-wide wire position (`day/<d>/traffic` for the arrival
-//!   permutation, `day/<d>/attack` for the campaign batch,
+//!   permutation, `day/<d>/attack/<p>` for campaign `p`'s batch,
 //!   `day/<d>/pipe/<i>` for per-message wire faults) — never from shard
 //!   identity or scheduling order;
 //! * corpus messages are pure in their global counter
@@ -56,7 +66,9 @@ use crate::client::{Envelope, SmtpClient};
 use crate::mailbox::{Mailbox, UserCosts, UserModel};
 use crate::server::{ServerEvent, SmtpServer};
 use crate::transport::{FaultConfig, FaultStats, FaultyPipe};
-use sb_core::{calibrate, AttackGenerator, RoniConfig, RoniDefense, ThresholdConfig, TrainItem};
+use sb_core::{
+    calibrate, AttackGenerator, CampaignSpec, RoniConfig, RoniDefense, ThresholdConfig, TrainItem,
+};
 use sb_corpus::{CorpusConfig, EmailGenerator};
 use sb_email::{Dataset, Email, Label, LabeledEmail};
 use sb_filter::{FilterOptions, SpamBayes, Verdict};
@@ -66,7 +78,9 @@ use sb_tokenizer::Tokenizer;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Daily traffic volumes, organization-wide.
+/// Daily traffic volumes. As [`OrgConfig::traffic`] the counts are
+/// organization-wide (split round-robin across users); as an entry of
+/// [`OrgConfig::user_traffic`] they are that one user's daily rates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficMix {
     /// Legitimate messages per day.
@@ -101,21 +115,70 @@ pub enum DefensePolicy {
     RoniPlusThreshold,
 }
 
-/// An attack campaign: when it starts and how much it sends.
+/// An attack campaign: when it runs, how much it sends, and at whom.
+///
+/// An [`OrgConfig`] carries *any number* of these; campaigns with
+/// overlapping windows compose — each active campaign contributes its
+/// `per_day` messages to the day's arrival permutation independently.
 pub struct AttackPlan {
     /// First day (1-based) attack mail is sent.
     pub start_day: u32,
-    /// Attack messages per day from `start_day` on.
+    /// Last day (inclusive) attack mail is sent; `None` runs to the end of
+    /// the simulation.
+    pub end_day: Option<u32>,
+    /// Attack messages per active day.
     pub per_day: u32,
+    /// Target users as indices into [`OrgConfig::users`]; `None` spreads
+    /// the campaign round-robin over every user.
+    pub targets: Option<Vec<usize>>,
     /// The attack email generator (dictionary, focused, …).
     pub generator: Box<dyn AttackGenerator + Send + Sync>,
+}
+
+impl AttackPlan {
+    /// The paper's shape: starts on `start_day`, never stops, targets
+    /// everyone.
+    pub fn new(
+        start_day: u32,
+        per_day: u32,
+        generator: Box<dyn AttackGenerator + Send + Sync>,
+    ) -> Self {
+        Self {
+            start_day,
+            end_day: None,
+            per_day,
+            targets: None,
+            generator,
+        }
+    }
+
+    /// Materialize a plan from a declarative [`CampaignSpec`] (the scenario
+    /// engine's attack description).
+    pub fn from_campaign(spec: &CampaignSpec) -> Self {
+        Self {
+            start_day: spec.start_day,
+            end_day: spec.end_day,
+            per_day: spec.per_day,
+            targets: spec.targets.clone(),
+            generator: spec.attack.build_generator(),
+        }
+    }
+
+    /// Whether the campaign sends mail on `day` (1-based, inclusive window).
+    pub fn active_on(&self, day: u32) -> bool {
+        self.per_day > 0
+            && day >= self.start_day
+            && self.end_day.is_none_or(|end| day <= end)
+    }
 }
 
 impl std::fmt::Debug for AttackPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AttackPlan")
             .field("start_day", &self.start_day)
+            .field("end_day", &self.end_day)
             .field("per_day", &self.per_day)
+            .field("targets", &self.targets)
             .field("generator", &self.generator.name())
             .finish()
     }
@@ -130,8 +193,13 @@ pub struct OrgConfig {
     pub days: u32,
     /// Retrain every this many days (the paper's "e.g., weekly").
     pub retrain_every: u32,
-    /// Daily volumes.
+    /// Daily volumes, organization-wide, split round-robin across users
+    /// (ignored when [`OrgConfig::user_traffic`] is non-empty).
     pub traffic: TrafficMix,
+    /// Heterogeneous per-user daily volumes: one entry per user, in
+    /// [`OrgConfig::users`] order. Empty means every user takes an equal
+    /// share of [`OrgConfig::traffic`].
+    pub user_traffic: Vec<TrafficMix>,
     /// Wire faults.
     pub faults: FaultConfig,
     /// Defense at retraining time.
@@ -140,8 +208,8 @@ pub struct OrgConfig {
     pub bootstrap_size: usize,
     /// Corpus model for ham/spam generation.
     pub corpus: CorpusConfig,
-    /// The attack campaign, if any.
-    pub attack: Option<AttackPlan>,
+    /// The attack campaigns (any number; overlapping windows compose).
+    pub attacks: Vec<AttackPlan>,
     /// Worker shards the users are partitioned across. `0` means one
     /// shard per available worker thread (`SB_THREADS` honored); any
     /// value is clamped to the user count. Reports are bit-identical for
@@ -160,14 +228,33 @@ impl OrgConfig {
             days: 28,
             retrain_every: 7,
             traffic: TrafficMix::default(),
+            user_traffic: Vec::new(),
             faults: FaultConfig::none(),
             defense: DefensePolicy::None,
             bootstrap_size: 400,
             corpus: CorpusConfig::with_size(400, 0.5),
-            attack: None,
+            attacks: Vec::new(),
             shards: 1,
             seed,
         }
+    }
+
+    /// The effective per-user daily rates: [`OrgConfig::user_traffic`]
+    /// verbatim when set, otherwise [`OrgConfig::traffic`] split
+    /// round-robin (user `u` takes `total / n` plus one of the first
+    /// `total % n` remainder slots).
+    pub fn per_user_rates(&self) -> Vec<TrafficMix> {
+        if !self.user_traffic.is_empty() {
+            return self.user_traffic.clone();
+        }
+        let n = self.users.len() as u32;
+        let share = |total: u32, u: u32| total / n + u32::from(u < total % n);
+        (0..n)
+            .map(|u| TrafficMix {
+                ham_per_day: share(self.traffic.ham_per_day, u),
+                spam_per_day: share(self.traffic.spam_per_day, u),
+            })
+            .collect()
     }
 }
 
@@ -324,46 +411,122 @@ impl WeekTally {
 }
 
 /// Read-only context a shard needs to run a day: configuration, seed tree,
-/// corpus generator, the shared filter, the global corpus counters the
-/// bootstrap consumed, and the period's attack batches.
+/// corpus generator, the shared filter, the per-user traffic rates, the
+/// global corpus counters the bootstrap consumed, and the period's attack
+/// batches.
 struct DayCtx<'a> {
     cfg: &'a OrgConfig,
     seeds: &'a SeedTree,
     generator: &'a EmailGenerator,
     filter: &'a ActiveFilter,
+    /// Effective per-user daily rates ([`OrgConfig::per_user_rates`]).
+    rates: &'a [TrafficMix],
+    /// Organization-wide daily totals (sums over `rates`).
+    total_ham: u32,
+    total_spam: u32,
     ham0: u64,
     spam0: u64,
     n_shards: usize,
     /// First day of the period `attack_batches` covers.
     first_day: u32,
-    /// Per-day campaign batches for `first_day..`, materialized once by
-    /// the coordinator: the batch comes from one sequential RNG stream
-    /// (`day/<d>/attack`), so generating it per shard would duplicate the
-    /// whole day's attack-generation cost in every worker.
-    attack_batches: &'a [Option<Vec<Email>>],
+    /// Per-day, per-campaign batches for `first_day..`, materialized once
+    /// by the coordinator: each batch comes from one sequential RNG stream
+    /// (`day/<d>/attack/<plan>`), so generating it per shard would
+    /// duplicate the whole day's attack-generation cost in every worker.
+    /// Inactive campaigns contribute an empty batch.
+    attack_batches: &'a [Vec<Vec<Email>>],
 }
 
 impl DayCtx<'_> {
-    /// The campaign emails arriving on `day` (empty when no campaign).
-    fn attack_batch(&self, day: u32) -> &[Email] {
-        self.attack_batches[(day - self.first_day) as usize]
-            .as_deref()
-            .unwrap_or(&[])
+    /// Campaign `plan`'s emails arriving on `day` (empty outside its
+    /// window).
+    fn attack_batch(&self, day: u32, plan: usize) -> &[Email] {
+        &self.attack_batches[(day - self.first_day) as usize][plan]
     }
 }
 
-/// Materialize the campaign batches for days `first..=last` from their
-/// per-day seed nodes (`None` for days the campaign is not running).
-fn attack_batches_for(cfg: &OrgConfig, seeds: &SeedTree, first: u32, last: u32) -> Vec<Option<Vec<Email>>> {
+/// Materialize every campaign's batches for days `first..=last` from their
+/// per-day, per-plan seed nodes (empty for days a campaign is not
+/// running).
+fn attack_batches_for(cfg: &OrgConfig, seeds: &SeedTree, first: u32, last: u32) -> Vec<Vec<Vec<Email>>> {
     (first..=last)
-        .map(|day| match &cfg.attack {
-            Some(plan) if day >= plan.start_day && plan.per_day > 0 => {
-                let mut atk_rng = seeds.child("day").index(u64::from(day)).child("attack").rng();
-                Some(plan.generator.generate(plan.per_day, &mut atk_rng).materialize())
-            }
-            _ => None,
+        .map(|day| {
+            let day_seeds = seeds.child("day").index(u64::from(day));
+            cfg.attacks
+                .iter()
+                .enumerate()
+                .map(|(p, plan)| {
+                    if plan.active_on(day) {
+                        let mut atk_rng = day_seeds.child("attack").index(p as u64).rng();
+                        plan.generator.generate(plan.per_day, &mut atk_rng).materialize()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect()
         })
         .collect()
+}
+
+/// What the message at one composition slot of a day is.
+#[derive(Debug, Clone, Copy)]
+enum EntryKind {
+    /// The day's `k`-th ham message (offset into the day's ham counter
+    /// block).
+    Ham(u64),
+    /// The day's `k`-th background spam message.
+    Spam(u64),
+    /// Message `idx` of campaign `plan`'s batch for the day.
+    Attack { plan: usize, idx: usize },
+}
+
+/// One composition slot of a day's traffic: what arrives and for whom.
+#[derive(Debug, Clone, Copy)]
+struct DayEntry {
+    user: usize,
+    kind: EntryKind,
+}
+
+/// The day's composed outbound list, **before** the arrival permutation:
+/// each user's ham and spam quota in user order, then each campaign's
+/// batch in plan order. Pure in the configuration and the day, so every
+/// shard derives the identical list; the `day/<d>/traffic` permutation
+/// then assigns wire positions.
+fn day_entries(ctx: &DayCtx<'_>, day: u32) -> Vec<DayEntry> {
+    let n_attack: usize = ctx
+        .cfg
+        .attacks
+        .iter()
+        .enumerate()
+        .map(|(p, _)| ctx.attack_batch(day, p).len())
+        .sum();
+    let mut entries =
+        Vec::with_capacity(ctx.total_ham as usize + ctx.total_spam as usize + n_attack);
+    let mut k = 0u64;
+    for (user, rate) in ctx.rates.iter().enumerate() {
+        for _ in 0..rate.ham_per_day {
+            entries.push(DayEntry { user, kind: EntryKind::Ham(k) });
+            k += 1;
+        }
+    }
+    let mut k = 0u64;
+    for (user, rate) in ctx.rates.iter().enumerate() {
+        for _ in 0..rate.spam_per_day {
+            entries.push(DayEntry { user, kind: EntryKind::Spam(k) });
+            k += 1;
+        }
+    }
+    let n_users = ctx.cfg.users.len();
+    for (plan, spec) in ctx.cfg.attacks.iter().enumerate() {
+        for idx in 0..ctx.attack_batch(day, plan).len() {
+            let user = match &spec.targets {
+                Some(targets) => targets[idx % targets.len()],
+                None => idx % n_users,
+            };
+            entries.push(DayEntry { user, kind: EntryKind::Attack { plan, idx } });
+        }
+    }
+    entries
 }
 
 /// One worker shard: a round-robin slice of the organization's users, with
@@ -381,53 +544,47 @@ impl Shard {
     }
 
     /// One day of this shard's share of the organization's traffic: the
-    /// day plan (counts + arrival permutation) is recomputed identically
-    /// on every shard from the day's seed node; the shard then delivers
-    /// exactly the wire positions addressed to its users, over its own
-    /// per-message server/pipe instances.
+    /// day plan (per-user composition + arrival permutation) is recomputed
+    /// identically on every shard from the configuration and the day's
+    /// seed node; the shard then delivers exactly the wire positions
+    /// addressed to its users, over its own per-message server/pipe
+    /// instances.
     fn run_day(&mut self, ctx: &DayCtx<'_>, day: u32, tally: &mut WeekTally) {
         let day_seeds = ctx.seeds.child("day").index(u64::from(day));
-        let n_ham = ctx.cfg.traffic.ham_per_day as usize;
-        let n_spam = ctx.cfg.traffic.spam_per_day as usize;
-        let attack_batch = ctx.attack_batch(day);
-        let n_attack = attack_batch.len();
-        let m = n_ham + n_spam + n_attack;
+        let entries = day_entries(ctx, day);
 
         // The day's arrival order: the same Fisher–Yates the single-shard
         // loop applies to the composed outbound list, run on indices so
         // every shard derives the identical permutation without
         // materializing messages it does not own. `perm[i]` is the
-        // composition index (ham, then spam, then attack) of the message
-        // at wire position `i`.
-        let mut perm: Vec<usize> = (0..m).collect();
+        // composition index (per-user ham, per-user spam, then campaign
+        // batches) of the message at wire position `i`.
+        let mut perm: Vec<usize> = (0..entries.len()).collect();
         let mut rng = day_seeds.child("traffic").rng();
         shuffle(&mut perm, &mut rng);
 
         // Corpus messages are pure in their global counter; day `d`'s ham
         // block starts right after the bootstrap plus `d − 1` full days.
-        let ham_base = ctx.ham0 + u64::from(day - 1) * u64::from(ctx.cfg.traffic.ham_per_day);
-        let spam_base = ctx.spam0 + u64::from(day - 1) * u64::from(ctx.cfg.traffic.spam_per_day);
+        let ham_base = ctx.ham0 + u64::from(day - 1) * u64::from(ctx.total_ham);
+        let spam_base = ctx.spam0 + u64::from(day - 1) * u64::from(ctx.total_spam);
 
         let client = SmtpClient::new("outside.example");
-        let n_users = ctx.cfg.users.len();
         for (i, &k) in perm.iter().enumerate() {
-            let user = i % n_users;
+            let entry = entries[k];
+            let user = entry.user;
             if !self.owns(user, ctx.n_shards) {
                 continue;
             }
             tally.offered += 1;
 
-            let (email, truth) = if k < n_ham {
-                (ctx.generator.ham(ham_base + k as u64), Label::Ham)
-            } else if k < n_ham + n_spam {
-                (
-                    ctx.generator.spam(spam_base + (k - n_ham) as u64),
-                    Label::Spam,
-                )
-            } else {
+            let (email, truth) = match entry.kind {
+                EntryKind::Ham(off) => (ctx.generator.ham(ham_base + off), Label::Ham),
+                EntryKind::Spam(off) => (ctx.generator.spam(spam_base + off), Label::Spam),
                 // Ground truth: attack mail IS spam (§2.2) — that is the
                 // whole point of the contamination assumption.
-                (attack_batch[k - (n_ham + n_spam)].clone(), Label::Spam)
+                EntryKind::Attack { plan, idx } => {
+                    (ctx.attack_batch(day, plan)[idx].clone(), Label::Spam)
+                }
             };
 
             // One SMTP connection per message: exact truth↔delivery
@@ -504,6 +661,8 @@ pub struct MailOrg {
     interner: Interner,
     /// Worker shards owning disjoint round-robin slices of the users.
     shards: Vec<Shard>,
+    /// Effective per-user daily rates ([`OrgConfig::per_user_rates`]).
+    rates: Vec<TrafficMix>,
     /// Corpus counters consumed by the bootstrap (day traffic starts
     /// here).
     ham0: u64,
@@ -516,6 +675,32 @@ impl MailOrg {
     pub fn new(cfg: OrgConfig) -> Self {
         assert!(!cfg.users.is_empty(), "need at least one user");
         assert!(cfg.retrain_every >= 1, "retrain_every must be >= 1");
+        assert!(
+            cfg.user_traffic.is_empty() || cfg.user_traffic.len() == cfg.users.len(),
+            "user_traffic must have one entry per user ({} entries for {} users)",
+            cfg.user_traffic.len(),
+            cfg.users.len()
+        );
+        for (p, plan) in cfg.attacks.iter().enumerate() {
+            if let Some(end) = plan.end_day {
+                assert!(
+                    end >= plan.start_day,
+                    "attack plan {p}: empty window (end_day {end} < start_day {})",
+                    plan.start_day
+                );
+            }
+            if let Some(targets) = &plan.targets {
+                assert!(!targets.is_empty(), "attack plan {p}: empty target list");
+                for &u in targets {
+                    assert!(
+                        u < cfg.users.len(),
+                        "attack plan {p}: target user {u} out of range (org has {} users)",
+                        cfg.users.len()
+                    );
+                }
+            }
+        }
+        let rates = cfg.per_user_rates();
         let seeds = SeedTree::new(cfg.seed).child("mailorg");
         let generator = EmailGenerator::new(cfg.corpus.clone(), seeds.child("corpus").seed());
 
@@ -581,6 +766,7 @@ impl MailOrg {
             pool_ids,
             interner,
             shards,
+            rates,
             ham0: ham_counter,
             spam0: spam_counter,
         }
@@ -589,6 +775,17 @@ impl MailOrg {
     /// A user's mailbox (owned by whichever shard holds the user).
     pub fn mailbox(&self, user: &str) -> Option<&Mailbox> {
         self.shards.iter().find_map(|s| s.mailboxes.get(user))
+    }
+
+    /// Fault injection: drop `user`'s mailbox from whichever shard owns it
+    /// (a stale routing table). Accepted mail for the user then bounces
+    /// into the week stats ([`WeekReport::bounced`]) instead of being
+    /// classified or pooled — the simulation must degrade, never panic.
+    /// Returns whether a mailbox was removed.
+    pub fn remove_mailbox(&mut self, user: &str) -> bool {
+        self.shards
+            .iter_mut()
+            .any(|s| s.mailboxes.remove(user).is_some())
     }
 
     /// The number of worker shards the users are partitioned across.
@@ -658,6 +855,9 @@ impl MailOrg {
             seeds: &self.seeds,
             generator: &self.generator,
             filter: &self.filter,
+            rates: &self.rates,
+            total_ham: self.rates.iter().map(|r| r.ham_per_day).sum(),
+            total_spam: self.rates.iter().map(|r| r.spam_per_day).sum(),
             ham0: self.ham0,
             spam0: self.spam0,
             n_shards: self.shards.len(),
@@ -831,12 +1031,16 @@ mod tests {
         cfg
     }
 
-    fn with_attack(mut cfg: OrgConfig, per_day: u32) -> OrgConfig {
-        cfg.attack = Some(AttackPlan {
-            start_day: 1,
+    fn usenet_plan(start_day: u32, per_day: u32) -> AttackPlan {
+        AttackPlan::new(
+            start_day,
             per_day,
-            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
-        });
+            Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
+        )
+    }
+
+    fn with_attack(mut cfg: OrgConfig, per_day: u32) -> OrgConfig {
+        cfg.attacks = vec![usenet_plan(1, per_day)];
         cfg
     }
 
@@ -962,34 +1166,110 @@ mod tests {
         assert!(report.total_delivered as f64 / offered as f64 > 0.9);
     }
 
+    /// Borrow-friendly test harness: run one day across all shards
+    /// sequentially against a ctx built from the org's own state.
+    fn run_one_day(org: &mut MailOrg, day: u32) -> WeekTally {
+        let mut tally = WeekTally::default();
+        let batches = attack_batches_for(&org.cfg, &org.seeds, day, day);
+        let ctx = DayCtx {
+            cfg: &org.cfg,
+            seeds: &org.seeds,
+            generator: &org.generator,
+            filter: &org.filter,
+            rates: &org.rates,
+            total_ham: org.rates.iter().map(|r| r.ham_per_day).sum(),
+            total_spam: org.rates.iter().map(|r| r.spam_per_day).sum(),
+            ham0: org.ham0,
+            spam0: org.spam0,
+            n_shards: org.shards.len(),
+            first_day: day,
+            attack_batches: &batches,
+        };
+        let mut shards = std::mem::take(&mut org.shards);
+        for shard in &mut shards {
+            shard.run_day(&ctx, day, &mut tally);
+        }
+        org.shards = shards;
+        tally
+    }
+
     #[test]
     fn mailboxes_accumulate_by_user() {
         let mut cfg = base_config(13);
         cfg.shards = 2;
         let mut org = MailOrg::new(cfg);
         let users = org.cfg.users.clone();
-        let mut tally = WeekTally::default();
-        let batches = attack_batches_for(&org.cfg, &org.seeds, 1, 1);
-        let ctx = DayCtx {
-            cfg: &org.cfg,
-            seeds: &org.seeds,
-            generator: &org.generator,
-            filter: &org.filter,
-            ham0: org.ham0,
-            spam0: org.spam0,
-            n_shards: org.shards.len(),
-            first_day: 1,
-            attack_batches: &batches,
-        };
-        for shard in &mut org.shards {
-            shard.run_day(&ctx, 1, &mut tally);
-        }
+        run_one_day(&mut org, 1);
         for u in &users {
             assert!(
                 !org.mailbox(u).expect("mailbox").is_empty(),
                 "user {u} got no mail"
             );
         }
+    }
+
+    /// Heterogeneous per-user rates are honored exactly: a user with zero
+    /// configured traffic and no campaign aimed at them receives nothing,
+    /// and the day's offered total is the sum of the per-user rates.
+    #[test]
+    fn per_user_traffic_controls_volume() {
+        let mut cfg = base_config(19);
+        cfg.user_traffic = vec![
+            TrafficMix { ham_per_day: 8, spam_per_day: 2 },
+            TrafficMix { ham_per_day: 2, spam_per_day: 8 },
+            TrafficMix { ham_per_day: 5, spam_per_day: 5 },
+            TrafficMix { ham_per_day: 0, spam_per_day: 0 },
+            TrafficMix { ham_per_day: 1, spam_per_day: 1 },
+        ];
+        let mut org = MailOrg::new(cfg);
+        let users = org.cfg.users.clone();
+        let tally = run_one_day(&mut org, 1);
+        assert_eq!(tally.offered, 8 + 2 + 2 + 8 + 5 + 5 + 1 + 1);
+        assert!(org.mailbox(&users[3]).expect("mailbox").is_empty());
+        assert!(!org.mailbox(&users[0]).expect("mailbox").is_empty());
+    }
+
+    /// A targeted campaign's mail lands only in the target users'
+    /// mailboxes: users with zero organic traffic outside the target list
+    /// stay empty.
+    #[test]
+    fn targeted_campaign_hits_only_targets() {
+        let mut cfg = base_config(23);
+        // No organic traffic at all: every delivery is campaign mail.
+        cfg.user_traffic = vec![TrafficMix { ham_per_day: 0, spam_per_day: 0 }; 5];
+        let mut plan = usenet_plan(1, 9);
+        plan.targets = Some(vec![1, 3]);
+        cfg.attacks = vec![plan];
+        let mut org = MailOrg::new(cfg);
+        let users = org.cfg.users.clone();
+        let tally = run_one_day(&mut org, 1);
+        assert_eq!(tally.offered, 9);
+        for (u, name) in users.iter().enumerate() {
+            let got = !org.mailbox(name).expect("mailbox").is_empty();
+            assert_eq!(got, u == 1 || u == 3, "user {u} targeting wrong");
+        }
+    }
+
+    /// Campaign windows are inclusive and staggered campaigns compose:
+    /// outside every window only organic traffic arrives, inside both the
+    /// offered count carries both campaigns' intensities.
+    #[test]
+    fn staggered_campaign_windows_compose() {
+        let mut cfg = base_config(29);
+        let mut early = usenet_plan(2, 3);
+        early.end_day = Some(4);
+        let late = AttackPlan::new(
+            4,
+            5,
+            Box::new(DictionaryAttack::new(DictionaryKind::Aspell)),
+        );
+        cfg.attacks = vec![early, late];
+        let organic = 20; // 10 ham + 10 spam per day in base_config
+        let mut org = MailOrg::new(cfg);
+        assert_eq!(run_one_day(&mut org, 1).offered, organic);
+        assert_eq!(run_one_day(&mut org, 2).offered, organic + 3);
+        assert_eq!(run_one_day(&mut org, 4).offered, organic + 3 + 5);
+        assert_eq!(run_one_day(&mut org, 5).offered, organic + 5);
     }
 
     /// Regression: mail accepted for a recipient with no local mailbox
@@ -1000,26 +1280,9 @@ mod tests {
         let mut org = MailOrg::new(base_config(17));
         // Simulate a stale routing table: the shard loses one mailbox.
         let victim = org.cfg.users[0].clone();
-        for shard in &mut org.shards {
-            shard.mailboxes.remove(&victim);
-        }
-        let batches = attack_batches_for(&org.cfg, &org.seeds, 1, 1);
-        let ctx = DayCtx {
-            cfg: &org.cfg,
-            seeds: &org.seeds,
-            generator: &org.generator,
-            filter: &org.filter,
-            ham0: org.ham0,
-            spam0: org.spam0,
-            n_shards: org.shards.len(),
-            first_day: 1,
-            attack_batches: &batches,
-        };
-        let mut tally = WeekTally::default();
-        let mut shards = std::mem::take(&mut org.shards);
-        for shard in &mut shards {
-            shard.run_day(&ctx, 1, &mut tally);
-        }
+        assert!(org.remove_mailbox(&victim), "mailbox should exist");
+        assert!(!org.remove_mailbox(&victim), "second removal is a no-op");
+        let tally = run_one_day(&mut org, 1);
         assert!(tally.bounced > 0, "missing mailbox must surface as bounces");
         assert_eq!(
             tally.delivered + tally.failed + tally.bounced,
@@ -1027,7 +1290,7 @@ mod tests {
             "bounces must stay inside the accounting identity"
         );
         // Bounced mail never reaches the training pool.
-        let pooled: usize = shards.iter().map(|s| s.fresh.len()).sum();
+        let pooled: usize = org.shards.iter().map(|s| s.fresh.len()).sum();
         assert_eq!(pooled, tally.delivered);
     }
 

@@ -313,6 +313,98 @@ mod tests {
         }
     }
 
+    /// bound = 1: the only admissible value is 0, the rejection threshold
+    /// is 0 (nothing can be rejected), and the generator still advances —
+    /// a degenerate bound must not freeze or bias the stream.
+    #[test]
+    fn next_below_one_always_returns_zero_and_advances_state() {
+        let mut rng = Xoshiro256pp::new(41);
+        for _ in 0..1_000 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+        // Each draw consumed exactly one u64 of the stream: a fresh
+        // generator stepped the same number of times is in the same state.
+        let mut stepped = Xoshiro256pp::new(41);
+        for _ in 0..1_000 {
+            stepped.next();
+        }
+        assert_eq!(rng.next(), stepped.next());
+    }
+
+    /// Power-of-two bounds: `2^64 mod 2^k == 0`, so the rejection
+    /// threshold is 0 and Lemire's multiply-shift degenerates to taking
+    /// the top `k` bits of one raw draw. Check that closed form exactly,
+    /// for every power of two from 2^1 to 2^63.
+    #[test]
+    fn next_below_power_of_two_takes_top_bits_without_rejection() {
+        for k in 1..=63u32 {
+            let n = 1u64 << k;
+            let mut rng = Xoshiro256pp::new(u64::from(k) + 7);
+            let mut reference = rng.clone();
+            for _ in 0..64 {
+                let got = rng.next_below(n);
+                let expect = reference.next() >> (64 - k);
+                assert_eq!(got, expect, "k={k}: not the top-{k}-bits draw");
+                assert!(got < n);
+            }
+        }
+    }
+
+    /// Bounds near `u64::MAX`: the rejection region (`2^64 mod n`) is a
+    /// handful of values out of 2^64, so the loop must terminate on the
+    /// first draw essentially always, stay in range, and reach the *top*
+    /// of the range — a truncating or biased implementation would never
+    /// produce values above 2^63.
+    #[test]
+    fn next_below_handles_bounds_near_u64_max() {
+        for n in [u64::MAX, u64::MAX - 1, u64::MAX - 3, (1u64 << 63) + 1] {
+            let mut rng = Xoshiro256pp::new(n ^ 0xDEAD_BEEF);
+            let mut top_half = 0usize;
+            for _ in 0..2_000 {
+                let v = rng.next_below(n);
+                assert!(v < n, "out of range for n={n}");
+                if v >= n / 2 {
+                    top_half += 1;
+                }
+            }
+            // The top half of the range holds ~half the mass; even a very
+            // unlucky stream lands there hundreds of times in 2k draws. A
+            // 32-bit-truncating fold (the pre-PR 3 bug shape) would score 0.
+            assert!(
+                top_half > 500,
+                "n={n}: only {top_half}/2000 draws in the top half — range truncated?"
+            );
+        }
+    }
+
+    /// The `2^64 mod n` rejection threshold itself: for n = 2^63 + 1 the
+    /// over-represented residue region has size 2^63 − 1, i.e. the loop
+    /// rejects nearly half of all raw draws — the worst case for
+    /// termination. It must still finish (expected retries < 1) and stay
+    /// uniform enough to hit both halves.
+    #[test]
+    fn next_below_survives_the_worst_case_rejection_rate() {
+        let n = (1u64 << 63) + 1;
+        let mut rng = Xoshiro256pp::new(9_000);
+        let mut below_mid = 0usize;
+        let draws = 4_000;
+        for _ in 0..draws {
+            let v = rng.next_below(n);
+            assert!(v < n);
+            if v < n / 2 {
+                below_mid += 1;
+            }
+        }
+        let frac = below_mid as f64 / draws as f64;
+        assert!((frac - 0.5).abs() < 0.05, "below-midpoint fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty range")]
+    fn next_below_zero_panics() {
+        Xoshiro256pp::new(1).next_below(0);
+    }
+
     #[test]
     fn next_below_is_deterministic() {
         let mut a = Xoshiro256pp::new(9);

@@ -31,14 +31,20 @@ fn org(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
             drop_chance: 0.01,
             corrupt_chance: 0.01,
         },
+        user_traffic: Vec::new(),
         defense,
         bootstrap_size: 300,
         corpus: CorpusConfig::with_size(300, 0.5),
-        attack: attack.then(|| AttackPlan {
-            start_day: 3,
-            per_day: 8,
-            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(5_000))),
-        }),
+        attacks: attack
+            .then(|| {
+                AttackPlan::new(
+                    3,
+                    8,
+                    Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(5_000))),
+                )
+            })
+            .into_iter()
+            .collect(),
         // One shard per available worker (SB_THREADS honored): the weekly
         // numbers are bit-identical to a single-shard run, just faster.
         shards: 0,

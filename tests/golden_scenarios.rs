@@ -1,0 +1,157 @@
+//! The golden-report regression suite: every committed scenario under
+//! `scenarios/` must produce a weekly report that is (a) bit-identical
+//! across shard counts and (b) byte-identical to its committed digest
+//! under `tests/golden/`.
+//!
+//! The digests lock the full simulation stack — corpus generation, the
+//! SMTP-lite wire, classification, multi-campaign day plans, RONI /
+//! threshold retrains — so any future perf or refactor PR that changes a
+//! single rate, counter, or screening decision fails here with a
+//! line-level diff.
+//!
+//! After an *intentional* behavior change, refresh the digests:
+//!
+//! ```text
+//! SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios
+//! ```
+//!
+//! and commit the updated `tests/golden/*.golden.csv` files together with
+//! the change that moved them. See `tests/README.md` for the digest
+//! format.
+
+use spambayes_repro::experiments::config::ScenarioSuiteConfig;
+use spambayes_repro::experiments::scenario::{first_divergence, golden_digest, ScenarioSpec};
+use spambayes_repro::mailflow::OrgReport;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn update_requested() -> bool {
+    std::env::var("SB_UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// Load the committed suite; the acceptance floor is three scenarios
+/// (single-campaign baseline, overlapping campaigns, skewed traffic mix).
+fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
+    let suite = ScenarioSuiteConfig {
+        dir: repo_path("scenarios"),
+        ..ScenarioSuiteConfig::default()
+    };
+    let files = suite.scenario_files().expect("scenarios/ must be listable");
+    assert!(
+        files.len() >= 3,
+        "expected at least 3 committed scenarios, found {}",
+        files.len()
+    );
+    let specs: Vec<(PathBuf, ScenarioSpec)> = files
+        .into_iter()
+        .map(|path| {
+            let spec = ScenarioSpec::load(&path)
+                .unwrap_or_else(|e| panic!("scenario {} does not parse: {e}", path.display()));
+            (path, spec)
+        })
+        .collect();
+    // Golden files and `repro scenarios` outputs are keyed by spec name,
+    // not file name: duplicates would silently share one digest.
+    for (i, (path, spec)) in specs.iter().enumerate() {
+        if let Some((other, _)) = specs[..i].iter().find(|(_, s)| s.name == spec.name) {
+            panic!(
+                "scenario name {:?} declared by both {} and {}",
+                spec.name,
+                other.display(),
+                path.display()
+            );
+        }
+    }
+    specs
+}
+
+/// The committed suite covers the three required shapes.
+#[test]
+fn suite_covers_the_required_scenario_shapes() {
+    let specs = committed_specs();
+    assert!(
+        specs
+            .iter()
+            .any(|(_, s)| s.campaigns.len() == 1 && s.user_traffic.is_empty()),
+        "suite needs a single-campaign baseline"
+    );
+    assert!(
+        specs.iter().any(|(_, s)| {
+            s.campaigns.len() >= 2
+                && s.campaigns
+                    .iter()
+                    .enumerate()
+                    .any(|(i, a)| s.campaigns[i + 1..].iter().any(|b| a.overlaps(b)))
+        }),
+        "suite needs two overlapping campaigns"
+    );
+    assert!(
+        specs.iter().any(|(_, s)| {
+            !s.user_traffic.is_empty()
+                && s.user_traffic.iter().any(|mix| mix != &s.user_traffic[0])
+        }),
+        "suite needs a heterogeneous per-user traffic mix"
+    );
+}
+
+/// The tentpole gate: run every scenario at shard counts 1/2/4, require
+/// bit-identical reports, and compare the canonical digest against the
+/// committed golden file (or rewrite it under SB_UPDATE_GOLDEN=1).
+#[test]
+fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
+    let shard_matrix = ScenarioSuiteConfig::default().shard_matrix;
+    let golden_dir = repo_path("tests/golden");
+    let mut updated = Vec::new();
+
+    for (path, spec) in committed_specs() {
+        let reports: Vec<OrgReport> = shard_matrix
+            .iter()
+            .map(|&shards| spec.run_with_shards(shards))
+            .collect();
+        for (report, &shards) in reports.iter().zip(&shard_matrix).skip(1) {
+            assert_eq!(
+                &reports[0], report,
+                "scenario {} diverged between shards={} and shards={}",
+                spec.name, shard_matrix[0], shards
+            );
+        }
+
+        let digest = golden_digest(&spec.name, &reports[0]);
+        let golden_path = golden_dir.join(format!("{}.golden.csv", spec.name));
+        if update_requested() {
+            std::fs::create_dir_all(&golden_dir).expect("create tests/golden");
+            std::fs::write(&golden_path, &digest)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", golden_path.display()));
+            updated.push(golden_path);
+            continue;
+        }
+
+        let committed = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden digest {} for scenario {} ({e}); generate it with \
+                 SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios",
+                golden_path.display(),
+                path.display()
+            )
+        });
+        if committed != digest {
+            let (line, want, got) = first_divergence(&committed, &digest)
+                .expect("unequal digests must diverge somewhere");
+            panic!(
+                "scenario {}: fresh report diverges from {} at line {line}:\n  \
+                 committed: {want}\n  fresh:     {got}\n\
+                 If this change is intentional, refresh the digests with \
+                 SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios and commit them.",
+                spec.name,
+                golden_path.display()
+            );
+        }
+    }
+
+    for p in updated {
+        eprintln!("updated {}", p.display());
+    }
+}

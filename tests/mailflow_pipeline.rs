@@ -67,6 +67,7 @@ fn org_config(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
             ham_per_day: 12,
             spam_per_day: 12,
         },
+        user_traffic: Vec::new(),
         faults: FaultConfig {
             drop_chance: 0.02,
             corrupt_chance: 0.02,
@@ -74,11 +75,16 @@ fn org_config(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
         defense,
         bootstrap_size: 200,
         corpus: CorpusConfig::with_size(200, 0.5),
-        attack: attack.then(|| AttackPlan {
-            start_day: 1,
-            per_day: 8,
-            generator: Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
-        }),
+        attacks: attack
+            .then(|| {
+                AttackPlan::new(
+                    1,
+                    8,
+                    Box::new(DictionaryAttack::new(DictionaryKind::UsenetTop(2_000))),
+                )
+            })
+            .into_iter()
+            .collect(),
         // Exercise the sharded day loop through the facade; results are
         // bit-identical to shards: 1 (property-tested in sb-mailflow).
         shards: 2,
@@ -93,10 +99,15 @@ fn organization_detonation_and_roni_on_lossy_wire() {
     let hit = MailOrg::new(org_config(DefensePolicy::None, true, 5)).run();
     let defended = MailOrg::new(org_config(DefensePolicy::Roni, true, 5)).run();
 
-    // Accounting balances despite faults.
+    // Accounting balances despite faults (no mailbox is missing here, so
+    // the bounce term is zero — but it is part of the identity).
     for report in [&hit, &defended] {
         let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
-        assert_eq!(report.total_delivered + report.total_failed, offered);
+        assert_eq!(
+            report.total_delivered + report.total_failed + report.total_bounced,
+            offered
+        );
+        assert_eq!(report.total_bounced, 0);
         assert!(report.fault_stats.dropped + report.fault_stats.corrupted > 0);
     }
 
@@ -147,6 +158,41 @@ fn mailboxes_reflect_verdicts() {
     assert!(inbox_ham >= 25, "{inbox_ham}");
     assert!(inbox_spam <= 2, "{inbox_spam}");
     assert!(mbox.count(Folder::Spam, Label::Spam) >= 25);
+}
+
+/// The PR 3 bounce path through the public facade: a stale routing table
+/// (mailbox dropped after bootstrap) makes accepted mail for that user
+/// bounce into `WeekReport::bounced` / `OrgReport::total_bounced` — never
+/// a panic, never a pool entry — and the accounting identity holds at
+/// every shard count, with reports bit-identical across shard counts.
+#[test]
+fn unknown_recipient_bounces_at_every_shard_count() {
+    let run_without_mailbox = |shards: usize| {
+        let mut cfg = org_config(DefensePolicy::Roni, true, 31);
+        cfg.shards = shards;
+        let victim = cfg.users[0].clone();
+        let mut org = MailOrg::new(cfg);
+        assert!(org.remove_mailbox(&victim), "victim mailbox should exist");
+        org.run()
+    };
+    let baseline = run_without_mailbox(1);
+    assert!(baseline.total_bounced > 0, "missing mailbox must bounce");
+    let weekly_bounced: usize = baseline.weeks.iter().map(|w| w.bounced).sum();
+    assert_eq!(weekly_bounced, baseline.total_bounced);
+    let offered: usize = baseline.weeks.iter().map(|w| w.offered).sum();
+    assert_eq!(
+        baseline.total_delivered + baseline.total_failed + baseline.total_bounced,
+        offered,
+        "bounces must stay inside the accounting identity"
+    );
+    // The bounce path is shard-invariant like everything else.
+    for shards in [2usize, 4] {
+        let sharded = run_without_mailbox(shards);
+        assert_eq!(
+            baseline, sharded,
+            "bounce accounting diverged at shards={shards}"
+        );
+    }
 }
 
 /// Identical seeds give identical simulations across the whole stack —
