@@ -3,42 +3,585 @@
 //!
 //! The paper evaluates one attack at a time; the scenario engine runs
 //! **several concurrent campaigns** against one organization — different
-//! lexicons, staggered start/stop windows, different intensities, different
-//! target users. This module is the attack half of that declaration: a
-//! [`CampaignSpec`] names *which* attack runs ([`AttackKind`]), *when*
-//! (`start_day..=end_day`), *how hard* (`per_day`), and *at whom*
-//! (`targets`), without holding any generator state — `build_generator`
-//! materializes the [`AttackGenerator`] on demand, so specs stay `Clone` +
-//! comparable and can be parsed from scenario files.
+//! attack families, staggered start/stop windows, shaped intensities,
+//! different target users. This module is the attack half of that
+//! declaration: a [`CampaignSpec`] names *which* attack runs
+//! ([`AttackKind`]), *when* (`start_day..=end_day`), *how hard over time*
+//! ([`Intensity`]), and *at whom* (`targets`), without holding any
+//! generator state.
+//!
+//! The whole §3.1 taxonomy is declaratively reachable:
+//!
+//! * [`AttackKind::Dictionary`] — Causative Availability Indiscriminate
+//!   (§3.2, the lexicon floods);
+//! * [`AttackKind::Focused`] — Causative Availability Targeted (§3.3):
+//!   the target email is named *declaratively* by a [`MessageRef`]
+//!   ("user 3's k-th ham"), which resolves deterministically against the
+//!   pure-counter corpus;
+//! * [`AttackKind::HamChaff`] — Causative Integrity Targeted (§2.2's
+//!   closing remark): innocuous-looking chaff carrying a future campaign's
+//!   vocabulary.
+//!
+//! Because the focused and chaff attacks need per-victim artifacts (the
+//! target's tokens, a donor spam's headers, the victim's observable
+//! vocabulary), generators can no longer be built context-free:
+//! [`AttackKind::build`] takes a [`CampaignEnv`] lending corpus and seed
+//! access, and fails with a [`CampaignError`] when a declaration does not
+//! resolve (unknown user, out-of-range message, unbounded ramp, …).
 //!
 //! Composition semantics (enforced by `sb-mailflow`'s day plan, validated
-//! here): campaigns are independent Poisson-free schedules — on any day,
-//! every active campaign contributes exactly `per_day` messages, and the
-//! contributions interleave with organic traffic in the day's arrival
-//! permutation. Overlap needs no special casing; it is just two campaigns
-//! active on the same day ([`CampaignSpec::overlaps`]).
+//! here): campaigns are independent schedules — on day `d`, every campaign
+//! whose window covers `d` contributes exactly
+//! [`CampaignSpec::volume_on`]`(d)` messages, and the contributions
+//! interleave with organic traffic in the day's arrival permutation.
+//! Overlap needs no special casing; it is just two campaigns with
+//! intersecting windows ([`CampaignSpec::overlaps`]).
 
 use crate::attack::AttackGenerator;
 use crate::dictionary::{DictionaryAttack, DictionaryKind};
+use crate::focused::FocusedAttack;
+use crate::ham_attack::HamLabelAttack;
+use sb_corpus::{EmailGenerator, Stratum};
+use sb_email::Email;
+use sb_stats::rng::SeedTree;
 use serde::{Deserialize, Serialize};
 
-/// A buildable attack family, parseable from scenario files.
+/// A campaign's send schedule: how many messages it contributes on each
+/// day of its active window.
 ///
-/// Currently the dictionary family (§3.2) — the attacks that need no
-/// per-victim artifacts (a focused attack would need the target email
-/// itself, which a declarative spec cannot carry).
+/// Offsets are 0-based days since the campaign's `start_day`. Every
+/// schedule exposes its volumes two ways — per-day
+/// ([`Intensity::volume_on`]) and cumulatively in closed form
+/// ([`Intensity::cumulative`]) — and the two are exactly consistent:
+/// summing `volume_on` over `0..k` equals `cumulative(k)` for every `k`
+/// (property-tested in `tests/prop_attacks.rs`). The mailflow coordinator
+/// materializes volumes once per day from this schedule, so weekly reports
+/// stay bit-identical across shard counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Intensity {
+    /// The same volume every active day (the paper's shape).
+    Constant {
+        /// Messages per active day.
+        per_day: u32,
+    },
+    /// A linear ramp from `from` (first window day) to `to` (last window
+    /// day), rounded by error diffusion so the window total is the exact
+    /// closed form `⌊len·(from+to)/2⌋`-style trapezoid. Requires a finite
+    /// window (`end_day` set): an open-ended ramp has no last day to reach
+    /// `to` on, and [`Intensity::validate`] rejects it.
+    LinearRamp {
+        /// Volume on the window's first day.
+        from: u32,
+        /// Volume on the window's last day.
+        to: u32,
+    },
+    /// Burst trains: each `period`-day cycle sends `per_day` messages on
+    /// its first `on_days` days and nothing on the rest.
+    Bursts {
+        /// Cycle length in days (>= 1).
+        period: u32,
+        /// Sending days at the head of each cycle (1..=period).
+        on_days: u32,
+        /// Messages per sending day.
+        per_day: u32,
+    },
+}
+
+/// Window length in days of an inclusive `start_day..=end_day` campaign
+/// window, when finite.
+pub fn window_len(start_day: u32, end_day: Option<u32>) -> Option<u32> {
+    end_day.map(|end| end.saturating_sub(start_day).saturating_add(1))
+}
+
+/// Cumulative ramp volume: the sum of the first `k` per-day volumes of a
+/// `from -> to` ramp over a `window`-day window, in closed form.
+///
+/// The ideal (real-valued) volume on offset `t` is
+/// `from + (to-from)·t/(window-1)`; its ideal prefix sum is
+/// `k·from + (to-from)·k(k-1)/2/(window-1)`. Taking the floor of that
+/// rational *defines* the integer schedule: day `t` sends
+/// `cum(t+1) − cum(t)`, so rounding error diffuses across days and every
+/// prefix sum — including the window total — is itself closed-form.
+fn ramp_cum(from: u32, to: u32, window: u32, k: u32) -> u64 {
+    debug_assert!(k <= window);
+    if window <= 1 {
+        return u64::from(from) * u64::from(k);
+    }
+    let diff = i128::from(to) - i128::from(from);
+    let tri = i128::from(k) * (i128::from(k) - 1) / 2;
+    let base = i128::from(from) * i128::from(k);
+    // div_euclid floors for negative diffs (downward ramps) too.
+    let extra = (diff * tri).div_euclid(i128::from(window) - 1);
+    (base + extra) as u64
+}
+
+impl Intensity {
+    /// Constant shorthand.
+    pub const fn constant(per_day: u32) -> Self {
+        Intensity::Constant { per_day }
+    }
+
+    /// Messages sent on window offset `t` (0-based days since `start_day`).
+    ///
+    /// `window` is the campaign's window length in days when it is finite.
+    /// A [`Intensity::LinearRamp`] without a window is invalid (see
+    /// [`Intensity::validate`]); `volume_on` keeps direct misuse inert by
+    /// holding the ramp at `from`.
+    pub fn volume_on(&self, t: u32, window: Option<u32>) -> u32 {
+        match *self {
+            Intensity::Constant { per_day } => per_day,
+            Intensity::LinearRamp { from, to } => match window {
+                Some(len) if t < len => {
+                    (ramp_cum(from, to, len, t + 1) - ramp_cum(from, to, len, t)) as u32
+                }
+                _ => from,
+            },
+            Intensity::Bursts {
+                period,
+                on_days,
+                per_day,
+            } => {
+                if period > 0 && t % period < on_days {
+                    per_day
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Closed-form sum of [`Intensity::volume_on`] over offsets `0..k`.
+    ///
+    /// The identity `cumulative(k) == Σ volume_on(t)` holds exactly for
+    /// every `k <= window` (and every `k` for window-free schedules) — the
+    /// invariant the intensity property test locks.
+    pub fn cumulative(&self, k: u32, window: Option<u32>) -> u64 {
+        match *self {
+            Intensity::Constant { per_day } => u64::from(per_day) * u64::from(k),
+            Intensity::LinearRamp { from, to } => match window {
+                Some(len) if k <= len => ramp_cum(from, to, len, k),
+                _ => u64::from(from) * u64::from(k),
+            },
+            Intensity::Bursts {
+                period,
+                on_days,
+                per_day,
+            } => {
+                if period == 0 {
+                    return 0;
+                }
+                let full = u64::from(k / period);
+                let rem = k % period;
+                (full * u64::from(on_days) + u64::from(rem.min(on_days))) * u64::from(per_day)
+            }
+        }
+    }
+
+    /// Messages sent on 1-based `day` of a campaign windowed
+    /// `start_day..=end_day`: 0 outside the inclusive window, the
+    /// schedule's volume inside it. The single implementation both the
+    /// declarative [`CampaignSpec`] and `sb_mailflow`'s executed plan
+    /// delegate to, so validation and execution can never disagree on the
+    /// window arithmetic.
+    pub fn volume_on_day(&self, start_day: u32, end_day: Option<u32>, day: u32) -> u32 {
+        if day < start_day || end_day.is_some_and(|end| day > end) {
+            return 0;
+        }
+        self.volume_on(day - start_day, window_len(start_day, end_day))
+    }
+
+    /// Structural validation: burst shapes must be well-formed and ramps
+    /// need a finite window. Zero-volume schedules are rejected at the
+    /// campaign level ([`CampaignSpec::validate`]), where the effective
+    /// window is known.
+    pub fn validate(&self, window: Option<u32>) -> Result<(), CampaignError> {
+        match *self {
+            Intensity::Constant { .. } => Ok(()),
+            Intensity::LinearRamp { from, to } => {
+                if window.is_none() {
+                    Err(CampaignError::UnboundedRamp { from, to })
+                } else {
+                    Ok(())
+                }
+            }
+            Intensity::Bursts {
+                period, on_days, ..
+            } => {
+                if period == 0 || on_days == 0 || on_days > period {
+                    Err(CampaignError::MalformedBursts { period, on_days })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Parse the scenario-grammar form ([`Intensity`]'s `Display` is the
+    /// inverse):
+    ///
+    /// * `constant:<n>` — `n` messages every active day;
+    /// * `ramp:<from>-><to>` — linear ramp across the campaign window;
+    /// * `bursts:period=<p>,on=<d>,per_day=<n>` — burst trains.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        let parse_u32 = |v: &str, what: &str| {
+            v.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad {what} {v:?}: {e}"))
+        };
+        if let Some(n) = s.strip_prefix("constant:") {
+            return Ok(Intensity::Constant {
+                per_day: parse_u32(n, "constant volume")?,
+            });
+        }
+        if let Some(ramp) = s.strip_prefix("ramp:") {
+            let (from, to) = ramp
+                .split_once("->")
+                .ok_or_else(|| format!("ramp must be ramp:<from>-><to>, got {s:?}"))?;
+            return Ok(Intensity::LinearRamp {
+                from: parse_u32(from, "ramp start")?,
+                to: parse_u32(to, "ramp end")?,
+            });
+        }
+        if let Some(b) = s.strip_prefix("bursts:") {
+            let (mut period, mut on_days, mut per_day) = (None, None, None);
+            for part in b.split(',') {
+                let (key, value) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad bursts component {part:?} (expected key=value)"))?;
+                match key.trim() {
+                    "period" => period = Some(parse_u32(value, "bursts period")?),
+                    "on" => on_days = Some(parse_u32(value, "bursts on-days")?),
+                    "per_day" => per_day = Some(parse_u32(value, "bursts volume")?),
+                    other => return Err(format!("unknown bursts key {other:?}")),
+                }
+            }
+            return Ok(Intensity::Bursts {
+                period: period.ok_or("bursts is missing period=…")?,
+                on_days: on_days.ok_or("bursts is missing on=…")?,
+                per_day: per_day.ok_or("bursts is missing per_day=…")?,
+            });
+        }
+        Err(format!(
+            "unknown intensity {s:?} (expected constant:<n> | ramp:<from>-><to> | \
+             bursts:period=<p>,on=<d>,per_day=<n>)"
+        ))
+    }
+}
+
+impl std::fmt::Display for Intensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Intensity::Constant { per_day } => write!(f, "constant:{per_day}"),
+            Intensity::LinearRamp { from, to } => write!(f, "ramp:{from}->{to}"),
+            Intensity::Bursts {
+                period,
+                on_days,
+                per_day,
+            } => write!(f, "bursts:period={period},on={on_days},per_day={per_day}"),
+        }
+    }
+}
+
+/// A declarative name for one corpus message an organization will receive:
+/// user `user`'s `nth_ham`-th legitimate email (both 0-based), counting
+/// from simulation day 1 in arrival order.
+///
+/// Resolution is deterministic because corpus messages are pure in their
+/// global counter and the mailflow day plan assigns each user a fixed
+/// block of each day's ham counters — [`CampaignEnv::resolve_ham`] maps
+/// `(user, nth_ham)` to exactly the email the simulation will deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRef {
+    /// Target user as an index into the organization's user list.
+    pub user: usize,
+    /// Which of that user's ham messages (0-based, from day 1).
+    pub nth_ham: u32,
+}
+
+impl std::fmt::Display for MessageRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user:{} ham:{}", self.user, self.nth_ham)
+    }
+}
+
+/// Why a campaign declaration failed to validate or build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// `start_day` is 0 (days are 1-based).
+    StartDayZero,
+    /// `end_day` precedes `start_day`.
+    EmptyWindow {
+        /// Declared first day.
+        start_day: u32,
+        /// Declared (earlier) last day.
+        end_day: u32,
+    },
+    /// The campaign's window starts after the simulation ends.
+    NeverActive {
+        /// Declared first day.
+        start_day: u32,
+        /// Simulated days.
+        days: u32,
+    },
+    /// The schedule sends nothing over the campaign's whole active window.
+    ZeroVolume {
+        /// The offending schedule.
+        intensity: Intensity,
+    },
+    /// A linear ramp on an open-ended window (no last day to reach `to`).
+    UnboundedRamp {
+        /// Ramp start volume.
+        from: u32,
+        /// Ramp end volume.
+        to: u32,
+    },
+    /// Burst shape out of range (`period == 0`, `on_days == 0`, or
+    /// `on_days > period`).
+    MalformedBursts {
+        /// Declared cycle length.
+        period: u32,
+        /// Declared on-days.
+        on_days: u32,
+    },
+    /// The target list is empty (omit it to target everyone).
+    EmptyTargets,
+    /// A target user index is out of range.
+    TargetOutOfRange {
+        /// Offending user index.
+        user: usize,
+        /// Organization size.
+        n_users: usize,
+    },
+    /// A [`MessageRef`] names a user the organization does not have.
+    RefUserOutOfRange {
+        /// Offending user index.
+        user: usize,
+        /// Organization size.
+        n_users: usize,
+    },
+    /// A [`MessageRef`] names a user who receives no ham at all.
+    RefUserHasNoHam {
+        /// Offending user index.
+        user: usize,
+    },
+    /// A [`MessageRef`]'s message index lies beyond the simulation.
+    RefOutOfRange {
+        /// The unresolvable reference.
+        target: MessageRef,
+        /// Ham messages the user receives over the whole simulation.
+        available: u64,
+    },
+    /// A ham-chaff campaign asks for more distinct vocabulary words than
+    /// the spam stratum holds (the build would silently duplicate words,
+    /// misrepresenting the declared vocabulary size).
+    ChaffVocabularyTooLarge {
+        /// Declared vocabulary size.
+        requested: u32,
+        /// Distinct words available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::StartDayZero => {
+                write!(f, "campaign start_day is 1-based; 0 is invalid")
+            }
+            CampaignError::EmptyWindow { start_day, end_day } => write!(
+                f,
+                "campaign window is empty: end_day {end_day} < start_day {start_day}"
+            ),
+            CampaignError::NeverActive { start_day, days } => write!(
+                f,
+                "campaign starts on day {start_day}, after the simulation ends (days = {days})"
+            ),
+            CampaignError::ZeroVolume { intensity } => write!(
+                f,
+                "schedule {intensity} sends nothing over the campaign's whole active window"
+            ),
+            CampaignError::UnboundedRamp { from, to } => write!(
+                f,
+                "ramp:{from}->{to} needs a finite window: set end_day so the ramp has a last day"
+            ),
+            CampaignError::MalformedBursts { period, on_days } => write!(
+                f,
+                "bursts shape out of range: period={period}, on={on_days} \
+                 (need period >= 1 and 1 <= on <= period)"
+            ),
+            CampaignError::EmptyTargets => {
+                write!(f, "campaign target list is empty (omit it to target everyone)")
+            }
+            CampaignError::TargetOutOfRange { user, n_users } => write!(
+                f,
+                "campaign targets user {user}, but the organization has only {n_users} users"
+            ),
+            CampaignError::RefUserOutOfRange { user, n_users } => write!(
+                f,
+                "message ref names user {user}, but the organization has only {n_users} users"
+            ),
+            CampaignError::RefUserHasNoHam { user } => write!(
+                f,
+                "message ref names a ham of user {user}, who receives no ham traffic"
+            ),
+            CampaignError::RefOutOfRange { target, available } => write!(
+                f,
+                "message ref {target} is out of range: the user receives only \
+                 {available} ham messages over the whole simulation"
+            ),
+            CampaignError::ChaffVocabularyTooLarge { requested, available } => write!(
+                f,
+                "ham-chaff vocabulary of {requested} words exceeds the {available} \
+                 distinct spam-stratum words available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The organization facts campaign validation resolves against: how many
+/// users there are, how long the simulation runs, and each user's daily
+/// ham rate (the [`MessageRef`] index space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignShape {
+    /// Number of users in the organization.
+    pub n_users: usize,
+    /// Days the simulation runs.
+    pub days: u32,
+    /// Per-user daily ham volumes, one entry per user.
+    pub ham_rates: Vec<u32>,
+}
+
+impl CampaignShape {
+    /// Validate a [`MessageRef`] against this shape.
+    pub fn check_ref(&self, r: MessageRef) -> Result<(), CampaignError> {
+        if r.user >= self.n_users {
+            return Err(CampaignError::RefUserOutOfRange {
+                user: r.user,
+                n_users: self.n_users,
+            });
+        }
+        let rate = u64::from(self.ham_rates.get(r.user).copied().unwrap_or(0));
+        if rate == 0 {
+            return Err(CampaignError::RefUserHasNoHam { user: r.user });
+        }
+        let available = rate * u64::from(self.days);
+        if u64::from(r.nth_ham) >= available {
+            return Err(CampaignError::RefOutOfRange { target: r, available });
+        }
+        Ok(())
+    }
+}
+
+/// The context an [`AttackKind`] builds its generator against: the
+/// organization shape, the pure-counter corpus generator, the corpus
+/// counters the bootstrap consumed, and the master seed (for deterministic
+/// donor/camouflage choices).
+///
+/// `sb-mailflow`'s `OrgConfig::campaign_env` derives one of these from an
+/// organization configuration; the resolution arithmetic here mirrors that
+/// crate's day-plan composition exactly (locked by a mailflow test that
+/// delivers a resolved target into the named user's mailbox).
+pub struct CampaignEnv<'a> {
+    /// Organization shape ([`MessageRef`] validation).
+    pub shape: CampaignShape,
+    /// The organization's indexed corpus generator.
+    pub generator: &'a EmailGenerator,
+    /// First post-bootstrap ham counter (day traffic starts here).
+    pub ham0: u64,
+    /// First post-bootstrap spam counter.
+    pub spam0: u64,
+    /// The organization's master seed (donor and camouflage sampling
+    /// derive from it, never from shared RNG state).
+    pub seed: u64,
+}
+
+impl CampaignEnv<'_> {
+    /// Resolve a [`MessageRef`] to the exact email the simulation will
+    /// deliver.
+    ///
+    /// Mirrors the mailflow day plan: day `d`'s ham counters start at
+    /// `ham0 + (d-1)·Σrates`, and within a day user `u` owns the block at
+    /// offset `Σ rates[..u]`. User `u`'s `k`-th ham therefore falls on day
+    /// `k / rates[u] + 1`, slot `k % rates[u]` of `u`'s block.
+    pub fn resolve_ham(&self, r: MessageRef) -> Result<Email, CampaignError> {
+        self.shape.check_ref(r)?;
+        let rate = u64::from(self.shape.ham_rates[r.user]);
+        let total_ham: u64 = self.shape.ham_rates.iter().map(|&h| u64::from(h)).sum();
+        let prefix: u64 = self.shape.ham_rates[..r.user]
+            .iter()
+            .map(|&h| u64::from(h))
+            .sum();
+        let day = u64::from(r.nth_ham) / rate; // 0-based
+        let slot = u64::from(r.nth_ham) % rate;
+        Ok(self.generator.ham(self.ham0 + day * total_ham + prefix + slot))
+    }
+
+    /// A deterministic header-donor spam (§4.1: focused-attack headers are
+    /// copied from an existing spam). Drawn from counters beyond every
+    /// index the simulation itself consumes, at an offset derived from the
+    /// master seed and `salt` — pure, so every shard and every rebuild of
+    /// the same campaign picks the identical donor.
+    pub fn donor_spam(&self, salt: u64) -> Email {
+        // Far beyond any counter the bootstrap or day traffic can reach
+        // (they are bounded by bootstrap + days × daily volume), so the
+        // donor is always a fresh spam the pool has never trained on.
+        let beyond = self.spam0 + (1 << 40);
+        let k = SeedTree::new(self.seed)
+            .child("campaign-donor")
+            .index(salt)
+            .rng()
+            .next_below(1 << 32);
+        self.generator.spam(beyond + k)
+    }
+}
+
+/// A buildable attack family, parseable from scenario files. Covers the
+/// full §3.1 taxonomy (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AttackKind {
-    /// A dictionary attack with the given lexicon.
+    /// A dictionary attack with the given lexicon (§3.2).
     Dictionary(DictionaryKind),
+    /// The focused attack (§3.3) against a declaratively named ham.
+    Focused {
+        /// Which future ham the attacker targets.
+        target: MessageRef,
+        /// Token-guessing probability as a percentage (§4.3's `p`;
+        /// stored in percent so specs stay `Eq` and round-trip exactly).
+        guess_pct: u8,
+    },
+    /// Ham-looking chaff laundering a future campaign's vocabulary
+    /// (§2.2's closing remark, the Causative Integrity Targeted corner).
+    HamChaff {
+        /// Size of the laundered campaign vocabulary.
+        campaign_words: u32,
+    },
 }
+
+/// Default focused-attack guessing probability (the paper's Figure 3
+/// operating point, p = 0.5).
+const DEFAULT_GUESS_PCT: u8 = 50;
+
+/// Camouflage words sampled into each chaff email (matches the ham-attack
+/// experiment's full-scale default).
+const CHAFF_CAMOUFLAGE_PER_EMAIL: usize = 40;
+
+/// Camouflage pool size the chaff samples from.
+const CHAFF_CAMOUFLAGE_POOL: usize = 400;
 
 impl AttackKind {
     /// Parse a spec-file attack name:
     ///
     /// * `optimal` — the §3.4 whole-vocabulary attack;
     /// * `aspell` / `aspell-half` — the English-dictionary variants;
-    /// * `usenet:K` — the top-`K` Usenet ranking (e.g. `usenet:25000`).
+    /// * `usenet:K` — the top-`K` Usenet ranking (e.g. `usenet:25000`);
+    /// * `focused user:<u> ham:<k> [guess:<pct>]` — the §3.3 focused
+    ///   attack on user `u`'s `k`-th ham (0-based; `guess` defaults to
+    ///   50%);
+    /// * `ham-chaff:<n>` — §2.2's ham-shift chaff laundering an `n`-word
+    ///   campaign vocabulary.
     pub fn parse(s: &str) -> Result<Self, String> {
         let s = s.trim();
         if let Some(k) = s.strip_prefix("usenet:") {
@@ -51,35 +594,167 @@ impl AttackKind {
             }
             return Ok(AttackKind::Dictionary(DictionaryKind::UsenetTop(k)));
         }
+        if let Some(n) = s.strip_prefix("ham-chaff:") {
+            let n: u32 = n
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad ham-chaff vocabulary size {n:?}: {e}"))?;
+            if n == 0 {
+                return Err("ham-chaff vocabulary must be >= 1 word".into());
+            }
+            let available = Stratum::SpamSpecific.len();
+            if n as usize > available {
+                return Err(format!(
+                    "ham-chaff vocabulary of {n} words exceeds the {available} \
+                     distinct spam-stratum words available"
+                ));
+            }
+            return Ok(AttackKind::HamChaff { campaign_words: n });
+        }
+        // Keyword must stand alone: `focuseduser:1` or a future
+        // `focused-x` kind must fall through to the unknown-kind error,
+        // not be swallowed by the key:value loop.
+        if s == "focused" || s.starts_with("focused ") {
+            let rest = &s["focused".len()..];
+            let (mut user, mut nth_ham, mut guess_pct) = (None, None, DEFAULT_GUESS_PCT);
+            for part in rest.split_whitespace() {
+                let (key, value) = part
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad focused component {part:?} (expected key:value)"))?;
+                match key {
+                    "user" => {
+                        user = Some(value.parse::<usize>().map_err(|e| {
+                            format!("bad focused target user {value:?}: {e}")
+                        })?)
+                    }
+                    "ham" => {
+                        nth_ham = Some(value.parse::<u32>().map_err(|e| {
+                            format!("bad focused ham index {value:?}: {e}")
+                        })?)
+                    }
+                    "guess" => {
+                        guess_pct = value
+                            .parse::<u8>()
+                            .ok()
+                            .filter(|p| *p <= 100)
+                            .ok_or_else(|| {
+                                format!("bad focused guess percentage {value:?} (expected 0..=100)")
+                            })?
+                    }
+                    other => return Err(format!("unknown focused key {other:?}")),
+                }
+            }
+            return Ok(AttackKind::Focused {
+                target: MessageRef {
+                    user: user.ok_or("focused attack is missing user:<u>")?,
+                    nth_ham: nth_ham.ok_or("focused attack is missing ham:<k>")?,
+                },
+                guess_pct,
+            });
+        }
         match s {
             "optimal" => Ok(AttackKind::Dictionary(DictionaryKind::Optimal)),
             "aspell" => Ok(AttackKind::Dictionary(DictionaryKind::Aspell)),
             "aspell-half" => Ok(AttackKind::Dictionary(DictionaryKind::AspellHalf)),
             other => Err(format!(
-                "unknown attack kind {other:?} (expected optimal | aspell | aspell-half | usenet:K)"
+                "unknown attack kind {other:?} (expected optimal | aspell | aspell-half | \
+                 usenet:K | focused user:<u> ham:<k> | ham-chaff:<n>)"
             )),
         }
     }
 
-    /// Report name (matches the underlying generator's name).
+    /// Report name (dictionary kinds match the underlying generator's
+    /// name).
     pub fn name(&self) -> String {
         match self {
             AttackKind::Dictionary(kind) => kind.name(),
+            AttackKind::Focused { target, guess_pct } => {
+                format!("focused-u{}-h{}-p{guess_pct}", target.user, target.nth_ham)
+            }
+            AttackKind::HamChaff { campaign_words } => format!("ham-chaff-{campaign_words}"),
         }
     }
 
-    /// Materialize the generator. Each call builds a fresh instance, so a
-    /// spec can be run many times (shard matrices, repetitions) without
-    /// sharing state.
-    pub fn build_generator(&self) -> Box<dyn AttackGenerator + Send + Sync> {
+    /// The [`MessageRef`] this kind resolves, if any (validation hook).
+    pub fn message_ref(&self) -> Option<MessageRef> {
         match self {
-            AttackKind::Dictionary(kind) => Box::new(DictionaryAttack::new(*kind)),
+            AttackKind::Focused { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Materialize the generator against a [`CampaignEnv`]. Each call
+    /// builds a fresh instance, so a spec can be run many times (shard
+    /// matrices, repetitions) without sharing state; everything the build
+    /// draws from the environment is deterministic in `(spec, env)`.
+    pub fn build(
+        &self,
+        env: &CampaignEnv<'_>,
+    ) -> Result<Box<dyn AttackGenerator + Send + Sync>, CampaignError> {
+        match self {
+            AttackKind::Dictionary(kind) => Ok(Box::new(DictionaryAttack::new(*kind))),
+            AttackKind::Focused { target, guess_pct } => {
+                let email = env.resolve_ham(*target)?;
+                // Donor headers per §4.1, salted by the target so distinct
+                // campaigns pick distinct donors.
+                let salt = (target.user as u64) << 32 | u64::from(target.nth_ham);
+                let donor = env.donor_spam(salt);
+                Ok(Box::new(FocusedAttack::new(
+                    &email,
+                    f64::from(*guess_pct) / 100.0,
+                    Some(donor),
+                )))
+            }
+            AttackKind::HamChaff { campaign_words } => {
+                // The future campaign's vocabulary: deep spam-stratum words
+                // the bootstrap has likely never scored…
+                let n = *campaign_words as usize;
+                let stratum = Stratum::SpamSpecific;
+                if n > stratum.len() {
+                    return Err(CampaignError::ChaffVocabularyTooLarge {
+                        requested: *campaign_words,
+                        available: stratum.len(),
+                    });
+                }
+                let campaign: Vec<String> = (0..n)
+                    .map(|i| sb_corpus::word_for(stratum.word((i * 13 + 7_000) % stratum.len())))
+                    .collect();
+                // …blended with camouflage from the victim organization's
+                // own (personal-stratum) vocabulary, so the chaff looks
+                // like internal mail.
+                let personal = Stratum::Personal;
+                let camouflage: Vec<String> = (0..CHAFF_CAMOUFLAGE_POOL)
+                    .map(|i| sb_corpus::word_for(personal.word((i * 3) % personal.len())))
+                    .collect();
+                Ok(Box::new(HamLabelAttack::new(
+                    campaign,
+                    camouflage,
+                    CHAFF_CAMOUFLAGE_PER_EMAIL,
+                )))
+            }
         }
     }
 }
 
-/// One declared campaign: an attack, its schedule window, its intensity,
-/// and its target users.
+impl std::fmt::Display for AttackKind {
+    /// The canonical grammar form — the exact inverse of
+    /// [`AttackKind::parse`] (scenario round-tripping relies on it).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackKind::Dictionary(DictionaryKind::Optimal) => write!(f, "optimal"),
+            AttackKind::Dictionary(DictionaryKind::Aspell) => write!(f, "aspell"),
+            AttackKind::Dictionary(DictionaryKind::AspellHalf) => write!(f, "aspell-half"),
+            AttackKind::Dictionary(DictionaryKind::UsenetTop(k)) => write!(f, "usenet:{k}"),
+            AttackKind::Focused { target, guess_pct } => {
+                write!(f, "focused {target} guess:{guess_pct}")
+            }
+            AttackKind::HamChaff { campaign_words } => write!(f, "ham-chaff:{campaign_words}"),
+        }
+    }
+}
+
+/// One declared campaign: an attack, its schedule window, its intensity
+/// shape, and its target users.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Which attack runs.
@@ -89,65 +764,106 @@ pub struct CampaignSpec {
     /// Last day (inclusive) campaign mail is sent; `None` runs to the end
     /// of the simulation.
     pub end_day: Option<u32>,
-    /// Campaign messages per active day.
-    pub per_day: u32,
+    /// The send schedule over the active window.
+    pub intensity: Intensity,
     /// Target users as indices into the organization's user list; `None`
     /// spreads the campaign round-robin over every user.
     pub targets: Option<Vec<usize>>,
 }
 
 impl CampaignSpec {
-    /// An everyone-targeting, never-stopping campaign (the paper's shape).
+    /// An everyone-targeting, never-stopping, constant-rate campaign (the
+    /// paper's shape).
     pub fn new(attack: AttackKind, start_day: u32, per_day: u32) -> Self {
         Self {
             attack,
             start_day,
             end_day: None,
-            per_day,
+            intensity: Intensity::constant(per_day),
             targets: None,
         }
     }
 
-    /// Whether the campaign sends mail on `day` (1-based).
-    pub fn active_on(&self, day: u32) -> bool {
-        self.per_day > 0
-            && day >= self.start_day
-            && self.end_day.is_none_or(|end| day <= end)
+    /// The declared window length in days, when finite.
+    pub fn window_len(&self) -> Option<u32> {
+        window_len(self.start_day, self.end_day)
     }
 
-    /// Whether two campaigns have at least one common active day (both
-    /// windows non-empty and intersecting).
+    /// Messages this campaign sends on `day` (1-based): 0 outside the
+    /// window, the schedule's volume inside it.
+    pub fn volume_on(&self, day: u32) -> u32 {
+        self.intensity.volume_on_day(self.start_day, self.end_day, day)
+    }
+
+    /// Whether the campaign sends mail on `day` (1-based).
+    pub fn active_on(&self, day: u32) -> bool {
+        self.volume_on(day) > 0
+    }
+
+    /// Whether two campaigns have at least one common window day. This is
+    /// a *window* predicate: two burst campaigns whose on-days interleave
+    /// still overlap.
     pub fn overlaps(&self, other: &CampaignSpec) -> bool {
         let end_a = self.end_day.unwrap_or(u32::MAX);
         let end_b = other.end_day.unwrap_or(u32::MAX);
-        self.per_day > 0
-            && other.per_day > 0
-            && self.start_day <= end_b
-            && other.start_day <= end_a
+        self.start_day <= end_b && other.start_day <= end_a
     }
 
-    /// Validate the spec against an organization shape. `n_users` is the
-    /// size of the user list `targets` indexes into.
-    pub fn validate(&self, n_users: usize) -> Result<(), String> {
+    /// Validate the spec against an organization shape: window sanity,
+    /// schedule shape, non-zero volume over the effective window, target
+    /// indices, and [`MessageRef`] resolvability.
+    pub fn validate(&self, shape: &CampaignShape) -> Result<(), CampaignError> {
         if self.start_day == 0 {
-            return Err("campaign start_day is 1-based; 0 is invalid".into());
+            return Err(CampaignError::StartDayZero);
         }
         if let Some(end) = self.end_day {
             if end < self.start_day {
-                return Err(format!(
-                    "campaign window is empty: end_day {end} < start_day {}",
-                    self.start_day
-                ));
+                return Err(CampaignError::EmptyWindow {
+                    start_day: self.start_day,
+                    end_day: end,
+                });
             }
+        }
+        if self.start_day > shape.days {
+            return Err(CampaignError::NeverActive {
+                start_day: self.start_day,
+                days: shape.days,
+            });
+        }
+        self.intensity.validate(self.window_len())?;
+        // The effective window: declared, clipped by the simulation end.
+        let effective = self
+            .end_day
+            .unwrap_or(shape.days)
+            .min(shape.days)
+            .saturating_sub(self.start_day)
+            + 1;
+        if self.intensity.cumulative(effective, self.window_len()) == 0 {
+            return Err(CampaignError::ZeroVolume {
+                intensity: self.intensity,
+            });
         }
         if let Some(targets) = &self.targets {
             if targets.is_empty() {
-                return Err("campaign target list is empty (omit it to target everyone)".into());
+                return Err(CampaignError::EmptyTargets);
             }
-            if let Some(&bad) = targets.iter().find(|&&u| u >= n_users) {
-                return Err(format!(
-                    "campaign targets user {bad}, but the organization has only {n_users} users"
-                ));
+            if let Some(&bad) = targets.iter().find(|&&u| u >= shape.n_users) {
+                return Err(CampaignError::TargetOutOfRange {
+                    user: bad,
+                    n_users: shape.n_users,
+                });
+            }
+        }
+        if let Some(r) = self.attack.message_ref() {
+            shape.check_ref(r)?;
+        }
+        if let AttackKind::HamChaff { campaign_words } = self.attack {
+            let available = Stratum::SpamSpecific.len();
+            if campaign_words as usize > available {
+                return Err(CampaignError::ChaffVocabularyTooLarge {
+                    requested: campaign_words,
+                    available,
+                });
             }
         }
         Ok(())
@@ -155,12 +871,15 @@ impl CampaignSpec {
 }
 
 /// Validate a whole campaign set (the composition the scenario engine
-/// schedules). Returns per-campaign errors prefixed with the campaign
-/// index.
-pub fn validate_campaigns(specs: &[CampaignSpec], n_users: usize) -> Result<(), String> {
+/// schedules) against an organization shape. On failure, reports which
+/// campaign broke (0-based index) alongside the error, so callers can
+/// attach source locations.
+pub fn validate_campaigns(
+    specs: &[CampaignSpec],
+    shape: &CampaignShape,
+) -> Result<(), (usize, CampaignError)> {
     for (i, spec) in specs.iter().enumerate() {
-        spec.validate(n_users)
-            .map_err(|e| format!("campaign {i} ({}): {e}", spec.attack.name()))?;
+        spec.validate(shape).map_err(|e| (i, e))?;
     }
     Ok(())
 }
@@ -168,7 +887,26 @@ pub fn validate_campaigns(specs: &[CampaignSpec], n_users: usize) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sb_corpus::CorpusConfig;
     use sb_stats::rng::Xoshiro256pp;
+
+    fn shape() -> CampaignShape {
+        CampaignShape {
+            n_users: 5,
+            days: 14,
+            ham_rates: vec![2, 2, 2, 2, 2],
+        }
+    }
+
+    fn env(generator: &EmailGenerator) -> CampaignEnv<'_> {
+        CampaignEnv {
+            shape: shape(),
+            generator,
+            ham0: 80,
+            spam0: 80,
+            seed: 7,
+        }
+    }
 
     #[test]
     fn parse_covers_the_dictionary_family() {
@@ -190,16 +928,198 @@ mod tests {
         );
         assert!(AttackKind::parse("usenet:0").is_err());
         assert!(AttackKind::parse("usenet:lots").is_err());
-        assert!(AttackKind::parse("focused").is_err());
+        assert!(AttackKind::parse("dictionary").is_err());
+    }
+
+    #[test]
+    fn parse_covers_the_new_taxonomy_corners() {
+        assert_eq!(
+            AttackKind::parse("focused user:3 ham:5"),
+            Ok(AttackKind::Focused {
+                target: MessageRef { user: 3, nth_ham: 5 },
+                guess_pct: 50,
+            })
+        );
+        assert_eq!(
+            AttackKind::parse("focused user:0 ham:12 guess:90"),
+            Ok(AttackKind::Focused {
+                target: MessageRef { user: 0, nth_ham: 12 },
+                guess_pct: 90,
+            })
+        );
+        assert_eq!(
+            AttackKind::parse("ham-chaff:25"),
+            Ok(AttackKind::HamChaff { campaign_words: 25 })
+        );
+        assert!(AttackKind::parse("focused user:1").is_err(), "missing ham:<k>");
+        assert!(AttackKind::parse("focused ham:1").is_err(), "missing user:<u>");
+        assert!(AttackKind::parse("focused user:1 ham:2 guess:101").is_err());
+        assert!(AttackKind::parse("focused user:1 ham:2 p:50").is_err());
+        assert!(AttackKind::parse("ham-chaff:0").is_err());
+        // The keyword must stand alone: fused or hyphenated spellings are
+        // unknown kinds, not malformed focused components.
+        assert!(AttackKind::parse("focuseduser:1 ham:2")
+            .unwrap_err()
+            .contains("unknown attack kind"));
+        assert!(AttackKind::parse("focused-x")
+            .unwrap_err()
+            .contains("unknown attack kind"));
+        // Oversized chaff vocabularies would silently duplicate words.
+        assert!(AttackKind::parse("ham-chaff:8000").is_ok());
+        assert!(AttackKind::parse("ham-chaff:8001")
+            .unwrap_err()
+            .contains("exceeds"));
+        let big = CampaignSpec::new(AttackKind::HamChaff { campaign_words: 9_000 }, 1, 2);
+        assert!(matches!(
+            big.validate(&CampaignShape { n_users: 2, days: 5, ham_rates: vec![1, 1] }),
+            Err(CampaignError::ChaffVocabularyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn attack_grammar_round_trips_through_display() {
+        for text in [
+            "optimal",
+            "aspell",
+            "aspell-half",
+            "usenet:2000",
+            "focused user:3 ham:5 guess:50",
+            "ham-chaff:25",
+        ] {
+            let kind = AttackKind::parse(text).expect(text);
+            assert_eq!(kind.to_string(), text, "canonical form must be stable");
+            assert_eq!(AttackKind::parse(&kind.to_string()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn intensity_grammar_round_trips_through_display() {
+        for text in [
+            "constant:5",
+            "ramp:2->10",
+            "ramp:10->2",
+            "bursts:period=7,on=2,per_day=9",
+        ] {
+            let i = Intensity::parse(text).expect(text);
+            assert_eq!(i.to_string(), text);
+            assert_eq!(Intensity::parse(&i.to_string()), Ok(i));
+        }
+        assert!(Intensity::parse("ramp:2").is_err());
+        assert!(Intensity::parse("bursts:period=7,on=2").is_err());
+        assert!(Intensity::parse("bursts:period=7,on=2,per_day=x").is_err());
+        assert!(Intensity::parse("surge:9").is_err());
+    }
+
+    #[test]
+    fn ramp_hits_its_endpoints_and_total() {
+        let ramp = Intensity::LinearRamp { from: 2, to: 10 };
+        let w = Some(5);
+        let volumes: Vec<u32> = (0..5).map(|t| ramp.volume_on(t, w)).collect();
+        assert_eq!(volumes, vec![2, 4, 6, 8, 10]);
+        assert_eq!(ramp.cumulative(5, w), 30);
+        // Downward ramps mirror.
+        let down = Intensity::LinearRamp { from: 10, to: 2 };
+        let volumes: Vec<u32> = (0..5).map(|t| down.volume_on(t, w)).collect();
+        assert_eq!(volumes, vec![10, 8, 6, 4, 2]);
+        // Non-divisible ramps error-diffuse but keep the endpoints.
+        let odd = Intensity::LinearRamp { from: 0, to: 5 };
+        let volumes: Vec<u32> = (0..3).map(|t| odd.volume_on(t, Some(3))).collect();
+        assert_eq!(*volumes.first().unwrap(), 0);
+        assert_eq!(*volumes.last().unwrap(), 5);
+        assert_eq!(volumes.iter().map(|&v| u64::from(v)).sum::<u64>(), odd.cumulative(3, Some(3)));
+        // One-day windows hold at `from`.
+        assert_eq!(odd.volume_on(0, Some(1)), 0);
+    }
+
+    #[test]
+    fn bursts_gate_by_cycle_offset() {
+        let bursts = Intensity::Bursts { period: 5, on_days: 2, per_day: 6 };
+        let volumes: Vec<u32> = (0..12).map(|t| bursts.volume_on(t, None)).collect();
+        assert_eq!(volumes, vec![6, 6, 0, 0, 0, 6, 6, 0, 0, 0, 6, 6]);
+        assert_eq!(bursts.cumulative(12, None), 6 * 6);
+        assert!(bursts.validate(None).is_ok());
+        for bad in [
+            Intensity::Bursts { period: 0, on_days: 0, per_day: 6 },
+            Intensity::Bursts { period: 5, on_days: 0, per_day: 6 },
+            Intensity::Bursts { period: 5, on_days: 6, per_day: 6 },
+        ] {
+            assert!(bad.validate(None).is_err(), "{bad} should be malformed");
+        }
     }
 
     #[test]
     fn built_generator_matches_the_declared_kind() {
+        let corpus = CorpusConfig::with_size(160, 0.5);
+        let generator = EmailGenerator::new(corpus, 3);
+        let env = env(&generator);
         let kind = AttackKind::parse("usenet:500").unwrap();
-        let generator = kind.build_generator();
-        assert_eq!(generator.name(), kind.name());
-        let batch = generator.generate(3, &mut Xoshiro256pp::new(1));
+        let g = kind.build(&env).unwrap();
+        assert_eq!(g.name(), kind.name());
+        let batch = g.generate(3, &mut Xoshiro256pp::new(1));
         assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn focused_build_resolves_the_named_ham_deterministically() {
+        let corpus = CorpusConfig::with_size(160, 0.5);
+        let generator = EmailGenerator::new(corpus, 3);
+        let env = env(&generator);
+        let target = MessageRef { user: 2, nth_ham: 3 };
+        // user 2, rate 2/day: k=3 -> day offset 1, slot 1; prefix = 4.
+        let expect = generator.ham(80 + 10 + 4 + 1);
+        assert_eq!(env.resolve_ham(target).unwrap(), expect);
+        let kind = AttackKind::Focused { target, guess_pct: 100 };
+        let g = kind.build(&env).unwrap();
+        // Donor headers (§4.1): the attack email carries real spam headers.
+        let batch = g.generate(1, &mut Xoshiro256pp::new(2));
+        assert!(!batch.groups()[0].0.has_empty_headers());
+        // Deterministic: a rebuilt generator emits the identical prototype.
+        let again = kind.build(&env).unwrap().generate(1, &mut Xoshiro256pp::new(2));
+        assert_eq!(batch.groups()[0].0, again.groups()[0].0);
+    }
+
+    #[test]
+    fn build_errors_name_the_unresolvable_ref() {
+        let corpus = CorpusConfig::with_size(160, 0.5);
+        let generator = EmailGenerator::new(corpus, 3);
+        let env = env(&generator);
+        let bad_user = AttackKind::Focused {
+            target: MessageRef { user: 9, nth_ham: 0 },
+            guess_pct: 50,
+        };
+        assert!(matches!(
+            bad_user.build(&env),
+            Err(CampaignError::RefUserOutOfRange { user: 9, n_users: 5 })
+        ));
+        let beyond = AttackKind::Focused {
+            // rate 2/day × 14 days = 28 hams; index 28 is one past the end.
+            target: MessageRef { user: 0, nth_ham: 28 },
+            guess_pct: 50,
+        };
+        assert!(matches!(
+            beyond.build(&env),
+            Err(CampaignError::RefOutOfRange { available: 28, .. })
+        ));
+    }
+
+    #[test]
+    fn ham_chaff_builds_a_taxonomy_correct_generator() {
+        let corpus = CorpusConfig::with_size(160, 0.5);
+        let generator = EmailGenerator::new(corpus, 3);
+        let env = env(&generator);
+        let kind = AttackKind::HamChaff { campaign_words: 20 };
+        let g = kind.build(&env).unwrap();
+        assert_eq!(g.name(), "ham-chaff-20");
+        assert_eq!(
+            g.class(),
+            crate::taxonomy::AttackClass {
+                influence: crate::taxonomy::Influence::Causative,
+                violation: crate::taxonomy::Violation::Integrity,
+                specificity: crate::taxonomy::Specificity::Targeted,
+            }
+        );
+        let batch = g.generate(4, &mut Xoshiro256pp::new(5));
+        assert_eq!(batch.len(), 4);
     }
 
     #[test]
@@ -213,8 +1133,10 @@ mod tests {
         // Open-ended campaigns never stop.
         spec.end_day = None;
         assert!(spec.active_on(10_000));
-        // Zero intensity means never active.
-        spec.per_day = 0;
+        // Burst off-days are in-window but send nothing.
+        spec.intensity = Intensity::Bursts { period: 4, on_days: 1, per_day: 2 };
+        assert_eq!(spec.volume_on(3), 2);
+        assert_eq!(spec.volume_on(4), 0);
         assert!(!spec.active_on(4));
     }
 
@@ -239,22 +1161,97 @@ mod tests {
     #[test]
     fn validation_rejects_bad_shapes() {
         let kind = || AttackKind::parse("aspell").unwrap();
+        let shape = shape();
         let ok = CampaignSpec::new(kind(), 1, 4);
-        assert!(ok.validate(5).is_ok());
+        assert!(ok.validate(&shape).is_ok());
         let mut empty_window = CampaignSpec::new(kind(), 9, 4);
         empty_window.end_day = Some(3);
-        assert!(empty_window.validate(5).is_err());
+        assert!(matches!(
+            empty_window.validate(&shape),
+            Err(CampaignError::EmptyWindow { .. })
+        ));
+        let late = CampaignSpec::new(kind(), 15, 4);
+        assert!(matches!(late.validate(&shape), Err(CampaignError::NeverActive { .. })));
         let mut bad_target = CampaignSpec::new(kind(), 1, 4);
         bad_target.targets = Some(vec![0, 5]);
-        assert!(bad_target.validate(5).is_err());
-        assert!(bad_target.validate(6).is_ok());
+        assert!(matches!(
+            bad_target.validate(&shape),
+            Err(CampaignError::TargetOutOfRange { user: 5, .. })
+        ));
+        let mut six = shape.clone();
+        six.n_users = 6;
+        assert!(bad_target.validate(&six).is_ok());
         let mut no_targets = CampaignSpec::new(kind(), 1, 4);
         no_targets.targets = Some(vec![]);
-        assert!(no_targets.validate(5).is_err());
+        assert!(matches!(no_targets.validate(&shape), Err(CampaignError::EmptyTargets)));
         let day_zero = CampaignSpec::new(kind(), 0, 4);
-        assert!(day_zero.validate(5).is_err());
-        assert!(validate_campaigns(&[ok, bad_target], 5)
-            .unwrap_err()
-            .contains("campaign 1"));
+        assert!(matches!(day_zero.validate(&shape), Err(CampaignError::StartDayZero)));
+        let (i, e) = validate_campaigns(&[ok, bad_target], &shape).unwrap_err();
+        assert_eq!(i, 1);
+        assert!(matches!(e, CampaignError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_zero_volume_schedules() {
+        let kind = || AttackKind::parse("aspell").unwrap();
+        let shape = shape();
+        let zero = CampaignSpec::new(kind(), 1, 0);
+        assert!(matches!(zero.validate(&shape), Err(CampaignError::ZeroVolume { .. })));
+        let mut flat_ramp = CampaignSpec::new(kind(), 1, 0);
+        flat_ramp.end_day = Some(5);
+        flat_ramp.intensity = Intensity::LinearRamp { from: 0, to: 0 };
+        assert!(matches!(
+            flat_ramp.validate(&shape),
+            Err(CampaignError::ZeroVolume { .. })
+        ));
+        let mut silent_bursts = CampaignSpec::new(kind(), 1, 0);
+        silent_bursts.intensity = Intensity::Bursts { period: 3, on_days: 1, per_day: 0 };
+        assert!(matches!(
+            silent_bursts.validate(&shape),
+            Err(CampaignError::ZeroVolume { .. })
+        ));
+        // A ramp that *reaches* volume inside the simulation is fine…
+        let mut ok_ramp = CampaignSpec::new(kind(), 1, 0);
+        ok_ramp.end_day = Some(10);
+        ok_ramp.intensity = Intensity::LinearRamp { from: 0, to: 9 };
+        assert!(ok_ramp.validate(&shape).is_ok());
+        // …and an unbounded ramp is rejected as such.
+        let mut unbounded = CampaignSpec::new(kind(), 1, 0);
+        unbounded.intensity = Intensity::LinearRamp { from: 0, to: 9 };
+        assert!(matches!(
+            unbounded.validate(&shape),
+            Err(CampaignError::UnboundedRamp { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_unresolvable_refs() {
+        let shape = shape();
+        let focused = |user, nth_ham| {
+            CampaignSpec::new(
+                AttackKind::Focused {
+                    target: MessageRef { user, nth_ham },
+                    guess_pct: 50,
+                },
+                1,
+                3,
+            )
+        };
+        assert!(focused(1, 0).validate(&shape).is_ok());
+        assert!(focused(1, 27).validate(&shape).is_ok());
+        assert!(matches!(
+            focused(7, 0).validate(&shape),
+            Err(CampaignError::RefUserOutOfRange { .. })
+        ));
+        assert!(matches!(
+            focused(1, 28).validate(&shape),
+            Err(CampaignError::RefOutOfRange { .. })
+        ));
+        let mut no_ham = shape.clone();
+        no_ham.ham_rates[1] = 0;
+        assert!(matches!(
+            focused(1, 0).validate(&no_ham),
+            Err(CampaignError::RefUserHasNoHam { user: 1 })
+        ));
     }
 }

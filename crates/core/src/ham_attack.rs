@@ -18,7 +18,7 @@
 //! current filter (or it never gets the ham label), which is why it blends
 //! camouflage tokens sampled from the victim's observable vocabulary.
 
-use crate::attack::{build_attack_email, AttackBatch, HeaderMode};
+use crate::attack::{build_attack_email, AttackBatch, AttackGenerator, HeaderMode};
 use crate::taxonomy::AttackClass;
 use sb_email::{Email, Label};
 use sb_stats::rng::Xoshiro256pp;
@@ -104,6 +104,27 @@ impl HamLabelAttack {
         let mut words = self.campaign_tokens.clone();
         words.push(format!("blast{i:05}"));
         build_attack_email(&words, &HeaderMode::Empty)
+    }
+}
+
+/// The chaff stream as a campaign-schedulable generator (the scenario
+/// engine's `ham-chaff:<n>` attack kind). Inside the organization
+/// simulation the §2.2 restriction still applies — delivered chaff carries
+/// its ground-truth spam label into the pool — so a scheduled chaff
+/// campaign measures the attack *under* correct labeling (where it
+/// backfires); the unrestricted auto-labeling variant lives in the
+/// `hamattack` experiment.
+impl AttackGenerator for HamLabelAttack {
+    fn name(&self) -> String {
+        format!("ham-chaff-{}", self.campaign_tokens.len())
+    }
+
+    fn class(&self) -> AttackClass {
+        HamLabelAttack::class(self)
+    }
+
+    fn generate(&self, n: u32, rng: &mut Xoshiro256pp) -> AttackBatch {
+        HamLabelAttack::generate(self, n, rng)
     }
 }
 

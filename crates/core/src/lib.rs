@@ -50,7 +50,10 @@ pub mod taxonomy;
 pub mod threshold;
 
 pub use attack::{build_attack_email, AttackBatch, AttackGenerator, HeaderMode};
-pub use campaign::{validate_campaigns, AttackKind, CampaignSpec};
+pub use campaign::{
+    validate_campaigns, AttackKind, CampaignEnv, CampaignError, CampaignShape, CampaignSpec,
+    Intensity, MessageRef,
+};
 pub use combined::{defend, CombinedConfig, CombinedOutcome};
 pub use constrained::{blend_with_lexicon, estimate_knowledge, AttackContext, ConstrainedAttack};
 pub use dictionary::{attack_count_for_fraction, DictionaryAttack, DictionaryKind};

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use sb_core::{
     attack_count_for_fraction, AttackGenerator, DictionaryAttack, DictionaryKind, FocusedAttack,
-    WordKnowledge,
+    Intensity, WordKnowledge,
 };
 use sb_email::{Email, Label};
 use sb_filter::SpamBayes;
@@ -89,6 +89,49 @@ proptest! {
         prop_assert!((mix.prob("x") - alpha * 0.8).abs() < 1e-12);
         prop_assert!((mix.prob("y") - (alpha * 0.8 + (1.0 - alpha))).abs() < 1e-12);
         prop_assert!((mix.prob("z") - (1.0 - alpha)).abs() < 1e-12);
+    }
+
+    /// Every intensity schedule's summed `volume_on` equals its
+    /// closed-form `cumulative` — at the full window *and* at every prefix
+    /// (the invariant the mailflow coordinator's per-day materialization
+    /// and the scenario expect counts rely on).
+    #[test]
+    fn intensity_volumes_sum_to_the_closed_form(
+        shape in (0u32..3, 0u32..200, 1u32..20, 0u32..200).prop_map(
+            |(tag, a, period, b)| match tag {
+                0 => Intensity::Constant { per_day: a },
+                1 => Intensity::LinearRamp { from: a, to: b },
+                // on_days folded into 1..=period so the shape is valid.
+                _ => Intensity::Bursts { period, on_days: 1 + a % period, per_day: b },
+            },
+        ),
+        window in 1u32..120,
+        prefix_frac in 0.0f64..=1.0,
+    ) {
+        // Ramps need the finite window; the others ignore it.
+        let w = Some(window);
+        let total: u64 = (0..window).map(|t| u64::from(shape.volume_on(t, w))).sum();
+        prop_assert_eq!(total, shape.cumulative(window, w), "{} over {}", shape, window);
+        let k = (f64::from(window) * prefix_frac) as u32;
+        let prefix: u64 = (0..k).map(|t| u64::from(shape.volume_on(t, w))).sum();
+        prop_assert_eq!(prefix, shape.cumulative(k, w), "{} prefix {}", shape, k);
+    }
+
+    /// Ramps hit their declared endpoints exactly and stay within the
+    /// [min(from,to), max(from,to)] envelope on every day.
+    #[test]
+    fn ramp_endpoints_and_envelope(from in 0u32..300, to in 0u32..300, window in 1u32..90) {
+        let ramp = Intensity::LinearRamp { from, to };
+        let w = Some(window);
+        prop_assert_eq!(ramp.volume_on(0, w), from);
+        if window > 1 {
+            prop_assert_eq!(ramp.volume_on(window - 1, w), to);
+        }
+        let (lo, hi) = (from.min(to), from.max(to));
+        for t in 0..window {
+            let v = ramp.volume_on(t, w);
+            prop_assert!((lo..=hi).contains(&v), "day {t}: {v} outside [{lo}, {hi}]");
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   matrix    attack × defense grid (§5 cross terms)
 //!   weeks     week-by-week organization simulation over SMTP (§2.1)
 //!   scenarios run the committed scenario suite (multi-campaign overlap,
-//!             per-user traffic skews) and print each golden digest
+//!             intensity schedules, focused/ham-chaff campaigns, per-user
+//!             traffic skews), print each golden digest, and evaluate
+//!             every in-file `expect` assertion (non-zero exit on any
+//!             failure); `--filter STEM` runs a single scenario by name
 //!
 //!   extensions  the five extension experiments
 //!   all       everything above
@@ -56,6 +59,8 @@ struct Args {
     shards: Option<usize>,
     /// Directory of `*.scenario` files for the `scenarios` subcommand.
     scenarios_dir: PathBuf,
+    /// Run only the scenario with this stem (file stem / spec name).
+    filter: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -63,7 +68,7 @@ fn usage() -> ExitCode {
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
          transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all> \
          [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
-         [--scenarios DIR]"
+         [--scenarios DIR] [--filter STEM]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         threads: default_threads(),
         shards: None,
         scenarios_dir: ScenarioSuiteConfig::default().dir,
+        filter: None,
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -96,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
                 args.shards = Some(take()?.parse().map_err(|e| format!("bad shards: {e}"))?)
             }
             "--scenarios" => args.scenarios_dir = PathBuf::from(take()?),
+            "--filter" => args.filter = Some(take()?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -606,7 +613,7 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
         dir: args.scenarios_dir.clone(),
         ..ScenarioSuiteConfig::default()
     };
-    let files = suite
+    let mut files = suite
         .scenario_files()
         .map_err(|e| format!("cannot list {}: {e}", suite.dir.display()))?;
     if files.is_empty() {
@@ -614,6 +621,15 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
             "no *.scenario files under {} (run from the repository root, or pass --scenarios DIR)",
             suite.dir.display()
         ));
+    }
+    if let Some(stem) = &args.filter {
+        files.retain(|p| p.file_stem().is_some_and(|s| s == stem.as_str()));
+        if files.is_empty() {
+            return Err(format!(
+                "--filter {stem:?} matches no scenario under {}",
+                suite.dir.display()
+            ));
+        }
     }
     let mut t = Table::new(
         "Scenario suite: multi-campaign organization runs",
@@ -629,16 +645,18 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
             "useless",
         ],
     );
+    let mut expect_failures = 0usize;
     for path in &files {
         let spec = ScenarioSpec::load(path).map_err(|e| e.to_string())?;
         let campaigns: Vec<String> = spec.campaigns.iter().map(|c| c.attack.name()).collect();
         eprintln!(
-            "[scenarios] {}: users={} days={} campaigns=[{}] defense={:?}",
+            "[scenarios] {}: users={} days={} campaigns=[{}] defense={:?} expects={}",
             spec.name,
             spec.users,
             spec.days,
             campaigns.join(", "),
             spec.defense,
+            spec.expectations.len(),
         );
         // `--shards` follows the `weeks` convention: 0 = auto (one shard
         // per worker thread), anything else capped by --threads. Reports
@@ -647,7 +665,8 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
             Some(0) => spec.run_with_shards(args.threads),
             Some(shards) => spec.run_with_shards(shards.min(args.threads)),
             None => spec.run_with_threads(args.threads),
-        };
+        }
+        .map_err(|e| format!("{}: {e}", path.display()))?;
         for w in &report.weeks {
             t.row(vec![
                 spec.name.clone(),
@@ -673,8 +692,36 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
         }
         let hash = digest.lines().last().unwrap_or_default();
         println!("  [{}] {}", spec.name, hash);
+        // The scenario's behavioral contract: one summary line per
+        // scenario, details per failed assertion.
+        let failures = spec.check_expectations(&report);
+        if spec.expectations.is_empty() {
+            println!("  [{}] expect: none declared", spec.name);
+        } else if failures.is_empty() {
+            println!(
+                "  [{}] expect: {} assertion(s) passed",
+                spec.name,
+                spec.expectations.len()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("  [{}] expect FAILED: {f}", spec.name);
+            }
+            println!(
+                "  [{}] expect: {} of {} assertion(s) FAILED",
+                spec.name,
+                failures.len(),
+                spec.expectations.len()
+            );
+            expect_failures += failures.len();
+        }
     }
     emit(&t, &args.out, "scenario_suite");
+    if expect_failures > 0 {
+        return Err(format!(
+            "{expect_failures} expect assertion(s) failed across the suite"
+        ));
+    }
     Ok(())
 }
 

@@ -1,19 +1,21 @@
 //! The scenario engine: declarative multi-campaign organization runs with
-//! a golden-report regression harness.
+//! a golden-report regression harness and in-file behavioral assertions.
 //!
 //! A [`ScenarioSpec`] declares one complete organization simulation — the
 //! user population, heterogeneous per-user traffic mixes, the defense, and
-//! **any number of concurrent attack campaigns** with staggered windows,
-//! intensities, and target users — in a small plain-text format that lives
-//! under `scenarios/` in the repository. (The spec types derive the serde
-//! markers for the swap-back story, but like every other artifact format
-//! in this workspace the file format itself is hand-rolled; see
-//! `crates/shims/README.md`.)
+//! **any number of concurrent attack campaigns** spanning the full §3.1
+//! taxonomy (dictionary floods, focused attacks on declaratively named
+//! messages, ham-chaff) with staggered windows, shaped intensities
+//! (constant / linear ramp / burst trains), and target users — in a small
+//! plain-text format that lives under `scenarios/` in the repository.
+//! (The spec types derive the serde markers for the swap-back story, but
+//! like every other artifact format in this workspace the file format
+//! itself is hand-rolled; see `crates/shims/README.md`.)
 //!
 //! ## Spec format
 //!
-//! Line-oriented `key = value` pairs, `#` comments, with one `[campaign]`
-//! section per attack campaign:
+//! Line-oriented `key = value` pairs, `#` comments, one `[campaign]`
+//! section per attack campaign, and bare `expect` assertion lines:
 //!
 //! ```text
 //! name = overlap-two-campaigns
@@ -29,12 +31,63 @@
 //! shards = 0                # optional parallelism hint (0 = auto)
 //!
 //! [campaign]
-//! attack = usenet:2000      # optimal | aspell | aspell-half | usenet:K
+//! attack = usenet:2000      # see the attack grammar below
 //! start_day = 1
 //! end_day = 10              # optional; inclusive
-//! per_day = 5
+//! per_day = 5               # constant shorthand; or `intensity = …`
 //! targets = 0, 1            # optional user indices
+//!
+//! [campaign]
+//! attack = focused user:3 ham:5 guess:50
+//! start_day = 2
+//! end_day = 9
+//! intensity = ramp:2->10
+//!
+//! expect 2 ham_misrouted > 0.2
+//! expect 1 bounced == 0
 //! ```
+//!
+//! ### Attack grammar (`attack = …`)
+//!
+//! * `optimal` | `aspell` | `aspell-half` | `usenet:K` — the §3.2
+//!   dictionary family;
+//! * `focused user:<u> ham:<k> [guess:<pct>]` — the §3.3 focused attack on
+//!   user `u`'s `k`-th legitimate email (both 0-based; the
+//!   [`sb_core::MessageRef`] resolves deterministically against the
+//!   pure-counter corpus, so the attacked message is exactly one the
+//!   simulation will deliver). `guess` is the §4.3 token-guessing
+//!   probability in percent (default 50);
+//! * `ham-chaff:<n>` — §2.2's ham-shift chaff laundering an `n`-word
+//!   campaign vocabulary.
+//!
+//! ### Intensity grammar (`intensity = …`)
+//!
+//! * `constant:<n>` — `n` messages every active day (`per_day = <n>` is
+//!   shorthand for this; a campaign section takes exactly one of the two);
+//! * `ramp:<from>-><to>` — linear ramp across the campaign window
+//!   (requires `end_day`, so the ramp has a last day to reach `to` on);
+//! * `bursts:period=<p>,on=<d>,per_day=<n>` — `n` messages on the first
+//!   `d` days of every `p`-day cycle, nothing in between.
+//!
+//! Schedules that send nothing over their whole active window, campaigns
+//! starting after the simulation ends, and `focused` refs naming messages
+//! the organization will never receive are rejected at parse time with the
+//! offending line number.
+//!
+//! ### Expectations (`expect <week> <field> <op> <value>`)
+//!
+//! Bare assertion lines turn a scenario into a readable behavioral test:
+//! `expect 2 ham_misrouted > 0.5` requires week 2's ham-misrouted rate to
+//! exceed 0.5. Fields: `offered`, `accepted`, `bounced`, `ham_as_spam`,
+//! `ham_misrouted`, `spam_caught`, `spam_as_unsure`, `screened_out`,
+//! `filter_useless` (0/1). Operators: `<  <=  >  >=  ==  !=` (exact float
+//! comparison — use `==` for the integer-valued fields). Expectations are
+//! evaluated by `repro scenarios` (non-zero exit on failure) and enforced
+//! for every committed scenario by the `golden_scenarios` suite.
+//!
+//! The grammar round-trips: [`ScenarioSpec::format`] renders the canonical
+//! text form, and `parse(format(parse(text)))` equals `parse(text)` for
+//! every valid spec (checked in CI's lint lane).
 //!
 //! ## Golden digests
 //!
@@ -51,10 +104,10 @@
 //! ```
 
 use crate::runner::default_threads;
-use sb_core::campaign::{validate_campaigns, AttackKind, CampaignSpec};
+use sb_core::campaign::{validate_campaigns, AttackKind, CampaignShape, CampaignSpec, Intensity};
 use sb_corpus::CorpusConfig;
 use sb_mailflow::{
-    AttackPlan, DefensePolicy, FaultConfig, MailOrg, OrgConfig, OrgReport, TrafficMix,
+    DefensePolicy, FaultConfig, MailOrg, OrgConfig, OrgReport, TrafficMix, WeekReport,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -89,6 +142,8 @@ pub struct ScenarioSpec {
     pub shards: usize,
     /// The attack campaigns (empty = clean baseline).
     pub campaigns: Vec<CampaignSpec>,
+    /// In-file behavioral assertions over the weekly report.
+    pub expectations: Vec<Expectation>,
 }
 
 /// A scenario-file syntax or validation error, with a 1-based line number
@@ -117,6 +172,243 @@ fn err(line: usize, message: impl Into<String>) -> ScenarioError {
     ScenarioError {
         line,
         message: message.into(),
+    }
+}
+
+/// A weekly-report field an `expect` line can assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectField {
+    /// Messages offered to SMTP.
+    Offered,
+    /// Messages accepted by the server.
+    Accepted,
+    /// Accepted messages bounced for lack of a mailbox.
+    Bounced,
+    /// Fraction of ham classified spam.
+    HamAsSpam,
+    /// Fraction of ham classified spam or unsure.
+    HamMisrouted,
+    /// Fraction of true spam classified spam.
+    SpamCaught,
+    /// Fraction of true spam classified unsure.
+    SpamAsUnsure,
+    /// Pool entries rejected at the week's retrain.
+    ScreenedOut,
+    /// The §2.1 "no advantage from continued use" predicate (as 0/1).
+    FilterUseless,
+}
+
+impl ExpectField {
+    /// All fields with their grammar names.
+    const ALL: [(ExpectField, &'static str); 9] = [
+        (ExpectField::Offered, "offered"),
+        (ExpectField::Accepted, "accepted"),
+        (ExpectField::Bounced, "bounced"),
+        (ExpectField::HamAsSpam, "ham_as_spam"),
+        (ExpectField::HamMisrouted, "ham_misrouted"),
+        (ExpectField::SpamCaught, "spam_caught"),
+        (ExpectField::SpamAsUnsure, "spam_as_unsure"),
+        (ExpectField::ScreenedOut, "screened_out"),
+        (ExpectField::FilterUseless, "filter_useless"),
+    ];
+
+    /// Parse a grammar name.
+    pub fn parse(s: &str) -> Option<ExpectField> {
+        Self::ALL.iter().find(|(_, n)| *n == s).map(|&(f, _)| f)
+    }
+
+    /// The grammar name.
+    pub fn name(self) -> &'static str {
+        Self::ALL.iter().find(|&&(f, _)| f == self).unwrap().1
+    }
+
+    /// Read the field out of a weekly report.
+    pub fn extract(self, w: &WeekReport) -> f64 {
+        match self {
+            ExpectField::Offered => w.offered as f64,
+            ExpectField::Accepted => w.accepted as f64,
+            ExpectField::Bounced => w.bounced as f64,
+            ExpectField::HamAsSpam => w.ham_as_spam,
+            ExpectField::HamMisrouted => w.ham_misrouted,
+            ExpectField::SpamCaught => w.spam_caught,
+            ExpectField::SpamAsUnsure => w.spam_as_unsure,
+            ExpectField::ScreenedOut => w.screened_out as f64,
+            ExpectField::FilterUseless => f64::from(u8::from(w.filter_useless)),
+        }
+    }
+}
+
+/// A comparison operator in an `expect` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==` (exact)
+    Eq,
+    /// `!=` (exact)
+    Ne,
+}
+
+impl ExpectOp {
+    /// Parse the operator token.
+    pub fn parse(s: &str) -> Option<ExpectOp> {
+        match s {
+            "<" => Some(ExpectOp::Lt),
+            "<=" => Some(ExpectOp::Le),
+            ">" => Some(ExpectOp::Gt),
+            ">=" => Some(ExpectOp::Ge),
+            "==" => Some(ExpectOp::Eq),
+            "!=" => Some(ExpectOp::Ne),
+            _ => None,
+        }
+    }
+
+    /// The operator token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ExpectOp::Lt => "<",
+            ExpectOp::Le => "<=",
+            ExpectOp::Gt => ">",
+            ExpectOp::Ge => ">=",
+            ExpectOp::Eq => "==",
+            ExpectOp::Ne => "!=",
+        }
+    }
+
+    /// Apply the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            ExpectOp::Lt => lhs < rhs,
+            ExpectOp::Le => lhs <= rhs,
+            ExpectOp::Gt => lhs > rhs,
+            ExpectOp::Ge => lhs >= rhs,
+            ExpectOp::Eq => lhs == rhs,
+            ExpectOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// One `expect <week> <field> <op> <value>` assertion.
+///
+/// `line` records where the assertion was declared (for failure messages);
+/// it is deliberately excluded from equality so that reformatting a
+/// scenario (which renumbers lines) round-trips to an equal spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Expectation {
+    /// 1-based week the assertion reads.
+    pub week: u32,
+    /// Which weekly metric.
+    pub field: ExpectField,
+    /// The comparison.
+    pub op: ExpectOp,
+    /// The right-hand side.
+    pub value: f64,
+    /// 1-based source line (0 when constructed programmatically).
+    pub line: usize,
+}
+
+impl PartialEq for Expectation {
+    fn eq(&self, other: &Self) -> bool {
+        self.week == other.week
+            && self.field == other.field
+            && self.op == other.op
+            && self.value == other.value
+    }
+}
+
+impl std::fmt::Display for Expectation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "expect {} {} {} {:?}",
+            self.week,
+            self.field.name(),
+            self.op.token(),
+            self.value
+        )
+    }
+}
+
+impl Expectation {
+    /// Parse the tail of an `expect` line (everything after the keyword).
+    fn parse_tail(tail: &str, line: usize) -> Result<Expectation, ScenarioError> {
+        let parts: Vec<&str> = tail.split_whitespace().collect();
+        let [week, field, op, value] = parts.as_slice() else {
+            return Err(err(
+                line,
+                format!("expect needs `<week> <field> <op> <value>`, got {tail:?}"),
+            ));
+        };
+        Ok(Expectation {
+            week: week
+                .parse()
+                .map_err(|e| err(line, format!("bad expect week {week:?}: {e}")))?,
+            field: ExpectField::parse(field).ok_or_else(|| {
+                let names: Vec<&str> = ExpectField::ALL.iter().map(|&(_, n)| n).collect();
+                err(
+                    line,
+                    format!("unknown expect field {field:?} (expected one of {})", names.join(" | ")),
+                )
+            })?,
+            op: ExpectOp::parse(op)
+                .ok_or_else(|| err(line, format!("unknown expect operator {op:?} (expected < | <= | > | >= | == | !=)")))?,
+            value: value
+                .parse()
+                .map_err(|e| err(line, format!("bad expect value {value:?}: {e}")))?,
+            line,
+        })
+    }
+
+    /// Evaluate against a report. `Ok(())` when the assertion holds.
+    pub fn check(&self, report: &OrgReport) -> Result<(), ExpectFailure> {
+        let Some(week) = report.weeks.iter().find(|w| w.week == self.week) else {
+            return Err(ExpectFailure {
+                expectation: self.clone(),
+                got: None,
+            });
+        };
+        let got = self.field.extract(week);
+        if self.op.eval(got, self.value) {
+            Ok(())
+        } else {
+            Err(ExpectFailure {
+                expectation: self.clone(),
+                got: Some(got),
+            })
+        }
+    }
+}
+
+/// A failed `expect` assertion: what was required and what the report
+/// actually said (`None` when the referenced week does not exist).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectFailure {
+    /// The assertion that failed.
+    pub expectation: Expectation,
+    /// The observed value, if the week existed.
+    pub got: Option<f64>,
+}
+
+impl std::fmt::Display for ExpectFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.got {
+            Some(got) => write!(
+                f,
+                "line {}: `{}` failed (got {got:?})",
+                self.expectation.line, self.expectation
+            ),
+            None => write!(
+                f,
+                "line {}: `{}` references a week the report does not have",
+                self.expectation.line, self.expectation
+            ),
+        }
     }
 }
 
@@ -152,6 +444,17 @@ fn parse_defense(s: &str, line: usize) -> Result<DefensePolicy, ScenarioError> {
     }
 }
 
+/// The grammar name of a defense (inverse of [`parse_defense`]).
+fn defense_name(policy: DefensePolicy) -> &'static str {
+    match policy {
+        DefensePolicy::None => "none",
+        DefensePolicy::Roni => "roni",
+        DefensePolicy::DynamicThreshold { strict: false } => "threshold",
+        DefensePolicy::DynamicThreshold { strict: true } => "threshold-strict",
+        DefensePolicy::RoniPlusThreshold => "roni+threshold",
+    }
+}
+
 /// An under-construction campaign section.
 #[derive(Default)]
 struct CampaignDraft {
@@ -159,31 +462,37 @@ struct CampaignDraft {
     attack: Option<AttackKind>,
     start_day: Option<u32>,
     end_day: Option<u32>,
-    per_day: Option<u32>,
+    intensity: Option<Intensity>,
     targets: Option<Vec<usize>>,
 }
 
 impl CampaignDraft {
-    fn finish(self) -> Result<CampaignSpec, ScenarioError> {
+    fn finish(self) -> Result<(CampaignSpec, usize), ScenarioError> {
         let line = self.first_line;
-        Ok(CampaignSpec {
-            attack: self
-                .attack
-                .ok_or_else(|| err(line, "campaign section is missing `attack = …`"))?,
-            start_day: self
-                .start_day
-                .ok_or_else(|| err(line, "campaign section is missing `start_day = …`"))?,
-            end_day: self.end_day,
-            per_day: self
-                .per_day
-                .ok_or_else(|| err(line, "campaign section is missing `per_day = …`"))?,
-            targets: self.targets,
-        })
+        Ok((
+            CampaignSpec {
+                attack: self
+                    .attack
+                    .ok_or_else(|| err(line, "campaign section is missing `attack = …`"))?,
+                start_day: self
+                    .start_day
+                    .ok_or_else(|| err(line, "campaign section is missing `start_day = …`"))?,
+                end_day: self.end_day,
+                intensity: self.intensity.ok_or_else(|| {
+                    err(line, "campaign section is missing `per_day = …` or `intensity = …`")
+                })?,
+                targets: self.targets,
+            },
+            line,
+        ))
     }
 }
 
 impl ScenarioSpec {
-    /// Parse a scenario from its text form.
+    /// Parse a scenario from its text form. Every declaration is validated
+    /// here — schedule shapes, zero-volume windows, target indices,
+    /// focused-attack message refs, expectation weeks — and failures carry
+    /// the offending 1-based line number.
     pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         let mut name = None;
         let mut seed = None;
@@ -197,6 +506,8 @@ impl ScenarioSpec {
         let mut defense = DefensePolicy::None;
         let mut shards = 0usize;
         let mut campaigns: Vec<CampaignSpec> = Vec::new();
+        let mut campaign_lines: Vec<usize> = Vec::new();
+        let mut expectations: Vec<Expectation> = Vec::new();
         let mut draft: Option<CampaignDraft> = None;
 
         for (i, raw) in text.lines().enumerate() {
@@ -207,12 +518,20 @@ impl ScenarioSpec {
             }
             if line == "[campaign]" {
                 if let Some(d) = draft.take() {
-                    campaigns.push(d.finish()?);
+                    let (spec, first_line) = d.finish()?;
+                    campaigns.push(spec);
+                    campaign_lines.push(first_line);
                 }
                 draft = Some(CampaignDraft {
                     first_line: lineno,
                     ..CampaignDraft::default()
                 });
+                continue;
+            }
+            // `expect` assertions are scenario-level wherever they appear
+            // (conventionally at the end, after the campaign sections).
+            if let Some(tail) = line.strip_prefix("expect ") {
+                expectations.push(Expectation::parse_tail(tail, lineno)?);
                 continue;
             }
             let (key, value) = line
@@ -232,7 +551,25 @@ impl ScenarioSpec {
                     "attack" => d.attack = Some(AttackKind::parse(value).map_err(|e| err(lineno, e))?),
                     "start_day" => d.start_day = Some(parse_u32(value)?),
                     "end_day" => d.end_day = Some(parse_u32(value)?),
-                    "per_day" => d.per_day = Some(parse_u32(value)?),
+                    "per_day" => {
+                        if d.intensity.is_some() {
+                            return Err(err(
+                                lineno,
+                                "campaign has both `per_day` and `intensity` (use one)",
+                            ));
+                        }
+                        d.intensity = Some(Intensity::constant(parse_u32(value)?));
+                    }
+                    "intensity" => {
+                        if d.intensity.is_some() {
+                            return Err(err(
+                                lineno,
+                                "campaign has both `per_day` and `intensity` (use one)",
+                            ));
+                        }
+                        d.intensity =
+                            Some(Intensity::parse(value).map_err(|e| err(lineno, e))?);
+                    }
                     "targets" => {
                         let targets = value
                             .split(',')
@@ -287,7 +624,9 @@ impl ScenarioSpec {
             }
         }
         if let Some(d) = draft.take() {
-            campaigns.push(d.finish()?);
+            let (spec, first_line) = d.finish()?;
+            campaigns.push(spec);
+            campaign_lines.push(first_line);
         }
 
         let spec = ScenarioSpec {
@@ -303,9 +642,39 @@ impl ScenarioSpec {
             defense,
             shards,
             campaigns,
+            expectations,
         };
-        spec.validate().map_err(|message| ScenarioError { line: 0, message })?;
+        spec.validate_scalars()
+            .map_err(|message| ScenarioError { line: 0, message })?;
+        // Campaign and expectation validation with source locations.
+        spec.validate_declarations(&campaign_lines)?;
         Ok(spec)
+    }
+
+    /// Campaign and expectation validation — the one implementation behind
+    /// both `parse` (which passes each campaign's section line) and
+    /// [`ScenarioSpec::validate`] (which passes no lines). Expectation
+    /// failures use the expectation's own recorded line.
+    fn validate_declarations(&self, campaign_lines: &[usize]) -> Result<(), ScenarioError> {
+        if let Err((i, e)) = validate_campaigns(&self.campaigns, &self.campaign_shape()) {
+            return Err(err(
+                campaign_lines.get(i).copied().unwrap_or(0),
+                format!("campaign {i} ({}): {e}", self.campaigns[i].attack.name()),
+            ));
+        }
+        let n_weeks = self.days.div_ceil(self.retrain_every);
+        for exp in &self.expectations {
+            if exp.week == 0 || exp.week > n_weeks {
+                return Err(err(
+                    exp.line,
+                    format!(
+                        "`{exp}` references week {}, but the scenario runs {n_weeks} week(s)",
+                        exp.week
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Load and parse a scenario file.
@@ -318,8 +687,54 @@ impl ScenarioSpec {
         })
     }
 
-    /// Cross-field validation (campaign targets vs user count, shapes).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Render the canonical text form. `parse(format(spec)) == spec` for
+    /// every valid spec (modulo comments and source line numbers) — the
+    /// round-trip identity the lint lane checks for all committed files.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "name = {}", self.name);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(out, "users = {}", self.users);
+        let _ = writeln!(out, "days = {}", self.days);
+        let _ = writeln!(out, "retrain_every = {}", self.retrain_every);
+        let _ = writeln!(out, "bootstrap = {}", self.bootstrap);
+        let _ = writeln!(out, "traffic = {}/{}", self.traffic.0, self.traffic.1);
+        if !self.user_traffic.is_empty() {
+            let entries: Vec<String> = self
+                .user_traffic
+                .iter()
+                .map(|&(h, s)| format!("{h}/{s}"))
+                .collect();
+            let _ = writeln!(out, "user_traffic = {}", entries.join(", "));
+        }
+        let _ = writeln!(out, "faults = {:?}/{:?}", self.faults.0, self.faults.1);
+        let _ = writeln!(out, "defense = {}", defense_name(self.defense));
+        let _ = writeln!(out, "shards = {}", self.shards);
+        for campaign in &self.campaigns {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[campaign]");
+            let _ = writeln!(out, "attack = {}", campaign.attack);
+            let _ = writeln!(out, "start_day = {}", campaign.start_day);
+            if let Some(end) = campaign.end_day {
+                let _ = writeln!(out, "end_day = {end}");
+            }
+            let _ = writeln!(out, "intensity = {}", campaign.intensity);
+            if let Some(targets) = &campaign.targets {
+                let list: Vec<String> = targets.iter().map(usize::to_string).collect();
+                let _ = writeln!(out, "targets = {}", list.join(", "));
+            }
+        }
+        if !self.expectations.is_empty() {
+            let _ = writeln!(out);
+            for exp in &self.expectations {
+                let _ = writeln!(out, "{exp}");
+            }
+        }
+        out
+    }
+
+    /// Scalar (non-campaign) cross-field validation.
+    fn validate_scalars(&self) -> Result<(), String> {
         if self.name.is_empty() || !self.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
             return Err(format!(
                 "scenario name {:?} must be a nonempty [A-Za-z0-9_-]+ token (it names the golden file)",
@@ -346,12 +761,27 @@ impl ScenarioSpec {
         if !(0.0..=1.0).contains(&drop) || !(0.0..=1.0).contains(&corrupt) {
             return Err("fault chances must be in [0, 1]".into());
         }
-        validate_campaigns(&self.campaigns, self.users)
+        Ok(())
     }
 
-    /// Materialize the [`OrgConfig`], overriding the shard hint (the
-    /// golden harness runs the same spec at several shard counts).
-    pub fn org_config_with_shards(&self, shards: usize) -> OrgConfig {
+    /// Full cross-field validation (campaign shapes and message refs
+    /// included), for specs constructed programmatically; `parse` performs
+    /// the same checks with source line numbers.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_scalars()?;
+        self.validate_declarations(&[]).map_err(|e| e.to_string())
+    }
+
+    /// The [`CampaignShape`] this scenario's campaigns are validated
+    /// against (derived through the same round-robin traffic split the
+    /// organization applies).
+    pub fn campaign_shape(&self) -> CampaignShape {
+        self.base_org_config(0).campaign_shape()
+    }
+
+    /// The organization configuration minus the attack plans (which need
+    /// the fallible build step).
+    fn base_org_config(&self, shards: usize) -> OrgConfig {
         OrgConfig {
             users: (0..self.users).map(|i| format!("user{i}@corp.example")).collect(),
             days: self.days,
@@ -372,26 +802,39 @@ impl ScenarioSpec {
             defense: self.defense,
             bootstrap_size: self.bootstrap,
             corpus: CorpusConfig::with_size(self.bootstrap, 0.5),
-            attacks: self.campaigns.iter().map(AttackPlan::from_campaign).collect(),
+            attacks: Vec::new(),
             shards,
             seed: self.seed,
         }
     }
 
+    /// Materialize the [`OrgConfig`], overriding the shard hint (the
+    /// golden harness runs the same spec at several shard counts).
+    /// Fallible: this is where declarative campaigns build their
+    /// generators — resolving focused-attack targets and donor headers
+    /// against the organization's corpus.
+    pub fn org_config_with_shards(&self, shards: usize) -> Result<OrgConfig, ScenarioError> {
+        let mut cfg = self.base_org_config(shards);
+        cfg.attacks = cfg.build_campaigns(&self.campaigns).map_err(|(i, e)| {
+            err(0, format!("campaign {i} ({}): {e}", self.campaigns[i].attack.name()))
+        })?;
+        Ok(cfg)
+    }
+
     /// Materialize the [`OrgConfig`] with the spec's own shard hint.
-    pub fn org_config(&self) -> OrgConfig {
+    pub fn org_config(&self) -> Result<OrgConfig, ScenarioError> {
         self.org_config_with_shards(self.shards)
     }
 
     /// Run the scenario at an explicit shard count.
-    pub fn run_with_shards(&self, shards: usize) -> OrgReport {
-        MailOrg::new(self.org_config_with_shards(shards)).run()
+    pub fn run_with_shards(&self, shards: usize) -> Result<OrgReport, ScenarioError> {
+        Ok(MailOrg::new(self.org_config_with_shards(shards)?).run())
     }
 
     /// Run the scenario with its own shard hint capped by `threads` (the
     /// same `--threads` semantics as the `repro weeks` subcommand: capping
     /// shards caps parallelism without changing a single report number).
-    pub fn run_with_threads(&self, threads: usize) -> OrgReport {
+    pub fn run_with_threads(&self, threads: usize) -> Result<OrgReport, ScenarioError> {
         let shards = match self.shards {
             0 => threads,
             s => s.min(threads),
@@ -400,8 +843,17 @@ impl ScenarioSpec {
     }
 
     /// Run with the spec's shard hint and the host's default worker count.
-    pub fn run(&self) -> OrgReport {
+    pub fn run(&self) -> Result<OrgReport, ScenarioError> {
         self.run_with_threads(default_threads())
+    }
+
+    /// Evaluate every `expect` assertion against a report. The returned
+    /// list is empty when the scenario's behavioral contract holds.
+    pub fn check_expectations(&self, report: &OrgReport) -> Vec<ExpectFailure> {
+        self.expectations
+            .iter()
+            .filter_map(|e| e.check(report).err())
+            .collect()
     }
 }
 
@@ -492,6 +944,7 @@ pub fn first_divergence(golden: &str, fresh: &str) -> Option<(usize, String, Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sb_core::campaign::MessageRef;
 
     const SPEC: &str = "\
 # A two-campaign scenario.
@@ -516,6 +969,9 @@ targets = 0, 2
 attack = aspell-half
 start_day = 4
 per_day = 2
+
+expect 1 bounced == 0
+expect 2 spam_caught >= 0.1
 ";
 
     #[test]
@@ -528,10 +984,39 @@ per_day = 2
         assert_eq!(spec.defense, DefensePolicy::Roni);
         assert_eq!(spec.campaigns.len(), 2);
         assert_eq!(spec.campaigns[0].end_day, Some(6));
+        assert_eq!(spec.campaigns[0].intensity, Intensity::constant(3));
         assert_eq!(spec.campaigns[0].targets, Some(vec![0, 2]));
         assert_eq!(spec.campaigns[1].end_day, None);
         assert_eq!(spec.campaigns[1].targets, None);
         assert!(spec.campaigns[0].overlaps(&spec.campaigns[1]));
+        assert_eq!(spec.expectations.len(), 2);
+        assert_eq!(spec.expectations[0].field, ExpectField::Bounced);
+        assert_eq!(spec.expectations[0].op, ExpectOp::Eq);
+        assert_eq!(spec.expectations[1].week, 2);
+    }
+
+    #[test]
+    fn parses_the_new_attack_and_intensity_forms() {
+        let spec = SPEC
+            .replace("attack = usenet:1000", "attack = focused user:2 ham:5 guess:80")
+            .replace("per_day = 3\ntargets = 0, 2", "intensity = ramp:1->5")
+            .replace("per_day = 2", "intensity = bursts:period=3,on=1,per_day=4");
+        let spec = ScenarioSpec::parse(&spec).expect("valid spec");
+        assert_eq!(
+            spec.campaigns[0].attack,
+            AttackKind::Focused {
+                target: MessageRef { user: 2, nth_ham: 5 },
+                guess_pct: 80,
+            }
+        );
+        assert_eq!(spec.campaigns[0].intensity, Intensity::LinearRamp { from: 1, to: 5 });
+        assert_eq!(
+            spec.campaigns[1].intensity,
+            Intensity::Bursts { period: 3, on_days: 1, per_day: 4 }
+        );
+        let chaff = SPEC.replace("attack = aspell-half", "attack = ham-chaff:12");
+        let chaff = ScenarioSpec::parse(&chaff).expect("valid spec");
+        assert_eq!(chaff.campaigns[1].attack, AttackKind::HamChaff { campaign_words: 12 });
     }
 
     #[test]
@@ -548,6 +1033,18 @@ per_day = 2
         let missing = SPEC.replace("name = demo", "");
         let e = ScenarioSpec::parse(&missing).unwrap_err();
         assert!(e.to_string().contains("name"), "{e}");
+
+        let both = SPEC.replace("per_day = 3", "per_day = 3\nintensity = constant:3");
+        let e = ScenarioSpec::parse(&both).unwrap_err();
+        assert!(e.to_string().contains("both"), "{e}");
+
+        let bad_expect = SPEC.replace("expect 1 bounced == 0", "expect 1 bounced ~ 0");
+        let e = ScenarioSpec::parse(&bad_expect).unwrap_err();
+        assert!(e.line > 0 && e.to_string().contains("operator"), "{e}");
+
+        let bad_field = SPEC.replace("expect 1 bounced == 0", "expect 1 dropped == 0");
+        let e = ScenarioSpec::parse(&bad_field).unwrap_err();
+        assert!(e.to_string().contains("dropped"), "{e}");
     }
 
     #[test]
@@ -555,10 +1052,10 @@ per_day = 2
         let bad_targets = SPEC.replace("targets = 0, 2", "targets = 0, 9");
         let e = ScenarioSpec::parse(&bad_targets).unwrap_err();
         assert!(e.to_string().contains("4 users"), "{e}");
+        assert!(e.line > 0, "campaign errors must carry the section line: {e}");
 
         let bad_mix = format!("{SPEC}\nuser_traffic = 1/1, 2/2\n");
-        // user_traffic must come before the campaign sections to be a
-        // top-level key; appending puts it inside campaign 2.
+        // A key line after the campaign sections lands in campaign 2.
         let e = ScenarioSpec::parse(&bad_mix).unwrap_err();
         assert!(e.to_string().contains("unknown campaign key"), "{e}");
 
@@ -571,16 +1068,85 @@ per_day = 2
     }
 
     #[test]
+    fn validation_rejects_zero_volume_and_bad_refs_with_lines() {
+        // Satellite checks: zero-volume schedules and out-of-range message
+        // refs fail at parse time, pointing at the campaign's line.
+        let zero = SPEC.replace("per_day = 2", "per_day = 0");
+        let e = ScenarioSpec::parse(&zero).unwrap_err();
+        assert!(e.to_string().contains("sends nothing"), "{e}");
+        assert!(e.line > 0, "{e}");
+
+        // users = 4, traffic 8/8 -> 2 ham/user/day × 10 days = 20 hams.
+        let bad_ref = SPEC.replace("attack = aspell-half", "attack = focused user:1 ham:20");
+        let e = ScenarioSpec::parse(&bad_ref).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+        assert!(e.line > 0, "{e}");
+        let ok_ref = SPEC.replace("attack = aspell-half", "attack = focused user:1 ham:19");
+        assert!(ScenarioSpec::parse(&ok_ref).is_ok());
+
+        let bad_user = SPEC.replace("attack = aspell-half", "attack = focused user:4 ham:0");
+        let e = ScenarioSpec::parse(&bad_user).unwrap_err();
+        assert!(e.to_string().contains("only 4 users"), "{e}");
+
+        let bad_week = SPEC.replace("expect 2 spam_caught >= 0.1", "expect 3 spam_caught >= 0.1");
+        let e = ScenarioSpec::parse(&bad_week).unwrap_err();
+        assert!(e.to_string().contains("2 week(s)"), "{e}");
+        assert!(e.line > 0, "{e}");
+    }
+
+    #[test]
+    fn grammar_round_trips_through_format() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        let formatted = spec.format();
+        let reparsed = ScenarioSpec::parse(&formatted)
+            .unwrap_or_else(|e| panic!("canonical form must parse: {e}\n{formatted}"));
+        assert_eq!(reparsed, spec, "parse -> format -> parse must be identity");
+        // The canonical form is a fixed point.
+        assert_eq!(reparsed.format(), formatted);
+    }
+
+    #[test]
     fn org_config_reflects_the_spec() {
         let spec = ScenarioSpec::parse(SPEC).unwrap();
-        let cfg = spec.org_config_with_shards(3);
+        let cfg = spec.org_config_with_shards(3).expect("buildable");
         assert_eq!(cfg.users.len(), 4);
         assert_eq!(cfg.shards, 3);
         assert_eq!(cfg.attacks.len(), 2);
         assert_eq!(cfg.attacks[0].end_day, Some(6));
+        assert_eq!(cfg.attacks[0].intensity, Intensity::constant(3));
         assert_eq!(cfg.attacks[0].targets, Some(vec![0, 2]));
         assert_eq!(cfg.faults.drop_chance, 0.01);
         assert_eq!(cfg.defense, DefensePolicy::Roni);
+    }
+
+    #[test]
+    fn expectations_evaluate_against_reports() {
+        let spec = ScenarioSpec::parse(SPEC).unwrap();
+        // Shrink for test speed: no campaigns, tiny window, no faults (so
+        // `bounced == 0` holds deterministically).
+        let mut small = spec.clone();
+        small.campaigns.clear();
+        small.days = 5;
+        small.faults = (0.0, 0.0);
+        small.defense = DefensePolicy::None;
+        small.expectations = vec![
+            Expectation { week: 1, field: ExpectField::Bounced, op: ExpectOp::Eq, value: 0.0, line: 0 },
+            Expectation { week: 1, field: ExpectField::Offered, op: ExpectOp::Eq, value: 80.0, line: 0 },
+        ];
+        let report = small.run_with_shards(1).expect("runs");
+        assert!(small.check_expectations(&report).is_empty());
+        // A failing assertion reports the observed value.
+        small.expectations = vec![Expectation {
+            week: 1,
+            field: ExpectField::Offered,
+            op: ExpectOp::Lt,
+            value: 10.0,
+            line: 42,
+        }];
+        let failures = small.check_expectations(&report);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].got, Some(80.0));
+        assert!(failures[0].to_string().contains("line 42"), "{}", failures[0]);
     }
 
     #[test]
@@ -591,9 +1157,9 @@ per_day = 2
         small.campaigns.clear();
         small.days = 5;
         small.defense = DefensePolicy::None;
-        let report = small.run_with_shards(1);
+        let report = small.run_with_shards(1).expect("runs");
         let a = golden_digest(&small.name, &report);
-        let b = golden_digest(&small.name, &small.run_with_shards(2));
+        let b = golden_digest(&small.name, &small.run_with_shards(2).expect("runs"));
         assert_eq!(a, b, "digest must be shard-invariant");
         // The hash line seals everything above it.
         let body = a.rsplit_once("fnv1a64,").unwrap().0;

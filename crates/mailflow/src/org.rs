@@ -67,7 +67,8 @@ use crate::mailbox::{Mailbox, UserCosts, UserModel};
 use crate::server::{ServerEvent, SmtpServer};
 use crate::transport::{FaultConfig, FaultStats, FaultyPipe};
 use sb_core::{
-    calibrate, AttackGenerator, CampaignSpec, RoniConfig, RoniDefense, ThresholdConfig, TrainItem,
+    calibrate, AttackGenerator, CampaignEnv, CampaignError, CampaignShape, CampaignSpec,
+    Intensity, RoniConfig, RoniDefense, ThresholdConfig, TrainItem,
 };
 use sb_corpus::{CorpusConfig, EmailGenerator};
 use sb_email::{Dataset, Email, Label, LabeledEmail};
@@ -115,29 +116,32 @@ pub enum DefensePolicy {
     RoniPlusThreshold,
 }
 
-/// An attack campaign: when it runs, how much it sends, and at whom.
+/// An attack campaign: when it runs, how its volume is shaped over time,
+/// and at whom.
 ///
 /// An [`OrgConfig`] carries *any number* of these; campaigns with
-/// overlapping windows compose — each active campaign contributes its
-/// `per_day` messages to the day's arrival permutation independently.
+/// overlapping windows compose — each campaign contributes its
+/// [`AttackPlan::volume_on`] messages to the day's arrival permutation
+/// independently.
 pub struct AttackPlan {
     /// First day (1-based) attack mail is sent.
     pub start_day: u32,
     /// Last day (inclusive) attack mail is sent; `None` runs to the end of
     /// the simulation.
     pub end_day: Option<u32>,
-    /// Attack messages per active day.
-    pub per_day: u32,
+    /// The send schedule over the active window (constant, linear ramp, or
+    /// burst trains).
+    pub intensity: Intensity,
     /// Target users as indices into [`OrgConfig::users`]; `None` spreads
     /// the campaign round-robin over every user.
     pub targets: Option<Vec<usize>>,
-    /// The attack email generator (dictionary, focused, …).
+    /// The attack email generator (dictionary, focused, ham-chaff, …).
     pub generator: Box<dyn AttackGenerator + Send + Sync>,
 }
 
 impl AttackPlan {
-    /// The paper's shape: starts on `start_day`, never stops, targets
-    /// everyone.
+    /// The paper's shape: starts on `start_day`, never stops, sends a
+    /// constant `per_day`, targets everyone.
     pub fn new(
         start_day: u32,
         per_day: u32,
@@ -146,29 +150,36 @@ impl AttackPlan {
         Self {
             start_day,
             end_day: None,
-            per_day,
+            intensity: Intensity::constant(per_day),
             targets: None,
             generator,
         }
     }
 
-    /// Materialize a plan from a declarative [`CampaignSpec`] (the scenario
-    /// engine's attack description).
-    pub fn from_campaign(spec: &CampaignSpec) -> Self {
-        Self {
+    /// Materialize a plan from a declarative [`CampaignSpec`] (the
+    /// scenario engine's attack description), building the generator
+    /// against the organization's [`CampaignEnv`] — the step that resolves
+    /// focused-attack [`sb_core::MessageRef`]s and donor headers, and the
+    /// reason plan construction is fallible.
+    pub fn from_campaign(
+        spec: &CampaignSpec,
+        env: &CampaignEnv<'_>,
+    ) -> Result<Self, CampaignError> {
+        Ok(Self {
             start_day: spec.start_day,
             end_day: spec.end_day,
-            per_day: spec.per_day,
+            intensity: spec.intensity,
             targets: spec.targets.clone(),
-            generator: spec.attack.build_generator(),
-        }
+            generator: spec.attack.build(env)?,
+        })
     }
 
-    /// Whether the campaign sends mail on `day` (1-based, inclusive window).
-    pub fn active_on(&self, day: u32) -> bool {
-        self.per_day > 0
-            && day >= self.start_day
-            && self.end_day.is_none_or(|end| day <= end)
+    /// Attack messages sent on `day` (1-based): 0 outside the inclusive
+    /// window, the schedule's volume inside it. Delegates to the same
+    /// [`Intensity::volume_on_day`] the declarative spec validates
+    /// through, so validation and execution share one window arithmetic.
+    pub fn volume_on(&self, day: u32) -> u32 {
+        self.intensity.volume_on_day(self.start_day, self.end_day, day)
     }
 }
 
@@ -177,7 +188,7 @@ impl std::fmt::Debug for AttackPlan {
         f.debug_struct("AttackPlan")
             .field("start_day", &self.start_day)
             .field("end_day", &self.end_day)
-            .field("per_day", &self.per_day)
+            .field("intensity", &self.intensity)
             .field("targets", &self.targets)
             .field("generator", &self.generator.name())
             .finish()
@@ -254,6 +265,69 @@ impl OrgConfig {
                 ham_per_day: share(self.traffic.ham_per_day, u),
                 spam_per_day: share(self.traffic.spam_per_day, u),
             })
+            .collect()
+    }
+
+    /// The organization's indexed corpus generator — the *same* derivation
+    /// [`MailOrg::new`] uses, exposed so campaign building
+    /// ([`OrgConfig::campaign_env`]) resolves `MessageRef`s against
+    /// exactly the messages the simulation will deliver.
+    pub fn corpus_generator(&self) -> EmailGenerator {
+        let seeds = SeedTree::new(self.seed).child("mailorg");
+        EmailGenerator::new(self.corpus.clone(), seeds.child("corpus").seed())
+    }
+
+    /// The ham/spam counter split the clean bootstrap consumes: day
+    /// traffic starts at these counters.
+    pub fn bootstrap_counters(&self) -> (u64, u64) {
+        let n_ham = self.bootstrap_size / 2;
+        (n_ham as u64, (self.bootstrap_size - n_ham) as u64)
+    }
+
+    /// The [`CampaignShape`] campaign validation resolves against.
+    pub fn campaign_shape(&self) -> CampaignShape {
+        CampaignShape {
+            n_users: self.users.len(),
+            days: self.days,
+            ham_rates: self
+                .per_user_rates()
+                .iter()
+                .map(|r| r.ham_per_day)
+                .collect(),
+        }
+    }
+
+    /// The [`CampaignEnv`] attack kinds build their generators against.
+    /// `generator` must come from [`OrgConfig::corpus_generator`] (lent
+    /// rather than rebuilt so several plans share one compiled model).
+    pub fn campaign_env<'a>(&self, generator: &'a EmailGenerator) -> CampaignEnv<'a> {
+        let (ham0, spam0) = self.bootstrap_counters();
+        CampaignEnv {
+            shape: self.campaign_shape(),
+            generator,
+            ham0,
+            spam0,
+            seed: self.seed,
+        }
+    }
+
+    /// Build [`AttackPlan`]s for a set of declarative campaigns against
+    /// this organization. The full declaration is validated first —
+    /// schedule shapes, windows, zero-volume checks, target indices,
+    /// message refs — so a spec that builds is exactly a spec that runs
+    /// as declared. Fails with the 0-based index of the first campaign
+    /// whose declaration does not hold.
+    pub fn build_campaigns(
+        &self,
+        specs: &[CampaignSpec],
+    ) -> Result<Vec<AttackPlan>, (usize, CampaignError)> {
+        sb_core::campaign::validate_campaigns(specs, &self.campaign_shape())?;
+        let generator = self.corpus_generator();
+        let env = self.campaign_env(&generator);
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| AttackPlan::from_campaign(spec, &env).map_err(|e| (i, e)))
             .collect()
     }
 }
@@ -446,8 +520,11 @@ impl DayCtx<'_> {
 }
 
 /// Materialize every campaign's batches for days `first..=last` from their
-/// per-day, per-plan seed nodes (empty for days a campaign is not
-/// running).
+/// per-day, per-plan seed nodes. The day's volume comes from the plan's
+/// [`Intensity`] schedule — evaluated here, once, on the coordinator, so
+/// ramps and bursts can never diverge across shards. Days a campaign sends
+/// nothing (outside its window, or a burst off-day) contribute an empty
+/// batch without touching the campaign's RNG stream.
 fn attack_batches_for(cfg: &OrgConfig, seeds: &SeedTree, first: u32, last: u32) -> Vec<Vec<Vec<Email>>> {
     (first..=last)
         .map(|day| {
@@ -456,9 +533,10 @@ fn attack_batches_for(cfg: &OrgConfig, seeds: &SeedTree, first: u32, last: u32) 
                 .iter()
                 .enumerate()
                 .map(|(p, plan)| {
-                    if plan.active_on(day) {
+                    let volume = plan.volume_on(day);
+                    if volume > 0 {
                         let mut atk_rng = day_seeds.child("attack").index(p as u64).rng();
-                        plan.generator.generate(plan.per_day, &mut atk_rng).materialize()
+                        plan.generator.generate(volume, &mut atk_rng).materialize()
                     } else {
                         Vec::new()
                     }
@@ -702,7 +780,7 @@ impl MailOrg {
         }
         let rates = cfg.per_user_rates();
         let seeds = SeedTree::new(cfg.seed).child("mailorg");
-        let generator = EmailGenerator::new(cfg.corpus.clone(), seeds.child("corpus").seed());
+        let generator = cfg.corpus_generator();
 
         // Clean bootstrap pool, half ham half spam, generated off-wire (the
         // organization's historical mail archive).
@@ -718,6 +796,11 @@ impl MailOrg {
             bootstrap.push(LabeledEmail::spam(generator.spam(spam_counter)));
             spam_counter += 1;
         }
+        debug_assert_eq!(
+            (ham_counter, spam_counter),
+            cfg.bootstrap_counters(),
+            "campaign_env's counter derivation must match the bootstrap"
+        );
 
         let tokenizer = Tokenizer::new();
         let interner = Interner::global();
@@ -1248,6 +1331,73 @@ mod tests {
             let got = !org.mailbox(name).expect("mailbox").is_empty();
             assert_eq!(got, u == 1 || u == 3, "user {u} targeting wrong");
         }
+    }
+
+    /// A ramped campaign's day volumes follow the schedule exactly: the
+    /// coordinator materializes `volume_on(day)` messages, so the offered
+    /// count walks the ramp day by day.
+    #[test]
+    fn ramped_campaign_volume_follows_the_schedule() {
+        let mut cfg = base_config(31);
+        let mut plan = usenet_plan(2, 0);
+        plan.end_day = Some(6);
+        plan.intensity = Intensity::LinearRamp { from: 2, to: 10 };
+        cfg.attacks = vec![plan];
+        let organic = 20; // 10 ham + 10 spam per day in base_config
+        let mut org = MailOrg::new(cfg);
+        assert_eq!(run_one_day(&mut org, 1).offered, organic);
+        assert_eq!(run_one_day(&mut org, 2).offered, organic + 2);
+        assert_eq!(run_one_day(&mut org, 4).offered, organic + 6);
+        assert_eq!(run_one_day(&mut org, 6).offered, organic + 10);
+        assert_eq!(run_one_day(&mut org, 7).offered, organic);
+    }
+
+    /// A burst campaign sends only on its cycle's on-days.
+    #[test]
+    fn burst_campaign_gates_by_cycle() {
+        let mut cfg = base_config(37);
+        let mut plan = usenet_plan(1, 0);
+        plan.intensity = Intensity::Bursts { period: 3, on_days: 1, per_day: 5 };
+        cfg.attacks = vec![plan];
+        let organic = 20;
+        let mut org = MailOrg::new(cfg);
+        assert_eq!(run_one_day(&mut org, 1).offered, organic + 5);
+        assert_eq!(run_one_day(&mut org, 2).offered, organic);
+        assert_eq!(run_one_day(&mut org, 3).offered, organic);
+        assert_eq!(run_one_day(&mut org, 4).offered, organic + 5);
+    }
+
+    /// The campaign environment's `MessageRef` resolution mirrors the day
+    /// plan: the resolved email is byte-identical to the one the named
+    /// user actually receives (the cross-crate contract the focused
+    /// campaign depends on).
+    #[test]
+    fn campaign_env_resolves_the_delivered_ham() {
+        let cfg = base_config(41);
+        let generator = cfg.corpus_generator();
+        let env = cfg.campaign_env(&generator);
+        // base_config: traffic 10/10 over 5 users -> 2 ham/user/day.
+        let target = sb_core::MessageRef { user: 3, nth_ham: 3 }; // day 2, slot 1
+        let expect = env.resolve_ham(target).expect("in range");
+        let mut org = MailOrg::new(cfg);
+        let user = org.cfg.users[3].clone();
+        run_one_day(&mut org, 1);
+        run_one_day(&mut org, 2);
+        let mbox = org.mailbox(&user).expect("mailbox");
+        let delivered: Vec<&Email> = [
+            crate::mailbox::Folder::Inbox,
+            crate::mailbox::Folder::Unsure,
+            crate::mailbox::Folder::Spam,
+        ]
+        .iter()
+        .flat_map(|&f| mbox.folder(f))
+        .map(|m| &m.email)
+        .collect();
+        assert!(
+            delivered.iter().any(|e| **e == expect),
+            "resolved target must be among user 3's {} deliveries",
+            delivered.len()
+        );
     }
 
     /// Campaign windows are inclusive and staggered campaigns compose:

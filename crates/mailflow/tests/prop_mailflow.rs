@@ -3,7 +3,9 @@
 //! arbitrary fault behaviour.
 
 use proptest::prelude::*;
-use sb_core::{DictionaryAttack, DictionaryKind};
+use sb_core::{
+    AttackKind, CampaignSpec, DictionaryAttack, DictionaryKind, Intensity, MessageRef,
+};
 use sb_email::Email;
 use sb_mailflow::{
     dot_stuff, dot_unstuff, AttackPlan, Command, DefensePolicy, Envelope, FaultConfig, FaultyPipe,
@@ -283,6 +285,61 @@ proptest! {
                 &baseline,
                 &sharded,
                 "overlapping campaigns diverged at shards={}",
+                shards
+            );
+        }
+    }
+
+    /// Campaign API v2 extension of the invariant: a *ramped focused*
+    /// campaign (declaratively named target, donor headers, linear
+    /// intensity) overlapping a *bursty ham-chaff* campaign — built
+    /// through the fallible `OrgConfig::build_campaigns` path — still
+    /// produces bit-identical weekly reports for shard counts 1, 2, and
+    /// 4, with and without RONI.
+    #[test]
+    fn ramped_and_focused_campaigns_are_bit_identical_across_shard_counts(
+        seed in any::<u64>(),
+        roni in any::<bool>(),
+        ramp_from in 1u32..4,
+        ramp_to in 0u32..6,
+        // tiny_org: traffic 6/6 over 5 users -> user 0 gets 2 ham/day,
+        // so indices 0..20 resolve over the 10 simulated days.
+        target_ham in 0u32..20,
+    ) {
+        let defense = if roni { DefensePolicy::Roni } else { DefensePolicy::None };
+        let campaigns = vec![
+            CampaignSpec {
+                attack: AttackKind::Focused {
+                    target: MessageRef { user: 0, nth_ham: target_ham },
+                    guess_pct: 50,
+                },
+                start_day: 1,
+                end_day: Some(8),
+                intensity: Intensity::LinearRamp { from: ramp_from, to: ramp_to },
+                targets: Some(vec![0, 2]),
+            },
+            CampaignSpec {
+                attack: AttackKind::HamChaff { campaign_words: 10 },
+                start_day: 2,
+                end_day: None,
+                intensity: Intensity::Bursts { period: 3, on_days: 1, per_day: 3 },
+                targets: None,
+            },
+        ];
+        let build = |shards: usize| {
+            let mut cfg = tiny_org(seed, false, defense, shards);
+            cfg.attacks = cfg
+                .build_campaigns(&campaigns)
+                .expect("declarations resolve against tiny_org");
+            MailOrg::new(cfg).run()
+        };
+        let baseline = build(1);
+        for shards in [2usize, 4] {
+            let sharded = build(shards);
+            prop_assert_eq!(
+                &baseline,
+                &sharded,
+                "ramped + focused campaign mix diverged at shards={}",
                 shards
             );
         }

@@ -1,13 +1,14 @@
 //! The golden-report regression suite: every committed scenario under
 //! `scenarios/` must produce a weekly report that is (a) bit-identical
-//! across shard counts and (b) byte-identical to its committed digest
-//! under `tests/golden/`.
+//! across shard counts, (b) byte-identical to its committed digest under
+//! `tests/golden/`, and (c) compliant with every in-file `expect`
+//! assertion.
 //!
 //! The digests lock the full simulation stack — corpus generation, the
-//! SMTP-lite wire, classification, multi-campaign day plans, RONI /
-//! threshold retrains — so any future perf or refactor PR that changes a
-//! single rate, counter, or screening decision fails here with a
-//! line-level diff.
+//! SMTP-lite wire, classification, multi-campaign day plans with shaped
+//! intensities, RONI / threshold retrains — so any future perf or refactor
+//! PR that changes a single rate, counter, or screening decision fails
+//! here with a line-level diff.
 //!
 //! After an *intentional* behavior change, refresh the digests:
 //!
@@ -19,6 +20,7 @@
 //! the change that moved them. See `tests/README.md` for the digest
 //! format.
 
+use spambayes_repro::core::campaign::{AttackKind, Intensity};
 use spambayes_repro::experiments::config::ScenarioSuiteConfig;
 use spambayes_repro::experiments::scenario::{first_divergence, golden_digest, ScenarioSpec};
 use spambayes_repro::mailflow::OrgReport;
@@ -32,8 +34,9 @@ fn update_requested() -> bool {
     std::env::var("SB_UPDATE_GOLDEN").is_ok_and(|v| v == "1")
 }
 
-/// Load the committed suite; the acceptance floor is three scenarios
-/// (single-campaign baseline, overlapping campaigns, skewed traffic mix).
+/// Load the committed suite; the acceptance floor is five scenarios
+/// (single-campaign baseline, overlapping campaigns, skewed traffic,
+/// ramped focused attack, bursty ham-chaff).
 fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     let suite = ScenarioSuiteConfig {
         dir: repo_path("scenarios"),
@@ -41,8 +44,8 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     };
     let files = suite.scenario_files().expect("scenarios/ must be listable");
     assert!(
-        files.len() >= 3,
-        "expected at least 3 committed scenarios, found {}",
+        files.len() >= 5,
+        "expected at least 5 committed scenarios, found {}",
         files.len()
     );
     let specs: Vec<(PathBuf, ScenarioSpec)> = files
@@ -68,7 +71,10 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     specs
 }
 
-/// The committed suite covers the three required shapes.
+/// The committed suite covers the required scenario shapes — including the
+/// Campaign-API-v2 acceptance set: every new attack kind and a
+/// non-constant intensity schedule must be exercised by a committed,
+/// golden-locked scenario.
 #[test]
 fn suite_covers_the_required_scenario_shapes() {
     let specs = committed_specs();
@@ -95,11 +101,61 @@ fn suite_covers_the_required_scenario_shapes() {
         }),
         "suite needs a heterogeneous per-user traffic mix"
     );
+    let campaigns = || specs.iter().flat_map(|(_, s)| &s.campaigns);
+    assert!(
+        campaigns().any(|c| matches!(c.attack, AttackKind::Focused { .. })),
+        "suite needs a focused campaign"
+    );
+    assert!(
+        campaigns().any(|c| matches!(c.attack, AttackKind::HamChaff { .. })),
+        "suite needs a ham-chaff campaign"
+    );
+    assert!(
+        campaigns().any(|c| matches!(c.intensity, Intensity::LinearRamp { .. })),
+        "suite needs a linear-ramp intensity"
+    );
+    assert!(
+        campaigns().any(|c| matches!(c.intensity, Intensity::Bursts { .. })),
+        "suite needs a burst-train intensity"
+    );
+    assert!(
+        specs.iter().any(|(_, s)| !s.expectations.is_empty()),
+        "suite needs a scenario with expect assertions"
+    );
+}
+
+/// The scenario grammar round-trips: parse -> format -> parse is the
+/// identity on every committed file, and the canonical form is a fixed
+/// point of format. (Run in the CI lint lane.)
+#[test]
+fn scenario_grammar_roundtrips_on_committed_files() {
+    for (path, spec) in committed_specs() {
+        let formatted = spec.format();
+        let reparsed = ScenarioSpec::parse(&formatted).unwrap_or_else(|e| {
+            panic!(
+                "canonical form of {} must reparse: {e}\n{formatted}",
+                path.display()
+            )
+        });
+        assert_eq!(
+            reparsed,
+            spec,
+            "{}: parse -> format -> parse must be identity",
+            path.display()
+        );
+        assert_eq!(
+            reparsed.format(),
+            formatted,
+            "{}: canonical form must be a fixed point",
+            path.display()
+        );
+    }
 }
 
 /// The tentpole gate: run every scenario at shard counts 1/2/4, require
-/// bit-identical reports, and compare the canonical digest against the
-/// committed golden file (or rewrite it under SB_UPDATE_GOLDEN=1).
+/// bit-identical reports, compare the canonical digest against the
+/// committed golden file (or rewrite it under SB_UPDATE_GOLDEN=1), and
+/// enforce the scenario's own `expect` assertions.
 #[test]
 fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
     let shard_matrix = ScenarioSuiteConfig::default().shard_matrix;
@@ -109,7 +165,11 @@ fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
     for (path, spec) in committed_specs() {
         let reports: Vec<OrgReport> = shard_matrix
             .iter()
-            .map(|&shards| spec.run_with_shards(shards))
+            .map(|&shards| {
+                spec.run_with_shards(shards).unwrap_or_else(|e| {
+                    panic!("scenario {} does not build at shards={shards}: {e}", spec.name)
+                })
+            })
             .collect();
         for (report, &shards) in reports.iter().zip(&shard_matrix).skip(1) {
             assert_eq!(
@@ -118,6 +178,20 @@ fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
                 spec.name, shard_matrix[0], shards
             );
         }
+
+        // Behavioral contract: every committed expect line must hold.
+        let failures = spec.check_expectations(&reports[0]);
+        assert!(
+            failures.is_empty(),
+            "scenario {}: {} expect assertion(s) failed:\n  {}",
+            spec.name,
+            failures.len(),
+            failures
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        );
 
         let digest = golden_digest(&spec.name, &reports[0]);
         let golden_path = golden_dir.join(format!("{}.golden.csv", spec.name));
