@@ -53,7 +53,7 @@ fn bench_delivery(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let mut pipe = FaultyPipe::new(
+            let mut pipe = FaultyPipe::seeded(
                 FaultConfig {
                     drop_chance: 0.05,
                     corrupt_chance: 0.05,

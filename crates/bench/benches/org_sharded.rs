@@ -38,6 +38,7 @@ fn org(users: usize, per_day: u32, shards: usize) -> OrgConfig {
         corpus: CorpusConfig::with_size(200, 0.5),
         attacks: Vec::new(),
         shards,
+        fault_plan: sb_mailflow::FaultPlan::default(),
         seed: 0xB0B,
     }
 }

@@ -642,6 +642,8 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
             "spam_caught%",
             "screened_out",
             "bounced",
+            "deferred",
+            "degraded",
             "useless",
         ],
     );
@@ -677,6 +679,8 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
                 pct(w.spam_caught),
                 w.screened_out.to_string(),
                 w.bounced.to_string(),
+                w.deferred.to_string(),
+                w.degraded.to_string(),
                 w.filter_useless.to_string(),
             ]);
         }

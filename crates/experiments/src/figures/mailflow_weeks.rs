@@ -123,6 +123,7 @@ fn org_config(cfg: &MailflowConfig, scenario: Scenario) -> OrgConfig {
         // for every shard count, so scenarios stay comparable whatever the
         // host's worker budget.
         shards: cfg.shards,
+        fault_plan: sb_mailflow::FaultPlan::default(),
         // Same seed across scenarios: identical traffic, so differences are
         // attributable to the attack/defense alone.
         seed: cfg.seed,

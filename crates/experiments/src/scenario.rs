@@ -29,6 +29,9 @@
 //! user_traffic = 18/6, 12/12, 12/12, 12/12, 12/12, 6/30   # optional, per user
 //! faults = 0.01/0.01        # optional drop/corrupt chances
 //! shards = 0                # optional parallelism hint (0 = auto)
+//! redelivery = 3            # optional deferred-queue retry budget in days
+//! fault = pipe 8-14 drop:0.1->0.3 corrupt:0.05   # see the fault grammar below
+//! fault = retrain 2
 //!
 //! [campaign]
 //! attack = usenet:2000      # see the attack grammar below
@@ -74,13 +77,40 @@
 //! the organization will never receive are rejected at parse time with the
 //! offending line number.
 //!
+//! ### Fault grammar (`fault = …`)
+//!
+//! Scheduled fault events build a deterministic chaos plan (scenario-level
+//! wherever they appear, like `expect` lines):
+//!
+//! * `pipe <start>-<end> drop:<a>[-><b>] corrupt:<a>[-><b>]` — override
+//!   the wire fault chances over an inclusive day window; `a->b` ramps
+//!   linearly across the window. The last window covering a day wins.
+//! * `crash <day> user:<u>` — mailstore node crash: user `u`'s fresh pool
+//!   entries up to `day` are quarantined and replay at the *next* retrain.
+//! * `mailbox <day> user:<u>` — mailbox loss: user `u`'s mail bounces from
+//!   `day` to the end of that retrain period.
+//! * `retrain <week>` — the week's retrain job dies: the whole fresh batch
+//!   quarantines for replay and the organization serves the last-good
+//!   checkpointed model (the following week reports `degraded`).
+//! * `model <week>` — the retrained model is corrupted on load: pool
+//!   admissions stand, but the checkpoint model serves.
+//!
+//! The `redelivery` key sets the deferred-queue budget: a delivery that
+//! exhausts its SMTP retries re-enters the next day's wire plan for up to
+//! that many days before counting as failed (0 disables deferral). Events
+//! are keyed by user/day/week — never by shard — so chaos runs stay
+//! bit-identical across shard counts.
+//!
 //! ### Expectations (`expect <week> <field> <op> <value>`)
 //!
 //! Bare assertion lines turn a scenario into a readable behavioral test:
 //! `expect 2 ham_misrouted > 0.5` requires week 2's ham-misrouted rate to
 //! exceed 0.5. Fields: `offered`, `accepted`, `bounced`, `ham_as_spam`,
 //! `ham_misrouted`, `spam_caught`, `spam_as_unsure`, `screened_out`,
-//! `filter_useless` (0/1). Operators: `<  <=  >  >=  ==  !=` (exact float
+//! `filter_useless` (0/1), plus the fault-plan surface: `deferred`,
+//! `redelivered`, `quarantined`, `replayed`, `degraded` (0/1), `recovered`
+//! (0/1), `fault_dropped`, `fault_corrupted`.
+//! Operators: `<  <=  >  >=  ==  !=` (exact float
 //! comparison — use `==` for the integer-valued fields). Expectations are
 //! evaluated by `repro scenarios` (non-zero exit on failure) and enforced
 //! for every committed scenario by the `golden_scenarios` suite.
@@ -107,7 +137,8 @@ use crate::runner::default_threads;
 use sb_core::campaign::{validate_campaigns, AttackKind, CampaignShape, CampaignSpec, Intensity};
 use sb_corpus::CorpusConfig;
 use sb_mailflow::{
-    DefensePolicy, FaultConfig, MailOrg, OrgConfig, OrgReport, TrafficMix, WeekReport,
+    DefensePolicy, FaultConfig, FaultEvent, FaultPlan, MailOrg, OrgConfig, OrgReport, TrafficMix,
+    WeekReport,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -140,6 +171,12 @@ pub struct ScenarioSpec {
     /// Worker-shard hint (0 = auto). Reports are bit-identical for every
     /// value; the golden harness overrides this with its own matrix.
     pub shards: usize,
+    /// Redelivery budget: days a failed delivery may retry through the
+    /// deferred queue before it counts as failed (0 = fail immediately).
+    pub redelivery: u32,
+    /// Scheduled fault events — the chaos plan (empty = no injected
+    /// faults beyond the base `faults` chances).
+    pub fault_events: Vec<FaultEvent>,
     /// The attack campaigns (empty = clean baseline).
     pub campaigns: Vec<CampaignSpec>,
     /// In-file behavioral assertions over the weekly report.
@@ -196,11 +233,27 @@ pub enum ExpectField {
     ScreenedOut,
     /// The §2.1 "no advantage from continued use" predicate (as 0/1).
     FilterUseless,
+    /// Messages still in the deferred queue after the week's retrain.
+    Deferred,
+    /// Messages delivered via the deferred queue this week.
+    Redelivered,
+    /// Fresh pool entries quarantined at the week's retrain.
+    Quarantined,
+    /// Earlier quarantined entries replayed into the week's retrain.
+    Replayed,
+    /// Week served a stale checkpointed model (as 0/1).
+    Degraded,
+    /// Week's retrain fell back to the last-good checkpoint (as 0/1).
+    Recovered,
+    /// Wire chunks dropped by fault injection during the week.
+    FaultDropped,
+    /// Wire chunks corrupted by fault injection during the week.
+    FaultCorrupted,
 }
 
 impl ExpectField {
     /// All fields with their grammar names.
-    const ALL: [(ExpectField, &'static str); 9] = [
+    const ALL: [(ExpectField, &'static str); 17] = [
         (ExpectField::Offered, "offered"),
         (ExpectField::Accepted, "accepted"),
         (ExpectField::Bounced, "bounced"),
@@ -210,6 +263,14 @@ impl ExpectField {
         (ExpectField::SpamAsUnsure, "spam_as_unsure"),
         (ExpectField::ScreenedOut, "screened_out"),
         (ExpectField::FilterUseless, "filter_useless"),
+        (ExpectField::Deferred, "deferred"),
+        (ExpectField::Redelivered, "redelivered"),
+        (ExpectField::Quarantined, "quarantined"),
+        (ExpectField::Replayed, "replayed"),
+        (ExpectField::Degraded, "degraded"),
+        (ExpectField::Recovered, "recovered"),
+        (ExpectField::FaultDropped, "fault_dropped"),
+        (ExpectField::FaultCorrupted, "fault_corrupted"),
     ];
 
     /// Parse a grammar name.
@@ -234,6 +295,14 @@ impl ExpectField {
             ExpectField::SpamAsUnsure => w.spam_as_unsure,
             ExpectField::ScreenedOut => w.screened_out as f64,
             ExpectField::FilterUseless => f64::from(u8::from(w.filter_useless)),
+            ExpectField::Deferred => w.deferred as f64,
+            ExpectField::Redelivered => w.redelivered as f64,
+            ExpectField::Quarantined => w.quarantined as f64,
+            ExpectField::Replayed => w.replayed as f64,
+            ExpectField::Degraded => f64::from(u8::from(w.degraded)),
+            ExpectField::Recovered => f64::from(u8::from(w.recovered_from_checkpoint)),
+            ExpectField::FaultDropped => w.fault_stats.dropped as f64,
+            ExpectField::FaultCorrupted => w.fault_stats.corrupted as f64,
         }
     }
 }
@@ -505,6 +574,9 @@ impl ScenarioSpec {
         let mut faults = (0.0f64, 0.0f64);
         let mut defense = DefensePolicy::None;
         let mut shards = 0usize;
+        let mut redelivery = FaultPlan::default().redelivery_budget;
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let mut fault_lines: Vec<usize> = Vec::new();
         let mut campaigns: Vec<CampaignSpec> = Vec::new();
         let mut campaign_lines: Vec<usize> = Vec::new();
         let mut expectations: Vec<Expectation> = Vec::new();
@@ -545,6 +617,13 @@ impl ScenarioSpec {
                 v.parse::<u32>()
                     .map_err(|e| err(lineno, format!("bad {key} value {v:?}: {e}")))
             };
+            // `fault` events are scenario-level wherever they appear (like
+            // `expect` lines), so a chaos plan can sit after the campaigns.
+            if key == "fault" {
+                fault_events.push(parse_fault_event(value, lineno)?);
+                fault_lines.push(lineno);
+                continue;
+            }
             if let Some(d) = draft.as_mut() {
                 // Inside a campaign section.
                 match key {
@@ -620,6 +699,7 @@ impl ScenarioSpec {
                         err(lineno, format!("bad shards {value:?}: {e}"))
                     })?
                 }
+                "redelivery" => redelivery = parse_u32(value)?,
                 other => return Err(err(lineno, format!("unknown key {other:?}"))),
             }
         }
@@ -641,13 +721,15 @@ impl ScenarioSpec {
             faults,
             defense,
             shards,
+            redelivery,
+            fault_events,
             campaigns,
             expectations,
         };
         spec.validate_scalars()
             .map_err(|message| ScenarioError { line: 0, message })?;
-        // Campaign and expectation validation with source locations.
-        spec.validate_declarations(&campaign_lines)?;
+        // Campaign, fault, and expectation validation with source locations.
+        spec.validate_declarations(&campaign_lines, &fault_lines)?;
         Ok(spec)
     }
 
@@ -655,11 +737,24 @@ impl ScenarioSpec {
     /// both `parse` (which passes each campaign's section line) and
     /// [`ScenarioSpec::validate`] (which passes no lines). Expectation
     /// failures use the expectation's own recorded line.
-    fn validate_declarations(&self, campaign_lines: &[usize]) -> Result<(), ScenarioError> {
+    fn validate_declarations(
+        &self,
+        campaign_lines: &[usize],
+        fault_lines: &[usize],
+    ) -> Result<(), ScenarioError> {
         if let Err((i, e)) = validate_campaigns(&self.campaigns, &self.campaign_shape()) {
             return Err(err(
                 campaign_lines.get(i).copied().unwrap_or(0),
                 format!("campaign {i} ({}): {e}", self.campaigns[i].attack.name()),
+            ));
+        }
+        if let Err(e) = self
+            .fault_plan()
+            .validate(self.users, self.days, self.retrain_every)
+        {
+            return Err(err(
+                fault_lines.get(e.event_index()).copied().unwrap_or(0),
+                e.to_string(),
             ));
         }
         let n_weeks = self.days.div_ceil(self.retrain_every);
@@ -710,6 +805,10 @@ impl ScenarioSpec {
         let _ = writeln!(out, "faults = {:?}/{:?}", self.faults.0, self.faults.1);
         let _ = writeln!(out, "defense = {}", defense_name(self.defense));
         let _ = writeln!(out, "shards = {}", self.shards);
+        let _ = writeln!(out, "redelivery = {}", self.redelivery);
+        for ev in &self.fault_events {
+            let _ = writeln!(out, "fault = {}", format_fault_event(ev));
+        }
         for campaign in &self.campaigns {
             let _ = writeln!(out);
             let _ = writeln!(out, "[campaign]");
@@ -769,7 +868,15 @@ impl ScenarioSpec {
     /// the same checks with source line numbers.
     pub fn validate(&self) -> Result<(), String> {
         self.validate_scalars()?;
-        self.validate_declarations(&[]).map_err(|e| e.to_string())
+        self.validate_declarations(&[], &[]).map_err(|e| e.to_string())
+    }
+
+    /// The scheduled fault plan (events plus the redelivery budget).
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan {
+            events: self.fault_events.clone(),
+            redelivery_budget: self.redelivery,
+        }
     }
 
     /// The [`CampaignShape`] this scenario's campaigns are validated
@@ -804,6 +911,7 @@ impl ScenarioSpec {
             corpus: CorpusConfig::with_size(self.bootstrap, 0.5),
             attacks: Vec::new(),
             shards,
+            fault_plan: self.fault_plan(),
             seed: self.seed,
         }
     }
@@ -828,7 +936,9 @@ impl ScenarioSpec {
 
     /// Run the scenario at an explicit shard count.
     pub fn run_with_shards(&self, shards: usize) -> Result<OrgReport, ScenarioError> {
-        Ok(MailOrg::new(self.org_config_with_shards(shards)?).run())
+        let org = MailOrg::try_new(self.org_config_with_shards(shards)?)
+            .map_err(|e| err(0, e.to_string()))?;
+        Ok(org.run())
     }
 
     /// Run the scenario with its own shard hint capped by `threads` (the
@@ -857,6 +967,131 @@ impl ScenarioSpec {
     }
 }
 
+/// Parse one `fault = …` event value. Grammar:
+///
+/// * `pipe <start>-<end> drop:<a>[-><b>] corrupt:<a>[-><b>]` — override
+///   the wire fault chances across an inclusive day window, linearly
+///   interpolating any `a->b` ramps;
+/// * `crash <day> user:<u>` — a mailstore node crash: user `u`'s fresh
+///   pool entries up to `day` quarantine and replay at the *next* retrain;
+/// * `mailbox <day> user:<u>` — mailbox loss: user `u`'s mail bounces
+///   from `day` to the end of that retrain period;
+/// * `retrain <week>` — the week's retrain job dies; the organization
+///   serves the last-good checkpoint and replays the batch a week late;
+/// * `model <week>` — the retrained model is corrupted on load; pool
+///   admissions stand but the checkpoint model serves.
+fn parse_fault_event(s: &str, line: usize) -> Result<FaultEvent, ScenarioError> {
+    let mut parts = s.split_whitespace();
+    let kind = parts.next().unwrap_or("");
+    let rest: Vec<&str> = parts.collect();
+    let parse_u32 = |v: &str, what: &str| {
+        v.parse::<u32>()
+            .map_err(|e| err(line, format!("bad fault {what} {v:?}: {e}")))
+    };
+    let parse_user = |tok: &str| {
+        tok.strip_prefix("user:")
+            .ok_or_else(|| err(line, format!("expected `user:<u>`, got {tok:?}")))?
+            .parse::<usize>()
+            .map_err(|e| err(line, format!("bad fault user {tok:?}: {e}")))
+    };
+    match kind {
+        "pipe" => {
+            let [window, drop, corrupt] = rest.as_slice() else {
+                return Err(err(
+                    line,
+                    format!(
+                        "`pipe` needs `<start>-<end> drop:<a>[-><b>] corrupt:<a>[-><b>]`, got {s:?}"
+                    ),
+                ));
+            };
+            let (start_day, end_day) = match window.split_once('-') {
+                Some((a, b)) => (parse_u32(a, "day")?, parse_u32(b, "day")?),
+                None => {
+                    let d = parse_u32(window, "day")?;
+                    (d, d)
+                }
+            };
+            let parse_ramp = |tok: &str, name: &str| -> Result<(f64, f64), ScenarioError> {
+                let v = tok
+                    .strip_prefix(name)
+                    .and_then(|t| t.strip_prefix(':'))
+                    .ok_or_else(|| {
+                        err(line, format!("expected `{name}:<a>[-><b>]`, got {tok:?}"))
+                    })?;
+                let parse_f = |x: &str| {
+                    x.parse::<f64>()
+                        .map_err(|e| err(line, format!("bad fault chance {x:?}: {e}")))
+                };
+                match v.split_once("->") {
+                    Some((a, b)) => Ok((parse_f(a)?, parse_f(b)?)),
+                    None => {
+                        let c = parse_f(v)?;
+                        Ok((c, c))
+                    }
+                }
+            };
+            let (d0, d1) = parse_ramp(drop, "drop")?;
+            let (c0, c1) = parse_ramp(corrupt, "corrupt")?;
+            Ok(FaultEvent::PipeFaults {
+                start_day,
+                end_day,
+                from: FaultConfig { drop_chance: d0, corrupt_chance: c0 },
+                to: FaultConfig { drop_chance: d1, corrupt_chance: c1 },
+            })
+        }
+        "crash" | "mailbox" => {
+            let [day, user] = rest.as_slice() else {
+                return Err(err(line, format!("`{kind}` needs `<day> user:<u>`, got {s:?}")));
+            };
+            let day = parse_u32(day, "day")?;
+            let user = parse_user(user)?;
+            Ok(if kind == "crash" {
+                FaultEvent::ShardCrash { day, user }
+            } else {
+                FaultEvent::MailboxLoss { day, user }
+            })
+        }
+        "retrain" | "model" => {
+            let [week] = rest.as_slice() else {
+                return Err(err(line, format!("`{kind}` needs `<week>`, got {s:?}")));
+            };
+            let week = parse_u32(week, "week")?;
+            Ok(if kind == "retrain" {
+                FaultEvent::RetrainFailure { week }
+            } else {
+                FaultEvent::ModelCorruption { week }
+            })
+        }
+        other => Err(err(
+            line,
+            format!("unknown fault kind {other:?} (expected pipe | crash | mailbox | retrain | model)"),
+        )),
+    }
+}
+
+/// Render a fault event in the grammar (inverse of [`parse_fault_event`];
+/// flat chances collapse to the single-value form).
+fn format_fault_event(ev: &FaultEvent) -> String {
+    let ramp = |a: f64, b: f64| {
+        if a == b {
+            fx(a)
+        } else {
+            format!("{}->{}", fx(a), fx(b))
+        }
+    };
+    match ev {
+        FaultEvent::PipeFaults { start_day, end_day, from, to } => format!(
+            "pipe {start_day}-{end_day} drop:{} corrupt:{}",
+            ramp(from.drop_chance, to.drop_chance),
+            ramp(from.corrupt_chance, to.corrupt_chance),
+        ),
+        FaultEvent::ShardCrash { day, user } => format!("crash {day} user:{user}"),
+        FaultEvent::MailboxLoss { day, user } => format!("mailbox {day} user:{user}"),
+        FaultEvent::RetrainFailure { week } => format!("retrain {week}"),
+        FaultEvent::ModelCorruption { week } => format!("model {week}"),
+    }
+}
+
 /// FNV-1a 64 over raw bytes — the digest seal. Stable, dependency-free,
 /// and byte-exact: any change to the canonical CSV changes the hash.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -882,12 +1117,13 @@ pub fn golden_digest(name: &str, report: &OrgReport) -> String {
     let _ = writeln!(
         out,
         "week,offered,accepted,bounced,ham_as_spam,ham_misrouted,spam_caught,spam_as_unsure,\
-         screened_out,screen_error,ham_lost,ham_delayed,spam_faced,unsure_burden,filter_useless"
+         screened_out,screen_error,ham_lost,ham_delayed,spam_faced,unsure_burden,filter_useless,\
+         deferred,redelivered,quarantined,replayed,degraded,recovered,dropped,corrupted"
     );
     for w in &report.weeks {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             w.week,
             w.offered,
             w.accepted,
@@ -903,17 +1139,27 @@ pub fn golden_digest(name: &str, report: &OrgReport) -> String {
             w.costs.spam_faced,
             w.costs.unsure_burden,
             w.filter_useless,
+            w.deferred,
+            w.redelivered,
+            w.quarantined,
+            w.replayed,
+            w.degraded,
+            w.recovered_from_checkpoint,
+            w.fault_stats.dropped,
+            w.fault_stats.corrupted,
         );
     }
     let _ = writeln!(
         out,
-        "totals,delivered,{},failed,{},bounced,{},dropped,{},corrupted,{},passed,{}",
+        "totals,delivered,{},failed,{},bounced,{},dropped,{},corrupted,{},passed,{},deferred,{},redelivered,{}",
         report.total_delivered,
         report.total_failed,
         report.total_bounced,
         report.fault_stats.dropped,
         report.fault_stats.corrupted,
         report.fault_stats.passed,
+        report.total_deferred,
+        report.total_redelivered,
     );
     let _ = writeln!(out, "fnv1a64,{:#018x}", fnv1a64(out.as_bytes()));
     out
@@ -1092,6 +1338,94 @@ expect 2 spam_caught >= 0.1
         let e = ScenarioSpec::parse(&bad_week).unwrap_err();
         assert!(e.to_string().contains("2 week(s)"), "{e}");
         assert!(e.line > 0, "{e}");
+    }
+
+    #[test]
+    fn parses_fault_events_and_redelivery() {
+        let spec = SPEC.replace(
+            "faults = 0.01/0.02",
+            "faults = 0.01/0.02\nredelivery = 2\n\
+             fault = pipe 3-8 drop:0.1->0.35 corrupt:0.05\n\
+             fault = crash 4 user:1\n\
+             fault = mailbox 6 user:3\n\
+             fault = retrain 1\n\
+             fault = model 2",
+        );
+        let spec = ScenarioSpec::parse(&spec).expect("valid spec");
+        assert_eq!(spec.redelivery, 2);
+        assert_eq!(spec.fault_events.len(), 5);
+        assert_eq!(
+            spec.fault_events[0],
+            FaultEvent::PipeFaults {
+                start_day: 3,
+                end_day: 8,
+                from: FaultConfig { drop_chance: 0.1, corrupt_chance: 0.05 },
+                to: FaultConfig { drop_chance: 0.35, corrupt_chance: 0.05 },
+            }
+        );
+        assert_eq!(spec.fault_events[1], FaultEvent::ShardCrash { day: 4, user: 1 });
+        assert_eq!(spec.fault_events[2], FaultEvent::MailboxLoss { day: 6, user: 3 });
+        assert_eq!(spec.fault_events[3], FaultEvent::RetrainFailure { week: 1 });
+        assert_eq!(spec.fault_events[4], FaultEvent::ModelCorruption { week: 2 });
+        let plan = spec.fault_plan();
+        assert_eq!(plan.redelivery_budget, 2);
+        assert_eq!(plan.events, spec.fault_events);
+        // The fault grammar round-trips through format like everything else.
+        let formatted = spec.format();
+        let reparsed = ScenarioSpec::parse(&formatted).expect("canonical form parses");
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.format(), formatted);
+    }
+
+    #[test]
+    fn fault_errors_carry_line_numbers() {
+        let inject = |fault: &str| {
+            SPEC.replace(
+                "faults = 0.01/0.02",
+                &format!("faults = 0.01/0.02\nfault = {fault}"),
+            )
+        };
+        // Unknown kind.
+        let e = ScenarioSpec::parse(&inject("quake 3")).unwrap_err();
+        assert!(e.to_string().contains("unknown fault kind"), "{e}");
+        assert!(e.line > 0, "{e}");
+        // Syntax: missing user tag.
+        let e = ScenarioSpec::parse(&inject("crash 4 1")).unwrap_err();
+        assert!(e.to_string().contains("user:"), "{e}");
+        // Validation: user out of range (spec has 4 users).
+        let e = ScenarioSpec::parse(&inject("crash 4 user:9")).unwrap_err();
+        assert!(e.to_string().contains("user 9"), "{e}");
+        assert!(e.line > 0, "fault validation must carry the line: {e}");
+        // Validation: week out of range (10 days / 5 = 2 weeks).
+        let e = ScenarioSpec::parse(&inject("retrain 7")).unwrap_err();
+        assert!(e.line > 0, "{e}");
+        // Validation: bad ramp chance.
+        let e = ScenarioSpec::parse(&inject("pipe 1-5 drop:1.5 corrupt:0.0")).unwrap_err();
+        assert!(e.line > 0, "{e}");
+    }
+
+    #[test]
+    fn fault_expect_fields_parse_and_extract() {
+        for name in [
+            "deferred",
+            "redelivered",
+            "quarantined",
+            "replayed",
+            "degraded",
+            "recovered",
+            "fault_dropped",
+            "fault_corrupted",
+        ] {
+            let field = ExpectField::parse(name)
+                .unwrap_or_else(|| panic!("{name} must be a valid expect field"));
+            assert_eq!(field.name(), name);
+        }
+        let spec = SPEC.replace(
+            "expect 1 bounced == 0",
+            "expect 1 degraded == 0\nexpect 2 deferred >= 0",
+        );
+        let spec = ScenarioSpec::parse(&spec).expect("valid spec");
+        assert_eq!(spec.expectations[0].field, ExpectField::Degraded);
     }
 
     #[test]

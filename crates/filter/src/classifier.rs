@@ -57,6 +57,16 @@ impl SpamBayes {
         }
     }
 
+    /// Wrap an already-trained database (e.g. one restored from a
+    /// `persist` checkpoint image) with default options and tokenizer.
+    pub fn from_db(db: TokenDb) -> Self {
+        Self {
+            db,
+            opts: FilterOptions::default(),
+            tokenizer: Tokenizer::default(),
+        }
+    }
+
     /// The interner the filter's database resolves ids against.
     pub fn interner(&self) -> &Interner {
         self.db.interner()

@@ -83,6 +83,45 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// A virtual-clock exponential backoff schedule: retry `n` (1-based) waits
+/// `min(base_ms << (n-1), cap_ms)` before retransmitting.
+///
+/// The simulation has no wall clock — the wait is *accounted*, not slept,
+/// accumulating into [`DeliveryReport::backoff_ms`]. The retry decisions
+/// themselves are unchanged by the schedule, so enabling or tuning backoff
+/// never moves a delivery outcome (and therefore never moves a golden
+/// digest beyond the report's own columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry, in virtual milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single delay.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        Self {
+            base_ms: 250,
+            cap_ms: 32_000,
+        }
+    }
+}
+
+impl BackoffSchedule {
+    /// The virtual delay before retry `retry` (1-based; 0 means the first
+    /// transmission, which waits nothing).
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        let shift = (retry - 1).min(63);
+        self.base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.cap_ms)
+    }
+}
+
 /// Per-delivery accounting.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeliveryReport {
@@ -94,6 +133,9 @@ pub struct DeliveryReport {
     pub retransmissions: u64,
     /// Blind resynchronization dances performed.
     pub recoveries: u64,
+    /// Virtual milliseconds spent waiting in the backoff schedule across
+    /// all retransmissions.
+    pub backoff_ms: u64,
 }
 
 /// The SMTP-lite client.
@@ -104,6 +146,8 @@ pub struct SmtpClient {
     max_attempts: u32,
     /// Retransmissions allowed per command line.
     per_command_retries: u32,
+    /// Virtual-clock waits between retransmissions.
+    backoff: BackoffSchedule,
 }
 
 impl SmtpClient {
@@ -113,6 +157,7 @@ impl SmtpClient {
             helo_domain: helo_domain.into(),
             max_attempts: 3,
             per_command_retries: 4,
+            backoff: BackoffSchedule::default(),
         }
     }
 
@@ -121,6 +166,12 @@ impl SmtpClient {
         assert!(max_attempts >= 1 && per_command_retries >= 1);
         self.max_attempts = max_attempts;
         self.per_command_retries = per_command_retries;
+        self
+    }
+
+    /// Override the backoff schedule.
+    pub fn with_backoff(mut self, backoff: BackoffSchedule) -> Self {
+        self.backoff = backoff;
         self
     }
 
@@ -140,7 +191,9 @@ impl SmtpClient {
             client_codec: LineCodec::new(),
             retransmissions: 0,
             recoveries: 0,
+            waited_ms: 0,
             per_command_retries: self.per_command_retries,
+            backoff: self.backoff,
         };
 
         // Greeting: the server banner may be dropped; HELO works regardless.
@@ -157,6 +210,7 @@ impl SmtpClient {
         let _ = session.exchange(&Command::Quit.render(), &[221]);
         report.retransmissions = session.retransmissions;
         report.recoveries = session.recoveries;
+        report.backoff_ms = session.waited_ms;
         report
     }
 
@@ -210,7 +264,8 @@ impl SmtpClient {
             }),
             None => {
                 // The dot (or its reply) was lost: retransmit just the dot.
-                for _ in 0..self.per_command_retries {
+                for retry in 1..=self.per_command_retries {
+                    session.waited_ms += session.backoff.delay_ms(retry);
                     session.send_raw(b".\r\n");
                     session.pump_server();
                     if let Some(r) = session.await_reply() {
@@ -239,7 +294,10 @@ struct Session<'a> {
     client_codec: LineCodec,
     retransmissions: u64,
     recoveries: u64,
+    /// Virtual milliseconds spent in backoff waits.
+    waited_ms: u64,
     per_command_retries: u32,
+    backoff: BackoffSchedule,
 }
 
 impl Session<'_> {
@@ -313,6 +371,7 @@ impl Session<'_> {
         for attempt in 0..=self.per_command_retries {
             if attempt > 0 {
                 self.retransmissions += 1;
+                self.waited_ms += self.backoff.delay_ms(attempt);
             }
             self.send_raw(format!("{line}\r\n").as_bytes());
             self.pump_server();
@@ -424,7 +483,7 @@ mod tests {
         let mut total_delivered = 0;
         let mut total_retx = 0;
         for seed in 0..10 {
-            let mut pipe = FaultyPipe::new(
+            let mut pipe = FaultyPipe::seeded(
                 FaultConfig {
                     drop_chance: 0.05,
                     corrupt_chance: 0.05,
@@ -449,7 +508,7 @@ mod tests {
     fn harsh_faults_terminate_and_report() {
         // 15%/15%: deliveries may fail, but the pump must terminate and
         // failures must be reported, not silently dropped.
-        let mut pipe = FaultyPipe::new(FaultConfig::harsh(), 99);
+        let mut pipe = FaultyPipe::seeded(FaultConfig::harsh(), 99);
         let mut server = SmtpServer::new("mx");
         let client = SmtpClient::new("out");
         let envs: Vec<Envelope> = (0..20).map(envelope).collect();
@@ -460,14 +519,55 @@ mod tests {
     #[test]
     fn delivery_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut pipe = FaultyPipe::new(FaultConfig::harsh(), seed);
+            let mut pipe = FaultyPipe::seeded(FaultConfig::harsh(), seed);
             let mut server = SmtpServer::new("mx");
             let client = SmtpClient::new("out");
             let envs: Vec<Envelope> = (0..10).map(envelope).collect();
             let r = client.deliver_all(&mut pipe, &mut server, &envs);
-            (r.delivered, r.retransmissions, r.recoveries)
+            (r.delivered, r.retransmissions, r.recoveries, r.backoff_ms)
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_up_to_the_cap() {
+        let b = BackoffSchedule {
+            base_ms: 100,
+            cap_ms: 1_000,
+        };
+        assert_eq!(b.delay_ms(0), 0);
+        assert_eq!(b.delay_ms(1), 100);
+        assert_eq!(b.delay_ms(2), 200);
+        assert_eq!(b.delay_ms(3), 400);
+        assert_eq!(b.delay_ms(4), 800);
+        assert_eq!(b.delay_ms(5), 1_000, "capped");
+        assert_eq!(b.delay_ms(40), 1_000, "stays capped");
+        // Huge retry counts must not overflow the shift.
+        assert_eq!(BackoffSchedule::default().delay_ms(u32::MAX), 32_000);
+    }
+
+    #[test]
+    fn backoff_accrues_on_retransmissions_but_never_changes_outcomes() {
+        let run = |backoff: BackoffSchedule| {
+            let mut pipe = FaultyPipe::seeded(FaultConfig::harsh(), 17);
+            let mut server = SmtpServer::new("mx");
+            let client = SmtpClient::new("out").with_backoff(backoff);
+            let envs: Vec<Envelope> = (0..10).map(envelope).collect();
+            client.deliver_all(&mut pipe, &mut server, &envs)
+        };
+        let default = run(BackoffSchedule::default());
+        assert!(default.retransmissions > 0, "harsh wire must retransmit");
+        assert!(default.backoff_ms > 0, "retransmissions must accrue waits");
+        // The schedule is pure accounting: a different schedule changes only
+        // the virtual wait, never what was delivered or retried.
+        let slow = run(BackoffSchedule {
+            base_ms: 5_000,
+            cap_ms: 60_000,
+        });
+        assert_eq!(default.delivered, slow.delivered);
+        assert_eq!(default.failed, slow.failed);
+        assert_eq!(default.retransmissions, slow.retransmissions);
+        assert!(slow.backoff_ms > default.backoff_ms);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`smtp`] — command/reply grammar of the SMTP-lite dialect;
 //! * [`transport`] — in-memory byte pipes with deterministic fault
 //!   injection (drop/corrupt), in the spirit of smoltcp's example harness;
+//! * [`faultplan`] — declarative per-day fault schedules (pipe-fault ramps,
+//!   node crashes, mailbox loss, retrain/model failures) that degrade the
+//!   simulation gracefully while keeping it bit-identical across shards;
 //! * [`server`] / [`client`] — minimal SMTP state machines;
 //! * [`mailbox`] — per-user folders driven by filter verdicts (§2.1's
 //!   spam-high / spam-low / inbox reading model);
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faultplan;
 pub mod mailbox;
 pub mod org;
 pub mod server;
@@ -30,12 +34,14 @@ pub mod smtp;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientError, DeliveryReport, Envelope, SmtpClient};
+pub use client::{BackoffSchedule, ClientError, DeliveryReport, Envelope, SmtpClient};
+pub use faultplan::{FaultEvent, FaultPlan, FaultPlanError};
 pub use mailbox::{Folder, Mailbox, StoredMessage, UserCosts, UserModel};
 pub use org::{
-    AttackPlan, DefensePolicy, MailOrg, OrgConfig, OrgReport, TrafficMix, WeekReport,
+    AttackPlan, DefensePolicy, MailOrg, OrgCheckpoint, OrgConfig, OrgConfigError, OrgReport,
+    TrafficMix, WeekReport,
 };
 pub use server::{ReceivedMessage, ServerConfig, ServerEvent, SmtpServer};
 pub use smtp::{Command, CommandError, Reply, ReplyCode};
-pub use transport::{End, FaultConfig, FaultStats, FaultyPipe, Pipe};
+pub use transport::{End, FaultConfig, FaultError, FaultStats, FaultyPipe, Pipe};
 pub use wire::{dot_stuff, dot_unstuff, LineCodec, LineError, MAX_LINE_LEN};

@@ -63,9 +63,10 @@
 //! during week *n* and detonates at the week-*n* retrain.
 
 use crate::client::{Envelope, SmtpClient};
+use crate::faultplan::{FaultPlan, FaultPlanError};
 use crate::mailbox::{Mailbox, UserCosts, UserModel};
 use crate::server::{ServerEvent, SmtpServer};
-use crate::transport::{FaultConfig, FaultStats, FaultyPipe};
+use crate::transport::{FaultConfig, FaultError, FaultStats, FaultyPipe};
 use sb_core::{
     calibrate, AttackGenerator, CampaignEnv, CampaignError, CampaignShape, CampaignSpec,
     Intensity, RoniConfig, RoniDefense, ThresholdConfig, TrainItem,
@@ -226,9 +227,62 @@ pub struct OrgConfig {
     /// value is clamped to the user count. Reports are bit-identical for
     /// every shard count.
     pub shards: usize,
+    /// Scheduled infrastructure failures plus the redelivery budget (the
+    /// graceful-degradation policy). [`FaultPlan::default`] schedules
+    /// nothing and allows 3 redelivery days.
+    pub fault_plan: FaultPlan,
     /// Master seed.
     pub seed: u64,
 }
+
+/// An invalid [`OrgConfig`], from [`OrgConfig::validate`] /
+/// [`MailOrg::try_new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrgConfigError {
+    /// The user list is empty.
+    NoUsers,
+    /// `retrain_every` is 0.
+    ZeroRetrain,
+    /// `user_traffic` is non-empty but does not match the user count.
+    UserTrafficMismatch {
+        /// Entries in `user_traffic`.
+        entries: usize,
+        /// Users in `users`.
+        users: usize,
+    },
+    /// The baseline wire fault rates are out of range.
+    BaseFaults(FaultError),
+    /// The fault plan references a day, week, user, or probability the
+    /// organization does not have.
+    Plan(FaultPlanError),
+    /// An attack plan's window or target list is invalid.
+    Attack {
+        /// 0-based plan index.
+        plan: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for OrgConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrgConfigError::NoUsers => write!(f, "need at least one user"),
+            OrgConfigError::ZeroRetrain => write!(f, "retrain_every must be >= 1"),
+            OrgConfigError::UserTrafficMismatch { entries, users } => write!(
+                f,
+                "user_traffic must have one entry per user ({entries} entries for {users} users)"
+            ),
+            OrgConfigError::BaseFaults(e) => write!(f, "invalid wire faults: {e}"),
+            OrgConfigError::Plan(e) => write!(f, "invalid fault plan: {e}"),
+            OrgConfigError::Attack { plan, reason } => {
+                write!(f, "attack plan {plan}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrgConfigError {}
 
 impl OrgConfig {
     /// A small default organization: 5 users, 4 weeks, weekly retraining,
@@ -246,8 +300,62 @@ impl OrgConfig {
             corpus: CorpusConfig::with_size(400, 0.5),
             attacks: Vec::new(),
             shards: 1,
+            fault_plan: FaultPlan::default(),
             seed,
         }
+    }
+
+    /// Validate everything construction depends on: user list, retrain
+    /// cadence, traffic shape, baseline fault probabilities, the fault
+    /// plan, and every attack plan's window/targets.
+    pub fn validate(&self) -> Result<(), OrgConfigError> {
+        if self.users.is_empty() {
+            return Err(OrgConfigError::NoUsers);
+        }
+        if self.retrain_every == 0 {
+            return Err(OrgConfigError::ZeroRetrain);
+        }
+        if !self.user_traffic.is_empty() && self.user_traffic.len() != self.users.len() {
+            return Err(OrgConfigError::UserTrafficMismatch {
+                entries: self.user_traffic.len(),
+                users: self.users.len(),
+            });
+        }
+        self.faults.validate().map_err(OrgConfigError::BaseFaults)?;
+        self.fault_plan
+            .validate(self.users.len(), self.days, self.retrain_every)
+            .map_err(OrgConfigError::Plan)?;
+        for (p, plan) in self.attacks.iter().enumerate() {
+            if let Some(end) = plan.end_day {
+                if end < plan.start_day {
+                    return Err(OrgConfigError::Attack {
+                        plan: p,
+                        reason: format!(
+                            "empty window (end_day {end} < start_day {})",
+                            plan.start_day
+                        ),
+                    });
+                }
+            }
+            if let Some(targets) = &plan.targets {
+                if targets.is_empty() {
+                    return Err(OrgConfigError::Attack {
+                        plan: p,
+                        reason: "empty target list".into(),
+                    });
+                }
+                if let Some(&u) = targets.iter().find(|&&u| u >= self.users.len()) {
+                    return Err(OrgConfigError::Attack {
+                        plan: p,
+                        reason: format!(
+                            "target user {u} out of range (org has {} users)",
+                            self.users.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The effective per-user daily rates: [`OrgConfig::user_traffic`]
@@ -347,6 +455,34 @@ impl ActiveFilter {
     }
 }
 
+/// Capture a filter as a last-good checkpoint: the `persist` dump image of
+/// its counts plus the θ0/θ1 cutoffs its verdicts use. A calibrated filter
+/// delegates classification to its inner `SpamBayes` whose options already
+/// carry the calibrated cutoffs, so the image + cutoff pair reproduces
+/// either variant's verdicts exactly.
+fn filter_image(filter: &ActiveFilter) -> (Vec<u8>, (f64, f64)) {
+    let f = match filter {
+        ActiveFilter::Plain(f) => f,
+        ActiveFilter::Calibrated(c) => c.filter(),
+    };
+    let opts = f.options();
+    (
+        sb_filter::persist::snapshot(f.db()),
+        (opts.ham_cutoff, opts.spam_cutoff),
+    )
+}
+
+/// Rebuild a serving filter from a checkpoint image. Counts are exact
+/// `u32`s and token scoring tie-breaks by resolved string, so the restored
+/// filter classifies bit-identically to the captured one.
+fn filter_from(image: &[u8], (t0, t1): (f64, f64)) -> ActiveFilter {
+    let db = sb_filter::persist::restore(image)
+        .expect("checkpoint images are self-produced and must parse");
+    let mut f = SpamBayes::from_db(db);
+    f.set_options(FilterOptions::default().with_cutoffs(t0, t1));
+    ActiveFilter::Plain(f)
+}
+
 /// One week of user-visible outcomes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeekReport {
@@ -379,6 +515,27 @@ pub struct WeekReport {
     /// The §2.1 "no advantage from continued use" predicate (> 20% of ham
     /// misrouted).
     pub filter_useless: bool,
+    /// Messages still in the deferred-redelivery queue at week end (they
+    /// re-enter the next week's wire plan; at the final week this is mail
+    /// the simulation ended without resolving).
+    pub deferred: usize,
+    /// Previously deferred messages successfully redelivered this week.
+    pub redelivered: usize,
+    /// Fresh pool entries quarantined at this week's retrain (crashed
+    /// mailstore node, or the whole batch after an injected retrain
+    /// failure); they replay into the next retrain instead of vanishing.
+    pub quarantined: usize,
+    /// Previously quarantined entries admitted back at this week's retrain.
+    pub replayed: usize,
+    /// The week was served by a stale checkpoint model (the previous
+    /// week's retrain failed or its model image was corrupt).
+    pub degraded: bool,
+    /// This week's retrain fell back to the last-good checkpoint instead
+    /// of installing a fresh model.
+    pub recovered_from_checkpoint: bool,
+    /// Wire fault counters for this week alone (deterministic shard-merge
+    /// of the per-shard counters).
+    pub fault_stats: FaultStats,
 }
 
 /// Full simulation output.
@@ -390,10 +547,16 @@ pub struct OrgReport {
     pub fault_stats: FaultStats,
     /// Total messages delivered into mailboxes.
     pub total_delivered: usize,
-    /// Total SMTP delivery failures (after retries).
+    /// Total SMTP delivery failures (after retries *and* the deferred
+    /// queue's redelivery budget).
     pub total_failed: usize,
     /// Total accepted messages bounced for lack of a local mailbox.
     pub total_bounced: usize,
+    /// Messages still deferred when the simulation ended (offered but
+    /// neither delivered, failed, nor bounced).
+    pub total_deferred: usize,
+    /// Deferred messages successfully redelivered over the whole run.
+    pub total_redelivered: usize,
 }
 
 impl OrgReport {
@@ -406,12 +569,32 @@ impl OrgReport {
 
 /// A delivered-but-unscreened message, tagged with its position in the
 /// canonical organization-wide arrival order. `(day, pos)` is unique per
-/// message (one wire slot per message per day), so the merge at retrain is
-/// a total order independent of shard count and scheduling.
+/// message (one wire slot per message per day — a redelivered message
+/// keeps its *original* slot, whose first attempt never pooled), so the
+/// merge at retrain is a total order independent of shard count and
+/// scheduling. `user` keys the crash quarantine: shard ids change with the
+/// shard count, the recipient does not.
+#[derive(Clone, Serialize, Deserialize)]
 struct FreshMail {
     day: u32,
     pos: u64,
+    user: usize,
     mail: LabeledEmail,
+}
+
+/// A message that exhausted its SMTP retries, parked for redelivery on a
+/// later day instead of being dropped. Keeps its canonical original slot
+/// for the pipe seed path (`day/<today>/defer/<orig day>/<orig pos>`) and
+/// the fresh-pool merge key.
+#[derive(Clone, Serialize, Deserialize)]
+struct DeferredMail {
+    orig_day: u32,
+    orig_pos: u64,
+    user: usize,
+    email: Email,
+    truth: Label,
+    /// Redelivery days already burned.
+    attempts: u32,
 }
 
 /// Merge per-shard fresh pools into the canonical arrival order. The sort
@@ -434,6 +617,7 @@ struct WeekTally {
     failed: usize,
     bounced: usize,
     fault_stats: FaultStats,
+    redelivered: usize,
     n_ham: usize,
     n_spam: usize,
     ham_as_spam: usize,
@@ -450,9 +634,8 @@ impl WeekTally {
         self.delivered += other.delivered;
         self.failed += other.failed;
         self.bounced += other.bounced;
-        self.fault_stats.dropped += other.fault_stats.dropped;
-        self.fault_stats.corrupted += other.fault_stats.corrupted;
-        self.fault_stats.passed += other.fault_stats.passed;
+        self.redelivered += other.redelivered;
+        self.fault_stats.absorb(other.fault_stats);
         self.n_ham += other.n_ham;
         self.n_spam += other.n_spam;
         self.ham_as_spam += other.ham_as_spam;
@@ -608,11 +791,14 @@ fn day_entries(ctx: &DayCtx<'_>, day: u32) -> Vec<DayEntry> {
 }
 
 /// One worker shard: a round-robin slice of the organization's users, with
-/// their mailboxes and this retrain period's fresh deliveries.
+/// their mailboxes, this retrain period's fresh deliveries, and the
+/// shard's slice of the deferred-redelivery queue (a deferred message
+/// lives with the shard that owns its recipient).
 struct Shard {
     id: usize,
     mailboxes: FxHashMap<String, Mailbox>,
     fresh: Vec<FreshMail>,
+    deferred: Vec<DeferredMail>,
 }
 
 impl Shard {
@@ -629,6 +815,12 @@ impl Shard {
     /// instances.
     fn run_day(&mut self, ctx: &DayCtx<'_>, day: u32, tally: &mut WeekTally) {
         let day_seeds = ctx.seeds.child("day").index(u64::from(day));
+        // The day's effective wire fault rates: the fault plan's pipe
+        // windows override (and ramp) the baseline. Pure arithmetic over
+        // the plan, so identical on every shard.
+        let faults = ctx.cfg.fault_plan.faults_on(day, ctx.cfg.faults);
+        // Yesterday's deferred mail re-enters the wire plan first.
+        self.retry_deferred(ctx, day, faults, &day_seeds, tally);
         let entries = day_entries(ctx, day);
 
         // The day's arrival order: the same Fisher–Yates the single-shard
@@ -669,18 +861,15 @@ impl Shard {
             // mapping even when deliveries fail. The pipe's fault stream
             // is keyed by the organization-wide wire position, not by
             // shard, so faults replay identically at any shard count.
-            let mut pipe = FaultyPipe::new(
-                ctx.cfg.faults,
+            let mut pipe = FaultyPipe::seeded(
+                faults,
                 day_seeds.child("pipe").index(i as u64).seed(),
             );
             let mut server = SmtpServer::new("mx.corp.example");
             let rcpt = &ctx.cfg.users[user];
             let env = Envelope::to_one("sender@outside.example", rcpt.clone(), email);
-            let report = client.deliver_all(&mut pipe, &mut server, &[env]);
-            let s = pipe.stats();
-            tally.fault_stats.dropped += s.dropped;
-            tally.fault_stats.corrupted += s.corrupted;
-            tally.fault_stats.passed += s.passed;
+            let report = client.deliver_all(&mut pipe, &mut server, std::slice::from_ref(&env));
+            tally.fault_stats.absorb(pipe.stats());
 
             let mut got = None;
             for ev in server.take_events() {
@@ -692,10 +881,16 @@ impl Shard {
                 (1, Some(msg)) => {
                     tally.accepted += 1;
                     // Routing: an accepted message whose recipient has no
-                    // local mailbox bounces into the day stats — it is
-                    // never classified and never reaches the training
-                    // pool. (Pre-shard code panicked here; a stale
-                    // routing table must degrade, not abort.)
+                    // local mailbox — dropped from the table, or lost to a
+                    // scheduled mailbox fault for the rest of the period —
+                    // bounces into the day stats; it is never classified
+                    // and never reaches the training pool. (Pre-shard code
+                    // panicked here; a stale routing table must degrade,
+                    // not abort.)
+                    if ctx.cfg.fault_plan.mailbox_lost(user, day, ctx.cfg.retrain_every) {
+                        tally.bounced += 1;
+                        continue;
+                    }
                     let Some(mbox) = self.mailboxes.get_mut(rcpt) else {
                         tally.bounced += 1;
                         continue;
@@ -711,15 +906,151 @@ impl Shard {
                     self.fresh.push(FreshMail {
                         day,
                         pos: i as u64,
+                        user,
                         mail: LabeledEmail::new(msg.email, truth),
                     });
                 }
                 _ => {
-                    tally.failed += 1;
+                    // Exhausted retries: park for redelivery on a later
+                    // day instead of dropping the message — unless the
+                    // plan's budget says drop-on-failure.
+                    if ctx.cfg.fault_plan.redelivery_budget > 0 {
+                        self.deferred.push(DeferredMail {
+                            orig_day: day,
+                            orig_pos: i as u64,
+                            user,
+                            email: env.email,
+                            truth,
+                            attempts: 0,
+                        });
+                    } else {
+                        tally.failed += 1;
+                    }
                 }
             }
         }
     }
+
+    /// Re-run the shard's deferred queue through today's wire plan. Each
+    /// message's pipe stream is keyed `day/<today>/defer/<orig day>/<orig
+    /// pos>` — the canonical original slot, never the shard or queue
+    /// position — so redelivery outcomes are bit-identical at any shard
+    /// count. Success pools the message under its original `(day, pos)`
+    /// merge key (whose first attempt never pooled, keeping the key
+    /// unique); failure burns one of the plan's redelivery days.
+    fn retry_deferred(
+        &mut self,
+        ctx: &DayCtx<'_>,
+        day: u32,
+        faults: FaultConfig,
+        day_seeds: &SeedTree,
+        tally: &mut WeekTally,
+    ) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut queue = std::mem::take(&mut self.deferred);
+        queue.sort_unstable_by_key(|d| (d.orig_day, d.orig_pos));
+        let client = SmtpClient::new("outside.example");
+        for d in queue {
+            let mut pipe = FaultyPipe::seeded(
+                faults,
+                day_seeds
+                    .child("defer")
+                    .index(u64::from(d.orig_day))
+                    .index(d.orig_pos)
+                    .seed(),
+            );
+            let mut server = SmtpServer::new("mx.corp.example");
+            let rcpt = &ctx.cfg.users[d.user];
+            let env = Envelope::to_one("sender@outside.example", rcpt.clone(), d.email.clone());
+            let report = client.deliver_all(&mut pipe, &mut server, std::slice::from_ref(&env));
+            tally.fault_stats.absorb(pipe.stats());
+            let mut got = None;
+            for ev in server.take_events() {
+                if let ServerEvent::MessageAccepted(msg) = ev {
+                    got = Some(msg);
+                }
+            }
+            match (report.delivered, got) {
+                (1, Some(msg)) => {
+                    tally.accepted += 1;
+                    // A recipient who lost their mailbox since the original
+                    // attempt bounces terminally — same as a first attempt.
+                    if ctx.cfg.fault_plan.mailbox_lost(d.user, day, ctx.cfg.retrain_every)
+                        || !self.mailboxes.contains_key(rcpt)
+                    {
+                        tally.bounced += 1;
+                        continue;
+                    }
+                    let mbox = self.mailboxes.get_mut(rcpt).expect("checked above");
+                    let verdict = ctx.filter.classify(&msg.email);
+                    tally.record_verdict(d.truth, verdict);
+                    mbox.deliver(msg.email.clone(), d.truth, verdict, day);
+                    tally.costs_box.deliver(msg.email.clone(), d.truth, verdict, day);
+                    tally.delivered += 1;
+                    tally.redelivered += 1;
+                    self.fresh.push(FreshMail {
+                        day: d.orig_day,
+                        pos: d.orig_pos,
+                        user: d.user,
+                        mail: LabeledEmail::new(msg.email, d.truth),
+                    });
+                }
+                _ => {
+                    let attempts = d.attempts + 1;
+                    if attempts >= ctx.cfg.fault_plan.redelivery_budget {
+                        tally.failed += 1;
+                    } else {
+                        self.deferred.push(DeferredMail { attempts, ..d });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An opaque, cloneable snapshot of a [`MailOrg`] at a week boundary —
+/// enough to [`MailOrg::restore`] a fresh organization that continues the
+/// simulation **bit-identically** to the uninterrupted run
+/// (property-tested in `tests/prop_mailflow.rs`).
+///
+/// Valid only at week boundaries ([`MailOrg::step_week`] granularity):
+/// mid-period shard state (fresh pools) is deliberately not captured. The
+/// filter travels as a `persist` dump image plus its θ0/θ1 cutoffs, which
+/// reproduces classification exactly (counts are exact `u32`s and token
+/// scoring tie-breaks by resolved string, so interner state is
+/// irrelevant).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct OrgCheckpoint {
+    next_week: u32,
+    weeks: Vec<WeekReport>,
+    total_delivered: usize,
+    total_failed: usize,
+    total_bounced: usize,
+    total_redelivered: usize,
+    fault_stats: FaultStats,
+    filter_image: Vec<u8>,
+    filter_cutoffs: (f64, f64),
+    serving_stale: bool,
+    checkpoint_image: Vec<u8>,
+    checkpoint_cutoffs: (f64, f64),
+    pool: Dataset,
+    replay: Vec<FreshMail>,
+    /// `(user index, mailbox)` — only users that still have one.
+    mailboxes: Vec<(usize, Mailbox)>,
+    /// Canonically ordered by `(orig_day, orig_pos)`.
+    deferred: Vec<DeferredMail>,
+}
+
+/// What one week's retrain did, for the week report.
+#[derive(Default)]
+struct RetrainOutcome {
+    screened_out: usize,
+    screen_error: Option<String>,
+    quarantined: usize,
+    replayed: usize,
+    recovered: bool,
 }
 
 /// The running organization.
@@ -745,39 +1076,37 @@ pub struct MailOrg {
     /// here).
     ham0: u64,
     spam0: u64,
+    /// The next week [`MailOrg::step_week`] will simulate (1-based).
+    next_week: u32,
+    /// Weeks completed so far.
+    weeks: Vec<WeekReport>,
+    total_delivered: usize,
+    total_failed: usize,
+    total_bounced: usize,
+    total_redelivered: usize,
+    fault_stats: FaultStats,
+    /// Quarantined fresh entries awaiting replay at the next retrain.
+    replay: Vec<FreshMail>,
+    /// The active filter is a restored checkpoint, not this week's
+    /// retrain product.
+    serving_stale: bool,
+    /// Last-good model image (`persist` dump) + its θ0/θ1 cutoffs.
+    checkpoint_image: Vec<u8>,
+    checkpoint_cutoffs: (f64, f64),
 }
 
 impl MailOrg {
     /// Bootstrap an organization: generate the clean training set, train
-    /// the initial filter, and partition users across shards.
+    /// the initial filter, and partition users across shards. Panics on an
+    /// invalid configuration; [`MailOrg::try_new`] returns the typed error
+    /// instead.
     pub fn new(cfg: OrgConfig) -> Self {
-        assert!(!cfg.users.is_empty(), "need at least one user");
-        assert!(cfg.retrain_every >= 1, "retrain_every must be >= 1");
-        assert!(
-            cfg.user_traffic.is_empty() || cfg.user_traffic.len() == cfg.users.len(),
-            "user_traffic must have one entry per user ({} entries for {} users)",
-            cfg.user_traffic.len(),
-            cfg.users.len()
-        );
-        for (p, plan) in cfg.attacks.iter().enumerate() {
-            if let Some(end) = plan.end_day {
-                assert!(
-                    end >= plan.start_day,
-                    "attack plan {p}: empty window (end_day {end} < start_day {})",
-                    plan.start_day
-                );
-            }
-            if let Some(targets) = &plan.targets {
-                assert!(!targets.is_empty(), "attack plan {p}: empty target list");
-                for &u in targets {
-                    assert!(
-                        u < cfg.users.len(),
-                        "attack plan {p}: target user {u} out of range (org has {} users)",
-                        cfg.users.len()
-                    );
-                }
-            }
-        }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid OrgConfig: {e}"))
+    }
+
+    /// Fallible construction: [`OrgConfig::validate`] then bootstrap.
+    pub fn try_new(cfg: OrgConfig) -> Result<Self, OrgConfigError> {
+        cfg.validate()?;
         let rates = cfg.per_user_rates();
         let seeds = SeedTree::new(cfg.seed).child("mailorg");
         let generator = cfg.corpus_generator();
@@ -831,6 +1160,7 @@ impl MailOrg {
                     id,
                     mailboxes,
                     fresh: Vec::new(),
+                    deferred: Vec::new(),
                 }
             })
             .collect();
@@ -838,12 +1168,16 @@ impl MailOrg {
         let mut pool = Dataset::new();
         pool.extend_from(&bootstrap);
 
-        Self {
+        let filter = ActiveFilter::Plain(filter);
+        // The initial last-good checkpoint is the bootstrap-trained model:
+        // even a retrain failure in week 1 has something to fall back to.
+        let (checkpoint_image, checkpoint_cutoffs) = filter_image(&filter);
+        Ok(Self {
             cfg,
             seeds,
             generator,
             tokenizer,
-            filter: ActiveFilter::Plain(filter),
+            filter,
             bootstrap,
             pool,
             pool_ids,
@@ -852,7 +1186,18 @@ impl MailOrg {
             rates,
             ham0: ham_counter,
             spam0: spam_counter,
-        }
+            next_week: 1,
+            weeks: Vec::new(),
+            total_delivered: 0,
+            total_failed: 0,
+            total_bounced: 0,
+            total_redelivered: 0,
+            fault_stats: FaultStats::default(),
+            replay: Vec::new(),
+            serving_stale: false,
+            checkpoint_image,
+            checkpoint_cutoffs,
+        })
     }
 
     /// A user's mailbox (owned by whichever shard holds the user).
@@ -878,54 +1223,174 @@ impl MailOrg {
 
     /// Run the full simulation.
     pub fn run(mut self) -> OrgReport {
-        let mut weeks = Vec::new();
-        let mut fault_stats = FaultStats::default();
-        let mut total_delivered = 0usize;
-        let mut total_failed = 0usize;
-        let mut total_bounced = 0usize;
+        while self.step_week().is_some() {}
+        self.into_report()
+    }
 
+    /// Simulate one retrain period (days, then the retrain barrier) and
+    /// return its report, or `None` when every week has run. The unit of
+    /// incremental execution — and the boundary [`MailOrg::checkpoint`] is
+    /// valid at.
+    pub fn step_week(&mut self) -> Option<&WeekReport> {
         let n_weeks = self.cfg.days.div_ceil(self.cfg.retrain_every);
-        for week in 1..=n_weeks {
-            let first_day = (week - 1) * self.cfg.retrain_every + 1;
-            let last_day = (week * self.cfg.retrain_every).min(self.cfg.days);
-            let tally = self.simulate_days(first_day, last_day);
-
-            total_delivered += tally.delivered;
-            total_failed += tally.failed;
-            total_bounced += tally.bounced;
-            fault_stats.dropped += tally.fault_stats.dropped;
-            fault_stats.corrupted += tally.fault_stats.corrupted;
-            fault_stats.passed += tally.fault_stats.passed;
-
-            // Retrain at week end (§2.1: periodic retraining) on the
-            // stable-order merge of the shards' fresh pools.
-            let (screened_out, screen_error) = self.retrain(week);
-
-            let user = UserModel::default();
-            let report = WeekReport {
-                week,
-                offered: tally.offered,
-                accepted: tally.accepted,
-                bounced: tally.bounced,
-                ham_as_spam: rate(tally.ham_as_spam, tally.n_ham),
-                ham_misrouted: rate(tally.ham_as_spam + tally.ham_as_unsure, tally.n_ham),
-                spam_caught: rate(tally.spam_as_spam, tally.n_spam),
-                spam_as_unsure: rate(tally.spam_as_unsure, tally.n_spam),
-                screened_out,
-                screen_error,
-                costs: user.costs(&tally.costs_box),
-                filter_useless: user.filter_useless(&tally.costs_box, 0.2),
-            };
-            weeks.push(report);
+        if self.next_week > n_weeks {
+            return None;
         }
+        let week = self.next_week;
+        self.next_week += 1;
+        // Whether *this* week was served by a stale checkpoint model is
+        // decided by the previous retrain, before any of this week's mail.
+        let degraded = self.serving_stale;
+        let first_day = (week - 1) * self.cfg.retrain_every + 1;
+        let last_day = (week * self.cfg.retrain_every).min(self.cfg.days);
+        let tally = self.simulate_days(first_day, last_day);
 
+        self.total_delivered += tally.delivered;
+        self.total_failed += tally.failed;
+        self.total_bounced += tally.bounced;
+        self.total_redelivered += tally.redelivered;
+        self.fault_stats.absorb(tally.fault_stats);
+
+        // Retrain at week end (§2.1: periodic retraining) on the
+        // stable-order merge of the shards' fresh pools.
+        let outcome = self.retrain(week, first_day, last_day);
+        let deferred = self.shards.iter().map(|s| s.deferred.len()).sum();
+
+        let user = UserModel::default();
+        self.weeks.push(WeekReport {
+            week,
+            offered: tally.offered,
+            accepted: tally.accepted,
+            bounced: tally.bounced,
+            ham_as_spam: rate(tally.ham_as_spam, tally.n_ham),
+            ham_misrouted: rate(tally.ham_as_spam + tally.ham_as_unsure, tally.n_ham),
+            spam_caught: rate(tally.spam_as_spam, tally.n_spam),
+            spam_as_unsure: rate(tally.spam_as_unsure, tally.n_spam),
+            screened_out: outcome.screened_out,
+            screen_error: outcome.screen_error,
+            costs: user.costs(&tally.costs_box),
+            filter_useless: user.filter_useless(&tally.costs_box, 0.2),
+            deferred,
+            redelivered: tally.redelivered,
+            quarantined: outcome.quarantined,
+            replayed: outcome.replayed,
+            degraded,
+            recovered_from_checkpoint: outcome.recovered,
+            fault_stats: tally.fault_stats,
+        });
+        self.weeks.last()
+    }
+
+    /// Finish into the full report. Mail still deferred when the
+    /// simulation ends is accounted as [`OrgReport::total_deferred`], so
+    /// `delivered + failed + bounced + deferred` equals every message ever
+    /// offered — nothing is silently lost.
+    pub fn into_report(self) -> OrgReport {
         OrgReport {
-            weeks,
-            fault_stats,
-            total_delivered,
-            total_failed,
-            total_bounced,
+            weeks: self.weeks,
+            fault_stats: self.fault_stats,
+            total_delivered: self.total_delivered,
+            total_failed: self.total_failed,
+            total_bounced: self.total_bounced,
+            total_deferred: self.shards.iter().map(|s| s.deferred.len()).sum(),
+            total_redelivered: self.total_redelivered,
         }
+    }
+
+    /// Snapshot the organization at the current week boundary. Restoring
+    /// the checkpoint into a freshly built org with the same configuration
+    /// ([`MailOrg::restore`]) continues bit-identically to never having
+    /// stopped.
+    pub fn checkpoint(&self) -> OrgCheckpoint {
+        debug_assert!(
+            self.shards.iter().all(|s| s.fresh.is_empty()),
+            "checkpoints are valid only at week boundaries"
+        );
+        let (filter_image, filter_cutoffs) = filter_image(&self.filter);
+        let mailboxes: Vec<(usize, Mailbox)> = self
+            .cfg
+            .users
+            .iter()
+            .enumerate()
+            .filter_map(|(u, name)| self.mailbox(name).map(|m| (u, m.clone())))
+            .collect();
+        let mut deferred: Vec<DeferredMail> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.deferred.iter().cloned())
+            .collect();
+        deferred.sort_unstable_by_key(|d| (d.orig_day, d.orig_pos));
+        let mut replay = self.replay.clone();
+        replay.sort_unstable_by_key(|f| (f.day, f.pos));
+        OrgCheckpoint {
+            next_week: self.next_week,
+            weeks: self.weeks.clone(),
+            total_delivered: self.total_delivered,
+            total_failed: self.total_failed,
+            total_bounced: self.total_bounced,
+            total_redelivered: self.total_redelivered,
+            fault_stats: self.fault_stats,
+            filter_image,
+            filter_cutoffs,
+            serving_stale: self.serving_stale,
+            checkpoint_image: self.checkpoint_image.clone(),
+            checkpoint_cutoffs: self.checkpoint_cutoffs,
+            pool: self.pool.clone(),
+            replay,
+            mailboxes,
+            deferred,
+        }
+    }
+
+    /// Rebuild an organization from a configuration plus a checkpoint
+    /// taken from an identically-configured run (any shard count — the
+    /// checkpoint is keyed by user, never by shard). The continued run is
+    /// bit-identical to the uninterrupted one.
+    pub fn restore(cfg: OrgConfig, ckpt: &OrgCheckpoint) -> Result<Self, OrgConfigError> {
+        let mut org = Self::try_new(cfg)?;
+        assert!(
+            ckpt.mailboxes.iter().all(|(u, _)| *u < org.cfg.users.len())
+                && ckpt.deferred.iter().all(|d| d.user < org.cfg.users.len()),
+            "checkpoint does not match this configuration's user list"
+        );
+        org.next_week = ckpt.next_week;
+        org.weeks = ckpt.weeks.clone();
+        org.total_delivered = ckpt.total_delivered;
+        org.total_failed = ckpt.total_failed;
+        org.total_bounced = ckpt.total_bounced;
+        org.total_redelivered = ckpt.total_redelivered;
+        org.fault_stats = ckpt.fault_stats;
+        org.filter = filter_from(&ckpt.filter_image, ckpt.filter_cutoffs);
+        org.serving_stale = ckpt.serving_stale;
+        org.checkpoint_image = ckpt.checkpoint_image.clone();
+        org.checkpoint_cutoffs = ckpt.checkpoint_cutoffs;
+        org.replay = ckpt.replay.clone();
+        // Pool ids are recomputed by re-tokenizing: the interner is shared
+        // process-global state, so the id *values* may differ from the
+        // original run's, but training and scoring only ever depend on the
+        // resolved token strings.
+        org.pool = ckpt.pool.clone();
+        org.pool_ids = org
+            .pool
+            .emails()
+            .iter()
+            .map(|m| Arc::new(org.interner.intern_set(&org.tokenizer.token_set(&m.email))))
+            .collect();
+        // Redistribute user-keyed state over this run's shard layout.
+        let n = org.shards.len();
+        for shard in &mut org.shards {
+            shard.mailboxes.clear();
+            shard.fresh.clear();
+            shard.deferred.clear();
+        }
+        for (u, mbox) in &ckpt.mailboxes {
+            let name = org.cfg.users[*u].clone();
+            org.shards[*u % n].mailboxes.insert(name, mbox.clone());
+        }
+        for d in &ckpt.deferred {
+            org.shards[d.user % n].deferred.push(d.clone());
+        }
+        Ok(org)
     }
 
     /// Run days `first..=last` across all shards in parallel and merge the
@@ -962,21 +1427,68 @@ impl MailOrg {
         total
     }
 
-    /// Retrain from the pool, applying the configured defense. Returns how
-    /// many fresh messages the screen rejected, plus the screening error if
-    /// the defense's measurement path failed (in which case nothing fresh
-    /// was admitted this week).
-    fn retrain(&mut self, week: u32) -> (usize, Option<String>) {
+    /// Retrain from the pool, applying the configured defense and the
+    /// fault plan's retrain-time events. Reports what the screen rejected,
+    /// what a crash quarantined, what a recovery replayed, and whether the
+    /// week fell back to the last-good checkpoint.
+    fn retrain(&mut self, week: u32, first_day: u32, last_day: u32) -> RetrainOutcome {
         let week_seeds = self.seeds.child("retrain").index(u64::from(week));
         // The merge barrier: per-shard fresh pools combine into the
         // canonical (day, wire position) arrival order — the same order
         // the single-shard loop pools in.
-        let fresh = merge_fresh(
+        let mut fresh = merge_fresh(
             self.shards
                 .iter_mut()
                 .map(|s| std::mem::take(&mut s.fresh))
                 .collect(),
         );
+        let mut outcome = RetrainOutcome::default();
+
+        // A crashed mailstore node loses its in-memory journal for the
+        // period so far: the crashed *user's* entries up to the crash day
+        // are quarantined and replay into the next retrain once the node
+        // restores. Keyed by user, never shard — shard ids change with the
+        // shard count.
+        let crashes = self.cfg.fault_plan.crashes_in(first_day, last_day);
+        let mut held = Vec::new();
+        if !crashes.is_empty() {
+            let (h, kept): (Vec<FreshMail>, Vec<FreshMail>) = fresh.into_iter().partition(|f| {
+                crashes
+                    .iter()
+                    .any(|&(user, crash_day)| f.user == user && f.day <= crash_day)
+            });
+            outcome.quarantined += h.len();
+            held = h;
+            fresh = kept;
+        }
+
+        // Injected retrain failure: the job dies before admitting
+        // anything. The whole fresh batch is quarantined for replay (mail
+        // trains late, never silently vanishes) and the organization
+        // serves the last-good checkpoint — a stale-model week, not a
+        // fail-closed one.
+        if self.cfg.fault_plan.retrain_fails(week) {
+            outcome.quarantined += fresh.len();
+            self.replay.extend(held);
+            self.replay.extend(fresh);
+            self.replay.sort_unstable_by_key(|f| (f.day, f.pos));
+            self.filter = filter_from(&self.checkpoint_image, self.checkpoint_cutoffs);
+            self.serving_stale = true;
+            outcome.recovered = true;
+            return outcome;
+        }
+
+        // Quarantined entries from earlier failures rejoin this retrain's
+        // batch in canonical arrival order; this period's crash holdback
+        // sits out until the *next* retrain (the node is still down).
+        if !self.replay.is_empty() {
+            let replay = std::mem::take(&mut self.replay);
+            outcome.replayed = replay.len();
+            fresh.extend(replay);
+            fresh.sort_unstable_by_key(|f| (f.day, f.pos));
+        }
+        self.replay = held;
+
         let mut screened_out = 0usize;
         let mut screen_error = None;
 
@@ -1072,7 +1584,24 @@ impl MailOrg {
             }
             ActiveFilter::Plain(f)
         };
-        (screened_out, screen_error)
+        outcome.screened_out = screened_out;
+        outcome.screen_error = screen_error;
+
+        // Model-load corruption: the retrain itself succeeded (the pool
+        // keeps this week's admissions), but the freshly built image is
+        // corrupt at load time — fall back to the last-good checkpoint
+        // until the next retrain rebuilds from the intact pool.
+        if self.cfg.fault_plan.model_corrupts(week) {
+            self.filter = filter_from(&self.checkpoint_image, self.checkpoint_cutoffs);
+            self.serving_stale = true;
+            outcome.recovered = true;
+        } else {
+            let (image, cutoffs) = filter_image(&self.filter);
+            self.checkpoint_image = image;
+            self.checkpoint_cutoffs = cutoffs;
+            self.serving_stale = false;
+        }
+        outcome
     }
 }
 
@@ -1099,7 +1628,15 @@ fn shuffle<T>(items: &mut [T], rng: &mut sb_stats::rng::Xoshiro256pp) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::FaultEvent;
     use sb_core::{DictionaryAttack, DictionaryKind};
+
+    fn expect_err(result: Result<MailOrg, OrgConfigError>) -> OrgConfigError {
+        match result {
+            Ok(_) => panic!("config should have been rejected"),
+            Err(e) => e,
+        }
+    }
 
     fn base_config(seed: u64) -> OrgConfig {
         let mut cfg = OrgConfig::small(seed);
@@ -1238,15 +1775,233 @@ mod tests {
             corrupt_chance: 0.05,
         };
         let report = MailOrg::new(cfg).run();
-        // Deliveries mostly succeed; any failures are accounted, not lost.
+        // Deliveries mostly succeed; any failures are accounted — retried
+        // via the deferred queue, then failed or left deferred, never lost.
         let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
         assert_eq!(
-            report.total_delivered + report.total_failed + report.total_bounced,
+            report.total_delivered
+                + report.total_failed
+                + report.total_bounced
+                + report.total_deferred,
             offered,
             "accounting must balance"
         );
         assert!(report.fault_stats.dropped + report.fault_stats.corrupted > 0);
         assert!(report.total_delivered as f64 / offered as f64 > 0.9);
+    }
+
+    /// The satellite accounting-identity gate: under `FaultConfig::harsh()`
+    /// every offered message is delivered, failed, bounced, or still
+    /// deferred — at every shard count, with bit-identical reports, and
+    /// with the deferred queue actually redelivering some of what the
+    /// first attempts lost.
+    #[test]
+    fn accounting_identity_holds_under_harsh_faults_across_shards() {
+        let runs: Vec<OrgReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let mut cfg = base_config(43);
+                cfg.faults = FaultConfig::harsh();
+                cfg.shards = shards;
+                MailOrg::new(cfg).run()
+            })
+            .collect();
+        let baseline = &runs[0];
+        let offered: usize = baseline.weeks.iter().map(|w| w.offered).sum();
+        assert_eq!(
+            baseline.total_delivered
+                + baseline.total_failed
+                + baseline.total_bounced
+                + baseline.total_deferred,
+            offered,
+            "no message may be silently lost"
+        );
+        assert!(
+            baseline.total_redelivered > 0,
+            "a harsh wire must exercise the deferred queue"
+        );
+        let weekly_redelivered: usize = baseline.weeks.iter().map(|w| w.redelivered).sum();
+        assert_eq!(weekly_redelivered, baseline.total_redelivered);
+        assert_eq!(
+            baseline.total_deferred,
+            baseline.weeks.last().unwrap().deferred,
+            "end-of-run deferral is the last week's carry-over"
+        );
+        for other in &runs[1..] {
+            assert_eq!(baseline, other, "deferral must be shard-invariant");
+        }
+    }
+
+    /// An injected retrain failure quarantines the week's fresh mail and
+    /// serves the last-good checkpoint: the failure week reports the
+    /// recovery, the following week is degraded (stale model) and replays
+    /// the quarantined batch, and the filter keeps classifying throughout.
+    #[test]
+    fn retrain_failure_serves_stale_checkpoint_and_replays() {
+        let mut cfg = base_config(47);
+        cfg.fault_plan.events = vec![FaultEvent::RetrainFailure { week: 1 }];
+        let report = MailOrg::new(cfg).run();
+        let w1 = &report.weeks[0];
+        let w2 = &report.weeks[1];
+        assert!(w1.recovered_from_checkpoint, "week 1 must fall back");
+        assert!(!w1.degraded, "week 1 itself ran on the bootstrap model");
+        assert!(w1.quarantined > 0, "the fresh batch must be quarantined");
+        assert_eq!(w1.screened_out, 0, "a dead retrain screens nothing");
+        assert!(w2.degraded, "week 2 serves the stale checkpoint");
+        assert_eq!(
+            w2.replayed, w1.quarantined,
+            "week 2's retrain replays exactly the quarantined batch"
+        );
+        assert!(!w2.recovered_from_checkpoint);
+        assert!(
+            w2.spam_caught > 0.5,
+            "the stale bootstrap model still filters: {}",
+            w2.spam_caught
+        );
+        // A clean comparison run: identical week-1 traffic (the plan only
+        // touches the retrain), so degradation is purely model staleness.
+        let clean = MailOrg::new(base_config(47)).run();
+        assert_eq!(clean.weeks[0].offered, report.weeks[0].offered);
+        assert!(!clean.weeks[1].degraded);
+    }
+
+    /// Model-load corruption keeps the pool's admissions but serves the
+    /// checkpoint model: nothing is quarantined, the week reports the
+    /// recovery, the next week is degraded.
+    #[test]
+    fn model_corruption_falls_back_without_losing_the_pool() {
+        let mut cfg = base_config(53);
+        cfg.fault_plan.events = vec![FaultEvent::ModelCorruption { week: 1 }];
+        let report = MailOrg::new(cfg).run();
+        let w1 = &report.weeks[0];
+        let w2 = &report.weeks[1];
+        assert!(w1.recovered_from_checkpoint);
+        assert_eq!(w1.quarantined, 0, "the retrain itself succeeded");
+        assert!(w2.degraded);
+        assert_eq!(w2.replayed, 0, "nothing was held back");
+    }
+
+    /// A scheduled mailbox loss bounces the user's mail from the loss day
+    /// to the end of the retrain period, then the routing table is
+    /// rebuilt: week 1 bounces, week 2 is clean again.
+    #[test]
+    fn mailbox_loss_bounces_until_the_period_boundary() {
+        let mut cfg = base_config(59);
+        cfg.fault_plan.events = vec![FaultEvent::MailboxLoss { day: 3, user: 0 }];
+        let report = MailOrg::new(cfg).run();
+        assert!(report.weeks[0].bounced > 0, "loss window must bounce");
+        assert_eq!(report.weeks[1].bounced, 0, "restored at the boundary");
+        let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
+        assert_eq!(
+            report.total_delivered
+                + report.total_failed
+                + report.total_bounced
+                + report.total_deferred,
+            offered
+        );
+    }
+
+    /// A mid-period node crash quarantines the crashed user's fresh pool
+    /// entries up to the crash day and replays them at the next retrain —
+    /// the mail trains a week late instead of vanishing.
+    #[test]
+    fn shard_crash_quarantines_and_replays_by_user() {
+        let mut cfg = base_config(61);
+        cfg.fault_plan.events = vec![FaultEvent::ShardCrash { day: 4, user: 2 }];
+        let report = MailOrg::new(cfg).run();
+        let w1 = &report.weeks[0];
+        let w2 = &report.weeks[1];
+        assert!(w1.quarantined > 0, "crash must hold back pool entries");
+        assert_eq!(w2.replayed, w1.quarantined);
+        assert!(!w1.recovered_from_checkpoint, "a node crash is not a model failure");
+        assert!(!w2.degraded);
+        // Quarantine holds back one user's slice, never the whole pool.
+        assert!(w1.quarantined < w1.offered, "{}", w1.quarantined);
+    }
+
+    /// The fault-plan events are all keyed by user/day/week, so a chaotic
+    /// plan (ramp + crash + mailbox loss + retrain failure) stays
+    /// bit-identical across shard counts.
+    #[test]
+    fn chaotic_plan_is_bit_identical_across_shard_counts() {
+        let runs: Vec<OrgReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let mut cfg = base_config(67);
+                cfg.faults = FaultConfig {
+                    drop_chance: 0.02,
+                    corrupt_chance: 0.02,
+                };
+                cfg.fault_plan.events = vec![
+                    FaultEvent::PipeFaults {
+                        start_day: 3,
+                        end_day: 8,
+                        from: FaultConfig { drop_chance: 0.1, corrupt_chance: 0.05 },
+                        to: FaultConfig { drop_chance: 0.35, corrupt_chance: 0.05 },
+                    },
+                    FaultEvent::ShardCrash { day: 4, user: 1 },
+                    FaultEvent::MailboxLoss { day: 6, user: 3 },
+                    FaultEvent::RetrainFailure { week: 1 },
+                ];
+                cfg.shards = shards;
+                MailOrg::new(cfg).run()
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(&runs[0], other);
+        }
+        let offered: usize = runs[0].weeks.iter().map(|w| w.offered).sum();
+        assert_eq!(
+            runs[0].total_delivered
+                + runs[0].total_failed
+                + runs[0].total_bounced
+                + runs[0].total_deferred,
+            offered
+        );
+    }
+
+    /// `try_new` rejects invalid configurations with typed errors instead
+    /// of panicking.
+    #[test]
+    fn try_new_rejects_bad_configs_with_typed_errors() {
+        let mut cfg = base_config(71);
+        cfg.faults.drop_chance = 2.0;
+        assert!(matches!(
+            expect_err(MailOrg::try_new(cfg)),
+            OrgConfigError::BaseFaults(FaultError::ChanceOutOfRange { .. })
+        ));
+        let mut cfg = base_config(71);
+        cfg.fault_plan.events = vec![FaultEvent::ShardCrash { day: 2, user: 99 }];
+        assert!(matches!(
+            expect_err(MailOrg::try_new(cfg)),
+            OrgConfigError::Plan(FaultPlanError::UserOutOfRange { .. })
+        ));
+        let mut cfg = base_config(71);
+        cfg.users.clear();
+        assert_eq!(expect_err(MailOrg::try_new(cfg)), OrgConfigError::NoUsers);
+        let mut cfg = base_config(71);
+        cfg.retrain_every = 0;
+        assert_eq!(expect_err(MailOrg::try_new(cfg)), OrgConfigError::ZeroRetrain);
+    }
+
+    /// Checkpoint/restore at a week boundary continues bit-identically —
+    /// including under an active fault plan with deferred mail in flight.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let make = || {
+            let mut cfg = base_config(73);
+            cfg.faults = FaultConfig::harsh();
+            cfg.fault_plan.events = vec![FaultEvent::RetrainFailure { week: 1 }];
+            cfg.defense = DefensePolicy::Roni;
+            cfg
+        };
+        let uninterrupted = MailOrg::new(make()).run();
+        let mut org = MailOrg::new(make());
+        org.step_week().expect("week 1");
+        let ckpt = org.checkpoint();
+        drop(org);
+        let resumed = MailOrg::restore(make(), &ckpt).expect("restore");
+        assert_eq!(resumed.run(), uninterrupted);
     }
 
     /// Borrow-friendly test harness: run one day across all shards
@@ -1449,6 +2204,7 @@ mod tests {
         let entry = |day: u32, pos: u64| FreshMail {
             day,
             pos,
+            user: pos as usize,
             mail: LabeledEmail::ham(
                 sb_email::Email::builder().body(format!("d{day}p{pos}")).build(),
             ),

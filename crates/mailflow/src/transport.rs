@@ -69,8 +69,32 @@ impl Pipe {
     }
 }
 
-/// Fault injection knobs (per write chunk).
+/// An invalid fault configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A probability field is outside `[0, 1]`.
+    ChanceOutOfRange {
+        /// Which knob is bad.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::ChanceOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0,1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Fault injection knobs (per write chunk).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultConfig {
     /// Probability a chunk is dropped entirely.
     pub drop_chance: f64,
@@ -96,10 +120,13 @@ impl FaultConfig {
     }
 
     /// Validate probabilities.
-    pub fn validate(&self) -> Result<(), String> {
-        for (name, p) in [("drop_chance", self.drop_chance), ("corrupt_chance", self.corrupt_chance)] {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} must be in [0,1], got {p}"));
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (field, value) in [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::ChanceOutOfRange { field, value });
             }
         }
         Ok(())
@@ -123,6 +150,17 @@ pub struct FaultStats {
     pub passed: u64,
 }
 
+impl FaultStats {
+    /// Fold another counter set into this one. Addition is commutative and
+    /// associative, so any merge order over a set of per-shard stats yields
+    /// the same aggregate — asserted by `fault_stats_merge_is_order_independent`.
+    pub fn absorb(&mut self, other: FaultStats) {
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.passed += other.passed;
+    }
+}
+
 /// A [`Pipe`] with fault injection on every write.
 #[derive(Debug)]
 pub struct FaultyPipe {
@@ -133,9 +171,18 @@ pub struct FaultyPipe {
 }
 
 impl FaultyPipe {
-    /// Wrap a fresh pipe with the given fault config and RNG seed.
-    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
-        cfg.validate().expect("fault probabilities must be in [0,1]");
+    /// Wrap a fresh pipe with the given fault config and RNG seed,
+    /// rejecting out-of-range probabilities with a typed error.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Result<Self, FaultError> {
+        cfg.validate()?;
+        Ok(Self::seeded(cfg, seed))
+    }
+
+    /// Wrap a fresh pipe with an *already validated* config — the hot-path
+    /// constructor for the org day loop, where the config was checked once
+    /// at `OrgConfig` validation time.
+    pub fn seeded(cfg: FaultConfig, seed: u64) -> Self {
+        debug_assert!(cfg.validate().is_ok(), "unvalidated fault config: {cfg:?}");
         Self {
             pipe: Pipe::new(),
             cfg,
@@ -146,7 +193,7 @@ impl FaultyPipe {
 
     /// A pipe that never misbehaves.
     pub fn reliable() -> Self {
-        Self::new(FaultConfig::none(), 0)
+        Self::seeded(FaultConfig::none(), 0)
     }
 
     /// Fault counters so far.
@@ -249,7 +296,8 @@ mod tests {
                 corrupt_chance: 0.0,
             },
             7,
-        );
+        )
+        .unwrap();
         p.write(End::Client, b"doomed\r\n");
         p.write(End::Client, b"also doomed\r\n");
         assert!(p.read(End::Server).is_empty());
@@ -264,7 +312,8 @@ mod tests {
                 corrupt_chance: 1.0,
             },
             11,
-        );
+        )
+        .unwrap();
         let original = b"MAIL FROM:<a@b>\r\n";
         // Run several chunks; every surviving chunk differs from the
         // original in at most one byte and framing bytes stay intact.
@@ -284,7 +333,7 @@ mod tests {
     #[test]
     fn faults_are_deterministic_per_seed() {
         let run = |seed: u64| {
-            let mut p = FaultyPipe::new(FaultConfig::harsh(), seed);
+            let mut p = FaultyPipe::seeded(FaultConfig::harsh(), seed);
             for i in 0..50u32 {
                 p.write(End::Client, format!("chunk {i}\r\n").as_bytes());
             }
@@ -295,19 +344,55 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_rejected() {
-        assert!(FaultConfig {
+    fn invalid_config_rejected_with_typed_error() {
+        let bad = FaultConfig {
             drop_chance: 1.5,
-            corrupt_chance: 0.0
+            corrupt_chance: 0.0,
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(FaultError::ChanceOutOfRange {
+                field: "drop_chance",
+                value: 1.5
+            })
+        );
+        // The fallible constructor surfaces the same typed error instead of
+        // panicking.
+        match FaultyPipe::new(bad, 1) {
+            Err(FaultError::ChanceOutOfRange { field, .. }) => assert_eq!(field, "drop_chance"),
+            Ok(_) => panic!("invalid config must not build a pipe"),
         }
-        .validate()
-        .is_err());
         assert!(FaultConfig::harsh().validate().is_ok());
+        assert!(FaultyPipe::new(FaultConfig::harsh(), 1).is_ok());
+    }
+
+    #[test]
+    fn fault_stats_merge_is_order_independent() {
+        let shards = [
+            FaultStats { dropped: 3, corrupted: 1, passed: 40 },
+            FaultStats { dropped: 0, corrupted: 7, passed: 12 },
+            FaultStats { dropped: 5, corrupted: 0, passed: 99 },
+            FaultStats { dropped: 2, corrupted: 2, passed: 2 },
+        ];
+        let merge = |order: &[usize]| {
+            let mut total = FaultStats::default();
+            for &i in order {
+                total.absorb(shards[i]);
+            }
+            total
+        };
+        let forward = merge(&[0, 1, 2, 3]);
+        assert_eq!(forward, merge(&[3, 2, 1, 0]));
+        assert_eq!(forward, merge(&[2, 0, 3, 1]));
+        assert_eq!(
+            forward,
+            FaultStats { dropped: 10, corrupted: 10, passed: 153 }
+        );
     }
 
     #[test]
     fn empty_writes_are_noops() {
-        let mut p = FaultyPipe::new(FaultConfig::harsh(), 3);
+        let mut p = FaultyPipe::seeded(FaultConfig::harsh(), 3);
         p.write(End::Client, b"");
         assert_eq!(p.stats(), FaultStats::default());
         assert!(p.is_idle());

@@ -8,9 +8,9 @@ use sb_core::{
 };
 use sb_email::Email;
 use sb_mailflow::{
-    dot_stuff, dot_unstuff, AttackPlan, Command, DefensePolicy, Envelope, FaultConfig, FaultyPipe,
-    LineCodec, MailOrg, OrgConfig, OrgReport, Reply, SmtpClient, SmtpServer, TrafficMix,
-    MAX_LINE_LEN,
+    dot_stuff, dot_unstuff, AttackPlan, Command, DefensePolicy, Envelope, FaultConfig, FaultEvent,
+    FaultyPipe, LineCodec, MailOrg, OrgConfig, OrgReport, Reply, SmtpClient, SmtpServer,
+    TrafficMix, MAX_LINE_LEN,
 };
 
 /// A proptest-sized organization: small enough that a full multi-week
@@ -151,7 +151,7 @@ proptest! {
         seed in any::<u64>(),
         n_msgs in 1usize..8,
     ) {
-        let mut pipe = FaultyPipe::new(
+        let mut pipe = FaultyPipe::seeded(
             FaultConfig {
                 drop_chance: f64::from(drop_pct) / 100.0,
                 corrupt_chance: f64::from(corrupt_pct) / 100.0,
@@ -343,5 +343,94 @@ proptest! {
                 shards
             );
         }
+    }
+
+    /// The fault-plan tentpole invariant: a full chaos plan — a pipe-fault
+    /// ramp feeding the deferred queue, a mid-period node crash, a mailbox
+    /// loss, and an injected retrain failure (checkpoint fallback, stale
+    /// week) all active at once — still produces bit-identical reports for
+    /// shard counts 1, 2, and 4, and the accounting identity
+    /// `delivered + failed + bounced + deferred == offered` holds.
+    #[test]
+    fn chaos_plans_are_bit_identical_across_shard_counts(
+        seed in any::<u64>(),
+        roni in any::<bool>(),
+        crash_day in 2u32..5,
+        peak_pct in 20u32..40,
+    ) {
+        let defense = if roni { DefensePolicy::Roni } else { DefensePolicy::None };
+        let build = |shards: usize| {
+            let mut cfg = tiny_org(seed, true, defense, shards);
+            cfg.fault_plan.events = vec![
+                FaultEvent::PipeFaults {
+                    start_day: 3,
+                    end_day: 7,
+                    from: FaultConfig { drop_chance: 0.1, corrupt_chance: 0.05 },
+                    to: FaultConfig {
+                        drop_chance: f64::from(peak_pct) / 100.0,
+                        corrupt_chance: 0.05,
+                    },
+                },
+                FaultEvent::ShardCrash { day: crash_day, user: 1 },
+                FaultEvent::MailboxLoss { day: 6, user: 2 },
+                FaultEvent::RetrainFailure { week: 1 },
+            ];
+            MailOrg::new(cfg).run()
+        };
+        let baseline = build(1);
+        let offered: usize = baseline.weeks.iter().map(|w| w.offered).sum();
+        prop_assert_eq!(
+            baseline.total_delivered
+                + baseline.total_failed
+                + baseline.total_bounced
+                + baseline.total_deferred,
+            offered,
+            "chaos must never lose a message"
+        );
+        prop_assert!(
+            baseline.weeks[0].recovered_from_checkpoint && baseline.weeks[1].degraded,
+            "the injected retrain failure must surface in the report"
+        );
+        for shards in [2usize, 4] {
+            let sharded = build(shards);
+            prop_assert_eq!(
+                &baseline,
+                &sharded,
+                "chaos plan diverged at shards={}",
+                shards
+            );
+        }
+    }
+
+    /// Checkpointed recovery: running a chaos simulation to a week
+    /// boundary, checkpointing, dropping the org, and resuming a fresh one
+    /// from the checkpoint finishes with a report byte-identical to the
+    /// uninterrupted run — deferred queue, quarantine buffer, mailboxes,
+    /// and the serving filter all survive the round trip.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run(
+        seed in any::<u64>(),
+        roni in any::<bool>(),
+        shards in 1usize..4,
+    ) {
+        let defense = if roni { DefensePolicy::Roni } else { DefensePolicy::None };
+        let make = || {
+            let mut cfg = tiny_org(seed, false, defense, shards);
+            cfg.faults = FaultConfig::harsh();
+            cfg.fault_plan.events = vec![
+                FaultEvent::RetrainFailure { week: 1 },
+                FaultEvent::ShardCrash { day: 2, user: 0 },
+            ];
+            cfg
+        };
+        let uninterrupted = MailOrg::new(make()).run();
+        let mut org = MailOrg::new(make());
+        org.step_week().expect("week 1 of 2");
+        let ckpt = org.checkpoint();
+        drop(org);
+        let resumed = MailOrg::restore(make(), &ckpt)
+            .expect("checkpoint matches the rebuilt config")
+            .run();
+        prop_assert_eq!(&resumed, &uninterrupted, "resume diverged from straight run");
     }
 }

@@ -48,6 +48,7 @@ fn org(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
         // One shard per available worker (SB_THREADS honored): the weekly
         // numbers are bit-identical to a single-shard run, just faster.
         shards: 0,
+        fault_plan: spambayes_repro::mailflow::FaultPlan::default(),
         seed,
     }
 }

@@ -23,7 +23,7 @@
 use spambayes_repro::core::campaign::{AttackKind, Intensity};
 use spambayes_repro::experiments::config::ScenarioSuiteConfig;
 use spambayes_repro::experiments::scenario::{first_divergence, golden_digest, ScenarioSpec};
-use spambayes_repro::mailflow::OrgReport;
+use spambayes_repro::mailflow::{FaultEvent, OrgReport};
 use std::path::{Path, PathBuf};
 
 fn repo_path(rel: &str) -> PathBuf {
@@ -34,9 +34,10 @@ fn update_requested() -> bool {
     std::env::var("SB_UPDATE_GOLDEN").is_ok_and(|v| v == "1")
 }
 
-/// Load the committed suite; the acceptance floor is five scenarios
+/// Load the committed suite; the acceptance floor is seven scenarios
 /// (single-campaign baseline, overlapping campaigns, skewed traffic,
-/// ramped focused attack, bursty ham-chaff).
+/// ramped focused attack, bursty ham-chaff, and the two chaos scenarios
+/// exercising the fault plan).
 fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     let suite = ScenarioSuiteConfig {
         dir: repo_path("scenarios"),
@@ -44,8 +45,8 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     };
     let files = suite.scenario_files().expect("scenarios/ must be listable");
     assert!(
-        files.len() >= 5,
-        "expected at least 5 committed scenarios, found {}",
+        files.len() >= 7,
+        "expected at least 7 committed scenarios, found {}",
         files.len()
     );
     let specs: Vec<(PathBuf, ScenarioSpec)> = files
@@ -122,6 +123,42 @@ fn suite_covers_the_required_scenario_shapes() {
         specs.iter().any(|(_, s)| !s.expectations.is_empty()),
         "suite needs a scenario with expect assertions"
     );
+    // The robustness acceptance set: the fault plan's degraded-week story
+    // (retrain failure -> stale-model week with non-zero deferred
+    // redelivery) and the crash/replay + mailbox-loss story must each be
+    // locked by a committed chaos scenario.
+    let faults = || specs.iter().flat_map(|(_, s)| &s.fault_events);
+    assert!(
+        faults().any(|e| matches!(e, FaultEvent::PipeFaults { .. })),
+        "suite needs a pipe-fault window"
+    );
+    assert!(
+        faults().any(|e| matches!(e, FaultEvent::ShardCrash { .. })),
+        "suite needs a node-crash event"
+    );
+    assert!(
+        faults().any(|e| matches!(e, FaultEvent::MailboxLoss { .. })),
+        "suite needs a mailbox-loss event"
+    );
+    assert!(
+        faults().any(|e| matches!(
+            e,
+            FaultEvent::RetrainFailure { .. } | FaultEvent::ModelCorruption { .. }
+        )),
+        "suite needs a retrain/model failure"
+    );
+    let expects = |name: &str| {
+        specs
+            .iter()
+            .flat_map(|(_, s)| &s.expectations)
+            .any(|e| e.field.name() == name)
+    };
+    for field in ["degraded", "recovered", "deferred", "redelivered", "replayed"] {
+        assert!(
+            expects(field),
+            "suite needs an expect locking the {field} surface"
+        );
+    }
 }
 
 /// The scenario grammar round-trips: parse -> format -> parse is the

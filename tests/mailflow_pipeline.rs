@@ -88,6 +88,7 @@ fn org_config(defense: DefensePolicy, attack: bool, seed: u64) -> OrgConfig {
         // Exercise the sharded day loop through the facade; results are
         // bit-identical to shards: 1 (property-tested in sb-mailflow).
         shards: 2,
+        fault_plan: spambayes_repro::mailflow::FaultPlan::default(),
         seed,
     }
 }
@@ -104,7 +105,10 @@ fn organization_detonation_and_roni_on_lossy_wire() {
     for report in [&hit, &defended] {
         let offered: usize = report.weeks.iter().map(|w| w.offered).sum();
         assert_eq!(
-            report.total_delivered + report.total_failed + report.total_bounced,
+            report.total_delivered
+                + report.total_failed
+                + report.total_bounced
+                + report.total_deferred,
             offered
         );
         assert_eq!(report.total_bounced, 0);
@@ -181,7 +185,10 @@ fn unknown_recipient_bounces_at_every_shard_count() {
     assert_eq!(weekly_bounced, baseline.total_bounced);
     let offered: usize = baseline.weeks.iter().map(|w| w.offered).sum();
     assert_eq!(
-        baseline.total_delivered + baseline.total_failed + baseline.total_bounced,
+        baseline.total_delivered
+            + baseline.total_failed
+            + baseline.total_bounced
+            + baseline.total_deferred,
         offered,
         "bounces must stay inside the accounting identity"
     );
