@@ -377,7 +377,13 @@ impl RoniDefense {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("trial thread panicked"))
+                    .map(|h| {
+                        // A join error carries the child's panic payload;
+                        // re-raise it verbatim (same policy as
+                        // `sb_intern::par`) rather than minting a fresh
+                        // panic that hides the original message.
+                        h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+                    })
                     .collect()
             })
         } else {

@@ -29,6 +29,11 @@
 //!
 //!   extensions  the five extension experiments
 //!   all       everything above
+//!
+//! housekeeping:
+//!   lint      run the workspace determinism/invariant linter in deny
+//!             mode (same gate as CI's `cargo run -p sb-lint -- --deny`);
+//!             non-zero exit on any deny-severity finding
 //! ```
 //!
 //! ASCII tables go to stdout; CSVs to `--out` (default `reports/`).
@@ -66,7 +71,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
-         transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all> \
+         transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all|lint> \
          [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
          [--scenarios DIR] [--filter STEM]"
     );
@@ -748,6 +753,54 @@ fn headline_table(h: &headline::HeadlineResult) -> Table {
     t
 }
 
+/// `repro lint` — the workspace determinism linter, deny mode. A thin
+/// wrapper over the sb-lint library so the lint lane is reachable from
+/// the same binary that produces the reports it protects.
+fn cmd_lint() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = sb_lint::discover_root(&cwd) else {
+        eprintln!("error: no sb-lint.toml found walking up from {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    let cfg_text = match std::fs::read_to_string(root.join("sb-lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read sb-lint.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match sb_lint::Config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match sb_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "sb-lint: {} finding(s) ({} deny, {} warn) in {} file(s); {} suppressed",
+        report.findings.len(),
+        report.deny_count(),
+        report.warn_count(),
+        report.files_scanned,
+        report.suppressed,
+    );
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -756,6 +809,7 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // sb-lint: allow(wall-clock, "operator-facing elapsed-time display on the CLI; never feeds simulation state or reports")
     let started = std::time::Instant::now();
     match args.command.as_str() {
         "table1" => cmd_table1(&args),
@@ -785,6 +839,7 @@ fn main() -> ExitCode {
             }
         }
         "extensions" => cmd_extensions(&args),
+        "lint" => return cmd_lint(),
         "headline" => {
             let f1 = cmd_fig1(&args);
             let f2 = cmd_fig2(&args);

@@ -1,0 +1,351 @@
+//! `sb-lint.toml` — committed lint configuration.
+//!
+//! A deliberately small TOML subset, parsed by hand (the workspace builds
+//! with no external crates): `#` comments, `[section]` / `[section.sub]`
+//! headers, `key = "string"` and `key = ["a", "b", …]` (arrays may span
+//! lines). Unknown sections, unknown keys, and unknown rule names are
+//! hard errors with line numbers — config drift should fail CI, not rot.
+//!
+//! Layout:
+//!
+//! ```toml
+//! [paths]
+//! include = ["src/**/*.rs", "crates/*/src/**/*.rs"]
+//! exclude = ["crates/shims/**"]
+//!
+//! [rule.wall-clock]
+//! severity = "warn"                   # default away from the globs below
+//! deny = ["crates/mailflow/src/**"]   # per-module-glob severity override
+//! ```
+//!
+//! Severity resolution for a rule on a path: `allow` globs win over
+//! `deny` globs, which win over `warn` globs, which win over the rule's
+//! default `severity`, which wins over the built-in default. `allow`
+//! turns the rule off for the path.
+
+use crate::glob::any_match;
+use crate::rules;
+use std::fmt;
+
+/// Lint severity. `Allow` drops the finding, `Warn` reports it, `Deny`
+/// reports it and fails a `--deny` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Allow,
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Per-rule severity configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Default severity (None = the rule's built-in default).
+    pub severity: Option<Severity>,
+    /// Globs where the rule is forced to `deny` / `warn` / `allow`.
+    pub deny: Vec<String>,
+    pub warn: Vec<String>,
+    pub allow: Vec<String>,
+}
+
+/// Parsed `sb-lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace-relative globs of files to scan.
+    pub include: Vec<String>,
+    /// Globs carved back out of `include`.
+    pub exclude: Vec<String>,
+    /// Rule name → overrides, parallel to [`rules::RULES`].
+    rule_cfg: Vec<RuleConfig>,
+}
+
+/// Line-numbered configuration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sb-lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            include: vec!["src/**/*.rs".into(), "crates/*/src/**/*.rs".into()],
+            exclude: Vec::new(),
+            rule_cfg: vec![RuleConfig::default(); rules::RULES.len()],
+        }
+    }
+}
+
+impl Config {
+    /// Parse the committed configuration text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config { include: Vec::new(), ..Config::default() };
+        let mut include_seen = false;
+
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Paths,
+            Rule(usize),
+        }
+        let mut section = Section::None;
+
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated section header"))?
+                    .trim();
+                section = if name == "paths" {
+                    Section::Paths
+                } else if let Some(rule) = name.strip_prefix("rule.") {
+                    let i = rules::RULES
+                        .iter()
+                        .position(|r| r.name == rule)
+                        .ok_or_else(|| {
+                            err(lineno, format!("unknown rule `{rule}` (see --list-rules)"))
+                        })?;
+                    Section::Rule(i)
+                } else {
+                    return Err(err(lineno, format!("unknown section `[{name}]`")));
+                };
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            // Multi-line arrays: accumulate until the closing bracket.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(err(lineno, "unterminated array"));
+                }
+            }
+            match &section {
+                Section::None => {
+                    return Err(err(lineno, format!("key `{key}` outside any section")))
+                }
+                Section::Paths => match key.as_str() {
+                    "include" => {
+                        cfg.include = parse_array(&value, lineno)?;
+                        include_seen = true;
+                    }
+                    "exclude" => cfg.exclude = parse_array(&value, lineno)?,
+                    _ => return Err(err(lineno, format!("unknown [paths] key `{key}`"))),
+                },
+                Section::Rule(i) => {
+                    let rc = &mut cfg.rule_cfg[*i];
+                    match key.as_str() {
+                        "severity" => {
+                            let s = parse_string(&value, lineno)?;
+                            rc.severity = Some(Severity::parse(&s).ok_or_else(|| {
+                                err(lineno, format!("bad severity `{s}` (allow|warn|deny)"))
+                            })?);
+                        }
+                        "deny" => rc.deny = parse_array(&value, lineno)?,
+                        "warn" => rc.warn = parse_array(&value, lineno)?,
+                        "allow" => rc.allow = parse_array(&value, lineno)?,
+                        _ => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown rule key `{key}` (severity|deny|warn|allow)"),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        if !include_seen {
+            cfg.include = Config::default().include;
+        }
+        Ok(cfg)
+    }
+
+    /// Resolve the effective severity of `rule` for a workspace-relative
+    /// path. Precedence: allow globs > deny globs > warn globs > the
+    /// rule's configured default > the built-in default.
+    pub fn severity(&self, rule: &str, path: &str) -> Severity {
+        let Some(i) = rules::RULES.iter().position(|r| r.name == rule) else {
+            return Severity::Deny; // unknown rule names never silently pass
+        };
+        let rc = &self.rule_cfg[i];
+        if any_match(&rc.allow, path) {
+            Severity::Allow
+        } else if any_match(&rc.deny, path) {
+            Severity::Deny
+        } else if any_match(&rc.warn, path) {
+            Severity::Warn
+        } else {
+            rc.severity.unwrap_or(rules::RULES[i].default)
+        }
+    }
+
+    /// True when `path` (workspace-relative, `/`-separated) is in scope.
+    pub fn in_scope(&self, path: &str) -> bool {
+        any_match(&self.include, path) && !any_match(&self.exclude, path)
+    }
+}
+
+/// Remove a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, ConfigError> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(line, format!("expected a quoted string, got `{v}`")))
+}
+
+fn parse_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected an array, got `{v}`")))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[paths]
+include = ["src/**/*.rs", "crates/*/src/**/*.rs"]
+exclude = ["crates/shims/**"]
+
+[rule.wall-clock]
+severity = "warn"
+deny = ["crates/mailflow/src/**"]
+
+[rule.fail-closed]
+severity = "allow"
+deny = [
+    "crates/mailflow/src/org.rs",  # recovery paths
+    "crates/core/src/roni.rs",
+]
+"#,
+        )
+        .unwrap();
+        assert!(cfg.in_scope("crates/core/src/roni.rs"));
+        assert!(!cfg.in_scope("crates/shims/rand/src/lib.rs"));
+        assert!(!cfg.in_scope("crates/core/tests/prop.rs"));
+        assert_eq!(cfg.severity("wall-clock", "crates/mailflow/src/org.rs"), Severity::Deny);
+        assert_eq!(cfg.severity("wall-clock", "crates/experiments/src/runner.rs"), Severity::Warn);
+        assert_eq!(cfg.severity("fail-closed", "crates/core/src/roni.rs"), Severity::Deny);
+        assert_eq!(cfg.severity("fail-closed", "crates/core/src/attack.rs"), Severity::Allow);
+        // Unconfigured rules keep their built-in default.
+        assert_eq!(cfg.severity("modulo-rng", "src/lib.rs"), Severity::Deny);
+    }
+
+    #[test]
+    fn allow_globs_beat_deny_globs() {
+        let cfg = Config::parse(
+            "[rule.hash-iter]\nseverity = \"warn\"\ndeny = [\"crates/**\"]\nallow = [\"crates/x/src/gen.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.severity("hash-iter", "crates/x/src/gen.rs"), Severity::Allow);
+        assert_eq!(cfg.severity("hash-iter", "crates/x/src/other.rs"), Severity::Deny);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let e = Config::parse("[rule.no-such-rule]\nseverity = \"deny\"\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(Config::parse("[paths]\nfoo = [\"x\"]\n").is_err());
+        assert!(Config::parse("[rule.wall-clock]\nlevel = \"deny\"\n").is_err());
+        assert!(Config::parse("stray = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn bad_severity_is_an_error() {
+        let e = Config::parse("[rule.wall-clock]\nseverity = \"fatal\"\n").unwrap_err();
+        assert!(e.message.contains("fatal"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[paths]\ninclude = [\"a#b/**\"]\n").unwrap();
+        assert_eq!(cfg.include, vec!["a#b/**".to_string()]);
+    }
+}

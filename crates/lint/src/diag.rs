@@ -1,0 +1,107 @@
+//! Findings and their renderings (human text, machine JSON).
+
+use crate::config::Severity;
+use std::fmt;
+
+/// One resolved diagnostic: a rule violation at a file:line, with its
+/// effective severity under the committed configuration.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.path, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Render as one JSON object (hand-rolled: the workspace is
+    /// dependency-free and the shape is flat).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(&self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.path),
+            self.line,
+            json_str(&self.message),
+        )
+    }
+}
+
+/// Render a findings list as a JSON array (machine-readable output mode).
+pub fn to_json_array(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&f.to_json());
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let f = Finding {
+            rule: "wall-clock".into(),
+            severity: Severity::Deny,
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "say \"no\"\n".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"rule\":\"wall-clock\",\"severity\":\"deny\",\"path\":\"a/b.rs\",\
+             \"line\":3,\"message\":\"say \\\"no\\\"\\n\"}"
+        );
+    }
+
+    #[test]
+    fn display_is_file_line_rule() {
+        let f = Finding {
+            rule: "hash-iter".into(),
+            severity: Severity::Warn,
+            path: "src/lib.rs".into(),
+            line: 10,
+            message: "m".into(),
+        };
+        assert_eq!(f.to_string(), "src/lib.rs:10: warn[hash-iter]: m");
+    }
+}

@@ -1,0 +1,188 @@
+//! File walking, per-file analysis, suppression application.
+
+use crate::config::{Config, Severity};
+use crate::diag::Finding;
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{self, Suppression};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings, sorted by (path, line, rule). Severity `Allow` findings
+    /// are dropped; suppressed findings are counted, not listed.
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+}
+
+/// Walk upward from `start` looking for a directory containing
+/// `sb-lint.toml` — the workspace root as far as the linter is concerned.
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("sb-lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collect the workspace-relative paths of in-scope `.rs`
+/// files. Directory entries are visited in sorted order so reports are
+/// byte-stable across filesystems — the linter holds itself to the
+/// determinism bar it enforces.
+fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel) = stack.pop() {
+        let abs = root.join(&rel);
+        let mut entries: Vec<(String, bool)> = Vec::new();
+        for entry in fs::read_dir(&abs)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_dir = entry.file_type()?.is_dir();
+            entries.push((name, is_dir));
+        }
+        entries.sort();
+        for (name, is_dir) in entries {
+            let child = if rel.as_os_str().is_empty() { PathBuf::from(&name) } else { rel.join(&name) };
+            let rel_str = child.to_string_lossy().replace('\\', "/");
+            if is_dir {
+                // Never descend into build output or VCS metadata.
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(child);
+            } else if name.ends_with(".rs") && cfg.in_scope(&rel_str) {
+                out.push(rel_str);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every in-scope file under `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let files = collect_files(root, cfg)?;
+    let mut report = LintReport::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        lint_source(&rel, &src, cfg, &mut report);
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(report)
+}
+
+/// Lint one file's source text into `report`. Public for the fixture
+/// tests, which feed sources without a filesystem walk.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config, report: &mut LintReport) {
+    let toks = lexer::lex(src);
+    let code: Vec<Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
+    let mask = rules::test_mask(&code);
+    let raw = rules::scan_all(&code, &mask);
+    let mut sups = rules::parse_suppressions(&toks);
+    let mut used = vec![false; sups.len()];
+
+    for f in raw {
+        let severity = cfg.severity(f.rule, rel);
+        // A suppression covers findings on its own line (trailing comment)
+        // and on the following line (annotation on the line above). It
+        // applies to warn and deny findings alike — but an Allow severity
+        // means the rule isn't live here at all, and claiming the
+        // suppression would mask it as "used" on scope changes.
+        if severity == Severity::Allow {
+            continue;
+        }
+        if let Some(k) = sups.iter().position(|s| {
+            s.error.is_none() && s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)
+        }) {
+            used[k] = true;
+            report.suppressed += 1;
+            continue;
+        }
+        report.findings.push(Finding {
+            rule: f.rule.to_string(),
+            severity,
+            path: rel.to_string(),
+            line: f.line,
+            message: f.message,
+        });
+    }
+
+    for (s, was_used) in sups.drain(..).zip(used) {
+        if let Some(errmsg) = s.error {
+            let severity = cfg.severity("bad-suppression", rel);
+            if severity != Severity::Allow {
+                report.findings.push(Finding {
+                    rule: "bad-suppression".to_string(),
+                    severity,
+                    path: rel.to_string(),
+                    line: s.line,
+                    message: errmsg,
+                });
+            }
+        } else if !was_used {
+            let severity = cfg.severity("unused-suppression", rel);
+            if severity != Severity::Allow {
+                report.findings.push(Finding {
+                    rule: "unused-suppression".to_string(),
+                    severity,
+                    path: rel.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "allow({}) matches no `{}` finding on line {} or {} — remove it or fix \
+                         the annotation placement",
+                        s.rule,
+                        s.rule,
+                        s.line,
+                        s.line + 1
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Scan every in-scope file for suppression annotations and validate them
+/// (known rule name, mandatory reason). Returns `(valid, findings)` where
+/// findings are the malformed ones — the `--check-config` CI surface.
+pub fn check_suppressions(root: &Path, cfg: &Config) -> io::Result<(Vec<Suppression>, Vec<Finding>)> {
+    let files = collect_files(root, cfg)?;
+    let mut valid = Vec::new();
+    let mut bad = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        for s in rules::parse_suppressions(&lexer::lex(&src)) {
+            match s.error {
+                None => valid.push(s),
+                Some(errmsg) => bad.push(Finding {
+                    rule: "bad-suppression".to_string(),
+                    severity: Severity::Deny,
+                    path: rel.clone(),
+                    line: s.line,
+                    message: errmsg,
+                }),
+            }
+        }
+    }
+    Ok((valid, bad))
+}

@@ -1,0 +1,89 @@
+//! Path glob matching for lint scopes.
+//!
+//! Patterns are `/`-separated and matched against workspace-relative paths
+//! (also `/`-separated, no leading `./`). Supported syntax:
+//!
+//! * `*` — any run of characters within one path segment;
+//! * `?` — any single character within a segment;
+//! * `**` — any number of whole segments, including zero (so
+//!   `crates/**/*.rs` matches `crates/a.rs` and `crates/a/b/c.rs`).
+//!
+//! No brace sets, no character classes — the committed `sb-lint.toml`
+//! needs nothing more, and a smaller grammar is easier to reason about.
+
+/// Match `pattern` against `path` (both `/`-separated, case-sensitive).
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segs(&pat, &segs)
+}
+
+fn match_segs(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // `**` absorbs zero or more whole segments.
+            (0..=segs.len()).any(|k| match_segs(&pat[1..], &segs[k..]))
+        }
+        Some(p) => match segs.first() {
+            None => false,
+            Some(s) => match_one(p, s) && match_segs(&pat[1..], &segs[1..]),
+        },
+    }
+}
+
+/// Single-segment wildcard match (`*`, `?`, literals).
+fn match_one(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    match_chars(&p, &s)
+}
+
+fn match_chars(p: &[char], s: &[char]) -> bool {
+    match p.first() {
+        None => s.is_empty(),
+        Some('*') => (0..=s.len()).any(|k| match_chars(&p[1..], &s[k..])),
+        Some('?') => !s.is_empty() && match_chars(&p[1..], &s[1..]),
+        Some(c) => s.first() == Some(c) && match_chars(&p[1..], &s[1..]),
+    }
+}
+
+/// True when any pattern in `globs` matches `path`.
+pub fn any_match(globs: &[String], path: &str) -> bool {
+    globs.iter().any(|g| glob_match(g, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_stars() {
+        assert!(glob_match("src/lib.rs", "src/lib.rs"));
+        assert!(glob_match("src/*.rs", "src/lib.rs"));
+        assert!(!glob_match("src/*.rs", "src/bin/main.rs"));
+        assert!(glob_match("crates/*/src/**/*.rs", "crates/core/src/roni.rs"));
+        assert!(glob_match("crates/*/src/**/*.rs", "crates/experiments/src/bin/repro.rs"));
+        assert!(!glob_match("crates/*/src/**/*.rs", "crates/core/tests/t.rs"));
+    }
+
+    #[test]
+    fn double_star_absorbs_zero_segments() {
+        assert!(glob_match("a/**/b.rs", "a/b.rs"));
+        assert!(glob_match("a/**/b.rs", "a/x/y/b.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match("crates/shims/**", "crates/shims/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn question_mark() {
+        assert!(glob_match("fig?.rs", "fig1.rs"));
+        assert!(!glob_match("fig?.rs", "fig12.rs"));
+    }
+
+    #[test]
+    fn exact_file_globs() {
+        assert!(glob_match("crates/mailflow/src/org.rs", "crates/mailflow/src/org.rs"));
+        assert!(!glob_match("crates/mailflow/src/org.rs", "crates/mailflow/src/wire.rs"));
+    }
+}

@@ -1,0 +1,391 @@
+//! A minimal Rust lexer.
+//!
+//! Produces a flat token stream — identifiers, literals, punctuation,
+//! comments — with line numbers. This is all the structure the lint rules
+//! need: they match token *patterns* (e.g. `.next() %`, `Instant::now`),
+//! not a parsed AST, so the lexer's only hard obligations are the ones
+//! that would otherwise produce false positives:
+//!
+//! * string/char/byte/raw-string literals must be opaque (an `"unwrap()"`
+//!   inside a format string is not a call);
+//! * comments must be preserved verbatim (suppression annotations live in
+//!   line comments) but kept out of the code stream;
+//! * lifetimes must not be confused with char literals;
+//! * nested block comments must balance.
+//!
+//! Keywords are ordinary identifiers here (`as`, `for`, `in` are matched
+//! by text where a rule needs them).
+
+/// Token class. Rules mostly dispatch on `Ident` text and single-char
+/// `Punct`s; multi-char operators (`::`, `..`) appear as adjacent puncts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes kept.
+    Str,
+    /// Numeric literal, char literal, byte literal, or lifetime.
+    Lit,
+    /// A single punctuation character.
+    Punct,
+    /// Line or block comment, text kept verbatim (suppressions live here).
+    Comment,
+}
+
+/// One lexed token. `line` is 1-based and refers to the token's first line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True for an identifier token equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. The lexer is total: malformed input
+/// (an unterminated string, say) never panics — it degrades to consuming
+/// the rest of the file as one token, which is the right behavior for a
+/// lint that must not crash on the code it polices.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let slice = |a: usize, b: usize| -> String { chars[a..b.min(n)].iter().collect() };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Comment, text: slice(start, i), line });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Comment, text: slice(start, i), line: start_line });
+            continue;
+        }
+        // Raw identifier r#name, raw string r"…" / r#"…"#, byte/raw-byte
+        // strings b"…" / br#"…"#, byte char b'…'.
+        if c == 'r' || c == 'b' {
+            let c1 = chars.get(i + 1).copied();
+            // r#ident (but r#"…" is a raw string: the char after '#' is '"').
+            if c == 'r'
+                && c1 == Some('#')
+                && chars.get(i + 2).copied().map(ident_start) == Some(true)
+            {
+                let start = i + 2;
+                i += 2;
+                while i < n && ident_cont(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: slice(start, i), line });
+                continue;
+            }
+            let (is_str, prefix_len, raw) = match (c, c1, chars.get(i + 2).copied()) {
+                ('r', Some('"'), _) => (true, 1, true),
+                ('r', Some('#'), _) => (true, 1, true),
+                ('b', Some('"'), _) => (true, 1, false),
+                ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (true, 2, true),
+                _ => (false, 0, false),
+            };
+            if is_str {
+                let start = i;
+                let start_line = line;
+                i += prefix_len;
+                if raw {
+                    let mut hashes = 0usize;
+                    while chars.get(i) == Some(&'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    i += 1; // opening quote
+                    'raw: while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        } else if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    i += 1; // opening quote
+                    while i < n {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Str, text: slice(start, i), line: start_line });
+                continue;
+            }
+            if c == 'b' && c1 == Some('\'') {
+                let start = i;
+                i += 2;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Lit, text: slice(start, i), line });
+                continue;
+            }
+            // plain identifier starting with r/b — fall through
+        }
+        if ident_start(c) {
+            let start = i;
+            while i < n && ident_cont(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: slice(start, i), line });
+            continue;
+        }
+        // Ordinary string literal (may span lines).
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok { kind: TokKind::Str, text: slice(start, i), line: start_line });
+            continue;
+        }
+        // Lifetime vs char literal: `'a` / `'static` are lifetimes when the
+        // char after the identifier run is not a closing quote.
+        if c == '\'' {
+            if chars.get(i + 1).copied().map(ident_start) == Some(true)
+                && chars.get(i + 2) != Some(&'\'')
+            {
+                let start = i;
+                i += 1;
+                while i < n && ident_cont(chars[i]) {
+                    i += 1;
+                }
+                // `'a'` with a multi-char lookahead miss is impossible here:
+                // ident run stopped before a quote, so this is a lifetime.
+                if chars.get(i) != Some(&'\'') {
+                    toks.push(Tok { kind: TokKind::Lit, text: slice(start, i), line });
+                    continue;
+                }
+                // Rare: `'x'` where lookahead saw ident_cont — rewind to
+                // char-literal handling below.
+                i = start;
+            }
+            let start = i;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok { kind: TokKind::Lit, text: slice(start, i), line });
+            continue;
+        }
+        // Numeric literal. `.` continues the number only when followed by a
+        // digit (so `1..5` lexes as `1`, `.`, `.`, `5`); `+`/`-` continue it
+        // only directly after an exponent marker.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let ch = chars[i];
+                let continues = ident_cont(ch)
+                    || (ch == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+                    || ((ch == '+' || ch == '-')
+                        && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+                        && !(chars[start] == '0'
+                            && matches!(chars.get(start + 1), Some('x') | Some('b') | Some('o'))));
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Lit, text: slice(start, i), line });
+            continue;
+        }
+        // Everything else: one punctuation char per token.
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let t = lex("foo.bar()\nbaz");
+        assert_eq!(t.len(), 6);
+        assert!(t[0].is_ident("foo"));
+        assert!(t[1].is_punct('.'));
+        assert_eq!(t[4].line, 1);
+        assert_eq!(t[5].line, 2);
+        assert!(t[5].is_ident("baz"));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let t = kinds(r#"let s = "x.unwrap() % 3";"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!t.iter().any(|(k, x)| *k == TokKind::Ident && x == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = kinds(r###"let s = r#"a "quoted" % b"#; done"###);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Str && x.contains("quoted")));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lits: Vec<_> =
+            t.iter().filter(|(k, _)| *k == TokKind::Lit).map(|(_, x)| x.clone()).collect();
+        assert!(lits.contains(&"'a".to_string()));
+        assert!(lits.contains(&"'x'".to_string()));
+        assert!(lits.contains(&"'\\n'".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokKind::Comment);
+        assert_eq!(t[1].1, "x");
+    }
+
+    #[test]
+    fn line_comments_keep_text() {
+        let t = lex("x // sb-lint: allow(wall-clock, \"reason\")");
+        assert_eq!(t[1].kind, TokKind::Comment);
+        assert!(t[1].text.contains("sb-lint: allow"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = kinds("for i in 1..50 {}");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lit && x == "1"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lit && x == "50"));
+        assert_eq!(t.iter().filter(|(_, x)| x == ".").count(), 2);
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        let t = kinds("let x = 1.5e-3 + 0xFFu64;");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lit && x == "1.5e-3"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lit && x == "0xFFu64"));
+    }
+
+    #[test]
+    fn raw_idents() {
+        let t = kinds("let r#type = 3;");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "type"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let t = kinds(r#"let b = b"bytes"; let c = b'x';"#);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Str && x.starts_with("b\"")));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lit && x == "b'x'"));
+    }
+}

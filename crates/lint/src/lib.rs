@@ -1,0 +1,35 @@
+//! `sb-lint` — workspace-wide determinism & invariant lint engine.
+//!
+//! The repo's load-bearing guarantee is that weekly reports are
+//! bit-identical for every shard count. That guarantee has failed twice
+//! to the same few bug classes (the PR 3 modulo-biased RNG folds; the
+//! PR 6 shard-identity seed paths), and nothing but reviewer vigilance
+//! stood between the codebase and a third regression. This crate turns
+//! the determinism discipline into a checked property, the way
+//! `clippy -D warnings` already gates style:
+//!
+//! * a hand-rolled, dependency-free Rust lexer ([`lexer`]) — the
+//!   workspace builds air-gapped, so `syn` is not an option;
+//! * five hazard rules over the token stream ([`rules`]): `modulo-rng`,
+//!   `shard-seed`, `hash-iter`, `wall-clock`, `fail-closed`;
+//! * reviewed escape hatches: `// sb-lint: allow(rule, "reason")`, with
+//!   the reason mandatory and unknown rule names themselves a diagnostic;
+//! * a committed [`config`] (`sb-lint.toml`) giving each rule a default
+//!   severity plus per-module-glob deny/warn/allow overrides;
+//! * human (`file:line: severity[rule]: message`) and machine (JSON)
+//!   output ([`diag`]).
+//!
+//! Entry points: the `sb-lint` binary (`cargo run -p sb-lint -- --deny`),
+//! the `repro lint` subcommand, and [`engine::lint_workspace`] for tests.
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod glob;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError, Severity};
+pub use diag::Finding;
+pub use engine::{discover_root, lint_workspace, LintReport};
+pub use rules::{RuleInfo, RULES};

@@ -1,0 +1,186 @@
+//! `sb-lint` CLI — the standalone lint lane.
+//!
+//! ```text
+//! sb-lint [--root DIR] [--config FILE] [--deny] [--format text|json]
+//!         [--check-config] [--list-rules]
+//! ```
+//!
+//! * default: print findings, exit 0 (advisory);
+//! * `--deny`: exit 1 when any deny-severity finding survives — the CI
+//!   gate (`cargo run -p sb-lint -- --deny`);
+//! * `--check-config`: parse `sb-lint.toml` and validate every
+//!   `sb-lint: allow(...)` annotation in-tree (rule name must be live,
+//!   reason mandatory); exit 1 on any violation;
+//! * `--format json`: machine-readable findings array;
+//! * `--list-rules`: rule registry with defaults.
+//!
+//! Exit codes: 0 clean, 1 findings (under the selected gate), 2 usage or
+//! configuration error.
+
+use sb_lint::{config::Config, diag, engine, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    check_config: bool,
+    list_rules: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sb-lint [--root DIR] [--config FILE] [--deny] [--format text|json] \
+         [--check-config] [--list-rules]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        deny: false,
+        json: false,
+        check_config: false,
+        list_rules: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(PathBuf::from(argv.next().ok_or("--root needs a dir")?)),
+            "--config" => {
+                args.config = Some(PathBuf::from(argv.next().ok_or("--config needs a file")?))
+            }
+            "--deny" => args.deny = true,
+            "--format" => match argv.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                _ => return Err("--format needs text|json".into()),
+            },
+            "--check-config" => args.check_config = true,
+            "--list-rules" => args.list_rules = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            return usage();
+        }
+    };
+
+    if args.list_rules {
+        println!("{:<20} {:<7} summary", "rule", "default");
+        for r in RULES {
+            println!("{:<20} {:<7} {}", r.name, r.default.to_string(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match engine::discover_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "sb-lint: no sb-lint.toml found walking up from {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let config_path = args.config.clone().unwrap_or_else(|| root.join("sb-lint.toml"));
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sb-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.check_config {
+        return check_config(&root, &cfg);
+    }
+
+    let report = match engine::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", diag::to_json_array(&report.findings));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "sb-lint: {} finding(s) ({} deny, {} warn) in {} file(s); {} suppressed",
+            report.findings.len(),
+            report.deny_count(),
+            report.warn_count(),
+            report.files_scanned,
+            report.suppressed,
+        );
+    }
+
+    if args.deny && report.deny_count() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--check-config`: the config parsed (or we exited 2 above); validate
+/// every suppression annotation in-tree against the live rule registry.
+fn check_config(root: &std::path::Path, cfg: &Config) -> ExitCode {
+    let (valid, bad) = match engine::check_suppressions(root, cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &bad {
+        println!("{f}");
+    }
+    let mut by_rule: Vec<(String, usize)> = Vec::new();
+    for s in &valid {
+        match by_rule.iter_mut().find(|(r, _)| *r == s.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((s.rule.clone(), 1)),
+        }
+    }
+    by_rule.sort();
+    print!("sb-lint: config OK; {} suppression(s) in-tree", valid.len());
+    if !by_rule.is_empty() {
+        let detail: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}×{n}")).collect();
+        print!(" ({})", detail.join(", "));
+    }
+    println!("; {} malformed", bad.len());
+    if bad.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,642 @@
+//! The determinism hazard rules.
+//!
+//! Each rule is a scanner over the code token stream of one file (comments
+//! stripped, `#[cfg(test)]` / `#[test]` items masked out). Rules match
+//! token patterns, not an AST — the idioms they police are syntactically
+//! shallow, and a shallow matcher is auditable in a way a type-aware one
+//! is not. Every rule errs toward reporting: a false positive costs one
+//! reviewed `sb-lint: allow(rule, "reason")` annotation, a false negative
+//! costs a broken golden report three PRs later.
+//!
+//! | rule         | hazard (history)                                          |
+//! |--------------|-----------------------------------------------------------|
+//! | `modulo-rng` | `%` / truncating `as` on a raw RNG draw (PR 3 bug class)  |
+//! | `shard-seed` | shard/worker/thread identity in a seed path (PR 6 class)  |
+//! | `hash-iter`  | hash-order iteration in merge/digest modules              |
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` off the virtual clock  |
+//! | `fail-closed`| `unwrap`/`expect` in fault/recovery/screening paths       |
+//!
+//! Two meta rules police the suppression mechanism itself:
+//! `bad-suppression` (unknown rule name, or a missing reason) and
+//! `unused-suppression` (an annotation that no longer matches a finding).
+
+use crate::config::Severity;
+use crate::lexer::{Tok, TokKind};
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+    /// Built-in default severity when `sb-lint.toml` is silent.
+    pub default: Severity,
+}
+
+/// The rule registry. Order is the reporting order within a line.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "modulo-rng",
+        summary: "`%` or a truncating `as` cast applied to a raw RNG draw; use next_below(n)",
+        default: Severity::Deny,
+    },
+    RuleInfo {
+        name: "shard-seed",
+        summary: "seed-path derivation keyed by shard/worker/thread identity; key by (day, wire position)",
+        default: Severity::Deny,
+    },
+    RuleInfo {
+        name: "hash-iter",
+        summary: "iteration over a hash-ordered container in an order-sensitive (merge/digest) module",
+        default: Severity::Warn,
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "wall-clock read (Instant::now / SystemTime::now) in a simulation path; use the virtual clock",
+        default: Severity::Warn,
+    },
+    RuleInfo {
+        name: "fail-closed",
+        summary: "panicking unwrap()/expect() in a fault/recovery/screening path; return a typed error",
+        default: Severity::Warn,
+    },
+    RuleInfo {
+        name: "bad-suppression",
+        summary: "malformed sb-lint: allow(...) — unknown rule name or missing reason",
+        default: Severity::Deny,
+    },
+    RuleInfo {
+        name: "unused-suppression",
+        summary: "sb-lint: allow(...) annotation that matches no finding on its line",
+        default: Severity::Warn,
+    },
+];
+
+/// True when `name` names a hazard rule a suppression may target.
+pub fn is_suppressible(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+        && name != "bad-suppression"
+        && name != "unused-suppression"
+}
+
+/// A raw (pre-severity, pre-suppression) finding inside one file.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+fn finding(rule: &'static str, line: u32, message: impl Into<String>) -> RawFinding {
+    RawFinding { rule, line, message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Test-code masking
+// ---------------------------------------------------------------------------
+
+/// Compute a per-token mask that is `true` inside items gated to test
+/// builds: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`,
+/// `#[cfg_attr(test, …)]`. `#[cfg(not(test))]` is production code and is
+/// NOT masked (heuristic: an attribute containing `not` anywhere keeps
+/// the item live — conservative in the reporting direction).
+///
+/// The "item" following the attribute run is skipped to the first `;` at
+/// bracket depth zero or through the first balanced `{…}` block.
+pub fn test_mask(code: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Attribute run: `#` `[` … `]` (possibly `#!`), maybe several in a row.
+        let attr_start = i;
+        let mut gated = false;
+        let mut j = i;
+        while j < code.len() && code[j].is_punct('#') {
+            let mut k = j + 1;
+            if k < code.len() && code[k].is_punct('!') {
+                k += 1;
+            }
+            if !(k < code.len() && code[k].is_punct('[')) {
+                break;
+            }
+            // Scan the bracket group.
+            let mut depth = 0usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while k < code.len() {
+                let t = &code[k];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                } else if t.is_ident("test") {
+                    saw_test = true;
+                } else if t.is_ident("not") {
+                    saw_not = true;
+                }
+                k += 1;
+            }
+            if saw_test && !saw_not {
+                gated = true;
+            }
+            j = k;
+        }
+        if !gated {
+            i = (i + 1).max(j.min(code.len()));
+            continue;
+        }
+        // Skip the gated item: to `;` at depth 0, or through one `{…}`.
+        let mut paren = 0i32;
+        let mut brack = 0i32;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                brack += 1;
+            } else if t.is_punct(']') {
+                brack -= 1;
+            } else if t.is_punct(';') && paren == 0 && brack == 0 {
+                j += 1;
+                break;
+            } else if t.is_punct('{') && paren == 0 && brack == 0 {
+                let mut depth = 0i32;
+                while j < code.len() {
+                    if code[j].is_punct('{') {
+                        depth += 1;
+                    } else if code[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(j).skip(attr_start) {
+            *m = true;
+        }
+        i = j.max(attr_start + 1);
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------
+
+/// Index of the `)` matching the `(` at `open` (or `code.len()` if unbalanced).
+fn matching_paren(code: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < code.len() {
+        if code[i].is_punct('(') {
+            depth += 1;
+        } else if code[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// True when `code[i]` is a method name called as `.name(` .
+fn is_method_call(code: &[Tok], i: usize, names: &[&str]) -> bool {
+    code[i].kind == TokKind::Ident
+        && names.iter().any(|n| code[i].text == *n)
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && i + 1 < code.len()
+        && code[i + 1].is_punct('(')
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: modulo-rng
+// ---------------------------------------------------------------------------
+
+/// RNG output reduced by `%` or narrowed by a truncating cast — the PR 3
+/// modulo-bias bug class. Matches `.next()`, `.next_u64()`, `.next_u32()`
+/// whose call result immediately feeds `%` or `as <narrower int>`.
+pub fn scan_modulo_rng(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    const DRAWS: &[&str] = &["next", "next_u64", "next_u32"];
+    const TRUNCATING: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if mask[i] || !is_method_call(code, i, DRAWS) {
+            continue;
+        }
+        let close = matching_paren(code, i + 1);
+        let Some(next) = code.get(close + 1) else { continue };
+        if next.is_punct('%') {
+            out.push(finding(
+                "modulo-rng",
+                next.line,
+                format!(
+                    "`{}()` output reduced with `%` — modulo-biased; draw with `next_below(n)`",
+                    code[i].text
+                ),
+            ));
+        } else if next.is_ident("as") {
+            if let Some(ty) = code.get(close + 2) {
+                if TRUNCATING.contains(&ty.text.as_str()) {
+                    out.push(finding(
+                        "modulo-rng",
+                        next.line,
+                        format!(
+                            "`{}()` output truncated with `as {}` — discards high bits; \
+                             draw with `next_below(n)` or keep the full u64",
+                            code[i].text, ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: shard-seed
+// ---------------------------------------------------------------------------
+
+/// Shard identity interpolated into a seed derivation — the PR 6 invariant.
+/// Seed paths must key on stable logical coordinates (`day`, wire
+/// position), never on `shard` / `worker_id` / thread index, which change
+/// with the shard count and break bit-identical reports.
+///
+/// Matches the argument lists of `.child(…)`, `.index(…)`, `.seeded(…)`,
+/// `.seed_from_u64(…)` and of `SeedTree::new(…)` / `Xoshiro256pp::new(…)` /
+/// `SplitMix64::new(…)`, flagging identifiers (or string-literal labels)
+/// that carry shard identity.
+pub fn scan_shard_seed(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    const DERIVE_METHODS: &[&str] = &["child", "index", "seeded", "seed_from_u64"];
+    const RNG_TYPES: &[&str] = &["SeedTree", "Xoshiro256pp", "SplitMix64"];
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if mask[i] {
+            continue;
+        }
+        let open = if is_method_call(code, i, DERIVE_METHODS) {
+            i + 1
+        } else if code[i].kind == TokKind::Ident
+            && RNG_TYPES.contains(&code[i].text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && code.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            i + 4
+        } else {
+            continue;
+        };
+        let close = matching_paren(code, open);
+        for t in &code[open + 1..close.min(code.len())] {
+            let hit = match t.kind {
+                TokKind::Ident => shard_identity(&t.text),
+                TokKind::Str => shard_identity(&t.text),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                out.push(finding(
+                    "shard-seed",
+                    t.line,
+                    format!(
+                        "seed path derives from {what} `{}` — shard identity changes with the \
+                         shard count; key seeds by (day, wire position) instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Classify a token text as shard identity, if it is one.
+fn shard_identity(text: &str) -> Option<&'static str> {
+    let lower = text.to_ascii_lowercase();
+    if lower.contains("shard") {
+        Some("shard identity")
+    } else if lower.contains("worker") {
+        Some("worker identity")
+    } else if lower.contains("thread") || lower == "tid" {
+        Some("thread identity")
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: hash-iter
+// ---------------------------------------------------------------------------
+
+/// Iteration over a hash-ordered container in an order-sensitive module.
+/// Hash iteration order is arbitrary (and randomized across `FxHash`
+/// layout changes), so any report-merge / golden-digest / fresh-pool
+/// code observing it corrupts bit-reproducibility.
+///
+/// Heuristic, file-local type tracking: a name is "hash-bound" when it is
+/// annotated `name: HashMap<…>` (also `HashSet`/`FxHashMap`/`FxHashSet`,
+/// any path prefix) or initialized `name = FxHashMap::default()`-style.
+/// Findings are raised when a hash-bound name — as a plain binding or a
+/// `self.` field — is iterated (`iter`, `keys`, `values`, `drain`,
+/// `retain`, `into_iter`, …) or used as a `for … in` iterable. Fields of
+/// *other* receivers (`ckpt.name.iter()`) are deliberately not matched:
+/// the owner's type is unknown to a single-file scan.
+pub fn scan_hash_iter(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "into_keys",
+        "into_values",
+        "drain",
+        "retain",
+    ];
+    let is_hash_ty = |t: &Tok| t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str());
+
+    // Pass A: collect hash-bound names.
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..code.len() {
+        // `name : [&|mut|path::]* HashMap <` — annotation on a field, let,
+        // or parameter. Require a single `:` (not `::`).
+        if code[i].kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && i.checked_sub(1).is_none_or(|p| !code[p].is_punct(':'))
+        {
+            let mut j = i + 2;
+            // Skip reference/mut/lifetime/path-prefix tokens up to the type head.
+            while j < code.len() {
+                let t = &code[j];
+                if t.is_punct('&')
+                    || t.is_ident("mut")
+                    || t.is_ident("dyn")
+                    || t.kind == TokKind::Lit && t.text.starts_with('\'')
+                {
+                    j += 1;
+                } else if t.kind == TokKind::Ident
+                    && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && code.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    j += 3; // path segment `seg::`
+                } else {
+                    break;
+                }
+            }
+            if code.get(j).is_some_and(is_hash_ty) {
+                names.push(code[i].text.clone());
+            }
+        }
+        // `name = HashMap::new()` / `= FxHashMap::default()` initializers.
+        if is_hash_ty(&code[i])
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && i >= 2
+            && code[i - 1].is_punct('=')
+            && code[i - 2].kind == TokKind::Ident
+        {
+            names.push(code[i - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    let is_hash_name = |t: &Tok| t.kind == TokKind::Ident && names.binary_search(&t.text).is_ok();
+    // A hash name used as a plain binding or a `self.` field (not a field
+    // of some other receiver, whose type this file-local scan can't know).
+    let receiver_ok = |i: usize| -> bool {
+        if i == 0 || !code[i - 1].is_punct('.') {
+            return true; // plain `name`
+        }
+        i >= 2 && code[i - 2].is_ident("self")
+    };
+
+    // Pass B: iteration sites.
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if mask[i] {
+            continue;
+        }
+        // `name.iter()` / `self.name.values()` …
+        if is_method_call(code, i, ITER_METHODS)
+            && i >= 2
+            && is_hash_name(&code[i - 2])
+            && receiver_ok(i - 2)
+        {
+            out.push(finding(
+                "hash-iter",
+                code[i].line,
+                format!(
+                    "iteration (`{}`) over hash-ordered `{}` in an order-sensitive module — \
+                     hash order is arbitrary; collect and sort by a canonical key (or use BTreeMap)",
+                    code[i].text, code[i - 2].text
+                ),
+            ));
+        }
+        // `for pat in [&[mut]] name {` / `for pat in self.name {`
+        if code[i].is_ident("for") {
+            // Find the matching `in` at depth 0, then scan the iterable
+            // expression up to the loop body `{`.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < code.len() {
+                let t = &code[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_ident("in") {
+                    break;
+                } else if depth == 0 && t.is_punct('{') {
+                    j = code.len(); // not a for-loop header after all
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < code.len() && !code[k].is_punct('{') {
+                if !mask[k] && is_hash_name(&code[k]) && receiver_ok(k) {
+                    // Method calls on the name are handled above; only flag
+                    // the bare iterable (`in &name {`, `in name {`).
+                    let next_is_call = code.get(k + 1).is_some_and(|t| t.is_punct('.'));
+                    if !next_is_call {
+                        out.push(finding(
+                            "hash-iter",
+                            code[k].line,
+                            format!(
+                                "`for` iteration over hash-ordered `{}` in an order-sensitive \
+                                 module — hash order is arbitrary; sort by a canonical key first",
+                                code[k].text
+                            ),
+                        ));
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: wall-clock
+// ---------------------------------------------------------------------------
+
+/// Wall-clock reads in simulation paths. The mailflow/core simulation is
+/// on a virtual clock (day counters, `BackoffSchedule::delay_ms`); an
+/// `Instant::now()` in those paths couples results to host timing.
+pub fn scan_wall_clock(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if mask[i] || code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let ty = code[i].text.as_str();
+        if (ty == "Instant" || ty == "SystemTime")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(finding(
+                "wall-clock",
+                code[i].line,
+                format!(
+                    "`{ty}::now()` reads the wall clock — simulation paths must stay on the \
+                     virtual clock (day counters / BackoffSchedule)",
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: fail-closed
+// ---------------------------------------------------------------------------
+
+/// Panicking `unwrap()`/`expect()` in fault/recovery/screening paths.
+/// PR 3–6 converted these paths to typed fail-closed errors (`RoniError`,
+/// `FaultError`, `OrgConfigError`); a panic in them turns a recoverable
+/// fault into an outage.
+pub fn scan_fail_closed(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    const PANICKING: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err", "unwrap_unchecked"];
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if mask[i] || !is_method_call(code, i, PANICKING) {
+            continue;
+        }
+        out.push(finding(
+            "fail-closed",
+            code[i].line,
+            format!(
+                "panicking `{}()` in a fault/recovery/screening path — \
+                 return a typed error and fail closed instead",
+                code[i].text
+            ),
+        ));
+    }
+    out
+}
+
+/// Run every hazard rule over one file's code tokens.
+pub fn scan_all(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    out.extend(scan_modulo_rng(code, mask));
+    out.extend(scan_shard_seed(code, mask));
+    out.extend(scan_hash_iter(code, mask));
+    out.extend(scan_wall_clock(code, mask));
+    out.extend(scan_fail_closed(code, mask));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// A parsed `// sb-lint: allow(rule, "reason")` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on. It suppresses matching findings on this
+    /// line (trailing comment) and the next (own-line comment above).
+    pub line: u32,
+    pub rule: String,
+    pub reason: Option<String>,
+    /// Parse problem, reported as `bad-suppression`.
+    pub error: Option<String>,
+}
+
+/// Extract suppression annotations from a file's comment tokens.
+///
+/// Only plain `//` line comments carry suppressions: doc comments
+/// (`///`, `//!`) and block comments are documentation, so prose like
+/// "use `sb-lint: allow(rule, \"reason\")`" in a doc comment is not
+/// itself an annotation.
+pub fn parse_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment
+            || !t.text.starts_with("//")
+            || t.text.starts_with("///")
+            || t.text.starts_with("//!")
+        {
+            continue;
+        }
+        let Some(pos) = t.text.find("sb-lint:") else { continue };
+        let body = t.text[pos + "sb-lint:".len()..].trim();
+        out.push(parse_allow(body, t.line));
+    }
+    out
+}
+
+fn bad(line: u32, error: impl Into<String>) -> Suppression {
+    Suppression { line, rule: String::new(), reason: None, error: Some(error.into()) }
+}
+
+/// Parse `allow(<rule>, "<reason>")`. Reasons are mandatory: a suppression
+/// is a reviewed exception, and the review lives in the reason string.
+fn parse_allow(body: &str, line: u32) -> Suppression {
+    let Some(rest) = body.strip_prefix("allow") else {
+        return bad(line, format!("expected `allow(rule, \"reason\")`, got `{body}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(').and_then(|r| r.rfind(')').map(|e| &r[..e])) else {
+        return bad(line, "expected `(` after `allow` and a closing `)`");
+    };
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if !is_suppressible(rule) {
+        return bad(line, format!("unknown rule `{rule}` in allow(...) (see --list-rules)"));
+    }
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return bad(
+            line,
+            format!("allow({rule}) is missing its mandatory reason: allow({rule}, \"why\")"),
+        );
+    }
+    Suppression { line, rule: rule.to_string(), reason: Some(reason.to_string()), error: None }
+}

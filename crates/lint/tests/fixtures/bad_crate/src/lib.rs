@@ -1,0 +1,28 @@
+//! The deliberately bad crate: one of everything, for the golden
+//! diagnostics snapshot. NOT COMPILED — lexed by the fixture suite.
+
+mod merge;
+
+fn seed_per_worker(seeds: &SeedTree, worker_id: u64) -> u64 {
+    seeds.child("worker").index(worker_id).seed()
+}
+
+fn biased_pick(rng: &mut Xoshiro256pp, n: u64) -> u64 {
+    rng.next() % n
+}
+
+fn truncated_draw(rng: &mut Xoshiro256pp) -> u32 {
+    rng.next_u64() as u32
+}
+
+fn timed(pipe: &mut Pipe) -> Instant {
+    Instant::now()
+}
+
+fn suppressed_with_reason(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 2 // sb-lint: allow(modulo-rng, "u64 parity is exactly uniform")
+}
+
+fn suppressed_badly(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 3 // sb-lint: allow(modulo-rng)
+}

@@ -1,0 +1,19 @@
+//! Merge module of the bad crate: hash-order and panic hazards.
+//! NOT COMPILED — lexed by the fixture suite.
+
+pub fn merge_report(per_shard: &FxHashMap<u64, WeekTally>) -> WeekTally {
+    let mut total = WeekTally::default();
+    for (_shard, tally) in per_shard.iter() {
+        total.absorb(tally);
+    }
+    total
+}
+
+pub fn recover(image: &[u8]) -> TokenDb {
+    persist::restore(image).unwrap()
+}
+
+// sb-lint: allow(hash-iter, "stale: nothing iterates below")
+pub fn lengths(pool: &[u64]) -> usize {
+    pool.len()
+}

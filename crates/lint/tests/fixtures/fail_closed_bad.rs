@@ -1,0 +1,25 @@
+//! POSITIVE fixture: panicking calls in fault/recovery/screening paths.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn route_redelivery(mailboxes: &mut Mailboxes, rcpt: &str) {
+    let mbox = mailboxes.get_mut(rcpt).unwrap(); // line 5
+    mbox.deliver();
+}
+
+fn screen_batch(roni: &RoniDefense, ids: &[TokenId]) -> Screened {
+    roni.try_screen_ids(ids).expect("screening failed") // line 10
+}
+
+fn restore_checkpoint(image: &[u8]) -> TokenDb {
+    persist::restore(image).expect("corrupt checkpoint") // line 14
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        // Masked: test code asserts invariants rather than carrying them.
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

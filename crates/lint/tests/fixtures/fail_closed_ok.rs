@@ -1,0 +1,28 @@
+//! NEGATIVE fixture: fail-closed error handling in the same paths.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn route_redelivery(mailboxes: &mut Mailboxes, rcpt: &str) -> Result<(), RouteError> {
+    // let-else bounces instead of panicking.
+    let Some(mbox) = mailboxes.get_mut(rcpt) else {
+        return Err(RouteError::UnknownRecipient);
+    };
+    mbox.deliver();
+    Ok(())
+}
+
+fn screen_batch(roni: &RoniDefense, ids: &[TokenId]) -> Result<Screened, RoniError> {
+    // `?` propagates the typed error; the week fails closed upstream.
+    let screened = roni.try_screen_ids(ids)?;
+    Ok(screened)
+}
+
+fn defaults_are_not_panics(x: Option<u64>, r: Result<u64, E>) -> u64 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default never panic.
+    x.unwrap_or(0) + r.unwrap_or_else(|_| 1) + x.unwrap_or_default()
+}
+
+#[test]
+fn bare_test_attribute_is_masked_too() {
+    let v: Result<u32, ()> = Ok(3);
+    assert_eq!(v.unwrap(), 3);
+}

@@ -1,0 +1,36 @@
+//! POSITIVE fixture: hash-order iteration inside an order-sensitive
+//! (merge/digest) module — the golden-corruption hazard class.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+struct ReportMerger {
+    per_user: FxHashMap<String, WeekTally>,
+}
+
+impl ReportMerger {
+    fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        // Field iteration: hash order leaks into the digest.
+        for (_name, tally) in self.per_user.iter() { // line 13
+            acc = acc.wrapping_add(tally.offered as u64);
+        }
+        acc
+    }
+}
+
+fn merge_pools(pools: &FxHashMap<u64, Vec<u64>>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_k, v) in pools { // line 22
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+fn drain_counts() -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    counts.insert("a".to_string(), 1);
+    counts.drain().collect() // line 31
+}
+
+fn key_order(seen: &HashSet<u64>) -> Vec<u64> {
+    seen.iter().copied().collect() // line 35
+}

@@ -1,0 +1,37 @@
+//! NEGATIVE fixture: order-safe container use in a merge/digest module.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn sorted_collect(per_user: &FxHashMap<String, usize>, users: &[String]) -> Vec<usize> {
+    // Keyed lookups in an externally fixed order are canonical.
+    users.iter().filter_map(|u| per_user.get(u).copied()).collect()
+}
+
+fn btree_is_ordered(counts: &BTreeMap<String, usize>) -> u64 {
+    // BTreeMap iterates in key order — deterministic by construction.
+    let mut acc = 0u64;
+    for (_k, v) in counts.iter() {
+        acc = acc.wrapping_add(*v as u64);
+    }
+    acc
+}
+
+fn vec_iteration(pool: &[u64]) -> u64 {
+    pool.iter().sum()
+}
+
+struct Checkpoint {
+    // Same field name as a hash-bound one elsewhere would be ambiguous;
+    // fields of non-self receivers are out of the heuristic's reach.
+    entries: Vec<(usize, u64)>,
+}
+
+fn checkpoint_scan(ckpt: &Checkpoint) -> usize {
+    ckpt.entries.iter().count()
+}
+
+fn membership_and_mutation(seen: &mut HashSet<u64>, x: u64) -> bool {
+    // get/insert/remove/contains never observe iteration order.
+    let fresh = seen.insert(x);
+    seen.remove(&(x ^ 1));
+    fresh && seen.contains(&x)
+}

@@ -1,0 +1,24 @@
+//! POSITIVE fixture: the PR 3 modulo-bias bug class, as shipped.
+//!
+//! Reproduces the original `MailOrg` Fisher–Yates shuffle that folded the
+//! RNG draw through a 32-bit truncation and a `%` — both draws are
+//! modulo-biased (next() is uniform on u64; `% (i+1)` is not uniform on
+//! 0..=i unless i+1 divides 2^64). Fixed in PR 3 by `next_below`.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn shuffle_pr3_bug(order: &mut [usize], rng: &mut Xoshiro256pp) {
+    for i in (1..order.len()).rev() {
+        // The PR 3 bug, verbatim shape: truncate, then fold with `%`.
+        let j = (rng.next() as u32) as usize % (i + 1); // line 12: truncating cast
+        order.swap(i, j);
+    }
+}
+
+fn corruption_byte_pick(rng: &mut Xoshiro256pp, len: u64) -> u64 {
+    rng.next_u64() % len // line 18: modulo fold on a raw draw
+}
+
+fn camouflage_sample(rng: &mut Xoshiro256pp, dict: &[String]) -> usize {
+    let k = rng.next_u32() % dict.len() as u32; // line 22: 32-bit draw folded
+    k as usize
+}

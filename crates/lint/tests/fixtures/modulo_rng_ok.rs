@@ -1,0 +1,27 @@
+//! NEGATIVE fixture: the PR 3 fix and legitimate look-alikes.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn shuffle_fixed(order: &mut [usize], rng: &mut Xoshiro256pp) {
+    for i in (1..order.len()).rev() {
+        // The PR 3 fix: Lemire rejection sampling over the full u64.
+        let j = rng.next_below((i + 1) as u64) as usize;
+        order.swap(i, j);
+    }
+}
+
+fn fine_patterns(rng: &mut Xoshiro256pp, xs: &[u64]) -> u64 {
+    // An iterator's `.next()` is not an RNG draw (and `% ` on an
+    // ordinary value is ordinary arithmetic).
+    let first = xs.iter().next().copied().unwrap_or(0);
+    let wrapped = first % 7;
+    // Widening keeps every bit: not a truncation hazard.
+    let wide = rng.next_u32() as u64;
+    // A draw consumed whole is fine.
+    let raw = rng.next();
+    wrapped ^ wide ^ raw
+}
+
+fn strings_and_comments() -> &'static str {
+    // rng.next() % 3 in a comment is not code.
+    "rng.next() % 3 in a string is not code"
+}

@@ -1,0 +1,23 @@
+//! POSITIVE fixture: the PR 6 shard-identity seed bug class.
+//!
+//! Seed paths must key on logical coordinates that survive resharding —
+//! (day, wire position) — never on which shard/worker/thread happens to
+//! execute the work. Each derivation below changes with the shard count,
+//! so weekly reports diverge between shards=1 and shards=4.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn pr6_bug_class(seeds: &SeedTree, shard_id: usize, day: u32) {
+    // Numeric shard identity in an index step.
+    let _ = seeds.child("day").index(shard_id as u64); // line 11
+    // A shard label in the path string.
+    let _ = seeds.child("shard").index(u64::from(day)); // line 13
+    // Worker identity smuggled through a helper variable.
+    let worker_idx = 3usize;
+    let _ = seeds.child("pipe").index(worker_idx as u64); // line 16
+}
+
+fn direct_rng_from_thread(seed: u64, thread_id: u64) {
+    // Seeding a generator straight from thread identity.
+    let _rng = Xoshiro256pp::new(seed ^ thread_id); // line 21
+    let _sm = SplitMix64::new(thread_id); // line 22
+}

@@ -1,0 +1,24 @@
+//! NEGATIVE fixture: the PR 6 invariant, as the codebase keys seeds today.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn canonical_seed_paths(seeds: &SeedTree, day: u32, pos: u64, week: u32) {
+    // Day / wire-position / week coordinates are stable under resharding.
+    let day_seeds = seeds.child("day").index(u64::from(day));
+    let _pipe = day_seeds.child("pipe").index(pos);
+    let _defer = day_seeds.child("defer").index(pos);
+    let _retrain = seeds.child("retrain").index(u64::from(week));
+    let _rng = day_seeds.child("traffic").rng();
+}
+
+fn benign_identifiers(seeds: &SeedTree, hard_cap: u64, threshold: u64) {
+    // `hard`/`threshold` merely contain letter runs, not shard identity
+    // ("hard" is not "shard"; "threshold" does not contain "thread").
+    let _ = seeds.child("cap").index(hard_cap);
+    let _ = seeds.child("cut").index(threshold);
+}
+
+fn shard_identity_outside_seed_paths(shard_id: usize, shards: &mut [u64]) {
+    // Shard identity may of course flow through ordinary code — routing,
+    // partitioning, reporting — just never into a seed derivation.
+    shards[shard_id] += 1;
+}

@@ -1,0 +1,28 @@
+//! Suppression-grammar fixture: valid, malformed, and stale annotations.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn valid_trailing(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 2 // sb-lint: allow(modulo-rng, "parity of a full u64 draw is exactly uniform")
+}
+
+fn valid_line_above(image: &[u8]) -> TokenDb {
+    // sb-lint: allow(fail-closed, "self-produced image; parse failure is a program bug")
+    persist::restore(image).expect("self-produced")
+}
+
+fn missing_reason(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 3 // sb-lint: allow(modulo-rng)
+}
+
+fn empty_reason(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 5 // sb-lint: allow(modulo-rng, "")
+}
+
+fn unknown_rule(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next() % 7 // sb-lint: allow(no-such-rule, "confidently wrong")
+}
+
+fn stale_annotation(x: u64) -> u64 {
+    // sb-lint: allow(wall-clock, "there is no finding here any more")
+    x + 1
+}

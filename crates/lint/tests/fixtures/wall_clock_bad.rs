@@ -1,0 +1,13 @@
+//! POSITIVE fixture: wall-clock reads in a simulation path.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn timed_delivery(pipe: &mut Pipe, msg: &[u8]) -> u64 {
+    let start = std::time::Instant::now(); // line 5
+    pipe.send(msg);
+    start.elapsed().as_millis() as u64
+}
+
+fn stamp_report(report: &mut WeekReport) {
+    let now = SystemTime::now(); // line 11
+    report.stamp = now;
+}

@@ -1,0 +1,17 @@
+//! NEGATIVE fixture: the virtual clock, and harmless look-alikes.
+//! NOT COMPILED — lexed by the sb-lint fixture suite.
+
+fn virtual_clock(day: u32, backoff: &BackoffSchedule) -> u64 {
+    // Simulation time is day counters plus the backoff schedule's
+    // synthetic milliseconds — no host clock anywhere.
+    u64::from(day) * 86_400_000 + backoff.delay_ms(2)
+}
+
+fn instants_in_types_only(deadline: Instant) -> Instant {
+    // Holding or returning an Instant is not *reading* the clock.
+    deadline
+}
+
+fn the_word_in_a_string() -> &'static str {
+    "Instant::now() in a string is data, not a call"
+}

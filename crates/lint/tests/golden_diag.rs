@@ -1,0 +1,67 @@
+//! Golden-locked diagnostics snapshot: lint the deliberately bad fixture
+//! crate with its own all-deny `sb-lint.toml` and compare the rendered
+//! text report byte-for-byte against `fixtures/bad_crate.golden`.
+//!
+//! Refresh after an intentional diagnostic change with:
+//!
+//! ```text
+//! SB_UPDATE_GOLDEN=1 cargo test -p sb-lint --test golden_diag
+//! ```
+
+use sb_lint::engine::lint_workspace;
+use sb_lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+fn render() -> String {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_crate");
+    let cfg = Config::parse(&fs::read_to_string(dir.join("sb-lint.toml")).unwrap()).unwrap();
+    let report = lint_workspace(&dir, &cfg).expect("bad_crate lints");
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "sb-lint: {} finding(s) ({} deny, {} warn) in {} file(s); {} suppressed\n",
+        report.findings.len(),
+        report.deny_count(),
+        report.warn_count(),
+        report.files_scanned,
+        report.suppressed,
+    ));
+    out
+}
+
+#[test]
+fn bad_crate_diagnostics_match_golden() {
+    let out = render();
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_crate.golden");
+    if std::env::var("SB_UPDATE_GOLDEN").is_ok() {
+        fs::write(&golden, &out).expect("write golden");
+        eprintln!("updated {}", golden.display());
+        return;
+    }
+    let want = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with SB_UPDATE_GOLDEN=1 to create it",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        out, want,
+        "bad_crate diagnostics drifted from the golden snapshot; if the change is \
+         intentional, refresh with SB_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn bad_crate_trips_every_hazard_class() {
+    let out = render();
+    for rule in ["modulo-rng", "shard-seed", "hash-iter", "wall-clock", "fail-closed"] {
+        assert!(out.contains(&format!("[{rule}]")), "bad_crate must trip {rule}:\n{out}");
+    }
+    assert!(out.contains("[bad-suppression]"), "missing-reason annotation must be flagged");
+    assert!(out.contains("[unused-suppression]"), "stale annotation must be flagged");
+    assert!(out.contains("1 suppressed"), "the one valid suppression must count:\n{out}");
+}

@@ -1,0 +1,121 @@
+//! Fixture-file suite: positive/negative cases per rule.
+//!
+//! Fixtures live under `tests/fixtures/` and are lexed, never compiled —
+//! each reproduces a hazard class verbatim (the PR 3 modulo-bias shuffle,
+//! the PR 6 shard-keyed seed path) or its fixed counterpart.
+
+use sb_lint::engine::{lint_source, LintReport};
+use sb_lint::{Config, Severity};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Deny-everything config: every hazard rule live at deny for any path.
+fn deny_all() -> Config {
+    Config::parse(
+        "[rule.hash-iter]\nseverity = \"deny\"\n\
+         [rule.wall-clock]\nseverity = \"deny\"\n\
+         [rule.fail-closed]\nseverity = \"deny\"\n",
+    )
+    .expect("inline config parses")
+}
+
+/// Lint one fixture; return `(rule, line)` pairs sorted by line.
+fn lint(name: &str) -> Vec<(String, u32)> {
+    let mut report = LintReport::default();
+    lint_source(name, &fixture(name), &deny_all(), &mut report);
+    report.findings.iter().map(|f| (f.rule.clone(), f.line)).collect()
+}
+
+/// Findings for one rule only.
+fn lines_for(name: &str, rule: &str) -> Vec<u32> {
+    lint(name).into_iter().filter(|(r, _)| r == rule).map(|(_, l)| l).collect()
+}
+
+#[test]
+fn modulo_rng_catches_the_pr3_bug_class() {
+    // line 12: `(rng.next() as u32)` truncation; 18: `next_u64() % len`;
+    // 22: `next_u32() % dict.len()`.
+    assert_eq!(lines_for("modulo_rng_bad.rs", "modulo-rng"), vec![12, 18, 22]);
+}
+
+#[test]
+fn modulo_rng_passes_the_fix_and_lookalikes() {
+    assert_eq!(lines_for("modulo_rng_ok.rs", "modulo-rng"), Vec::<u32>::new());
+}
+
+#[test]
+fn shard_seed_catches_the_pr6_bug_class() {
+    assert_eq!(lines_for("shard_seed_bad.rs", "shard-seed"), vec![11, 13, 16, 21, 22]);
+}
+
+#[test]
+fn shard_seed_passes_canonical_paths() {
+    assert_eq!(lines_for("shard_seed_ok.rs", "shard-seed"), Vec::<u32>::new());
+}
+
+#[test]
+fn hash_iter_catches_order_leaks() {
+    assert_eq!(lines_for("hash_iter_bad.rs", "hash-iter"), vec![13, 22, 31, 35]);
+}
+
+#[test]
+fn hash_iter_passes_sorted_and_keyed_access() {
+    assert_eq!(lines_for("hash_iter_ok.rs", "hash-iter"), Vec::<u32>::new());
+}
+
+#[test]
+fn wall_clock_catches_now_calls() {
+    assert_eq!(lines_for("wall_clock_bad.rs", "wall-clock"), vec![5, 11]);
+}
+
+#[test]
+fn wall_clock_passes_virtual_time() {
+    assert_eq!(lines_for("wall_clock_ok.rs", "wall-clock"), Vec::<u32>::new());
+}
+
+#[test]
+fn fail_closed_catches_panicking_calls_outside_tests() {
+    assert_eq!(lines_for("fail_closed_bad.rs", "fail-closed"), vec![5, 10, 14]);
+}
+
+#[test]
+fn fail_closed_passes_typed_errors_and_masks_tests() {
+    assert_eq!(lines_for("fail_closed_ok.rs", "fail-closed"), Vec::<u32>::new());
+}
+
+#[test]
+fn severity_scoping_follows_module_globs() {
+    let cfg = Config::parse(
+        "[rule.fail-closed]\nseverity = \"allow\"\n\
+         deny = [\"crates/mailflow/src/**\"]\nwarn = [\"crates/core/src/**\"]\n",
+    )
+    .unwrap();
+    let src = fixture("fail_closed_bad.rs");
+
+    let mut in_deny = LintReport::default();
+    lint_source("crates/mailflow/src/org.rs", &src, &cfg, &mut in_deny);
+    assert_eq!(in_deny.deny_count(), 3);
+
+    let mut in_warn = LintReport::default();
+    lint_source("crates/core/src/roni.rs", &src, &cfg, &mut in_warn);
+    assert_eq!(in_warn.deny_count(), 0);
+    assert_eq!(in_warn.warn_count(), 3);
+
+    let mut out_of_scope = LintReport::default();
+    lint_source("crates/stats/src/rng.rs", &src, &cfg, &mut out_of_scope);
+    assert!(out_of_scope.findings.is_empty());
+}
+
+#[test]
+fn findings_carry_severity_and_messages() {
+    let mut report = LintReport::default();
+    lint_source("modulo_rng_bad.rs", &fixture("modulo_rng_bad.rs"), &deny_all(), &mut report);
+    let f = &report.findings[0];
+    assert_eq!(f.severity, Severity::Deny);
+    assert!(f.message.contains("next_below"), "message teaches the fix: {}", f.message);
+}

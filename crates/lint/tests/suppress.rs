@@ -1,0 +1,71 @@
+//! Suppression-annotation semantics over `fixtures/suppressions.rs`:
+//! valid annotations (trailing and line-above) silence exactly one
+//! finding and count as used; a missing or empty reason and an unknown
+//! rule name are `bad-suppression` errors that do NOT silence anything;
+//! an annotation with no matching finding is `unused-suppression`.
+
+use sb_lint::engine::{lint_source, LintReport};
+use sb_lint::Config;
+use std::path::PathBuf;
+
+fn report() -> LintReport {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/suppressions.rs");
+    let src = std::fs::read_to_string(&path).expect("suppressions fixture readable");
+    let cfg = Config::parse("[rule.fail-closed]\nseverity = \"deny\"\n").unwrap();
+    let mut report = LintReport::default();
+    lint_source("suppressions.rs", &src, &cfg, &mut report);
+    report
+}
+
+#[test]
+fn valid_annotations_suppress_and_count() {
+    let r = report();
+    // Line 5 (trailing modulo-rng) and line 10 (fail-closed, annotation on
+    // the line above) are both silenced.
+    assert_eq!(r.suppressed, 2);
+    assert!(
+        !r.findings.iter().any(|f| f.line == 5 || f.line == 10),
+        "valid suppressions must silence their findings: {:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn malformed_annotations_do_not_suppress() {
+    let r = report();
+    // Missing reason (14), empty reason (18), unknown rule (22): the
+    // underlying modulo-rng finding survives on each line...
+    for line in [14, 18, 22] {
+        assert!(
+            r.findings.iter().any(|f| f.rule == "modulo-rng" && f.line == line),
+            "finding on line {line} must survive a malformed suppression"
+        );
+    }
+    // ...and each malformed annotation is itself a bad-suppression error.
+    let bad: Vec<u32> =
+        r.findings.iter().filter(|f| f.rule == "bad-suppression").map(|f| f.line).collect();
+    assert_eq!(bad, vec![14, 18, 22]);
+}
+
+#[test]
+fn stale_annotations_are_flagged() {
+    let r = report();
+    let stale: Vec<u32> =
+        r.findings.iter().filter(|f| f.rule == "unused-suppression").map(|f| f.line).collect();
+    assert_eq!(stale, vec![26], "the wall-clock allow on line 26 covers nothing");
+}
+
+#[test]
+fn bad_suppression_messages_name_the_failure() {
+    let r = report();
+    let msg = |line: u32| {
+        r.findings
+            .iter()
+            .find(|f| f.rule == "bad-suppression" && f.line == line)
+            .map(|f| f.message.clone())
+            .unwrap_or_default()
+    };
+    assert!(msg(14).contains("reason"), "missing reason: {}", msg(14));
+    assert!(msg(18).contains("reason"), "empty reason: {}", msg(18));
+    assert!(msg(22).contains("no-such-rule"), "unknown rule named: {}", msg(22));
+}

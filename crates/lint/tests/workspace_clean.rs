@@ -1,0 +1,43 @@
+//! The real workspace, under its committed `sb-lint.toml`, carries zero
+//! deny-severity findings — the same gate CI runs via
+//! `cargo run -p sb-lint -- --deny`, expressed as a plain test so a
+//! hazard seeded anywhere in-tree fails `cargo test` too.
+
+use sb_lint::engine::{check_suppressions, lint_workspace};
+use sb_lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn workspace_has_no_deny_findings() {
+    let root = workspace_root();
+    let cfg = Config::parse(&fs::read_to_string(root.join("sb-lint.toml")).unwrap())
+        .expect("committed sb-lint.toml parses");
+    let report = lint_workspace(&root, &cfg).expect("workspace lints");
+    let denies: Vec<String> =
+        report.findings.iter().filter(|f| f.severity == sb_lint::Severity::Deny)
+            .map(|f| f.to_string())
+            .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-severity lint findings in the workspace:\n{}",
+        denies.join("\n")
+    );
+}
+
+#[test]
+fn every_in_tree_suppression_is_well_formed() {
+    let root = workspace_root();
+    let cfg = Config::parse(&fs::read_to_string(root.join("sb-lint.toml")).unwrap()).unwrap();
+    let (_valid, bad) = check_suppressions(&root, &cfg).expect("suppression sweep");
+    assert!(
+        bad.is_empty(),
+        "malformed sb-lint annotations in-tree:\n{}",
+        bad.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

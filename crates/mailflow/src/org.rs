@@ -477,6 +477,7 @@ fn filter_image(filter: &ActiveFilter) -> (Vec<u8>, (f64, f64)) {
 /// filter classifies bit-identically to the captured one.
 fn filter_from(image: &[u8], (t0, t1): (f64, f64)) -> ActiveFilter {
     let db = sb_filter::persist::restore(image)
+        // sb-lint: allow(fail-closed, "the image came from persist::snapshot in this same process; a parse failure is a program bug, not a recoverable fault, and serving without a model is worse than stopping")
         .expect("checkpoint images are self-produced and must parse");
     let mut f = SpamBayes::from_db(db);
     f.set_options(FilterOptions::default().with_cutoffs(t0, t1));
@@ -603,6 +604,14 @@ struct DeferredMail {
 fn merge_fresh(per_shard: Vec<Vec<FreshMail>>) -> Vec<FreshMail> {
     let mut all: Vec<FreshMail> = per_shard.into_iter().flatten().collect();
     all.sort_unstable_by_key(|f| (f.day, f.pos));
+    // Dynamic witness for the lint's static claim: the merged pool must be
+    // *strictly* ordered — a duplicate (day, wire position) key means two
+    // shards claimed the same wire slot, which breaks shard-invariance.
+    debug_assert!(
+        all.windows(2).all(|w| (w[0].day, w[0].pos) < (w[1].day, w[1].pos)),
+        "fresh-pool merge: duplicate (day, wire position) key — two shards \
+         produced the same wire slot"
+    );
     all
 }
 
@@ -977,13 +986,14 @@ impl Shard {
                     tally.accepted += 1;
                     // A recipient who lost their mailbox since the original
                     // attempt bounces terminally — same as a first attempt.
-                    if ctx.cfg.fault_plan.mailbox_lost(d.user, day, ctx.cfg.retrain_every)
-                        || !self.mailboxes.contains_key(rcpt)
-                    {
+                    if ctx.cfg.fault_plan.mailbox_lost(d.user, day, ctx.cfg.retrain_every) {
                         tally.bounced += 1;
                         continue;
                     }
-                    let mbox = self.mailboxes.get_mut(rcpt).expect("checked above");
+                    let Some(mbox) = self.mailboxes.get_mut(rcpt) else {
+                        tally.bounced += 1;
+                        continue;
+                    };
                     let verdict = ctx.filter.classify(&msg.email);
                     tally.record_verdict(d.truth, verdict);
                     mbox.deliver(msg.email.clone(), d.truth, verdict, day);
@@ -1256,6 +1266,13 @@ impl MailOrg {
         let outcome = self.retrain(week, first_day, last_day);
         let deferred = self.shards.iter().map(|s| s.deferred.len()).sum();
 
+        // Reports merge into the run in canonical week order: week w is
+        // always the (w)th entry, whatever shard count produced it.
+        debug_assert_eq!(
+            week as usize,
+            self.weeks.len() + 1,
+            "week reports must append in canonical week order"
+        );
         let user = UserModel::default();
         self.weeks.push(WeekReport {
             week,
@@ -1420,6 +1437,16 @@ impl MailOrg {
             }
             tally
         });
+        // `parallel_map_mut` returns one tally per shard, positionally, so
+        // this absorb runs in canonical shard-index order (every WeekTally
+        // field is an order-independent sum, but the canonical order is
+        // what the FaultStats/report merge's shard-invariance is stated
+        // against — assert the positional contract held).
+        debug_assert_eq!(
+            tallies.len(),
+            self.shards.len(),
+            "week-tally merge: expected one tally per shard, in shard-index order"
+        );
         let mut total = WeekTally::default();
         for t in tallies {
             total.absorb(t);
@@ -1488,6 +1515,14 @@ impl MailOrg {
             fresh.sort_unstable_by_key(|f| (f.day, f.pos));
         }
         self.replay = held;
+        // The retrain consumes arrivals in canonical (day, wire position)
+        // order — strictly increasing even after the quarantine partition
+        // and replay re-merge (a replayed slot can never collide with a
+        // live one: each wire slot pools exactly once).
+        debug_assert!(
+            fresh.windows(2).all(|w| (w[0].day, w[0].pos) < (w[1].day, w[1].pos)),
+            "retrain input not in canonical (day, wire position) order after replay merge"
+        );
 
         let mut screened_out = 0usize;
         let mut screen_error = None;
