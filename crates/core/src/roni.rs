@@ -313,11 +313,13 @@ impl RoniDefense {
                 let mut filter = SpamBayes::new();
                 filter.set_options(opts);
                 for &i in train_idx {
+                    // sb-lint: allow(panic-path, "sample_indices draws from 0..pool.len() and tokenized has one entry per pool message")
                     let (ids, label) = &tokenized[i];
                     filter.train_ids(ids, *label, 1);
                 }
                 let val: Vec<(Arc<Vec<TokenId>>, Label)> = val_idx
                     .iter()
+                    // sb-lint: allow(panic-path, "sample_indices draws from 0..pool.len() and tokenized has one entry per pool message")
                     .map(|&i| tokenized[i].clone())
                     .collect();
                 // This baseline sweep is the *only* time a trial's score
@@ -371,6 +373,7 @@ impl RoniDefense {
                     .map(|trial| {
                         scope.spawn(move || {
                             let state = MeasureState::thread_local_pool(1);
+                            // sb-lint: allow(panic-path, "thread_local_pool(1) returns exactly one state")
                             trial.measure(delta, &state[0])
                         })
                     })
@@ -451,6 +454,7 @@ impl RoniDefense {
             // slots and every untouched validation message reuses its
             // cached verdict outright.
             let states = MeasureState::thread_local_pool(self.trials.len());
+            // sb-lint: allow(panic-path, "parallel_map hands each worker a k in 0..chunks.len()")
             chunks[k]
                 .iter()
                 .map(|cand| {

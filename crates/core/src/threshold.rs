@@ -169,6 +169,7 @@ pub fn calibrate(
             (uniq_scores[slot].score, items[i].label)
         })
         .collect();
+    // sb-lint: allow(panic-path, "classifier scores are finite log-sums; partial_cmp never sees NaN")
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
 
     let (theta0, theta1) = select_thresholds(&scored, cfg.g_low);

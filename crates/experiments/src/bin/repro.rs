@@ -33,7 +33,8 @@
 //! housekeeping:
 //!   lint      run the workspace determinism/invariant linter in deny
 //!             mode (same gate as CI's `cargo run -p sb-lint -- --deny`);
-//!             non-zero exit on any deny-severity finding
+//!             non-zero exit on any deny-severity finding; `--deep` adds
+//!             the call-graph taint/panic-reachability passes
 //! ```
 //!
 //! ASCII tables go to stdout; CSVs to `--out` (default `reports/`).
@@ -66,6 +67,8 @@ struct Args {
     scenarios_dir: PathBuf,
     /// Run only the scenario with this stem (file stem / spec name).
     filter: Option<String>,
+    /// `lint --deep`: also run the call-graph passes (taint/reach).
+    deep: bool,
 }
 
 fn usage() -> ExitCode {
@@ -73,7 +76,7 @@ fn usage() -> ExitCode {
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
          transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all|lint> \
          [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
-         [--scenarios DIR] [--filter STEM]"
+         [--scenarios DIR] [--filter STEM] [--deep]"
     );
     ExitCode::from(2)
 }
@@ -90,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         shards: None,
         scenarios_dir: ScenarioSuiteConfig::default().dir,
         filter: None,
+        deep: false,
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -108,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scenarios" => args.scenarios_dir = PathBuf::from(take()?),
             "--filter" => args.filter = Some(take()?),
+            "--deep" => args.deep = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -756,7 +761,7 @@ fn headline_table(h: &headline::HeadlineResult) -> Table {
 /// `repro lint` — the workspace determinism linter, deny mode. A thin
 /// wrapper over the sb-lint library so the lint lane is reachable from
 /// the same binary that produces the reports it protects.
-fn cmd_lint() -> ExitCode {
+fn cmd_lint(deep: bool) -> ExitCode {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let Some(root) = sb_lint::discover_root(&cwd) else {
         eprintln!("error: no sb-lint.toml found walking up from {}", cwd.display());
@@ -776,7 +781,12 @@ fn cmd_lint() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match sb_lint::lint_workspace(&root, &cfg) {
+    let result = if deep {
+        sb_lint::lint_workspace_deep(&root, &cfg)
+    } else {
+        sb_lint::lint_workspace(&root, &cfg)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -839,7 +849,7 @@ fn main() -> ExitCode {
             }
         }
         "extensions" => cmd_extensions(&args),
-        "lint" => return cmd_lint(),
+        "lint" => return cmd_lint(args.deep),
         "headline" => {
             let f1 = cmd_fig1(&args);
             let f2 = cmd_fig2(&args);

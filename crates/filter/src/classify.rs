@@ -161,6 +161,7 @@ pub fn select_delta_ids<D: ScoreDb + ?Sized>(
         let da = (a.1 - 0.5).abs();
         let db_ = (b.1 - 0.5).abs();
         db_.partial_cmp(&da)
+            // sb-lint: allow(panic-path, "token strengths are |f − 0.5| of finite probabilities; never NaN")
             .expect("scores are finite")
             .then_with(|| reader.cmp_by_str(a.0, b.0))
     });

@@ -84,14 +84,17 @@ impl Interner {
 
     /// Intern one token, returning its stable id.
     pub fn intern(&self, token: &str) -> TokenId {
+        // sb-lint: allow(panic-path, "lock poisoning means another thread already panicked; propagating is fail-fast, not fail-open")
         if let Some(&id) = self.inner.read().expect("interner lock").lookup.get(token) {
             return id;
         }
+        // sb-lint: allow(panic-path, "lock poisoning means another thread already panicked; propagating is fail-fast, not fail-open")
         let mut inner = self.inner.write().expect("interner lock");
         if let Some(&id) = inner.lookup.get(token) {
             return id; // raced with another writer
         }
         let id = TokenId(
+            // sb-lint: allow(panic-path, "2^32 interned tokens is orders of magnitude past any corpus this workspace generates")
             u32::try_from(inner.strings.len()).expect("interner capacity (2^32 tokens) exceeded"),
         );
         let arc: Arc<str> = Arc::from(token);
@@ -171,6 +174,7 @@ impl Interner {
     /// it blocks writers (new interning) while alive.
     pub fn reader(&self) -> InternerReader<'_> {
         InternerReader {
+            // sb-lint: allow(panic-path, "lock poisoning means another thread already panicked; propagating is fail-fast, not fail-open")
             guard: self.inner.read().expect("interner lock"),
         }
     }

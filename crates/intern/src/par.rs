@@ -75,6 +75,7 @@ where
         }
         slots
             .into_iter()
+            // sb-lint: allow(panic-path, "scope join re-raises a worker's panic before slots are read; a missing slot is unreachable")
             .map(|s| s.expect("worker completed every claimed job"))
             .collect()
     })
@@ -116,6 +117,7 @@ where
                 let jobs = &jobs;
                 let f = &f;
                 scope.spawn(move || loop {
+                    // sb-lint: allow(panic-path, "mutex poisoning means another worker already panicked; that panic is re-raised at join")
                     let job = jobs.lock().expect("job queue poisoned").pop();
                     match job {
                         Some((i, s)) => {
@@ -142,6 +144,7 @@ where
         }
         slots
             .into_iter()
+            // sb-lint: allow(panic-path, "the join loop above resume_unwinds a worker's panic first; a missing slot is unreachable")
             .map(|s| s.expect("worker completed every claimed job"))
             .collect()
     })

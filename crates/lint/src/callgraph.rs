@@ -1,0 +1,409 @@
+//! Workspace-wide call graph over the [`crate::parser`] item lists.
+//!
+//! Every in-scope file is parsed into its `fn` items; each item gets a
+//! *module chain* — `[crate, file modules…, in-file modules…]`, with the
+//! surrounding `impl` type appended for methods — derived from the
+//! workspace layout (`crates/<dir>/src/<path>.rs` → crate `sb_<dir>`,
+//! read from the crate's `Cargo.toml`, module path from the file path).
+//! Call sites then resolve against that index:
+//!
+//! * **path calls** (`seeds::derive(…)`, `SeedTree::new(…)`) resolve by
+//!   *suffix match*: the qualifier segments must be a suffix of a
+//!   candidate's module chain. `crate`/`self`/`super` normalize against
+//!   the caller; `Self` substitutes the caller's `impl` type;
+//! * **bare calls** (`helper(…)`) resolve in widening tiers: same module
+//!   → same file → same crate → workspace-unique;
+//! * **method calls** (`x.derive(…)`) resolve to the caller's own `impl`
+//!   block when the receiver is `self`, otherwise only when exactly one
+//!   workspace `impl` defines the name — and never for ubiquitous std
+//!   method names (`iter`, `get`, `clone`, …), which would produce junk
+//!   edges a type-blind analysis cannot rule out.
+//!
+//! Unresolved calls simply produce no edge: the deep passes err toward
+//! false negatives at *resolution* (a missed edge loses a trace) and
+//! toward reporting at *analysis* (every resolved flow is flagged),
+//! which keeps the diagnostics auditable.
+
+use crate::lexer::Tok;
+use crate::parser::{parse_file, CallKind, CallSite, FnDef};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// One analyzed file: its workspace-relative path, code tokens (comments
+/// stripped), test mask, and module identity.
+pub struct FileUnit {
+    pub rel: String,
+    pub code: Vec<Tok>,
+    pub mask: Vec<bool>,
+    pub crate_name: String,
+    /// Module segments implied by the file path under `src/`
+    /// (`src/a/b.rs` → `["a", "b"]`; `src/lib.rs`, `src/main.rs`,
+    /// `src/bin/*.rs` → `[]`).
+    pub file_mods: Vec<String>,
+}
+
+/// One function node in the graph.
+pub struct FnNode {
+    /// Index into [`CallGraph::files`].
+    pub file: usize,
+    pub def: FnDef,
+    /// `[crate, file mods…, in-file mods…]` (no impl type).
+    pub chain: Vec<String>,
+}
+
+impl FnNode {
+    /// The chain a path qualifier matches against: module chain plus the
+    /// `impl` type for methods.
+    pub fn full_chain(&self) -> Vec<String> {
+        let mut c = self.chain.clone();
+        if let Some(ty) = &self.def.impl_ty {
+            c.push(ty.clone());
+        }
+        c
+    }
+
+    /// Human label: `Type::name` for methods, plain `name` otherwise.
+    pub fn label(&self) -> String {
+        match &self.def.impl_ty {
+            Some(ty) => format!("{ty}::{}", self.def.name),
+            None => self.def.name.clone(),
+        }
+    }
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph {
+    pub files: Vec<FileUnit>,
+    pub fns: Vec<FnNode>,
+    /// Per fn, per call-site index: the resolved callee fn indices
+    /// (empty = unresolved / external).
+    pub resolved: Vec<Vec<Vec<usize>>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Method names too ubiquitous to resolve by uniqueness: a type-blind
+/// graph would wire `v.get(…)` on a `Vec` to whatever workspace type
+/// happens to define `get`. Workspace-specific names stay resolvable.
+const COMMON_METHODS: &[&str] = &[
+    "new", "default", "clone", "len", "is_empty", "iter", "iter_mut", "into_iter", "next", "get",
+    "get_mut", "insert", "remove", "push", "pop", "extend", "contains", "clear", "drain",
+    "retain", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "from", "into", "as_ref", "as_mut",
+    "to_string", "write", "read", "flush", "sort", "min", "max", "sum", "count", "map", "filter",
+    "collect", "find", "any", "all", "zip", "rev", "take", "skip", "chain", "last", "first",
+    "split", "join", "parse", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok", "err",
+    "expect", "unwrap", "and_then", "or_else", "to_owned", "to_vec", "as_str", "as_bytes",
+];
+
+/// Read the `[package] name` out of a `Cargo.toml`, `-` normalized to
+/// `_`. Falls back to `fallback` when the manifest is missing or odd.
+fn package_name(manifest: &Path, fallback: &str) -> String {
+    let Ok(text) = fs::read_to_string(manifest) else {
+        return fallback.replace('-', "_");
+    };
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    return v.replace('-', "_");
+                }
+            }
+        }
+    }
+    fallback.replace('-', "_")
+}
+
+/// Crate name + module path for a workspace-relative file path.
+fn file_identity(root: &Path, rel: &str) -> (String, Vec<String>) {
+    let segs: Vec<&str> = rel.split('/').collect();
+    let (manifest, fallback, src_idx) = if segs.len() >= 3 && segs[0] == "crates" {
+        (root.join("crates").join(segs[1]).join("Cargo.toml"), segs[1].to_string(), 2)
+    } else {
+        let fb = root
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "crate".to_string());
+        (root.join("Cargo.toml"), fb, 0)
+    };
+    let crate_name = package_name(&manifest, &fallback);
+    let mut mods = Vec::new();
+    if segs.get(src_idx) == Some(&"src") {
+        let tail = &segs[src_idx + 1..];
+        // src/lib.rs, src/main.rs, src/bin/*.rs are crate roots
+        let is_root = matches!(tail, ["lib.rs"] | ["main.rs"]) || tail.first() == Some(&"bin");
+        if !is_root {
+            for (i, s) in tail.iter().enumerate() {
+                if i + 1 == tail.len() {
+                    // file name: `mod.rs` contributes nothing, `x.rs` → `x`
+                    if let Some(stem) = s.strip_suffix(".rs") {
+                        if stem != "mod" {
+                            mods.push(stem.to_string());
+                        }
+                    }
+                } else {
+                    mods.push(s.to_string());
+                }
+            }
+        }
+    }
+    (crate_name, mods)
+}
+
+impl CallGraph {
+    /// Parse and link every file. `files` carries pre-lexed code tokens
+    /// and test masks; `root` is only consulted for `Cargo.toml` crate
+    /// names.
+    pub fn build(root: &Path, files: Vec<(String, Vec<Tok>, Vec<bool>)>) -> CallGraph {
+        let mut units = Vec::new();
+        let mut fns: Vec<FnNode> = Vec::new();
+        for (rel, code, mask) in files {
+            let (crate_name, file_mods) = file_identity(root, &rel);
+            let file_idx = units.len();
+            for def in parse_file(&code, &mask) {
+                let mut chain = vec![crate_name.clone()];
+                chain.extend(file_mods.iter().cloned());
+                chain.extend(def.mods.iter().cloned());
+                fns.push(FnNode { file: file_idx, def, chain });
+            }
+            units.push(FileUnit { rel, code, mask, crate_name, file_mods });
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.def.name.clone()).or_default().push(i);
+        }
+        let mut graph = CallGraph { files: units, fns, resolved: Vec::new(), by_name };
+        let mut resolved = Vec::with_capacity(graph.fns.len());
+        for i in 0..graph.fns.len() {
+            let calls = graph.fns[i].def.calls.clone();
+            let per_call: Vec<Vec<usize>> =
+                calls.iter().map(|c| graph.resolve(i, c)).collect();
+            resolved.push(per_call);
+        }
+        graph.resolved = resolved;
+        graph
+    }
+
+    /// Resolve one call site from `caller` to candidate fn indices.
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        match call.kind {
+            CallKind::Macro => Vec::new(),
+            CallKind::Path => self.resolve_path(caller, call),
+            CallKind::Bare => self.resolve_bare(caller, &call.name),
+            CallKind::Method => self.resolve_method(caller, call),
+        }
+    }
+
+    fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn resolve_path(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let me = &self.fns[caller];
+        let mut qual: Vec<String> = Vec::new();
+        for seg in &call.path[..call.path.len().saturating_sub(1)] {
+            match seg.as_str() {
+                "crate" => qual.push(me.chain[0].clone()),
+                "self" | "super" => {} // loosened: rely on the suffix match
+                "Self" => {
+                    if let Some(ty) = &me.def.impl_ty {
+                        qual.push(ty.clone());
+                    }
+                }
+                s => qual.push(s.to_string()),
+            }
+        }
+        self.candidates(&call.name)
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let chain = self.fns[c].full_chain();
+                chain.len() >= qual.len() && chain[chain.len() - qual.len()..] == qual[..]
+            })
+            .collect()
+    }
+
+    fn resolve_bare(&self, caller: usize, name: &str) -> Vec<usize> {
+        let me = &self.fns[caller];
+        let free: Vec<usize> = self
+            .candidates(name)
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].def.impl_ty.is_none())
+            .collect();
+        // widening tiers: same module → same file → same crate → unique
+        let same_module: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].file == me.file && self.fns[c].def.mods == me.def.mods)
+            .collect();
+        if !same_module.is_empty() {
+            return same_module;
+        }
+        let same_file: Vec<usize> =
+            free.iter().copied().filter(|&c| self.fns[c].file == me.file).collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].chain.first() == me.chain.first())
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if free.len() == 1 {
+            return free;
+        }
+        Vec::new()
+    }
+
+    fn resolve_method(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let me = &self.fns[caller];
+        let methods: Vec<usize> = self
+            .candidates(&call.name)
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].def.impl_ty.is_some())
+            .collect();
+        if call.recv_self {
+            if let Some(ty) = &me.def.impl_ty {
+                let own: Vec<usize> = methods
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.fns[c].def.impl_ty.as_deref() == Some(ty))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+        }
+        if COMMON_METHODS.contains(&call.name.as_str()) {
+            return Vec::new();
+        }
+        if methods.len() == 1 {
+            return methods;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+    use crate::rules::test_mask;
+    use std::path::PathBuf;
+
+    fn unit(rel: &str, src: &str) -> (String, Vec<Tok>, Vec<bool>) {
+        let code: Vec<Tok> =
+            lex(src).into_iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let mask = test_mask(&code);
+        (rel.to_string(), code, mask)
+    }
+
+    fn graph(files: Vec<(String, Vec<Tok>, Vec<bool>)>) -> CallGraph {
+        CallGraph::build(&PathBuf::from("/nonexistent-root"), files)
+    }
+
+    fn fn_idx(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.def.name == name).unwrap()
+    }
+
+    fn callees_of(g: &CallGraph, name: &str) -> Vec<String> {
+        let i = fn_idx(g, name);
+        let mut out: Vec<String> = g.resolved[i]
+            .iter()
+            .flatten()
+            .map(|&c| g.fns[c].def.name.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn file_identity_maps_crates_and_modules() {
+        let root = PathBuf::from("/nonexistent-root");
+        let (c, m) = file_identity(&root, "crates/mailflow/src/org.rs");
+        assert_eq!(c, "mailflow"); // no Cargo.toml under the fake root → dir fallback
+        assert_eq!(m, vec!["org".to_string()]);
+        let (_, m) = file_identity(&root, "crates/core/src/lib.rs");
+        assert!(m.is_empty());
+        let (_, m) = file_identity(&root, "src/bin/repro.rs");
+        assert!(m.is_empty());
+        let (_, m) = file_identity(&root, "crates/x/src/a/mod.rs");
+        assert_eq!(m, vec!["a".to_string()]);
+        let (_, m) = file_identity(&root, "crates/x/src/a/b.rs");
+        assert_eq!(m, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_then_crate() {
+        let g = graph(vec![
+            unit("crates/a/src/lib.rs", "pub fn top() { helper(); other::away(); }\n\
+                  fn helper() {}"),
+            unit("crates/a/src/other.rs", "pub fn away() {}"),
+        ]);
+        assert_eq!(callees_of(&g, "top"), vec!["away".to_string(), "helper".to_string()]);
+    }
+
+    #[test]
+    fn path_calls_resolve_by_suffix() {
+        let g = graph(vec![
+            unit("crates/a/src/org.rs", "pub fn run() { seeds::derive(1); }"),
+            unit("crates/a/src/seeds.rs", "pub fn derive(i: u64) {}"),
+        ]);
+        assert_eq!(callees_of(&g, "run"), vec!["derive".to_string()]);
+    }
+
+    #[test]
+    fn self_methods_resolve_within_the_impl() {
+        let g = graph(vec![unit(
+            "crates/a/src/lib.rs",
+            "struct T; impl T { pub fn a(&self) { self.b(); } fn b(&self) {} }\n\
+             struct U; impl U { fn b(&self) {} }",
+        )]);
+        let a = fn_idx(&g, "a");
+        let callees = &g.resolved[a][0];
+        assert_eq!(callees.len(), 1);
+        assert_eq!(g.fns[callees[0]].def.impl_ty.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn unique_methods_resolve_common_names_do_not() {
+        let g = graph(vec![unit(
+            "crates/a/src/lib.rs",
+            "struct T; impl T { pub fn rare_method(&self) {} fn get(&self) {} }\n\
+             fn caller(t: &T, v: &Vec<u32>) { t.rare_method(); v.get(0); }",
+        )]);
+        assert_eq!(callees_of(&g, "caller"), vec!["rare_method".to_string()]);
+    }
+
+    #[test]
+    fn self_type_paths_substitute_the_impl_type() {
+        let g = graph(vec![unit(
+            "crates/a/src/lib.rs",
+            "struct T; impl T { pub fn new() -> T { T } pub fn a() { Self::new(); } }",
+        )]);
+        assert_eq!(callees_of(&g, "a"), vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn ambiguous_methods_produce_no_edge() {
+        let g = graph(vec![unit(
+            "crates/a/src/lib.rs",
+            "struct T; impl T { fn dup(&self) {} } struct U; impl U { fn dup(&self) {} }\n\
+             fn caller(x: &X) { x.dup(); }",
+        )]);
+        assert_eq!(callees_of(&g, "caller"), Vec::<String>::new());
+    }
+}

@@ -75,6 +75,12 @@ pub struct Config {
     pub include: Vec<String>,
     /// Globs carved back out of `include`.
     pub exclude: Vec<String>,
+    /// `[deep] entry` — panic-reachability entry points, each either a
+    /// file glob (`crates/mailflow/src/faultplan.rs` — every pub fn) or
+    /// `fileglob::fnglob` (`crates/mailflow/src/org.rs::retry_*` — the
+    /// named fns, pub or not). Empty = fall back to the `fail-closed`
+    /// deny globs, which name the fault/recovery/screening files.
+    pub deep_entry: Vec<String>,
     /// Rule name → overrides, parallel to [`rules::RULES`].
     rule_cfg: Vec<RuleConfig>,
 }
@@ -103,6 +109,7 @@ impl Default for Config {
         Config {
             include: vec!["src/**/*.rs".into(), "crates/*/src/**/*.rs".into()],
             exclude: Vec::new(),
+            deep_entry: Vec::new(),
             rule_cfg: vec![RuleConfig::default(); rules::RULES.len()],
         }
     }
@@ -118,6 +125,7 @@ impl Config {
         enum Section {
             None,
             Paths,
+            Deep,
             Rule(usize),
         }
         let mut section = Section::None;
@@ -136,6 +144,8 @@ impl Config {
                     .trim();
                 section = if name == "paths" {
                     Section::Paths
+                } else if name == "deep" {
+                    Section::Deep
                 } else if let Some(rule) = name.strip_prefix("rule.") {
                     let i = rules::RULES
                         .iter()
@@ -178,6 +188,10 @@ impl Config {
                     }
                     "exclude" => cfg.exclude = parse_array(&value, lineno)?,
                     _ => return Err(err(lineno, format!("unknown [paths] key `{key}`"))),
+                },
+                Section::Deep => match key.as_str() {
+                    "entry" => cfg.deep_entry = parse_array(&value, lineno)?,
+                    _ => return Err(err(lineno, format!("unknown [deep] key `{key}`"))),
                 },
                 Section::Rule(i) => {
                     let rc = &mut cfg.rule_cfg[*i];
@@ -229,6 +243,27 @@ impl Config {
     /// True when `path` (workspace-relative, `/`-separated) is in scope.
     pub fn in_scope(&self, path: &str) -> bool {
         any_match(&self.include, path) && !any_match(&self.exclude, path)
+    }
+
+    /// The panic-reachability entry patterns as `(file glob, fn-name
+    /// glob)` pairs. `[deep] entry` when configured; otherwise the
+    /// `fail-closed` deny globs (the fault/recovery/screening files).
+    pub fn deep_entries(&self) -> Vec<(String, Option<String>)> {
+        let pats: Vec<String> = if self.deep_entry.is_empty() {
+            let i = rules::RULES
+                .iter()
+                .position(|r| r.name == "fail-closed")
+                .expect("fail-closed is a registered rule");
+            self.rule_cfg[i].deny.clone()
+        } else {
+            self.deep_entry.clone()
+        };
+        pats.iter()
+            .map(|p| match p.split_once("::") {
+                Some((file, f)) => (file.to_string(), Some(f.to_string())),
+                None => (p.clone(), None),
+            })
+            .collect()
     }
 }
 

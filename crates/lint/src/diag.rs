@@ -3,8 +3,22 @@
 use crate::config::Severity;
 use std::fmt;
 
+/// One step of a deep-pass dataflow or call-chain trace: where a tainted
+/// value moved, or which call edge led toward a panic site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFrame {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    /// What happened at this frame ("`shard_idx` passed to `derive` as
+    /// `idx`", "`unwrap()` here", …).
+    pub note: String,
+}
+
 /// One resolved diagnostic: a rule violation at a file:line, with its
-/// effective severity under the committed configuration.
+/// effective severity under the committed configuration. Deep-pass
+/// findings carry a multi-frame trace; line-local rules leave it empty
+/// (and render exactly as before).
 #[derive(Debug, Clone)]
 pub struct Finding {
     pub rule: String,
@@ -13,6 +27,7 @@ pub struct Finding {
     pub path: String,
     pub line: u32,
     pub message: String,
+    pub trace: Vec<TraceFrame>,
 }
 
 impl fmt::Display for Finding {
@@ -21,21 +36,57 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: {}[{}]: {}",
             self.path, self.line, self.severity, self.rule, self.message
-        )
+        )?;
+        for (i, fr) in self.trace.iter().enumerate() {
+            write!(f, "\n    {}. {}:{}: {}", i + 1, fr.path, fr.line, fr.note)?;
+        }
+        Ok(())
     }
 }
 
 impl Finding {
+    /// A trace-less finding (every line-local rule).
+    pub fn new(
+        rule: impl Into<String>,
+        severity: Severity,
+        path: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule: rule.into(),
+            severity,
+            path: path.into(),
+            line,
+            message: message.into(),
+            trace: Vec::new(),
+        }
+    }
+
     /// Render as one JSON object (hand-rolled: the workspace is
     /// dependency-free and the shape is flat).
     pub fn to_json(&self) -> String {
+        let mut trace = String::from("[");
+        for (i, fr) in self.trace.iter().enumerate() {
+            if i > 0 {
+                trace.push(',');
+            }
+            trace.push_str(&format!(
+                "{{\"path\":{},\"line\":{},\"note\":{}}}",
+                json_str(&fr.path),
+                fr.line,
+                json_str(&fr.note),
+            ));
+        }
+        trace.push(']');
         format!(
-            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"trace\":{}}}",
             json_str(&self.rule),
             json_str(&self.severity.to_string()),
             json_str(&self.path),
             self.line,
             json_str(&self.message),
+            trace,
         )
     }
 }
@@ -79,29 +130,32 @@ mod tests {
 
     #[test]
     fn json_escapes() {
-        let f = Finding {
-            rule: "wall-clock".into(),
-            severity: Severity::Deny,
-            path: "a/b.rs".into(),
-            line: 3,
-            message: "say \"no\"\n".into(),
-        };
+        let f = Finding::new("wall-clock", Severity::Deny, "a/b.rs", 3, "say \"no\"\n");
         assert_eq!(
             f.to_json(),
             "{\"rule\":\"wall-clock\",\"severity\":\"deny\",\"path\":\"a/b.rs\",\
-             \"line\":3,\"message\":\"say \\\"no\\\"\\n\"}"
+             \"line\":3,\"message\":\"say \\\"no\\\"\\n\",\"trace\":[]}"
         );
     }
 
     #[test]
     fn display_is_file_line_rule() {
-        let f = Finding {
-            rule: "hash-iter".into(),
-            severity: Severity::Warn,
-            path: "src/lib.rs".into(),
-            line: 10,
-            message: "m".into(),
-        };
+        let f = Finding::new("hash-iter", Severity::Warn, "src/lib.rs", 10, "m");
         assert_eq!(f.to_string(), "src/lib.rs:10: warn[hash-iter]: m");
+    }
+
+    #[test]
+    fn traces_render_as_numbered_frames() {
+        let mut f = Finding::new("taint-path", Severity::Deny, "src/org.rs", 14, "leak");
+        f.trace.push(TraceFrame { path: "src/org.rs".into(), line: 14, note: "a".into() });
+        f.trace.push(TraceFrame { path: "src/seeds.rs".into(), line: 9, note: "b".into() });
+        assert_eq!(
+            f.to_string(),
+            "src/org.rs:14: deny[taint-path]: leak\n    1. src/org.rs:14: a\n    2. src/seeds.rs:9: b"
+        );
+        assert!(f.to_json().contains(
+            "\"trace\":[{\"path\":\"src/org.rs\",\"line\":14,\"note\":\"a\"},\
+             {\"path\":\"src/seeds.rs\",\"line\":9,\"note\":\"b\"}]"
+        ));
     }
 }

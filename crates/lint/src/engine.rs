@@ -1,9 +1,13 @@
-//! File walking, per-file analysis, suppression application.
+//! File walking, per-file analysis, suppression application, and the
+//! `--deep` call-graph pass orchestration.
 
+use crate::callgraph::CallGraph;
 use crate::config::{Config, Severity};
-use crate::diag::Finding;
+use crate::diag::{Finding, TraceFrame};
 use crate::lexer::{self, Tok, TokKind};
 use crate::rules::{self, Suppression};
+use crate::{reach, taint};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -92,63 +96,99 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
     Ok(report)
 }
 
-/// Lint one file's source text into `report`. Public for the fixture
-/// tests, which feed sources without a filesystem walk.
-pub fn lint_source(rel: &str, src: &str, cfg: &Config, report: &mut LintReport) {
+/// Per-file state carried from the shallow scan into the deep passes and
+/// the deferred suppression accounting.
+struct FileAnalysis {
+    rel: String,
+    /// Code tokens (comments stripped) and the test mask over them.
+    code: Vec<Tok>,
+    mask: Vec<bool>,
+    sups: Vec<Suppression>,
+    used: Vec<bool>,
+}
+
+/// Run the line-local rules over one file, pushing surviving findings and
+/// marking matched suppressions. Unused/bad suppressions are NOT emitted
+/// here — [`finish_suppressions`] does that once every pass that could
+/// claim a suppression has run.
+fn analyze_shallow(rel: &str, src: &str, cfg: &Config, report: &mut LintReport) -> FileAnalysis {
     let toks = lexer::lex(src);
     let code: Vec<Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
     let mask = rules::test_mask(&code);
     let raw = rules::scan_all(&code, &mask);
-    let mut sups = rules::parse_suppressions(&toks);
-    let mut used = vec![false; sups.len()];
+    let sups = rules::parse_suppressions(&toks);
+    let mut analysis =
+        FileAnalysis { rel: rel.to_string(), code, mask, used: vec![false; sups.len()], sups };
 
     for f in raw {
-        let severity = cfg.severity(f.rule, rel);
-        // A suppression covers findings on its own line (trailing comment)
-        // and on the following line (annotation on the line above). It
-        // applies to warn and deny findings alike — but an Allow severity
-        // means the rule isn't live here at all, and claiming the
-        // suppression would mask it as "used" on scope changes.
-        if severity == Severity::Allow {
-            continue;
-        }
-        if let Some(k) = sups.iter().position(|s| {
-            s.error.is_none() && s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)
-        }) {
-            used[k] = true;
-            report.suppressed += 1;
-            continue;
-        }
-        report.findings.push(Finding {
-            rule: f.rule.to_string(),
-            severity,
-            path: rel.to_string(),
-            line: f.line,
-            message: f.message,
-        });
+        apply_finding(&mut analysis, f.rule, f.line, f.message, Vec::new(), cfg, report);
     }
+    analysis
+}
 
-    for (s, was_used) in sups.drain(..).zip(used) {
+/// Apply severity and suppression matching to one raw finding.
+///
+/// A suppression covers findings on its own line (trailing comment) and
+/// on the following line (annotation on the line above). It applies to
+/// warn and deny findings alike — but an Allow severity means the rule
+/// isn't live here at all, and claiming the suppression would mask it as
+/// "used" on scope changes.
+fn apply_finding(
+    analysis: &mut FileAnalysis,
+    rule: &str,
+    line: u32,
+    message: String,
+    trace: Vec<TraceFrame>,
+    cfg: &Config,
+    report: &mut LintReport,
+) {
+    let severity = cfg.severity(rule, &analysis.rel);
+    if severity == Severity::Allow {
+        return;
+    }
+    if let Some(k) = analysis
+        .sups
+        .iter()
+        .position(|s| s.error.is_none() && s.rule == rule && (s.line == line || s.line + 1 == line))
+    {
+        analysis.used[k] = true;
+        report.suppressed += 1;
+        return;
+    }
+    let mut f = Finding::new(rule, severity, analysis.rel.clone(), line, message);
+    f.trace = trace;
+    report.findings.push(f);
+}
+
+/// Emit `bad-suppression` / `unused-suppression` findings for one file.
+/// In a shallow run (`deep_ran = false`) suppressions targeting deep
+/// rules are exempt from the unused check — only a `--deep` run can
+/// produce the findings they match.
+fn finish_suppressions(
+    analysis: FileAnalysis,
+    cfg: &Config,
+    report: &mut LintReport,
+    deep_ran: bool,
+) {
+    let rel = analysis.rel;
+    for (s, was_used) in analysis.sups.into_iter().zip(analysis.used) {
         if let Some(errmsg) = s.error {
-            let severity = cfg.severity("bad-suppression", rel);
+            let severity = cfg.severity("bad-suppression", &rel);
             if severity != Severity::Allow {
-                report.findings.push(Finding {
-                    rule: "bad-suppression".to_string(),
-                    severity,
-                    path: rel.to_string(),
-                    line: s.line,
-                    message: errmsg,
-                });
+                report.findings.push(Finding::new("bad-suppression", severity, &rel, s.line, errmsg));
             }
         } else if !was_used {
-            let severity = cfg.severity("unused-suppression", rel);
+            if !deep_ran && rules::is_deep(&s.rule) {
+                continue;
+            }
+            let severity = cfg.severity("unused-suppression", &rel);
             if severity != Severity::Allow {
-                report.findings.push(Finding {
-                    rule: "unused-suppression".to_string(),
+                report.findings.push(Finding::new(
+                    "unused-suppression",
                     severity,
-                    path: rel.to_string(),
-                    line: s.line,
-                    message: format!(
+                    &rel,
+                    s.line,
+                    format!(
                         "allow({}) matches no `{}` finding on line {} or {} — remove it or fix \
                          the annotation placement",
                         s.rule,
@@ -156,10 +196,132 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config, report: &mut LintReport) 
                         s.line,
                         s.line + 1
                     ),
-                });
+                ));
             }
         }
     }
+}
+
+/// Lint one file's source text into `report`. Public for the fixture
+/// tests, which feed sources without a filesystem walk.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config, report: &mut LintReport) {
+    let analysis = analyze_shallow(rel, src, cfg, report);
+    finish_suppressions(analysis, cfg, report, false);
+}
+
+/// Lint the workspace with the deep call-graph passes on top of the
+/// line-local rules: build the workspace call graph, run the
+/// determinism-taint dataflow ([`crate::taint`]) and panic-reachability
+/// ([`crate::reach`]) analyses, and put their traced findings through the
+/// same severity/suppression machinery as everything else.
+pub fn lint_workspace_deep(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let files = collect_files(root, cfg)?;
+    let mut report = LintReport::default();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        analyses.push(analyze_shallow(&rel, &src, cfg, &mut report));
+        report.files_scanned += 1;
+    }
+    let by_rel: BTreeMap<String, usize> =
+        analyses.iter().enumerate().map(|(i, a)| (a.rel.clone(), i)).collect();
+    let units: Vec<(String, Vec<Tok>, Vec<bool>)> =
+        analyses.iter().map(|a| (a.rel.clone(), a.code.clone(), a.mask.clone())).collect();
+    let graph = CallGraph::build(root, units);
+    let lexical_covered: Vec<bool> = graph
+        .files
+        .iter()
+        .map(|u| cfg.severity("fail-closed", &u.rel) != Severity::Allow)
+        .collect();
+
+    let mut deep: Vec<(&'static str, String, u32, String, Vec<TraceFrame>)> = Vec::new();
+    for f in taint::analyze(&graph) {
+        deep.push(("taint-path", f.path, f.line, f.message, f.trace));
+    }
+    for f in reach::analyze(&graph, &cfg.deep_entries(), &lexical_covered) {
+        deep.push(("panic-path", f.path, f.line, f.message, f.trace));
+    }
+    for (rule, path, line, message, trace) in deep {
+        let Some(&i) = by_rel.get(&path) else { continue };
+        apply_finding(&mut analyses[i], rule, line, message, trace, cfg, &mut report);
+    }
+    for a in analyses {
+        finish_suppressions(a, cfg, &mut report, true);
+    }
+    report.findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(report)
+}
+
+/// One suppression annotation `--fix-suppressions` would remove.
+#[derive(Debug, Clone)]
+pub struct StaleSuppression {
+    pub path: String,
+    pub line: u32,
+    /// The source line as it stands.
+    pub text: String,
+}
+
+/// Find (and with `apply`, remove) stale suppression annotations — the
+/// ones an `unused-suppression` finding points at. A whole-line
+/// annotation is deleted outright; a trailing annotation is stripped back
+/// to the code before it. Dry-run by default: callers pass `apply = true`
+/// only under the explicit `--apply` flag.
+///
+/// Runs the deep pass when `deep` so annotations for `taint-path` /
+/// `panic-path` are judged against the findings they actually match.
+pub fn fix_suppressions(
+    root: &Path,
+    cfg: &Config,
+    deep: bool,
+    apply: bool,
+) -> io::Result<Vec<StaleSuppression>> {
+    let report =
+        if deep { lint_workspace_deep(root, cfg)? } else { lint_workspace(root, cfg)? };
+    let mut stale: Vec<StaleSuppression> = Vec::new();
+    let mut by_file: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for f in &report.findings {
+        if f.rule == "unused-suppression" {
+            by_file.entry(f.path.clone()).or_default().push(f.line);
+        }
+    }
+    for (rel, mut lines) in by_file {
+        lines.sort_unstable();
+        lines.dedup();
+        let abs = root.join(&rel);
+        let src = fs::read_to_string(&abs)?;
+        let mut out: Vec<Option<String>> = src.lines().map(|l| Some(l.to_string())).collect();
+        for &lineno in &lines {
+            let idx = lineno as usize - 1;
+            let Some(text) = out.get(idx).cloned().flatten() else { continue };
+            // The annotation is the last `//` comment carrying the marker.
+            let marker = concat!("sb-lint", ":");
+            let Some(cut) = text
+                .match_indices("//")
+                .filter(|(i, _)| text[*i..].contains(marker))
+                .map(|(i, _)| i)
+                .last()
+            else {
+                continue;
+            };
+            stale.push(StaleSuppression { path: rel.clone(), line: lineno, text: text.clone() });
+            if text[..cut].trim().is_empty() {
+                out[idx] = None; // whole-line annotation: drop the line
+            } else {
+                out[idx] = Some(text[..cut].trim_end().to_string());
+            }
+        }
+        if apply {
+            let mut fixed: String =
+                out.into_iter().flatten().collect::<Vec<_>>().join("\n");
+            if src.ends_with('\n') {
+                fixed.push('\n');
+            }
+            fs::write(&abs, fixed)?;
+        }
+    }
+    Ok(stale)
 }
 
 /// Scan every in-scope file for suppression annotations and validate them
@@ -174,13 +336,13 @@ pub fn check_suppressions(root: &Path, cfg: &Config) -> io::Result<(Vec<Suppress
         for s in rules::parse_suppressions(&lexer::lex(&src)) {
             match s.error {
                 None => valid.push(s),
-                Some(errmsg) => bad.push(Finding {
-                    rule: "bad-suppression".to_string(),
-                    severity: Severity::Deny,
-                    path: rel.clone(),
-                    line: s.line,
-                    message: errmsg,
-                }),
+                Some(errmsg) => bad.push(Finding::new(
+                    "bad-suppression",
+                    Severity::Deny,
+                    rel.clone(),
+                    s.line,
+                    errmsg,
+                )),
             }
         }
     }

@@ -10,26 +10,59 @@
 //!
 //! * a hand-rolled, dependency-free Rust lexer ([`lexer`]) — the
 //!   workspace builds air-gapped, so `syn` is not an option;
-//! * five hazard rules over the token stream ([`rules`]): `modulo-rng`,
-//!   `shard-seed`, `hash-iter`, `wall-clock`, `fail-closed`;
+//! * five line-local hazard rules over the token stream ([`rules`]):
+//!   `modulo-rng`, `shard-seed`, `hash-iter`, `wall-clock`, `fail-closed`;
+//! * **deep passes** (`--deep`): a recursive-descent item [`parser`]
+//!   recovers `fn` items, their parameters, and the calls each body
+//!   makes; [`callgraph`] links them into a workspace-wide call graph
+//!   (path-suffix resolution for path calls, widening module→file→crate
+//!   tiers for bare calls, uniqueness + a std-name denylist for
+//!   methods); [`taint`] runs an interprocedural determinism-taint
+//!   dataflow (sources: shard/worker/thread identity, `env::var`, wall
+//!   clocks; sinks: `SeedTree` derivations, RNG constructors, merge
+//!   comparators), and [`reach`] reports panic sites transitively
+//!   reachable from the fault/recovery entry points — both with
+//!   multi-frame traces showing the full flow or call chain;
 //! * reviewed escape hatches: `// sb-lint: allow(rule, "reason")`, with
 //!   the reason mandatory and unknown rule names themselves a diagnostic;
+//!   `--fix-suppressions` removes stale annotations (dry-run by default,
+//!   `--apply` to write);
 //! * a committed [`config`] (`sb-lint.toml`) giving each rule a default
-//!   severity plus per-module-glob deny/warn/allow overrides;
-//! * human (`file:line: severity[rule]: message`) and machine (JSON)
-//!   output ([`diag`]).
+//!   severity plus per-module-glob deny/warn/allow overrides, and a
+//!   `[deep] entry` list naming the panic-reachability entry points;
+//! * human (`file:line: severity[rule]: message`, traces as numbered
+//!   indented frames) and machine (JSON with a `trace` array) output
+//!   ([`diag`]).
 //!
-//! Entry points: the `sb-lint` binary (`cargo run -p sb-lint -- --deny`),
-//! the `repro lint` subcommand, and [`engine::lint_workspace`] for tests.
+//! Entry points: the `sb-lint` binary (`cargo run -p sb-lint -- --deny`,
+//! `-- --deep --deny` in CI), the `repro lint [--deep]` subcommand, and
+//! [`engine::lint_workspace`] / [`engine::lint_workspace_deep`] for
+//! tests.
+//!
+//! ## Suppress or refactor?
+//!
+//! A deep finding names a *flow*, not a line — so before reaching for
+//! `sb-lint: allow(...)`, check whether the flow itself is the bug.
+//! Refactor when the tainted value can be re-keyed on logical
+//! coordinates (`day`, wire position) or the panic can become a typed
+//! error on the existing fault path; suppress (with the reasoning in the
+//! mandatory string) only when the flow is provably harmless — e.g. a
+//! value that is shard-*named* but not shard-*varying*, or a panic
+//! guarding a statically-impossible state. The annotation goes on the
+//! line the finding points at (the first frame), not somewhere upstream.
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod engine;
 pub mod glob;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
+pub mod taint;
 
 pub use config::{Config, ConfigError, Severity};
-pub use diag::Finding;
-pub use engine::{discover_root, lint_workspace, LintReport};
+pub use diag::{Finding, TraceFrame};
+pub use engine::{discover_root, lint_workspace, lint_workspace_deep, LintReport};
 pub use rules::{RuleInfo, RULES};

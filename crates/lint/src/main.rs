@@ -1,17 +1,24 @@
 //! `sb-lint` CLI — the standalone lint lane.
 //!
 //! ```text
-//! sb-lint [--root DIR] [--config FILE] [--deny] [--format text|json]
+//! sb-lint [--root DIR] [--config FILE] [--deep] [--deny]
+//!         [--format text|json] [--fix-suppressions [--apply]]
 //!         [--check-config] [--list-rules]
 //! ```
 //!
 //! * default: print findings, exit 0 (advisory);
+//! * `--deep`: also run the call-graph passes (`taint-path`,
+//!   `panic-path`) with multi-frame traces;
 //! * `--deny`: exit 1 when any deny-severity finding survives — the CI
-//!   gate (`cargo run -p sb-lint -- --deny`);
+//!   gate (`cargo run -p sb-lint -- --deep --deny`);
+//! * `--fix-suppressions`: list stale `sb-lint: allow(...)` annotations
+//!   (the ones `unused-suppression` flags); add `--apply` to actually
+//!   remove them from the sources — dry-run otherwise;
 //! * `--check-config`: parse `sb-lint.toml` and validate every
 //!   `sb-lint: allow(...)` annotation in-tree (rule name must be live,
 //!   reason mandatory); exit 1 on any violation;
-//! * `--format json`: machine-readable findings array;
+//! * `--format json`: machine-readable findings array (each finding
+//!   carries a `trace` array of `{path, line, note}` frames);
 //! * `--list-rules`: rule registry with defaults.
 //!
 //! Exit codes: 0 clean, 1 findings (under the selected gate), 2 usage or
@@ -24,16 +31,19 @@ use std::process::ExitCode;
 struct Args {
     root: Option<PathBuf>,
     config: Option<PathBuf>,
+    deep: bool,
     deny: bool,
     json: bool,
+    fix_suppressions: bool,
+    apply: bool,
     check_config: bool,
     list_rules: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sb-lint [--root DIR] [--config FILE] [--deny] [--format text|json] \
-         [--check-config] [--list-rules]"
+        "usage: sb-lint [--root DIR] [--config FILE] [--deep] [--deny] [--format text|json] \
+         [--fix-suppressions [--apply]] [--check-config] [--list-rules]"
     );
     ExitCode::from(2)
 }
@@ -42,8 +52,11 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         config: None,
+        deep: false,
         deny: false,
         json: false,
+        fix_suppressions: false,
+        apply: false,
         check_config: false,
         list_rules: false,
     };
@@ -54,16 +67,22 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(argv.next().ok_or("--config needs a file")?))
             }
+            "--deep" => args.deep = true,
             "--deny" => args.deny = true,
             "--format" => match argv.next().as_deref() {
                 Some("json") => args.json = true,
                 Some("text") => args.json = false,
                 _ => return Err("--format needs text|json".into()),
             },
+            "--fix-suppressions" => args.fix_suppressions = true,
+            "--apply" => args.apply = true,
             "--check-config" => args.check_config = true,
             "--list-rules" => args.list_rules = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.apply && !args.fix_suppressions {
+        return Err("--apply only makes sense with --fix-suppressions".into());
     }
     Ok(args)
 }
@@ -121,7 +140,16 @@ fn main() -> ExitCode {
         return check_config(&root, &cfg);
     }
 
-    let report = match engine::lint_workspace(&root, &cfg) {
+    if args.fix_suppressions {
+        return fix_suppressions(&root, &cfg, args.deep, args.apply);
+    }
+
+    let result = if args.deep {
+        engine::lint_workspace_deep(&root, &cfg)
+    } else {
+        engine::lint_workspace(&root, &cfg)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sb-lint: {e}");
@@ -147,6 +175,30 @@ fn main() -> ExitCode {
 
     if args.deny && report.deny_count() > 0 {
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--fix-suppressions`: list the stale annotations `unused-suppression`
+/// points at; remove them from the sources under `--apply`.
+fn fix_suppressions(root: &std::path::Path, cfg: &Config, deep: bool, apply: bool) -> ExitCode {
+    let stale = match engine::fix_suppressions(root, cfg, deep, apply) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for s in &stale {
+        println!("{}:{}: stale suppression: {}", s.path, s.line, s.text.trim());
+    }
+    if apply {
+        println!("sb-lint: removed {} stale suppression(s)", stale.len());
+    } else {
+        println!(
+            "sb-lint: {} stale suppression(s); rerun with --apply to remove them",
+            stale.len()
+        );
     }
     ExitCode::SUCCESS
 }

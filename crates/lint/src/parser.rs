@@ -1,0 +1,746 @@
+//! A recursive-descent *item* parser over the [`crate::lexer`] token
+//! stream.
+//!
+//! PR 7's rules match token patterns one line at a time; the deep passes
+//! ([`crate::taint`], [`crate::reach`]) need to know *which function* a
+//! token belongs to and *which functions that function calls*. This
+//! module recovers exactly that much structure — modules, `impl`/`trait`
+//! blocks, `fn` items with their parameter names, and the call sites and
+//! panic sites inside each body — and nothing more. It is not a Rust
+//! parser: types are skipped, expressions are never built, and malformed
+//! input degrades to "fewer items found", never a crash (the linter must
+//! not fall over on the code it polices).
+//!
+//! What is recovered per `fn`:
+//!
+//! * its path context: in-file module segments (`mod a { mod b { … } }`),
+//!   the surrounding `impl`/`trait` type name if any, and `pub`-ness;
+//! * parameter names, in order (`self` receivers record as `"self"`;
+//!   destructuring patterns record as `"_"`);
+//! * every call in the body, with the callee path and the token range of
+//!   each top-level argument (so dataflow can ask "which argument slot
+//!   does `shard_idx` feed?");
+//! * every potential panic site in the body: `unwrap`/`expect` family
+//!   method calls, `panic!`-family macros, and slice-index expressions.
+//!
+//! Test-gated code (per [`crate::rules::test_mask`]) is skipped at both
+//! the item level (a masked `fn` produces no [`FnDef`]) and the token
+//! level (a masked region inside a live body contributes no calls).
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(…)` — resolved by method-name lookup.
+    Method,
+    /// `a::b::name(…)` — resolved by path-suffix matching.
+    Path,
+    /// `name(…)` — resolved within the enclosing module, then crate.
+    Bare,
+    /// `name!(…)` — macros are terminal (never resolved), but `panic!`
+    /// and friends are panic sites.
+    Macro,
+}
+
+/// One call inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub kind: CallKind,
+    /// Callee name (the last path segment / method name / macro name).
+    pub name: String,
+    /// Full path segments for [`CallKind::Path`] (including the name);
+    /// `[name]` otherwise.
+    pub path: Vec<String>,
+    /// Token index of the callee-name token in the file's code tokens
+    /// (lets dataflow ask "is this call inside that argument range?").
+    pub head: usize,
+    pub line: u32,
+    /// Token ranges (`start..end`, exclusive) of each top-level argument
+    /// in the file's code-token stream.
+    pub args: Vec<(usize, usize)>,
+    /// Method call whose receiver is literally `self`.
+    pub recv_self: bool,
+}
+
+/// The flavor of a potential panic site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.expect(…)` / `.unwrap_err()` / `.expect_err(…)` /
+    /// `.unwrap_unchecked()`.
+    Unwrap,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// A slice/array index expression `recv[…]`.
+    Index,
+}
+
+/// One potential panic inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub kind: PanicKind,
+    /// The method/macro name, or the indexed receiver's text.
+    pub what: String,
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// In-file module path (`mod a { mod b { fn f } }` → `["a", "b"]`).
+    pub mods: Vec<String>,
+    /// Surrounding `impl Type` / `impl Trait for Type` / `trait Type`
+    /// block's type name.
+    pub impl_ty: Option<String>,
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter names in declaration order.
+    pub params: Vec<String>,
+    /// Signature declares a return type (`-> …` before the body or
+    /// `where` clause).
+    pub has_ret: bool,
+    /// Body token range (`open_brace..=close_brace` indices into the
+    /// file's code tokens); `None` for bodyless trait methods.
+    pub body: Option<(usize, usize)>,
+    pub calls: Vec<CallSite>,
+    pub panics: Vec<PanicSite>,
+}
+
+/// Keywords that look like call heads in expression position but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
+    "unsafe", "await", "break", "continue", "yield", "box",
+];
+
+/// Parse one file's code tokens (comments stripped) into its `fn` items,
+/// honoring `mask` (test-gated regions are invisible).
+pub fn parse_file(code: &[Tok], mask: &[bool]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut mods = Vec::new();
+    parse_items(code, mask, 0, code.len(), &mut mods, None, &mut fns);
+    // Extract calls/panics per fn, excluding any nested fn's body range so
+    // a helper defined inside a function is not attributed to its host.
+    let ranges: Vec<(usize, usize)> = fns.iter().filter_map(|f| f.body).collect();
+    for f in fns.iter_mut() {
+        let Some((open, close)) = f.body else { continue };
+        let nested: Vec<(usize, usize)> =
+            ranges.iter().copied().filter(|&(o, c)| o > open && c < close).collect();
+        let (calls, panics) = scan_body(code, mask, open + 1, close, &nested);
+        f.calls = calls;
+        f.panics = panics;
+    }
+    fns
+}
+
+/// Index of the token matching the opening delimiter at `open` (`{`/`(`/
+/// `[` chosen by `kind`), or `end` if unbalanced.
+fn matching(code: &[Tok], open: usize, end: usize, op: char, cl: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        if code[i].is_punct(op) {
+            depth += 1;
+        } else if code[i].is_punct(cl) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skip a balanced generic-argument list starting at `<`. `->` arrows
+/// inside (`F: Fn() -> u64`) do not count as closing angles.
+fn skip_angles(code: &[Tok], mut i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    while i < end {
+        let t = &code[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            // part of `->`?
+            let arrow = i > 0 && code[i - 1].is_punct('-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        } else if t.is_punct('(') {
+            i = matching(code, i, end, '(', ')');
+        } else if t.is_punct('{') {
+            i = matching(code, i, end, '{', '}');
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Is the token at `i` (the `fn` keyword) preceded by `pub`? Walks back
+/// over `async` / `unsafe` / `const` / `extern "abi"` / `pub(crate)`.
+fn is_pub_fn(code: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &code[j];
+        if t.is_ident("async") || t.is_ident("unsafe") || t.is_ident("const") {
+            continue;
+        }
+        if t.is_ident("extern") || t.kind == TokKind::Str {
+            continue;
+        }
+        if t.is_punct(')') {
+            // walk back over `pub(crate)` / `pub(in path)` parens
+            let mut depth = 0i32;
+            loop {
+                if code[j].is_punct(')') {
+                    depth += 1;
+                } else if code[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// The type name of an `impl`/`trait` header: the last path segment of
+/// the implemented-on type, generics stripped. `None` when the head is
+/// not a plain path (`impl Trait for [T; N]`, …).
+fn impl_type_name(code: &[Tok], start: usize, stop: usize) -> Option<String> {
+    // When a `for` appears at angle-depth 0 the type is what follows it
+    // (`impl Display for Finding`); otherwise the whole head is the type.
+    let mut ty_start = start;
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < stop {
+        let t = &code[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(i > 0 && code[i - 1].is_punct('-')) {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("for") {
+            ty_start = i + 1;
+        }
+        i += 1;
+    }
+    // Last ident of the leading path, before any `<`.
+    let mut name = None;
+    let mut i = ty_start;
+    while i < stop {
+        let t = &code[i];
+        if t.kind == TokKind::Ident {
+            if t.is_ident("dyn") || t.is_ident("mut") {
+                i += 1;
+                continue;
+            }
+            name = Some(t.text.clone());
+            // path continues?
+            if i + 2 < stop && code[i + 1].is_punct(':') && code[i + 2].is_punct(':') {
+                i += 3;
+                continue;
+            }
+            break;
+        } else if t.is_punct('&') || t.is_punct('!') || t.kind == TokKind::Lit {
+            i += 1; // references, negative impls, lifetimes
+        } else {
+            break;
+        }
+    }
+    name
+}
+
+/// Parse the parameter names out of the paren group `open..=close`.
+fn parse_params(code: &[Tok], open: usize, close: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // one comma-separated segment at depth 1
+        let seg_start = i;
+        let mut depth = 0i32;
+        while i < close {
+            let t = &code[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                i = skip_angles(code, i, close).saturating_sub(1);
+            } else if depth == 0 && t.is_punct(',') {
+                break;
+            }
+            i += 1;
+        }
+        let seg_end = i;
+        i += 1; // past the comma
+        if seg_start >= seg_end {
+            continue;
+        }
+        // name = first ident of the pattern, skipping `&`, `mut`,
+        // lifetimes; `self` receivers keep their name.
+        let mut name = None;
+        for t in &code[seg_start..seg_end] {
+            if t.is_punct('&') || t.is_ident("mut") {
+                continue;
+            }
+            if t.kind == TokKind::Lit && t.text.starts_with('\'') {
+                continue; // lifetime on &'a self
+            }
+            if t.kind == TokKind::Ident {
+                name = Some(t.text.clone());
+            }
+            break;
+        }
+        params.push(name.unwrap_or_else(|| "_".to_string()));
+    }
+    params
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_items(
+    code: &[Tok],
+    mask: &[bool],
+    start: usize,
+    end: usize,
+    mods: &mut Vec<String>,
+    impl_ty: Option<&str>,
+    out: &mut Vec<FnDef>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &code[i];
+        // `mod name { … }` / `mod name;`
+        if t.is_ident("mod")
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && code.get(i + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            let close = matching(code, i + 2, end, '{', '}');
+            if !mask.get(i).copied().unwrap_or(false) {
+                mods.push(code[i + 1].text.clone());
+                parse_items(code, mask, i + 3, close, mods, None, out);
+                mods.pop();
+            }
+            i = close + 1;
+            continue;
+        }
+        // `impl … { … }` / `trait Name { … }`
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_punct('<')) {
+                j = skip_angles(code, j, end);
+            }
+            // scan to the block `{` (or bail at `;`/end — `impl` in a
+            // type position, not an item)
+            let head_start = j;
+            let mut open = None;
+            while j < end {
+                let tj = &code[j];
+                if tj.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if tj.is_punct(';') {
+                    break;
+                }
+                if tj.is_punct('<') {
+                    j = skip_angles(code, j, end);
+                    continue;
+                }
+                j += 1;
+            }
+            let Some(open) = open else {
+                i += 1;
+                continue;
+            };
+            let close = matching(code, open, end, '{', '}');
+            if !mask.get(i).copied().unwrap_or(false) {
+                let ty = impl_type_name(code, head_start, open);
+                parse_items(code, mask, open + 1, close, mods, ty.as_deref(), out);
+            }
+            i = close + 1;
+            continue;
+        }
+        // `fn name … ( params ) … { body }` / `fn name(…);`
+        if t.is_ident("fn") && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let fn_tok = i;
+            let name = code[i + 1].text.clone();
+            let line = code[i].line;
+            let mut j = i + 2;
+            if code.get(j).is_some_and(|n| n.is_punct('<')) {
+                j = skip_angles(code, j, end);
+            }
+            if !code.get(j).is_some_and(|n| n.is_punct('(')) {
+                i += 1;
+                continue;
+            }
+            let pclose = matching(code, j, end, '(', ')');
+            let params = parse_params(code, j, pclose);
+            // find the body `{` or the `;` of a bodyless signature,
+            // noting a `->` return arrow before any `where` clause
+            let mut k = pclose + 1;
+            let mut body = None;
+            let mut has_ret = false;
+            let mut seen_where = false;
+            while k < end {
+                let tk = &code[k];
+                if tk.is_punct('{') {
+                    let close = matching(code, k, end, '{', '}');
+                    body = Some((k, close));
+                    break;
+                }
+                if tk.is_punct(';') {
+                    break;
+                }
+                if tk.is_ident("where") {
+                    seen_where = true;
+                }
+                if !seen_where
+                    && tk.is_punct('-')
+                    && code.get(k + 1).is_some_and(|n| n.is_punct('>'))
+                {
+                    has_ret = true;
+                }
+                if tk.is_punct('<') {
+                    k = skip_angles(code, k, end);
+                    continue;
+                }
+                k += 1;
+            }
+            if !mask.get(fn_tok).copied().unwrap_or(false) {
+                out.push(FnDef {
+                    name,
+                    mods: mods.clone(),
+                    impl_ty: impl_ty.map(str::to_string),
+                    is_pub: is_pub_fn(code, fn_tok),
+                    line,
+                    params,
+                    has_ret,
+                    body,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            // Recurse into the body for nested `fn` items (their call
+            // sites must not be attributed to this fn — handled by the
+            // nested-range exclusion in `parse_file`).
+            if let Some((open, close)) = body {
+                parse_items(code, mask, open + 1, close, mods, impl_ty, out);
+                i = close + 1;
+            } else {
+                i = k + 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Split the argument tokens of the paren group `open..close` at
+/// top-level commas. Ranges are `start..end` exclusive.
+fn split_args(code: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if open + 1 >= close {
+        return out;
+    }
+    let mut seg = open + 1;
+    let mut depth = 0i32;
+    let mut i = open + 1;
+    while i < close {
+        let t = &code[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('|') {
+            // closure parameter list: skip to the matching `|` so its
+            // commas don't split the argument
+            let mut k = i + 1;
+            while k < close && !code[k].is_punct('|') {
+                k += 1;
+            }
+            i = k;
+        } else if depth == 0 && t.is_punct(',') {
+            out.push((seg, i));
+            seg = i + 1;
+        }
+        i += 1;
+    }
+    if seg < close {
+        out.push((seg, close));
+    }
+    out
+}
+
+/// Is `code[i]` inside one of the (sorted or not) nested ranges?
+fn in_nested(nested: &[(usize, usize)], i: usize) -> bool {
+    nested.iter().any(|&(o, c)| i >= o && i <= c)
+}
+
+const UNWRAP_METHODS: &[&str] =
+    &["unwrap", "expect", "unwrap_err", "expect_err", "unwrap_unchecked"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scan a body token range for call sites and panic sites.
+fn scan_body(
+    code: &[Tok],
+    mask: &[bool],
+    start: usize,
+    end: usize,
+    nested: &[(usize, usize)],
+) -> (Vec<CallSite>, Vec<PanicSite>) {
+    let mut calls = Vec::new();
+    let mut panics = Vec::new();
+    let mut i = start;
+    while i < end {
+        if mask.get(i).copied().unwrap_or(false) || in_nested(nested, i) {
+            i += 1;
+            continue;
+        }
+        let t = &code[i];
+        if t.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            // macro call `name!(…)` / `name![…]` / `name!{…}`
+            if code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && code.get(i + 2).is_some_and(|n| {
+                    n.is_punct('(') || n.is_punct('[') || n.is_punct('{')
+                })
+            {
+                if PANIC_MACROS.contains(&t.text.as_str()) {
+                    panics.push(PanicSite {
+                        kind: PanicKind::Macro,
+                        what: format!("{}!", t.text),
+                        line: t.line,
+                    });
+                }
+                calls.push(CallSite {
+                    kind: CallKind::Macro,
+                    name: t.text.clone(),
+                    path: vec![t.text.clone()],
+                    head: i,
+                    line: t.line,
+                    args: Vec::new(),
+                    recv_self: false,
+                });
+                i += 2;
+                continue;
+            }
+            // possible call: ident (maybe turbofish) followed by `(`
+            let mut after = i + 1;
+            if code.get(after).is_some_and(|n| n.is_punct(':'))
+                && code.get(after + 1).is_some_and(|n| n.is_punct(':'))
+                && code.get(after + 2).is_some_and(|n| n.is_punct('<'))
+            {
+                after = skip_angles(code, after + 2, end);
+            }
+            if code.get(after).is_some_and(|n| n.is_punct('(')) {
+                let close = matching(code, after, end, '(', ')');
+                let args = split_args(code, after, close);
+                let prev = i.checked_sub(1).map(|p| &code[p]);
+                let is_method = prev.is_some_and(|p| p.is_punct('.'));
+                let is_path = !is_method
+                    && i >= 2
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':');
+                let preceded_by_fn = prev.is_some_and(|p| p.is_ident("fn"));
+                if preceded_by_fn {
+                    i += 1;
+                    continue;
+                }
+                if is_method {
+                    let recv_self = i >= 2
+                        && code[i - 2].is_ident("self")
+                        && !(i >= 3 && (code[i - 3].is_punct('.') || code[i - 3].is_punct(':')));
+                    if UNWRAP_METHODS.contains(&t.text.as_str()) {
+                        panics.push(PanicSite {
+                            kind: PanicKind::Unwrap,
+                            what: t.text.clone(),
+                            line: t.line,
+                        });
+                    }
+                    calls.push(CallSite {
+                        kind: CallKind::Method,
+                        name: t.text.clone(),
+                        path: vec![t.text.clone()],
+                        head: i,
+                        line: t.line,
+                        args,
+                        recv_self,
+                    });
+                } else if is_path {
+                    // walk back the `seg::seg::name` chain
+                    let mut segs = vec![t.text.clone()];
+                    let mut p = i;
+                    while p >= 3
+                        && code[p - 1].is_punct(':')
+                        && code[p - 2].is_punct(':')
+                        && code[p - 3].kind == TokKind::Ident
+                    {
+                        segs.push(code[p - 3].text.clone());
+                        p -= 3;
+                    }
+                    segs.reverse();
+                    calls.push(CallSite {
+                        kind: CallKind::Path,
+                        name: t.text.clone(),
+                        path: segs,
+                        head: i,
+                        line: t.line,
+                        args,
+                        recv_self: false,
+                    });
+                } else {
+                    calls.push(CallSite {
+                        kind: CallKind::Bare,
+                        name: t.text.clone(),
+                        path: vec![t.text.clone()],
+                        head: i,
+                        line: t.line,
+                        args,
+                        recv_self: false,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+        }
+        // slice/array index `recv[…]`: `[` preceded by an ident, `)` or `]`
+        if t.is_punct('[') {
+            if let Some(p) = i.checked_sub(1) {
+                let prev = &code[p];
+                let ident_recv = prev.kind == TokKind::Ident
+                    && !NON_CALL_KEYWORDS.contains(&prev.text.as_str())
+                    && !prev.is_ident("mut");
+                let expr_recv = prev.is_punct(')') || prev.is_punct(']');
+                if ident_recv || expr_recv {
+                    let what = if ident_recv { prev.text.clone() } else { "<expr>".to_string() };
+                    panics.push(PanicSite { kind: PanicKind::Index, what, line: t.line });
+                }
+            }
+        }
+        i += 1;
+    }
+    (calls, panics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn parse(src: &str) -> Vec<FnDef> {
+        let toks = lex(src);
+        let code: Vec<Tok> =
+            toks.into_iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let mask = test_mask(&code);
+        parse_file(&code, &mask)
+    }
+
+    #[test]
+    fn finds_fns_with_modules_and_impls() {
+        let fns = parse(
+            "mod a { pub fn f(x: u32) {} mod b { fn g() {} } }\n\
+             struct S;\n\
+             impl S { pub fn m(&self, n: usize) -> u32 { 0 } }\n\
+             impl std::fmt::Display for S { fn fmt(&self, f: &mut F) -> R { todo!() } }",
+        );
+        let names: Vec<(String, Vec<String>, Option<String>)> =
+            fns.iter().map(|f| (f.name.clone(), f.mods.clone(), f.impl_ty.clone())).collect();
+        assert_eq!(names[0], ("f".into(), vec!["a".to_string()], None));
+        assert_eq!(names[1], ("g".into(), vec!["a".to_string(), "b".to_string()], None));
+        assert_eq!(names[2], ("m".into(), vec![], Some("S".into())));
+        assert_eq!(names[3], ("fmt".into(), vec![], Some("S".into())));
+        assert!(fns[0].is_pub && fns[2].is_pub && !fns[1].is_pub);
+    }
+
+    #[test]
+    fn params_record_names_and_self() {
+        let fns = parse("fn f(&mut self, shard_idx: usize, (a, b): (u32, u32), n: u64) {}");
+        assert_eq!(fns[0].params, vec!["self", "shard_idx", "_", "n"]);
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let fns = parse(
+            "fn f() { g(1); m::n::h(2, 3); x.meth(4); self.own(); v.collect::<Vec<_>>(); \
+             println!(\"{}\", 1); }",
+        );
+        let c = &fns[0].calls;
+        let kind_of = |name: &str| c.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(kind_of("g").kind, CallKind::Bare);
+        assert_eq!(kind_of("h").kind, CallKind::Path);
+        assert_eq!(kind_of("h").path, vec!["m", "n", "h"]);
+        assert_eq!(kind_of("meth").kind, CallKind::Method);
+        assert!(kind_of("own").recv_self);
+        assert_eq!(kind_of("collect").kind, CallKind::Method);
+        assert_eq!(kind_of("println").kind, CallKind::Macro);
+    }
+
+    #[test]
+    fn args_split_at_top_level_commas() {
+        let fns = parse("fn f() { g(a, (b, c), h(d, e), |x, y| x); }");
+        let g = fns[0].calls.iter().find(|s| s.name == "g").unwrap();
+        assert_eq!(g.args.len(), 4);
+    }
+
+    #[test]
+    fn panic_sites_are_found() {
+        let fns = parse(
+            "fn f(v: &[u32], i: usize) -> u32 { let x = r().unwrap(); \
+             if i > v.len() { panic!(\"oob\") } v[i] + x }",
+        );
+        let kinds: Vec<PanicKind> = fns[0].panics.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PanicKind::Unwrap));
+        assert!(kinds.contains(&PanicKind::Macro));
+        assert!(kinds.contains(&PanicKind::Index));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_attributed_to_the_host() {
+        let fns = parse("fn outer() { fn inner() { helper(); } inner(); }");
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.calls.iter().all(|c| c.name != "helper"));
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+        assert!(inner.calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn test_gated_fns_are_invisible() {
+        let fns = parse("#[test]\nfn t() { x.unwrap(); }\nfn live() {}");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "live");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_parse() {
+        let fns = parse("trait T { fn area(&self) -> f64; fn name(&self) -> &str { \"t\" } }");
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none());
+        assert!(fns[1].body.is_some());
+        assert_eq!(fns[0].impl_ty.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_the_scan() {
+        let fns = parse(
+            "fn f<F: Fn(u32) -> u64, T>(g: F, v: Vec<T>) -> impl Iterator<Item = u64> \
+             where T: Clone { v.into_iter().map(move |_| g(1)) }",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].params, vec!["g", "v"]);
+        assert!(fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Interprocedural panic reachability from fault/recovery entry points.
+//!
+//! The lexical `fail-closed` rule denies `unwrap()`/`expect()` inside the
+//! configured fault/recovery/screening *files*; this pass generalizes it
+//! across the call graph: any panic site — unwrap family, `panic!`-family
+//! macro, slice index — in a function *transitively reachable* from those
+//! entry points is reported with its full call chain, wherever the
+//! function lives. A recovery path that calls three helpers deep into
+//! another crate is just as much a recovery path.
+//!
+//! Entry points come from `[deep] entry` in `sb-lint.toml` (file glob =
+//! every pub fn in matching files; `fileglob::fnglob` = matching fns, pub
+//! or not), defaulting to the `fail-closed` deny globs.
+//!
+//! Noise control, so the pass stays actionable:
+//!
+//! * unwrap-family sites inside files where lexical `fail-closed` is
+//!   already live are skipped — one finding per hazard, owned by the
+//!   rule that can see it most directly;
+//! * slice-index sites are only reported inside the entry functions
+//!   themselves (an index five frames down in a scoring kernel is a
+//!   performance choice, not a recovery hazard; an index inside `restore`
+//!   or `step_week` proper is the recovery path aborting);
+//! * chains are shortest-path (BFS) and capped at 16 frames.
+
+use crate::callgraph::CallGraph;
+use crate::diag::TraceFrame;
+use crate::glob::glob_match;
+use crate::parser::PanicKind;
+
+/// One raw deep finding (severity/suppressions applied by the engine).
+#[derive(Debug, Clone)]
+pub struct ReachFinding {
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub trace: Vec<TraceFrame>,
+}
+
+/// How a fn became reachable.
+#[derive(Clone, Copy)]
+struct Reach {
+    /// `(caller fn, call line)`; `None` for entry points.
+    parent: Option<(usize, u32)>,
+    depth: u32,
+}
+
+const MAX_DEPTH: u32 = 16;
+
+/// Run the reachability analysis.
+///
+/// `entries` are `(file glob, fn-name glob)` pairs from
+/// [`crate::config::Config::deep_entries`]; `lexical_covered[file]` is
+/// true when the lexical `fail-closed` rule is live for that file.
+pub fn analyze(
+    graph: &CallGraph,
+    entries: &[(String, Option<String>)],
+    lexical_covered: &[bool],
+) -> Vec<ReachFinding> {
+    let n = graph.fns.len();
+    // Entry fns: every pub fn of a file-only pattern; named fns of a
+    // `::fnglob` pattern.
+    let mut info: Vec<Option<Reach>> = vec![None; n];
+    let mut queue: Vec<usize> = Vec::new();
+    for (f, slot) in info.iter_mut().enumerate() {
+        let node = &graph.fns[f];
+        let rel = &graph.files[node.file].rel;
+        let is_entry = entries.iter().any(|(fileglob, fnglob)| {
+            glob_match(fileglob, rel)
+                && match fnglob {
+                    None => node.def.is_pub,
+                    Some(g) => glob_match(g, &node.def.name),
+                }
+        });
+        if is_entry {
+            *slot = Some(Reach { parent: None, depth: 0 });
+            queue.push(f);
+        }
+    }
+    // BFS over resolved call edges (shortest chains, deterministic order).
+    let mut head = 0;
+    while head < queue.len() {
+        let f = queue[head];
+        head += 1;
+        let depth = info[f].map(|r| r.depth).unwrap_or(0);
+        if depth >= MAX_DEPTH {
+            continue;
+        }
+        for (c, call) in graph.fns[f].def.calls.iter().enumerate() {
+            for &callee in &graph.resolved[f][c] {
+                if info[callee].is_none() {
+                    info[callee] =
+                        Some(Reach { parent: Some((f, call.line)), depth: depth + 1 });
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<ReachFinding> = Vec::new();
+    for f in 0..n {
+        let Some(reach) = info[f] else { continue };
+        let node = &graph.fns[f];
+        let file_idx = node.file;
+        let rel = &graph.files[file_idx].rel;
+        let covered = lexical_covered.get(file_idx).copied().unwrap_or(false);
+        for site in &node.def.panics {
+            match site.kind {
+                PanicKind::Unwrap if covered => continue,
+                PanicKind::Index if reach.depth > 0 => continue,
+                _ => {}
+            }
+            let what = match site.kind {
+                PanicKind::Unwrap => format!("`{}()`", site.what),
+                PanicKind::Macro => format!("`{}(…)`", site.what),
+                PanicKind::Index => format!("index `{}[…]`", site.what),
+            };
+            // Reconstruct the entry → … → f chain.
+            let mut chain: Vec<usize> = vec![f];
+            let mut lines: Vec<u32> = Vec::new();
+            let mut cur = f;
+            while let Some(Reach { parent: Some((p, line)), .. }) = info[cur] {
+                chain.push(p);
+                lines.push(line);
+                cur = p;
+            }
+            chain.reverse();
+            lines.reverse();
+            let entry = &graph.fns[chain[0]];
+            let mut trace = Vec::new();
+            for (i, &line) in lines.iter().enumerate() {
+                let caller = &graph.fns[chain[i]];
+                let callee = &graph.fns[chain[i + 1]];
+                trace.push(TraceFrame {
+                    path: graph.files[caller.file].rel.clone(),
+                    line,
+                    note: format!("`{}` calls `{}`", caller.label(), callee.label()),
+                });
+            }
+            trace.push(TraceFrame {
+                path: rel.clone(),
+                line: site.line,
+                note: format!("{what} can panic here"),
+            });
+            let message = if reach.depth == 0 {
+                format!(
+                    "{what} inside fault/recovery entry `{}` — fail closed with a typed \
+                     error instead",
+                    entry.label()
+                )
+            } else {
+                format!(
+                    "{what} is reachable {} call(s) from fault/recovery entry `{}` — fail \
+                     closed with a typed error instead",
+                    reach.depth,
+                    entry.label()
+                )
+            };
+            let dup = out
+                .iter()
+                .any(|e| e.path == *rel && e.line == site.line && e.message == message);
+            if !dup {
+                out.push(ReachFinding { path: rel.clone(), line: site.line, message, trace });
+            }
+        }
+    }
+    out
+}

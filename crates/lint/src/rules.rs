@@ -29,6 +29,10 @@ pub struct RuleInfo {
     pub summary: &'static str,
     /// Built-in default severity when `sb-lint.toml` is silent.
     pub default: Severity,
+    /// Rule runs only under `--deep` (call-graph dataflow passes). A
+    /// suppression targeting a deep rule is only checked for staleness
+    /// when a deep run actually produced deep findings to match.
+    pub deep: bool,
 }
 
 /// The rule registry. Order is the reporting order within a line.
@@ -37,36 +41,55 @@ pub const RULES: &[RuleInfo] = &[
         name: "modulo-rng",
         summary: "`%` or a truncating `as` cast applied to a raw RNG draw; use next_below(n)",
         default: Severity::Deny,
+        deep: false,
     },
     RuleInfo {
         name: "shard-seed",
         summary: "seed-path derivation keyed by shard/worker/thread identity; key by (day, wire position)",
         default: Severity::Deny,
+        deep: false,
     },
     RuleInfo {
         name: "hash-iter",
         summary: "iteration over a hash-ordered container in an order-sensitive (merge/digest) module",
         default: Severity::Warn,
+        deep: false,
     },
     RuleInfo {
         name: "wall-clock",
         summary: "wall-clock read (Instant::now / SystemTime::now) in a simulation path; use the virtual clock",
         default: Severity::Warn,
+        deep: false,
     },
     RuleInfo {
         name: "fail-closed",
         summary: "panicking unwrap()/expect() in a fault/recovery/screening path; return a typed error",
         default: Severity::Warn,
+        deep: false,
+    },
+    RuleInfo {
+        name: "taint-path",
+        summary: "[deep] shard identity / env / clock value flows into a seed or merge-order sink across calls",
+        default: Severity::Deny,
+        deep: true,
+    },
+    RuleInfo {
+        name: "panic-path",
+        summary: "[deep] panic site transitively reachable from a fault/recovery entry point",
+        default: Severity::Warn,
+        deep: true,
     },
     RuleInfo {
         name: "bad-suppression",
         summary: "malformed sb-lint: allow(...) — unknown rule name or missing reason",
         default: Severity::Deny,
+        deep: false,
     },
     RuleInfo {
         name: "unused-suppression",
         summary: "sb-lint: allow(...) annotation that matches no finding on its line",
         default: Severity::Warn,
+        deep: false,
     },
 ];
 
@@ -75,6 +98,11 @@ pub fn is_suppressible(name: &str) -> bool {
     RULES.iter().any(|r| r.name == name)
         && name != "bad-suppression"
         && name != "unused-suppression"
+}
+
+/// True when `name` is a `--deep`-only rule.
+pub fn is_deep(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name && r.deep)
 }
 
 /// A raw (pre-severity, pre-suppression) finding inside one file.
@@ -94,17 +122,48 @@ fn finding(rule: &'static str, line: u32, message: impl Into<String>) -> RawFind
 // ---------------------------------------------------------------------------
 
 /// Compute a per-token mask that is `true` inside items gated to test
-/// builds: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`,
-/// `#[cfg_attr(test, …)]`. `#[cfg(not(test))]` is production code and is
-/// NOT masked (heuristic: an attribute containing `not` anywhere keeps
-/// the item live — conservative in the reporting direction).
+/// builds: `#[test]`, `#[tokio::test]`-style attributes with path prefixes
+/// or arguments, `#[bench]`, `#[test_case(…)]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`, `#[cfg_attr(test, …)]`. `#[cfg(not(test))]` is
+/// production code and is NOT masked (heuristic: an attribute containing
+/// `not` anywhere keeps the item live — conservative in the reporting
+/// direction).
 ///
 /// The "item" following the attribute run is skipped to the first `;` at
-/// bracket depth zero or through the first balanced `{…}` block.
+/// bracket depth zero or through the first balanced `{…}` block. Two
+/// constructs gate without an outer attribute and are masked too:
+/// an inner `#![cfg(test)]` masks to the end of its enclosing block (or
+/// file), and `mod tests { … }` / `mod test { … }` blocks are masked at
+/// any nesting depth — the idiom is test-only by convention even when the
+/// `#[cfg(test)]` line is forgotten.
 pub fn test_mask(code: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0usize;
     while i < code.len() {
+        // `mod tests { … }` / `mod test { … }` at any depth.
+        if code[i].is_ident("mod")
+            && code.get(i + 1).is_some_and(|t| t.is_ident("tests") || t.is_ident("test"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < code.len() {
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(code.len())).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+            continue;
+        }
         if !code[i].is_punct('#') {
             i += 1;
             continue;
@@ -112,10 +171,13 @@ pub fn test_mask(code: &[Tok]) -> Vec<bool> {
         // Attribute run: `#` `[` … `]` (possibly `#!`), maybe several in a row.
         let attr_start = i;
         let mut gated = false;
+        let mut inner_gated = false;
         let mut j = i;
         while j < code.len() && code[j].is_punct('#') {
             let mut k = j + 1;
+            let mut inner = false;
             if k < code.len() && code[k].is_punct('!') {
+                inner = true;
                 k += 1;
             }
             if !(k < code.len() && code[k].is_punct('[')) {
@@ -135,7 +197,7 @@ pub fn test_mask(code: &[Tok]) -> Vec<bool> {
                         k += 1;
                         break;
                     }
-                } else if t.is_ident("test") {
+                } else if t.is_ident("test") || t.is_ident("bench") || t.is_ident("test_case") {
                     saw_test = true;
                 } else if t.is_ident("not") {
                     saw_not = true;
@@ -144,11 +206,36 @@ pub fn test_mask(code: &[Tok]) -> Vec<bool> {
             }
             if saw_test && !saw_not {
                 gated = true;
+                if inner {
+                    inner_gated = true;
+                }
             }
             j = k;
         }
         if !gated {
             i = (i + 1).max(j.min(code.len()));
+            continue;
+        }
+        // An inner `#![cfg(test)]` gates its *enclosing* scope: mask to the
+        // `}` that closes it (or end of file for a file-level attribute).
+        if inner_gated {
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < code.len() {
+                if code[k].is_punct('{') {
+                    depth += 1;
+                } else if code[k].is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take(k).skip(attr_start) {
+                *m = true;
+            }
+            i = k.max(attr_start + 1);
             continue;
         }
         // Skip the gated item: to `;` at depth 0, or through one `{…}`.
@@ -327,8 +414,10 @@ pub fn scan_shard_seed(code: &[Tok], mask: &[bool]) -> Vec<RawFinding> {
     out
 }
 
-/// Classify a token text as shard identity, if it is one.
-fn shard_identity(text: &str) -> Option<&'static str> {
+/// Classify a token text as shard identity, if it is one. Shared with
+/// the deep taint pass ([`crate::taint`]), which uses the same notion of
+/// "shard identity" as a dataflow *source*.
+pub fn shard_identity(text: &str) -> Option<&'static str> {
     let lower = text.to_ascii_lowercase();
     if lower.contains("shard") {
         Some("shard identity")

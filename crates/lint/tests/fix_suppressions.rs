@@ -1,0 +1,83 @@
+//! `--fix-suppressions` end to end: dry-run reports stale annotations
+//! without touching files; `--apply` deletes whole-line annotations and
+//! strips trailing ones back to the code, leaving live suppressions alone.
+
+use sb_lint::engine::{fix_suppressions, lint_workspace};
+use sb_lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+const TOML: &str = "[paths]\ninclude = [\"src/**/*.rs\"]\n\
+                    [rule.wall-clock]\nseverity = \"deny\"\n\
+                    [rule.fail-closed]\nseverity = \"deny\"\n";
+
+const SRC: &str = "//! fix-suppressions scratch crate.\n\
+\n\
+pub fn timed() -> u64 {\n\
+\x20   // sb-lint: allow(wall-clock, \"boot banner only; never in the replay path\")\n\
+\x20   let _t = std::time::Instant::now();\n\
+\x20   0\n\
+}\n\
+\n\
+// sb-lint: allow(wall-clock, \"stale: the clock read below was removed\")\n\
+pub fn quiet() -> u64 {\n\
+\x20   4\n\
+}\n\
+\n\
+pub fn count() -> usize {\n\
+\x20   let n = 4; // sb-lint: allow(fail-closed, \"stale: the unwrap was refactored away\")\n\
+\x20   n\n\
+}\n";
+
+/// Build a throwaway workspace under the cargo-managed tmp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("fixsup_{tag}"));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("src")).unwrap();
+    fs::write(root.join("src/lib.rs"), SRC).unwrap();
+    root
+}
+
+#[test]
+fn dry_run_reports_stale_without_editing() {
+    let root = scratch("dry");
+    let cfg = Config::parse(TOML).unwrap();
+
+    let stale = fix_suppressions(&root, &cfg, false, false).unwrap();
+    let mut found: Vec<(String, u32)> =
+        stale.iter().map(|s| (s.path.clone(), s.line)).collect();
+    found.sort();
+    assert_eq!(
+        found,
+        vec![("src/lib.rs".to_string(), 9), ("src/lib.rs".to_string(), 15)],
+        "exactly the two stale annotations, by line"
+    );
+    assert_eq!(fs::read_to_string(root.join("src/lib.rs")).unwrap(), SRC, "dry run is read-only");
+}
+
+#[test]
+fn apply_removes_stale_and_keeps_live() {
+    let root = scratch("apply");
+    let cfg = Config::parse(TOML).unwrap();
+
+    let stale = fix_suppressions(&root, &cfg, false, true).unwrap();
+    assert_eq!(stale.len(), 2);
+
+    let after = fs::read_to_string(root.join("src/lib.rs")).unwrap();
+    assert!(!after.contains("stale:"), "both stale annotations gone:\n{after}");
+    assert!(
+        after.contains("boot banner only"),
+        "the live wall-clock suppression survives:\n{after}"
+    );
+    assert!(
+        after.lines().any(|l| l.trim_end().ends_with("let n = 4;")),
+        "trailing annotation stripped back to the code:\n{after}"
+    );
+
+    // The tree is now clean: the live suppression still masks its finding
+    // and no unused-suppression diagnostics remain.
+    let report = lint_workspace(&root, &cfg).unwrap();
+    assert!(report.findings.is_empty(), "unexpected findings: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1, "exactly the live suppression fires");
+    assert!(fix_suppressions(&root, &cfg, false, false).unwrap().is_empty(), "idempotent");
+}

@@ -1,0 +1,21 @@
+//! A checkpoint-restore path that aborts instead of failing closed.
+
+/// Restored state: a single counter.
+pub struct Counter(pub u64);
+
+/// Recovery entry point ([deep] entry in the fixture config). Looks
+/// fail-closed from here; the panic is three frames down.
+pub fn restore_counter(blob: &[u8]) -> Counter {
+    Counter(parse_header(blob))
+}
+
+fn parse_header(blob: &[u8]) -> u64 {
+    read_magic(blob)
+}
+
+/// BUG (panic-reachable recovery): a truncated checkpoint aborts the
+/// restore instead of surfacing a typed error to the caller.
+fn read_magic(blob: &[u8]) -> u64 {
+    let magic = blob.first().unwrap();
+    u64::from(*magic)
+}

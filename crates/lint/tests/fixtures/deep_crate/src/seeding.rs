@@ -1,0 +1,31 @@
+//! Seed plumbing with a buried shard-identity leak.
+
+/// Stand-in for the workspace RNG seed tree (name-matched by the sink
+/// tables; the fixture never runs).
+pub struct SeedTree(u64);
+
+impl SeedTree {
+    pub fn new(seed: u64) -> Self {
+        SeedTree(seed)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.0
+    }
+}
+
+/// BUG (two-hop leak): the shard index is salted into a local, handed
+/// through two helpers, and only then keys the RNG — nothing on this
+/// line looks like a seed, and nothing at the sink looks like a shard.
+pub fn shard_seed_for(shard_idx: u64) -> u64 {
+    let salt = shard_idx ^ 0x9e37_79b9;
+    derive(salt)
+}
+
+fn derive(key: u64) -> u64 {
+    mix(key)
+}
+
+fn mix(k: u64) -> u64 {
+    SeedTree::new(k).seed()
+}

@@ -1,0 +1,62 @@
+// Masking regression fixture: every panicking call below sits inside a
+// test-gated region EXCEPT the two explicitly marked live — those lines
+// are the only expected fail-closed findings.
+
+#[test]
+fn plain_test() {
+    std::fs::read("x").unwrap();
+}
+
+#[tokio::test]
+async fn path_prefixed_attr() {
+    std::fs::read("x").unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn attr_with_args() {
+    std::fs::read("x").unwrap();
+}
+
+#[bench]
+fn bench_item(b: &mut Bencher) {
+    std::fs::read("x").unwrap();
+}
+
+#[test_case(1, 2)]
+fn parameterised_case(a: u32, b: u32) {
+    assert_eq!(a + 1, b);
+    std::fs::read("x").unwrap();
+}
+
+#[cfg(not(test))]
+fn live_despite_cfg_not() {
+    std::fs::read("x").expect("flagged: not(test) is a live build"); // line 33
+}
+
+mod outer {
+    pub fn live_in_plain_mod() {
+        std::fs::read("x").unwrap(); // line 38: plain mod, still live
+    }
+
+    mod tests {
+        // nested `mod tests` without #[cfg(test)]: masked by convention
+        fn helper() {
+            std::fs::read("x").unwrap();
+        }
+    }
+}
+
+mod gated_by_inner_attr {
+    #![cfg(test)]
+
+    pub fn whole_mod_masked() {
+        std::fs::read("x").unwrap();
+    }
+}
+
+#[cfg(any(test, feature = "slow-tests"))]
+mod any_gated {
+    pub fn masked_too() {
+        std::fs::read("x").unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Golden-locked deep diagnostics: run the call-graph passes over the
+//! deliberately buggy `deep_crate` fixture and compare the rendered
+//! report — traces included — byte-for-byte against
+//! `fixtures/deep_crate.golden`.
+//!
+//! Refresh after an intentional diagnostic change with:
+//!
+//! ```text
+//! SB_UPDATE_GOLDEN=1 cargo test -p sb-lint --test golden_deep
+//! ```
+
+use sb_lint::engine::lint_workspace_deep;
+use sb_lint::{Config, LintReport};
+use std::fs;
+use std::path::PathBuf;
+
+fn report() -> LintReport {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/deep_crate");
+    let cfg = Config::parse(&fs::read_to_string(dir.join("sb-lint.toml")).unwrap()).unwrap();
+    lint_workspace_deep(&dir, &cfg).expect("deep_crate lints")
+}
+
+fn render(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "sb-lint: {} finding(s) ({} deny, {} warn) in {} file(s); {} suppressed\n",
+        report.findings.len(),
+        report.deny_count(),
+        report.warn_count(),
+        report.files_scanned,
+        report.suppressed,
+    ));
+    out
+}
+
+#[test]
+fn deep_crate_diagnostics_match_golden() {
+    let out = render(&report());
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/deep_crate.golden");
+    if std::env::var("SB_UPDATE_GOLDEN").is_ok() {
+        fs::write(&golden, &out).expect("write golden");
+        eprintln!("updated {}", golden.display());
+        return;
+    }
+    let want = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with SB_UPDATE_GOLDEN=1 to create it",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        out, want,
+        "deep_crate diagnostics drifted from the golden snapshot; if the change is \
+         intentional, refresh with SB_UPDATE_GOLDEN=1"
+    );
+}
+
+/// The two seeded bugs, pinned to exact lines and complete traces — the
+/// golden above locks the rendering; this locks the analysis itself.
+#[test]
+fn seeded_bugs_report_exact_lines_and_full_traces() {
+    let report = report();
+
+    let taint = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "taint-path")
+        .expect("the two-hop shard-seed leak must be found");
+    assert_eq!(taint.path, "src/seeding.rs");
+    assert_eq!(taint.line, 22, "finding anchors to the `derive(salt)` hand-off");
+    assert!(
+        taint.message.contains("shard identity `shard_idx`")
+            && taint.message.contains("RNG construction `SeedTree::new`"),
+        "message names source and sink: {}",
+        taint.message
+    );
+    let notes: Vec<(u32, &str)> =
+        taint.trace.iter().map(|t| (t.line, t.note.as_str())).collect();
+    assert_eq!(
+        notes,
+        vec![
+            (21, "`salt` tainted by shard identity `shard_idx`"),
+            (22, "`salt` passed to `derive` as `key`"),
+            (26, "`key` passed to `mix` as `k`"),
+            (30, "`k` reaches RNG construction `SeedTree::new`"),
+        ],
+        "full flow trace, hop by hop"
+    );
+
+    let panic = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-path")
+        .expect("the panic-reachable recovery path must be found");
+    assert_eq!(panic.path, "src/recover.rs");
+    assert_eq!(panic.line, 19, "finding anchors to the unwrap itself");
+    assert!(
+        panic.message.contains("2 call(s) from fault/recovery entry `restore_counter`"),
+        "message names the entry and distance: {}",
+        panic.message
+    );
+    let notes: Vec<(u32, &str)> =
+        panic.trace.iter().map(|t| (t.line, t.note.as_str())).collect();
+    assert_eq!(
+        notes,
+        vec![
+            (9, "`restore_counter` calls `parse_header`"),
+            (13, "`parse_header` calls `read_magic`"),
+            (19, "`unwrap()` can panic here"),
+        ],
+        "three-frame call chain down to the panic site"
+    );
+
+    assert_eq!(report.findings.len(), 2, "exactly the two seeded bugs, nothing else");
+}

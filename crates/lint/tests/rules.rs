@@ -89,6 +89,16 @@ fn fail_closed_passes_typed_errors_and_masks_tests() {
 }
 
 #[test]
+fn test_masking_covers_attr_args_bench_and_nested_mods() {
+    // The fixture packs one panicking call into every masked form —
+    // `#[tokio::test]` with and without attribute arguments, `#[bench]`,
+    // `#[test_case(…)]`, nested `mod tests`, an inner `#![cfg(test)]`,
+    // `#[cfg(any(test, …))]` — plus exactly two live calls.
+    // `#[cfg(not(test))]` must NOT mask.
+    assert_eq!(lines_for("test_mask.rs", "fail-closed"), vec![33, 38]);
+}
+
+#[test]
 fn severity_scoping_follows_module_globs() {
     let cfg = Config::parse(
         "[rule.fail-closed]\nseverity = \"allow\"\n\

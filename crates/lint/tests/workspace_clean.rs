@@ -3,7 +3,7 @@
 //! `cargo run -p sb-lint -- --deny`, expressed as a plain test so a
 //! hazard seeded anywhere in-tree fails `cargo test` too.
 
-use sb_lint::engine::{check_suppressions, lint_workspace};
+use sb_lint::engine::{check_suppressions, lint_workspace, lint_workspace_deep};
 use sb_lint::Config;
 use std::fs;
 use std::path::PathBuf;
@@ -26,6 +26,26 @@ fn workspace_has_no_deny_findings() {
     assert!(
         denies.is_empty(),
         "deny-severity lint findings in the workspace:\n{}",
+        denies.join("\n")
+    );
+}
+
+/// Same gate for the call-graph passes: `--deep --deny` stays clean.
+/// Every interprocedural finding in-tree has been either refactored away
+/// (org.rs restore now fails closed with `CheckpointMismatch`) or carries
+/// a reviewed `// sb-lint: allow(...)` with its reason.
+#[test]
+fn workspace_deep_pass_has_no_deny_findings() {
+    let root = workspace_root();
+    let cfg = Config::parse(&fs::read_to_string(root.join("sb-lint.toml")).unwrap()).unwrap();
+    let report = lint_workspace_deep(&root, &cfg).expect("deep pass runs");
+    let denies: Vec<String> =
+        report.findings.iter().filter(|f| f.severity == sb_lint::Severity::Deny)
+            .map(|f| f.to_string())
+            .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-severity deep findings in the workspace:\n{}",
         denies.join("\n")
     );
 }

@@ -262,6 +262,14 @@ pub enum OrgConfigError {
         /// What was wrong.
         reason: String,
     },
+    /// A checkpoint references a user index outside this configuration's
+    /// user list — it was taken from a different organization.
+    CheckpointMismatch {
+        /// The offending user index.
+        user: usize,
+        /// Users in this configuration.
+        users: usize,
+    },
 }
 
 impl std::fmt::Display for OrgConfigError {
@@ -278,6 +286,10 @@ impl std::fmt::Display for OrgConfigError {
             OrgConfigError::Attack { plan, reason } => {
                 write!(f, "attack plan {plan}: {reason}")
             }
+            OrgConfigError::CheckpointMismatch { user, users } => write!(
+                f,
+                "checkpoint references user {user} but this configuration has {users} users"
+            ),
         }
     }
 }
@@ -1111,6 +1123,7 @@ impl MailOrg {
     /// invalid configuration; [`MailOrg::try_new`] returns the typed error
     /// instead.
     pub fn new(cfg: OrgConfig) -> Self {
+        // sb-lint: allow(panic-path, "documented panicking constructor; fault/recovery code uses try_new, the typed-error path")
         Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid OrgConfig: {e}"))
     }
 
@@ -1365,11 +1378,18 @@ impl MailOrg {
     /// bit-identical to the uninterrupted one.
     pub fn restore(cfg: OrgConfig, ckpt: &OrgCheckpoint) -> Result<Self, OrgConfigError> {
         let mut org = Self::try_new(cfg)?;
-        assert!(
-            ckpt.mailboxes.iter().all(|(u, _)| *u < org.cfg.users.len())
-                && ckpt.deferred.iter().all(|d| d.user < org.cfg.users.len()),
-            "checkpoint does not match this configuration's user list"
-        );
+        // Fail closed on a checkpoint from a different organization: a
+        // recovery path must return the mismatch, not abort mid-restore.
+        let users = org.cfg.users.len();
+        if let Some(bad) = ckpt
+            .mailboxes
+            .iter()
+            .map(|(u, _)| *u)
+            .chain(ckpt.deferred.iter().map(|d| d.user))
+            .find(|&u| u >= users)
+        {
+            return Err(OrgConfigError::CheckpointMismatch { user: bad, users });
+        }
         org.next_week = ckpt.next_week;
         org.weeks = ckpt.weeks.clone();
         org.total_delivered = ckpt.total_delivered;
@@ -1401,10 +1421,13 @@ impl MailOrg {
             shard.deferred.clear();
         }
         for (u, mbox) in &ckpt.mailboxes {
+            // sb-lint: allow(panic-path, "user indices validated against cfg.users on entry (CheckpointMismatch)")
             let name = org.cfg.users[*u].clone();
+            // sb-lint: allow(panic-path, "`% n` keeps the shard index in bounds; try_new guarantees n >= 1")
             org.shards[*u % n].mailboxes.insert(name, mbox.clone());
         }
         for d in &ckpt.deferred {
+            // sb-lint: allow(panic-path, "`% n` keeps the shard index in bounds; try_new guarantees n >= 1")
             org.shards[d.user % n].deferred.push(d.clone());
         }
         Ok(org)

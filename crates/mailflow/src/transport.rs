@@ -228,7 +228,9 @@ impl FaultyPipe {
             // token/command is wrong; never corrupt CR/LF framing bytes, so
             // the fault stays a *payload* fault rather than a framing fault
             // (framing faults are LineCodec's own test territory).
+            // sb-lint: allow(panic-path, "idx = next_below(copy.len()) < len, and empty writes return at the top")
             if copy[idx] != b'\r' && copy[idx] != b'\n' {
+                // sb-lint: allow(panic-path, "idx = next_below(copy.len()) < len, and empty writes return at the top")
                 copy[idx] ^= 0x02;
                 self.stats.corrupted += 1;
                 self.pipe.write(end, &copy);
