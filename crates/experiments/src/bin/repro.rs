@@ -30,6 +30,15 @@
 //!   extensions  the five extension experiments
 //!   all       everything above
 //!
+//! the tiered reproduction rig:
+//!   run       run every registered reproduction target at a tier
+//!             (`--tier lite` = CI-sized, byte-exact goldens under
+//!             `tests/golden/lite/`; `--tier full` = paper-scale with
+//!             typed paper-claim assertions, digest drift is a warning);
+//!             `--only STEM` selects one target, `--update-golden`
+//!             rewrites the tier's committed digests; artifacts land in
+//!             `<out>/<tier>/` and telemetry appends to `BENCH_pr9.json`
+//!
 //! housekeeping:
 //!   lint      run the workspace determinism/invariant linter in deny
 //!             mode (same gate as CI's `cargo run -p sb-lint -- --deny`);
@@ -44,6 +53,7 @@ use sb_experiments::config::{
     HamAttackConfig, MailflowConfig, RoniExperimentConfig, Scale, ScenarioSuiteConfig,
     TransferConfig,
 };
+use sb_experiments::rig;
 use sb_experiments::scenario::{golden_digest, ScenarioSpec};
 use sb_experiments::figures::{
     constrained_exp, defense_matrix, fig1, fig4, fig5, focused, ham_attack_exp, headline,
@@ -69,14 +79,21 @@ struct Args {
     filter: Option<String>,
     /// `lint --deep`: also run the call-graph passes (taint/reach).
     deep: bool,
+    /// `run --tier`: which rig tier (default lite).
+    tier: rig::Tier,
+    /// `run --only STEM`: select a single rig target.
+    only: Option<String>,
+    /// `run --update-golden`: rewrite the tier's committed digests.
+    update_golden: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
-         transfer|constrained|hamattack|matrix|weeks|scenarios|extensions|all|lint> \
+         transfer|constrained|hamattack|matrix|weeks|scenarios|run|extensions|all|lint> \
          [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
-         [--scenarios DIR] [--filter STEM] [--deep]"
+         [--scenarios DIR] [--filter STEM] [--deep] \
+         [--tier lite|full] [--only STEM] [--update-golden]"
     );
     ExitCode::from(2)
 }
@@ -94,6 +111,9 @@ fn parse_args() -> Result<Args, String> {
         scenarios_dir: ScenarioSuiteConfig::default().dir,
         filter: None,
         deep: false,
+        tier: rig::Tier::Lite,
+        only: None,
+        update_golden: false,
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -113,6 +133,12 @@ fn parse_args() -> Result<Args, String> {
             "--scenarios" => args.scenarios_dir = PathBuf::from(take()?),
             "--filter" => args.filter = Some(take()?),
             "--deep" => args.deep = true,
+            "--tier" => {
+                let v = take()?;
+                args.tier = rig::Tier::parse(&v).ok_or(format!("bad tier {v:?} (lite|full)"))?;
+            }
+            "--only" => args.only = Some(take()?),
+            "--update-golden" => args.update_golden = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -657,9 +683,22 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
             "useless",
         ],
     );
-    let mut expect_failures = 0usize;
+    // Parse every file before running any, so one bad scenario does not
+    // hide errors in the rest: each failure is reported with its file and
+    // line number, the valid ones still run, and the exit is non-zero.
+    let mut parse_failures = 0usize;
+    let mut specs = Vec::new();
     for path in &files {
-        let spec = ScenarioSpec::load(path).map_err(|e| e.to_string())?;
+        match ScenarioSpec::load(path) {
+            Ok(spec) => specs.push((path, spec)),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                parse_failures += 1;
+            }
+        }
+    }
+    let mut expect_failures = 0usize;
+    for (path, spec) in &specs {
         let campaigns: Vec<String> = spec.campaigns.iter().map(|c| c.attack.name()).collect();
         eprintln!(
             "[scenarios] {}: users={} days={} campaigns=[{}] defense={:?} expects={}",
@@ -731,10 +770,62 @@ fn cmd_scenarios(args: &Args) -> Result<(), String> {
         }
     }
     emit(&t, &args.out, "scenario_suite");
-    if expect_failures > 0 {
-        return Err(format!(
-            "{expect_failures} expect assertion(s) failed across the suite"
-        ));
+    match (parse_failures, expect_failures) {
+        (0, 0) => Ok(()),
+        (p, 0) => Err(format!("{p} scenario file(s) failed to parse (see above)")),
+        (0, e) => Err(format!("{e} expect assertion(s) failed across the suite")),
+        (p, e) => Err(format!(
+            "{p} scenario file(s) failed to parse and {e} expect assertion(s) failed"
+        )),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let opts = rig::RigOptions {
+        seed: args.seed,
+        threads: args.threads,
+        only: args.only.clone(),
+        update_golden: args.update_golden,
+        reports_root: args.out.clone(),
+        scenarios_dir: args.scenarios_dir.clone(),
+        ..rig::RigOptions::new(args.tier)
+    };
+    let summary = rig::run_rig(&opts)?;
+    let mut t = Table::new(
+        format!("Reproduction rig — {} tier", summary.tier.name()),
+        &["target", "status", "wall_ms", "messages", "msgs/s", "claims"],
+    );
+    for r in &summary.targets {
+        let passed = r.claims.iter().filter(|c| c.passed()).count();
+        let rate = if r.wall_ms == 0 {
+            0.0
+        } else {
+            r.messages as f64 * 1000.0 / r.wall_ms as f64
+        };
+        t.row(vec![
+            r.stem.clone(),
+            r.status.name().to_string(),
+            r.wall_ms.to_string(),
+            r.messages.to_string(),
+            f(rate, 1),
+            format!("{passed}/{}", r.claims.len()),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+    for r in &summary.targets {
+        for c in &r.claims {
+            println!("  {}", c.render());
+        }
+    }
+    let failures = summary.failures();
+    println!(
+        "rig: {} target(s), {} claim(s) evaluated, {} failure(s)",
+        summary.targets.len(),
+        summary.claims_evaluated(),
+        failures
+    );
+    if failures > 0 {
+        return Err(format!("{failures} rig target(s) failed"));
     }
     Ok(())
 }
@@ -844,6 +935,12 @@ fn main() -> ExitCode {
         "weeks" => cmd_weeks(&args),
         "scenarios" => {
             if let Err(e) = cmd_scenarios(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "run" => {
+            if let Err(e) = cmd_run(&args) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

@@ -14,6 +14,9 @@
 //! * [`scenario`] — the declarative multi-campaign scenario engine and
 //!   the golden-digest regression format (`repro scenarios`, the
 //!   `golden_scenarios` integration test, `SB_UPDATE_GOLDEN=1`).
+//! * [`rig`] — the tiered reproduction rig (`repro run --tier lite|full`):
+//!   one registry of every figure/scenario target with per-tier goldens
+//!   under `tests/golden/<tier>/` and paper-claim assertions at full scale.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -28,6 +31,7 @@ pub mod config;
 pub mod figures;
 pub mod metrics;
 pub mod report;
+pub mod rig;
 pub mod runner;
 pub mod scenario;
 

@@ -208,6 +208,64 @@ mod tests {
         }
     }
 
+    /// Precomputed high-precision references on both sides of the m = 700
+    /// (x = 1400) log-space switchover. Each Q was computed with 80-digit
+    /// decimal arithmetic as `Q = e^{-m} · Σ_{i<n} m^i / i!` with m = x/2
+    /// (python `decimal`, prec 80) and rounded to the nearest f64; the x
+    /// values are exact binary floats, so both paths are being compared
+    /// against the true value of the exact expression they implement, not
+    /// against another f64 approximation.
+    #[test]
+    fn chi2q_even_switchover_matches_high_precision_references() {
+        #[rustfmt::skip]
+        const REFS: &[(f64, u32, f64)] = &[
+            // direct-path side (m <= 700)
+            (1396.0, 700, 0.5251417347261353),
+            (1399.5, 700, 0.49874357854088724),
+            (1400.0, 700, 0.4949737599443175),
+            (1396.0, 720, 0.7927326231928974),
+            (1399.5, 720, 0.7731961458691528),
+            (1400.0, 720, 0.770325565298529),
+            (1392.0, 680, 0.26710805928929254),
+            // log-space side (m > 700)
+            (1400.5, 700, 0.49120528744114006),
+            (1404.0, 700, 0.4648917338357162),
+            (1400.5, 720, 0.767435439683421),
+            (1404.0, 720, 0.7466690644408106),
+            (1408.0, 680, 0.1781355157101219),
+        ];
+        for &(x, n, reference) in REFS {
+            let q = chi2q_even(x, n);
+            let rel = (q - reference).abs() / reference;
+            assert!(
+                rel < 1e-12,
+                "x={x} n={n}: got {q:.17e}, reference {reference:.17e}, rel err {rel:.2e}"
+            );
+        }
+    }
+
+    /// Monotonicity property across the seam: Q(x) is strictly decreasing
+    /// in x, and a fine sweep through x = 1400 must never tick upward —
+    /// any discontinuity between the direct and log-space accumulations
+    /// would show up as a jump at the switchover.
+    #[test]
+    fn chi2q_even_fine_sweep_is_monotone_through_the_switchover() {
+        for &n in &[680u32, 700, 720] {
+            let mut prev = f64::INFINITY;
+            let mut x = 1390.0;
+            while x <= 1410.0 {
+                let q = chi2q_even(x, n);
+                assert!(
+                    q <= prev + 1e-13,
+                    "n={n}: Q({x}) = {q:.17e} exceeds Q({:.2}) = {prev:.17e} across the seam",
+                    x - 0.25
+                );
+                prev = q;
+                x += 0.25;
+            }
+        }
+    }
+
     /// The convergence early-exit: with dof far above the statistic the
     /// series saturates at 1 after ~m terms; the remaining millions of
     /// iterations must be skipped (this test would take seconds without

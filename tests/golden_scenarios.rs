@@ -1,7 +1,8 @@
 //! The golden-report regression suite: every committed scenario under
 //! `scenarios/` must produce a weekly report that is (a) bit-identical
 //! across shard counts, (b) byte-identical to its committed digest under
-//! `tests/golden/`, and (c) compliant with every in-file `expect`
+//! `tests/golden/lite/` (the lite tier of the reproduction rig shares
+//! these digests), and (c) compliant with every in-file `expect`
 //! assertion.
 //!
 //! The digests lock the full simulation stack — corpus generation, the
@@ -16,9 +17,9 @@
 //! SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios
 //! ```
 //!
-//! and commit the updated `tests/golden/*.golden.csv` files together with
-//! the change that moved them. See `tests/README.md` for the digest
-//! format.
+//! and commit the updated `tests/golden/lite/*.golden.csv` files together
+//! with the change that moved them (equivalently: `repro run --tier lite
+//! --update-golden`). See `tests/README.md` for the digest format.
 
 use spambayes_repro::core::campaign::{AttackKind, Intensity};
 use spambayes_repro::experiments::config::ScenarioSuiteConfig;
@@ -34,10 +35,11 @@ fn update_requested() -> bool {
     std::env::var("SB_UPDATE_GOLDEN").is_ok_and(|v| v == "1")
 }
 
-/// Load the committed suite; the acceptance floor is seven scenarios
-/// (single-campaign baseline, overlapping campaigns, skewed traffic,
-/// ramped focused attack, bursty ham-chaff, and the two chaos scenarios
-/// exercising the fault plan).
+/// Load the committed suite. The suite floor is *derived from the
+/// directory listing itself* — every `scenarios/*.scenario` file must
+/// parse and (see `every_scenario_has_a_registered_golden_digest`) carry a
+/// committed digest — so adding a scenario without registering it in the
+/// golden tree fails with a pointed message rather than passing silently.
 fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     let suite = ScenarioSuiteConfig {
         dir: repo_path("scenarios"),
@@ -45,9 +47,8 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     };
     let files = suite.scenario_files().expect("scenarios/ must be listable");
     assert!(
-        files.len() >= 7,
-        "expected at least 7 committed scenarios, found {}",
-        files.len()
+        !files.is_empty(),
+        "scenarios/ contains no *.scenario files — the golden suite would be vacuous"
     );
     let specs: Vec<(PathBuf, ScenarioSpec)> = files
         .into_iter()
@@ -70,6 +71,60 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
         }
     }
     specs
+}
+
+/// The golden-suite floor, auto-derived from the `scenarios/` listing:
+/// every committed scenario must have a digest under `tests/golden/lite/`
+/// keyed by its spec name, its file stem must match that name (digests and
+/// `repro` artifacts are name-keyed), and — in the other direction — every
+/// scenario-shaped digest in the golden tree must belong to a committed
+/// scenario, so deleting a scenario cannot leave a stale digest that still
+/// looks authoritative.
+#[test]
+fn every_scenario_has_a_registered_golden_digest() {
+    let specs = committed_specs();
+    let golden_dir = repo_path("tests/golden/lite");
+    for (path, spec) in &specs {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        assert_eq!(
+            stem, spec.name,
+            "{}: file stem and `name = {}` must agree — digests are keyed by name",
+            path.display(),
+            spec.name
+        );
+        let golden = golden_dir.join(format!("{}.golden.csv", spec.name));
+        assert!(
+            golden.is_file(),
+            "scenario {} has no committed digest at {} — generate it with \
+             SB_UPDATE_GOLDEN=1 cargo test --test golden_scenarios (or \
+             `repro run --tier lite --update-golden`) and commit the result",
+            path.display(),
+            golden.display()
+        );
+    }
+    // Reverse direction: no orphaned digests. Rig figure targets and the
+    // built-in org-scale scenario also keep digests in this directory, so
+    // the authoritative owner set is the rig registry plus the committed
+    // scenario names.
+    let registry = spambayes_repro::experiments::rig::registry(&repo_path("scenarios"))
+        .expect("rig registry must build");
+    for entry in std::fs::read_dir(&golden_dir).expect("tests/golden/lite must be listable") {
+        let path = entry.expect("readable dir entry").path();
+        let name = path.file_name().and_then(|s| s.to_str()).unwrap_or_default();
+        let Some(stem) = name.strip_suffix(".golden.csv") else {
+            continue;
+        };
+        assert!(
+            specs.iter().any(|(_, s)| s.name == stem)
+                || registry.iter().any(|t| t.stem == stem),
+            "orphaned golden digest {} — neither a committed scenario nor a rig \
+             registry target claims stem {stem:?}; delete the digest or restore its owner",
+            path.display()
+        );
+    }
 }
 
 /// The committed suite covers the required scenario shapes — including the
@@ -196,7 +251,7 @@ fn scenario_grammar_roundtrips_on_committed_files() {
 #[test]
 fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
     let shard_matrix = ScenarioSuiteConfig::default().shard_matrix;
-    let golden_dir = repo_path("tests/golden");
+    let golden_dir = repo_path("tests/golden/lite");
     let mut updated = Vec::new();
 
     for (path, spec) in committed_specs() {
@@ -233,7 +288,7 @@ fn golden_digests_are_bit_identical_across_shards_and_match_committed() {
         let digest = golden_digest(&spec.name, &reports[0]);
         let golden_path = golden_dir.join(format!("{}.golden.csv", spec.name));
         if update_requested() {
-            std::fs::create_dir_all(&golden_dir).expect("create tests/golden");
+            std::fs::create_dir_all(&golden_dir).expect("create tests/golden/lite");
             std::fs::write(&golden_path, &digest)
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", golden_path.display()));
             updated.push(golden_path);

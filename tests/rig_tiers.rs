@@ -1,0 +1,230 @@
+//! Tier-parameterization contracts for the reproduction rig
+//! (`sb_experiments::rig`, `repro run --tier lite|full`).
+//!
+//! The load-bearing property: both tiers draw per-user traffic rates from
+//! *one* deterministic code path (`rig::user_rate`), so a lite day plan is
+//! bit-identical to the `(users, days)` prefix of the full-parameterized
+//! day plan. The tiers differ only in how far the plan extends — never in
+//! what any shared cell contains — which is what makes lite CI results
+//! predictive of nightly paper-scale runs.
+
+use proptest::prelude::*;
+use spambayes_repro::experiments::rig::{
+    self, day_plan, full_params, lite_params, org_scale_source, scale_spec, user_rate, TierParams,
+};
+use spambayes_repro::experiments::scenario::ScenarioSpec;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Build a minimal parsed spec with either an org-wide traffic total or an
+/// explicit per-user mix.
+fn spec_with(users: usize, days: u32, traffic_line: &str) -> ScenarioSpec {
+    ScenarioSpec::parse(&format!(
+        "name = tiers\nseed = 11\nusers = {users}\ndays = {days}\n\
+         retrain_every = 7\nbootstrap = 20\n{traffic_line}\n"
+    ))
+    .expect("synthetic spec parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A lite day plan is the exact `(users, days)` prefix of any larger
+    /// parameterization of the same spec — for org-wide traffic totals,
+    /// where rates come from the even split with remainder on the lowest
+    /// user indices.
+    #[test]
+    fn lite_plan_is_prefix_of_any_larger_plan_even_split(
+        users in 1usize..6,
+        days in 1u32..8,
+        ham in 0u32..40,
+        spam in 0u32..40,
+        extra_users in 0usize..20,
+        extra_days in 0u32..20,
+    ) {
+        let spec = spec_with(users, days, &format!("traffic = {ham}/{spam}"));
+        let lite = day_plan(&spec, lite_params(&spec));
+        let big = day_plan(&spec, TierParams { users: users + extra_users, days: days + extra_days });
+        prop_assert_eq!(lite.len(), days as usize);
+        for (d, row) in lite.iter().enumerate() {
+            prop_assert_eq!(&big[d][..row.len()], &row[..], "day {d}");
+        }
+        // The split conserves the org totals over the base users.
+        let (h_sum, s_sum) = (0..users).fold((0u32, 0u32), |(h, s), u| {
+            let (uh, us) = user_rate(&spec, u);
+            (h + uh, s + us)
+        });
+        prop_assert_eq!((h_sum, s_sum), (ham, spam));
+    }
+
+    /// Same prefix property for explicit per-user mixes, which extend
+    /// periodically: user `u` of the scaled org inherits the rate of user
+    /// `u mod users`.
+    #[test]
+    fn lite_plan_is_prefix_of_any_larger_plan_explicit_mix(
+        rates in proptest::collection::vec((0u32..20, 0u32..20), 1..6),
+        days in 1u32..8,
+        extra_users in 0usize..20,
+        extra_days in 0u32..20,
+    ) {
+        let mix = rates
+            .iter()
+            .map(|(h, s)| format!("{h}/{s}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        // `traffic` stays a required org-wide total; the explicit mix
+        // overrides how it is distributed.
+        let (ham, spam) = rates.iter().fold((0, 0), |(h, s), (uh, us)| (h + uh, s + us));
+        let spec = spec_with(
+            rates.len(),
+            days,
+            &format!("traffic = {ham}/{spam}\nuser_traffic = {mix}"),
+        );
+        let lite = day_plan(&spec, lite_params(&spec));
+        let big = day_plan(
+            &spec,
+            TierParams { users: rates.len() + extra_users, days: days + extra_days },
+        );
+        for (d, row) in lite.iter().enumerate() {
+            prop_assert_eq!(&big[d][..row.len()], &row[..], "day {d}");
+        }
+        for u in 0..rates.len() + extra_users {
+            prop_assert_eq!(user_rate(&spec, u), rates[u % rates.len()], "user {u}");
+        }
+    }
+
+    /// `scale_spec` is the identity at the spec's own (lite) size, and at
+    /// any larger size it materializes exactly the shared-path rates while
+    /// dropping the lite-calibrated `expect` lines.
+    #[test]
+    fn scale_spec_materializes_shared_rates(
+        users in 1usize..6,
+        days in 1u32..8,
+        ham in 0u32..40,
+        spam in 0u32..40,
+        extra_users in 1usize..20,
+        extra_days in 1u32..20,
+    ) {
+        let spec = spec_with(users, days, &format!("traffic = {ham}/{spam}"));
+        prop_assert_eq!(scale_spec(&spec, lite_params(&spec)), spec.clone());
+        let params = TierParams { users: users + extra_users, days: days + extra_days };
+        let scaled = scale_spec(&spec, params);
+        prop_assert_eq!(scaled.users, params.users);
+        prop_assert_eq!(scaled.days, params.days);
+        prop_assert!(scaled.expectations.is_empty());
+        prop_assert_eq!(scaled.user_traffic.len(), params.users);
+        for (u, &rate) in scaled.user_traffic.iter().enumerate() {
+            prop_assert_eq!(rate, user_rate(&spec, u), "user {u}");
+        }
+    }
+}
+
+/// The prefix property holds for every committed scenario at the rig's
+/// actual full-tier parameters, and the scaled specs still parse through
+/// the scenario grammar (so the full tier exercises the same loader).
+#[test]
+fn committed_scenarios_scale_to_full_tier_deterministically() {
+    let suite = spambayes_repro::experiments::config::ScenarioSuiteConfig {
+        dir: repo_path("scenarios"),
+        ..Default::default()
+    };
+    for path in suite.scenario_files().expect("scenarios/ listable") {
+        let spec = ScenarioSpec::load(&path)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        let lite = day_plan(&spec, lite_params(&spec));
+        let full = day_plan(&spec, full_params(&spec));
+        assert!(full.len() > lite.len(), "{}: full adds days", spec.name);
+        assert!(full[0].len() > lite[0].len(), "{}: full adds users", spec.name);
+        for (d, row) in lite.iter().enumerate() {
+            assert_eq!(&full[d][..row.len()], &row[..], "{} day {d}", spec.name);
+        }
+        let scaled = scale_spec(&spec, full_params(&spec));
+        assert_eq!(scaled.users, spec.users * 4, "{}", spec.name);
+        assert_eq!(scaled.days, spec.days + 7, "{}", spec.name);
+        assert_eq!(scaled.campaigns.len(), spec.campaigns.len(), "{}", spec.name);
+        // The scaled spec round-trips the grammar: format -> parse.
+        let formatted = scaled.format();
+        let reparsed = ScenarioSpec::parse(&formatted).unwrap_or_else(|e| {
+            panic!("{}: full-tier form must reparse: {e}\n{formatted}", spec.name)
+        });
+        assert_eq!(reparsed, scaled, "{}", spec.name);
+    }
+}
+
+/// The registry is the single source of truth for what the rig runs: it
+/// must contain every paper-figure stem, one target per committed
+/// scenario, and the built-in paper-scale organization scenario.
+#[test]
+fn registry_covers_figures_scenarios_and_org_scale() {
+    let targets = rig::registry(&repo_path("scenarios")).expect("registry builds");
+    let stems: Vec<&str> = targets.iter().map(|t| t.stem.as_str()).collect();
+    for figure in [
+        "fig1",
+        "tokens",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "roni",
+        "variations",
+        "transfer",
+        "constrained",
+        "hamattack",
+        "matrix",
+        "weeks",
+    ] {
+        assert!(stems.contains(&figure), "registry is missing {figure}");
+    }
+    let suite = spambayes_repro::experiments::config::ScenarioSuiteConfig {
+        dir: repo_path("scenarios"),
+        ..Default::default()
+    };
+    for path in suite.scenario_files().expect("scenarios/ listable") {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap();
+        assert!(
+            stems.contains(&stem),
+            "scenarios/{stem}.scenario is not a rig target — the registry must \
+             discover every committed scenario"
+        );
+    }
+    assert!(stems.contains(&"org-scale"), "registry is missing org-scale");
+}
+
+/// Every registered target must have a committed lite golden digest —
+/// adding a target (or a scenario file) without running `repro run --tier
+/// lite --update-golden` fails here, not in nightly.
+#[test]
+fn every_registered_target_has_a_committed_lite_golden() {
+    let targets = rig::registry(&repo_path("scenarios")).expect("registry builds");
+    for t in &targets {
+        let golden = repo_path(&format!("tests/golden/lite/{}.golden.csv", t.stem));
+        assert!(
+            golden.is_file(),
+            "rig target {:?} has no lite golden at {} — run \
+             `repro run --tier lite --update-golden` and commit the result",
+            t.stem,
+            golden.display()
+        );
+    }
+}
+
+/// The built-in org-scale scenario is the same shape at both tiers, and
+/// the full tier is genuinely paper-scale (≥ 1k users).
+#[test]
+fn org_scale_is_paper_scale_at_full_tier() {
+    let lite = ScenarioSpec::parse(&org_scale_source(rig::Tier::Lite)).expect("lite parses");
+    let full = ScenarioSpec::parse(&org_scale_source(rig::Tier::Full)).expect("full parses");
+    assert!(full.users >= 1_000, "full tier must simulate ≥ 1k users");
+    assert!(lite.users < full.users);
+    assert_eq!(lite.days, full.days);
+    assert_eq!(lite.campaigns.len(), full.campaigns.len());
+    assert_eq!(lite.retrain_every, full.retrain_every);
+    // Traffic per user is held constant across tiers, so full scales the
+    // organization, not each mailbox's load.
+    let (lh, _) = user_rate(&lite, 0);
+    let (fh, _) = user_rate(&full, 0);
+    assert_eq!(lh, fh, "per-user ham rate must not change with tier");
+}
