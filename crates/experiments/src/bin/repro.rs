@@ -39,6 +39,18 @@
 //!             rewrites the tier's committed digests; artifacts land in
 //!             `<out>/<tier>/` and telemetry appends to `BENCH_pr9.json`
 //!
+//! the serving layer (sb-serve):
+//!   serve-bench  pack a paper-scale model image, time image-load vs
+//!             text-parse-load, register `--tenants N` tenant overlay
+//!             stacks over the shared mmap base, audit every tenant's
+//!             verdicts bit-for-bit against standalone TokenDbs, then
+//!             drive threaded classify traffic and append one JSON line
+//!             to `BENCH_pr10.json` (non-zero exit on any mismatch)
+//!   model pack <in> <out>     convert a model (text dump or image —
+//!             the loader sniffs magic bytes) to a packed image
+//!   model inspect <img>       print an image's header, checksum
+//!             verdict, and load mechanism (mmap vs read)
+//!
 //! housekeeping:
 //!   lint      run the workspace determinism/invariant linter in deny
 //!             mode (same gate as CI's `cargo run -p sb-lint -- --deny`);
@@ -85,15 +97,22 @@ struct Args {
     only: Option<String>,
     /// `run --update-golden`: rewrite the tier's committed digests.
     update_golden: bool,
+    /// `serve-bench --tenants N`: overlay stacks registered over the
+    /// shared image (the acceptance floor is 4).
+    tenants: u32,
+    /// Positional operands (`model pack <in> <out>` and friends).
+    positional: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig1|tokens|fig2|fig3|fig4|fig5|roni|variations|headline|\
-         transfer|constrained|hamattack|matrix|weeks|scenarios|run|extensions|all|lint> \
+         transfer|constrained|hamattack|matrix|weeks|scenarios|run|serve-bench|model|\
+         extensions|all|lint> \
          [--seed N] [--scale full|quick] [--out DIR] [--threads N] [--shards N] \
          [--scenarios DIR] [--filter STEM] [--deep] \
-         [--tier lite|full] [--only STEM] [--update-golden]"
+         [--tier lite|full] [--only STEM] [--update-golden] [--tenants N]\n\
+         model subcommands: model pack <in> <out> | model inspect <img>"
     );
     ExitCode::from(2)
 }
@@ -114,6 +133,8 @@ fn parse_args() -> Result<Args, String> {
         tier: rig::Tier::Lite,
         only: None,
         update_golden: false,
+        tenants: 8,
+        positional: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         let mut take = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -139,11 +160,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--only" => args.only = Some(take()?),
             "--update-golden" => args.update_golden = true,
+            "--tenants" => {
+                args.tenants = take()?.parse().map_err(|e| format!("bad tenants: {e}"))?
+            }
+            other if !other.starts_with("--") => args.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if args.threads == 0 {
         return Err("--threads must be >= 1".into());
+    }
+    if args.tenants == 0 {
+        return Err("--tenants must be >= 1".into());
     }
     Ok(args)
 }
@@ -849,6 +877,102 @@ fn headline_table(h: &headline::HeadlineResult) -> Table {
     t
 }
 
+/// `repro serve-bench` — the sb-serve end-to-end benchmark: pack, load
+/// both ways, serve `--tenants` stacked overlays over the shared image,
+/// audit bit-identity, and report throughput into `BENCH_pr10.json`.
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let cfg = sb_serve::ServeBenchConfig {
+        tenants: args.tenants,
+        threads: args.threads,
+        out: args.out.clone(),
+        ..sb_serve::ServeBenchConfig::new(args.seed)
+    };
+    eprintln!(
+        "[serve-bench] base={} msgs, tenants={} (org patch + {} msgs each), probes={}/tenant, threads={}",
+        cfg.base_messages, cfg.tenants, cfg.tenant_messages, cfg.probe_messages, cfg.threads
+    );
+    let r = sb_serve::run_serve_bench(&cfg).map_err(|e| e.to_string())?;
+    let mut t = Table::new(
+        "sb-serve: shared-image multi-tenant serving",
+        &["metric", "value"],
+    );
+    t.row(vec!["base tokens".into(), r.base_tokens.to_string()]);
+    t.row(vec!["image bytes".into(), r.image_bytes.to_string()]);
+    t.row(vec!["mmap served".into(), r.mapped.to_string()]);
+    t.row(vec!["text parse load (ms)".into(), f(r.text_load_ms, 1)]);
+    t.row(vec!["image load (ms)".into(), f(r.image_load_ms, 1)]);
+    t.row(vec![
+        "load speedup".into(),
+        if r.image_load_ms > 0.0 {
+            format!("{}x", f(r.text_load_ms / r.image_load_ms, 1))
+        } else {
+            "-".into()
+        },
+    ]);
+    t.row(vec!["tenants x threads".into(), format!("{} x {}", r.tenants, r.threads)]);
+    t.row(vec!["messages served".into(), r.messages.to_string()]);
+    t.row(vec!["msgs/sec".into(), f(r.msgs_per_sec, 1)]);
+    t.row(vec![
+        "bit-identity audit".into(),
+        format!("{} verdicts, {} mismatches", r.verdicts_checked, r.mismatches),
+    ]);
+    emit(&t, &args.out, "serve_bench");
+    if r.mismatches > 0 {
+        return Err(format!(
+            "{} of {} stacked-overlay verdicts diverged from the standalone TokenDb",
+            r.mismatches, r.verdicts_checked
+        ));
+    }
+    Ok(())
+}
+
+/// `repro model pack|inspect` — model image utilities.
+fn cmd_model(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("pack") => {
+            let [input, output] = &args.positional[1..] else {
+                return Err("usage: repro model pack <in> <out>".into());
+            };
+            let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+            // `load_db` sniffs magic bytes, so <in> may be a text dump or
+            // an existing image (re-pack normalizes either to canonical).
+            let db = sb_filter::load_db(std::io::BufReader::new(file))
+                .map_err(|e| format!("{input}: {e}"))?;
+            let bytes = sb_filter::image::pack(&db);
+            std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+            println!(
+                "packed {} -> {} ({} tokens, {} spam / {} ham msgs, {} bytes)",
+                input,
+                output,
+                db.n_tokens(),
+                db.n_spam(),
+                db.n_ham(),
+                bytes.len()
+            );
+            Ok(())
+        }
+        Some("inspect") => {
+            let [input] = &args.positional[1..] else {
+                return Err("usage: repro model inspect <img>".into());
+            };
+            let bytes = sb_serve::ImageBytes::load(std::path::Path::new(input))
+                .map_err(|e| format!("{input}: {e}"))?;
+            let view = sb_filter::ImageView::parse(&bytes)
+                .map_err(|e| format!("{input}: {e}"))?;
+            println!("{input}: model image v1");
+            println!("  bytes        {}", bytes.len());
+            println!("  served via   {}", if bytes.is_mapped() { "mmap" } else { "read" });
+            println!("  n_spam msgs  {}", view.n_spam());
+            println!("  n_ham msgs   {}", view.n_ham());
+            println!("  tokens       {}", view.n_tokens());
+            println!("  checksum     ok (validated on parse)");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown model subcommand {other:?} (pack|inspect)")),
+        None => Err("usage: repro model <pack|inspect> ...".into()),
+    }
+}
+
 /// `repro lint` — the workspace determinism linter, deny mode. A thin
 /// wrapper over the sb-lint library so the lint lane is reachable from
 /// the same binary that produces the reports it protects.
@@ -941,6 +1065,18 @@ fn main() -> ExitCode {
         }
         "run" => {
             if let Err(e) = cmd_run(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "serve-bench" => {
+            if let Err(e) = cmd_serve_bench(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "model" => {
+            if let Err(e) = cmd_model(&args) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

@@ -586,9 +586,12 @@ impl ScoreDb for TokenDb {
 /// The `ln` pair of a token score, applying the same clamp Fisher
 /// combining uses so cached values are bit-identical to the legacy
 /// `fisher_score` path (and to the overlay path, which shares this
-/// function).
+/// function). Public because every external [`ScoreDb`] implementation
+/// (e.g. `sb-serve`'s mmap-backed base and tenant overlay stacks) must
+/// use this exact clamp to keep its verdicts bit-identical to a
+/// [`TokenDb`] trained with the same mail.
 #[inline]
-pub(crate) fn ln_pair(f: f64) -> (f64, f64) {
+pub fn ln_pair(f: f64) -> (f64, f64) {
     let fc = f.clamp(1e-12, 1.0 - 1e-12);
     (fc.ln(), (1.0 - fc).ln())
 }

@@ -1,0 +1,543 @@
+//! The packed model image: a versioned, checksummed binary layout for a
+//! trained [`TokenDb`], loadable by offset instead of by parsing.
+//!
+//! [`crate::persist`]'s text dump is the *archival* format — diffable,
+//! greppable, stable since PR 2 — but loading it costs a line parse per
+//! token. Serving wants the opposite trade: a layout whose two big arrays
+//! (the dense `TokenCounts` table and the token string arena) are
+//! **offset-indexable in place**, so a server can `mmap` the file and
+//! answer count lookups without materializing anything (see the
+//! `sb-serve` crate's `MmapDb`). This module owns the format itself:
+//! the header, the checksum, the pack step, and the validated read-only
+//! view; it performs no I/O beyond `Read`/`Write` and no `unsafe` (the
+//! mapping lives in `sb-serve`, outside this crate's
+//! `#![forbid(unsafe_code)]`).
+//!
+//! ## Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic   b"SBMIMG1\n"
+//! 8       4     version u32 (= 1)
+//! 12      4     reserved u32 (= 0)
+//! 16      4     n_spam  u32   — NS, spam training messages
+//! 20      4     n_ham   u32   — NH, ham training messages
+//! 24      8     n_tokens u64  — rows; row i is image-local TokenId(i)
+//! 32      8     arena_len u64 — bytes of the string arena
+//! 40      8     checksum u64  — fnv1a64 over bytes 0..40 ++ 48..EOF
+//!                               (the whole file except this field, so
+//!                               header corruption is caught too)
+//! 48      8·n   counts array  — per row: spam u32, ham u32
+//! 48+8n   8·n   ends array    — per row: cumulative u64 end offset of
+//!                               the row's token string in the arena
+//! 48+16n  A     string arena  — concatenated UTF-8 token strings
+//! ```
+//!
+//! Rows are sorted by token string bytes, ascending — the image of a
+//! given set of counts is **canonical** (pack twice, byte-identical),
+//! exactly like the sorted text dump. Zero-count tokens are skipped.
+//!
+//! ## Integrity
+//!
+//! [`ImageView::parse`] validates everything up front — magic, version,
+//! declared sizes vs. actual length, the checksum, end-offset
+//! monotonicity, UTF-8 of every token, sort order, and the
+//! counts-vs-totals invariant the text loader enforces — and returns a
+//! typed [`ImageError`], never panicking on corrupt bytes (the serve
+//! crate property-tests truncations and bit flips against this). After
+//! `parse` succeeds, the per-row accessors are infallible.
+
+use crate::db::{TokenCounts, TokenDb};
+use std::io::Write;
+
+/// Magic bytes opening every packed model image. Disjoint from the text
+/// dump's `sbdb 1` header (`persist::load_db_into` dispatches on this).
+pub const IMAGE_MAGIC: [u8; 8] = *b"SBMIMG1\n";
+
+/// Current (only) format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Fixed header length in bytes; the counts array starts here.
+pub const HEADER_LEN: usize = 48;
+
+/// Errors from packing or reading a model image.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the image bytes.
+    Format {
+        /// Byte offset of the defect (0 for whole-file problems).
+        offset: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "I/O error: {e}"),
+            ImageError::Format { offset, reason } => {
+                write!(f, "bad model image at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice — same function family as the golden-digest
+/// seals, duplicated here so the core format stays dependency-free.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_step(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+fn fnv1a64_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The image checksum: fnv1a64 over the whole file *except* the checksum
+/// field itself (bytes 40..48), so corruption anywhere — header fields
+/// included — is caught.
+fn image_checksum(bytes: &[u8]) -> u64 {
+    let h = fnv1a64_step(0xCBF2_9CE4_8422_2325, &bytes[..40]);
+    fnv1a64_step(h, &bytes[HEADER_LEN..])
+}
+
+/// True when `bytes` begins with (a prefix of) the image magic — the
+/// dispatch test `persist::load_db_into` applies to its first buffered
+/// bytes. A prefix match on fewer than 8 bytes still routes to the image
+/// loader, which then reports the truncation as a typed error.
+pub fn looks_like_image(bytes: &[u8]) -> bool {
+    if bytes.is_empty() {
+        return false;
+    }
+    let n = bytes.len().min(IMAGE_MAGIC.len());
+    // sb-lint: allow(panic-path, "n = min(len, magic len) bounds both slices by construction")
+    bytes[..n] == IMAGE_MAGIC[..n]
+}
+
+fn err(offset: usize, reason: impl Into<String>) -> ImageError {
+    ImageError::Format {
+        offset,
+        reason: reason.into(),
+    }
+}
+
+fn u32_at(bytes: &[u8], offset: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[offset..offset + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn u64_at(bytes: &[u8], offset: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[offset..offset + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Pack a database into image bytes (see the module docs for the layout).
+///
+/// The image is canonical: rows are sorted by token string, so equal
+/// counts produce byte-identical images regardless of training order or
+/// interning history.
+pub fn pack(db: &TokenDb) -> Vec<u8> {
+    let mut entries: Vec<(String, TokenCounts)> = db.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let n = entries.len();
+    let arena_len: usize = entries.iter().map(|(t, _)| t.len()).sum();
+    let mut buf = Vec::with_capacity(HEADER_LEN + 16 * n + arena_len);
+    buf.extend_from_slice(&IMAGE_MAGIC);
+    buf.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    buf.extend_from_slice(&db.n_spam().to_le_bytes());
+    buf.extend_from_slice(&db.n_ham().to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(arena_len as u64).to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // checksum, patched below
+
+    for (_, c) in &entries {
+        buf.extend_from_slice(&c.spam.to_le_bytes());
+        buf.extend_from_slice(&c.ham.to_le_bytes());
+    }
+    let mut end: u64 = 0;
+    for (t, _) in &entries {
+        end += t.len() as u64;
+        buf.extend_from_slice(&end.to_le_bytes());
+    }
+    for (t, _) in &entries {
+        buf.extend_from_slice(t.as_bytes());
+    }
+
+    let checksum = image_checksum(&buf);
+    // sb-lint: allow(panic-path, "buf begins with the 48-byte header written above; 40..48 is the checksum field")
+    buf[40..48].copy_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Pack a database and write the image to `w` — the `repro model pack`
+/// entry point.
+pub fn write_image<W: Write>(db: &TokenDb, mut w: W) -> Result<(), ImageError> {
+    w.write_all(&pack(db))?;
+    Ok(())
+}
+
+/// A validated, read-only view over image bytes: every accessor after a
+/// successful [`ImageView::parse`] is pure offset arithmetic, which is
+/// what makes the format `mmap`-servable.
+///
+/// Row indices double as the image-local dense token ids (`TokenId(i)`
+/// in a serving interner built from the arena, in row order).
+#[derive(Debug, Clone, Copy)]
+pub struct ImageView<'a> {
+    bytes: &'a [u8],
+    n_spam: u32,
+    n_ham: u32,
+    n_tokens: usize,
+    ends_off: usize,
+    arena_off: usize,
+}
+
+impl<'a> ImageView<'a> {
+    /// Validate `bytes` as a version-1 image (see module docs for the
+    /// full check list) and return the view.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, ImageError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(err(
+                0,
+                format!("truncated header: {} bytes, need {HEADER_LEN}", bytes.len()),
+            ));
+        }
+        // sb-lint: allow(panic-path, "len >= HEADER_LEN (48) was checked above; 8 <= 48")
+        if bytes[..8] != IMAGE_MAGIC {
+            // sb-lint: allow(panic-path, "len >= HEADER_LEN (48) was checked above; 8 <= 48")
+            return Err(err(0, format!("bad magic {:?}", &bytes[..8])));
+        }
+        let version = u32_at(bytes, 8);
+        if version != IMAGE_VERSION {
+            return Err(err(8, format!("unsupported version {version}")));
+        }
+        let n_spam = u32_at(bytes, 16);
+        let n_ham = u32_at(bytes, 20);
+        let n_tokens_u64 = u64_at(bytes, 24);
+        let arena_len_u64 = u64_at(bytes, 32);
+        let checksum = u64_at(bytes, 40);
+
+        // Declared sizes must reproduce the actual length exactly before
+        // any array offset is trusted (checked in u64 so a hostile header
+        // cannot overflow usize arithmetic on 32-bit hosts).
+        let n_tokens = usize::try_from(n_tokens_u64)
+            .map_err(|_| err(24, format!("token count {n_tokens_u64} overflows usize")))?;
+        let arena_len = usize::try_from(arena_len_u64)
+            .map_err(|_| err(32, format!("arena length {arena_len_u64} overflows usize")))?;
+        let expect_len = (HEADER_LEN as u64)
+            .checked_add(n_tokens_u64.checked_mul(16).ok_or_else(|| {
+                err(24, format!("token count {n_tokens_u64} overflows the layout"))
+            })?)
+            .and_then(|v| v.checked_add(arena_len_u64))
+            .ok_or_else(|| err(24, "declared sizes overflow the layout".to_string()))?;
+        if bytes.len() as u64 != expect_len {
+            return Err(err(
+                0,
+                format!("file is {} bytes, header declares {expect_len}", bytes.len()),
+            ));
+        }
+        let got = image_checksum(bytes);
+        if got != checksum {
+            return Err(err(
+                40,
+                format!("checksum mismatch: header {checksum:#018x}, computed {got:#018x}"),
+            ));
+        }
+
+        let view = Self {
+            bytes,
+            n_spam,
+            n_ham,
+            n_tokens,
+            ends_off: HEADER_LEN + 8 * n_tokens,
+            arena_off: HEADER_LEN + 16 * n_tokens,
+        };
+
+        // Ends must be monotone non-decreasing and land exactly on the
+        // arena length; every token must be UTF-8; rows must be strictly
+        // sorted (canonical form, and what interning in row order relies
+        // on for id == row).
+        let mut prev_end = 0u64;
+        for i in 0..n_tokens {
+            let end = u64_at(bytes, view.ends_off + 8 * i);
+            if end < prev_end || end > arena_len as u64 {
+                return Err(err(
+                    view.ends_off + 8 * i,
+                    format!("row {i}: end offset {end} out of order (prev {prev_end}, arena {arena_len})"),
+                ));
+            }
+            prev_end = end;
+        }
+        if prev_end != arena_len as u64 {
+            return Err(err(
+                view.ends_off,
+                format!("last end offset {prev_end} != arena length {arena_len}"),
+            ));
+        }
+        let mut prev_token: Option<&str> = None;
+        for i in 0..n_tokens {
+            let (start, end) = view.token_span(i);
+            // sb-lint: allow(panic-path, "the ends loop above proved start <= end <= arena_len, and arena_off + arena_len == bytes.len() by the exact-size check")
+            let tok = std::str::from_utf8(&bytes[view.arena_off + start..view.arena_off + end])
+                .map_err(|e| err(view.arena_off + start, format!("row {i}: invalid UTF-8: {e}")))?;
+            if let Some(prev) = prev_token {
+                if prev >= tok {
+                    return Err(err(
+                        view.arena_off + start,
+                        format!("row {i}: token {tok:?} not sorted after {prev:?}"),
+                    ));
+                }
+            }
+            prev_token = Some(tok);
+            let c = view.counts(i);
+            if c.spam > n_spam || c.ham > n_ham {
+                return Err(err(
+                    HEADER_LEN + 8 * i,
+                    format!(
+                        "row {i}: token counts ({},{}) exceed message counts ({n_spam},{n_ham})",
+                        c.spam, c.ham
+                    ),
+                ));
+            }
+            if c.spam == 0 && c.ham == 0 {
+                return Err(err(
+                    HEADER_LEN + 8 * i,
+                    format!("row {i}: zero-count token (images store only live rows)"),
+                ));
+            }
+        }
+        Ok(view)
+    }
+
+    /// `NS`: spam messages trained into the packed model.
+    pub fn n_spam(&self) -> u32 {
+        self.n_spam
+    }
+
+    /// `NH`: ham messages trained into the packed model.
+    pub fn n_ham(&self) -> u32 {
+        self.n_ham
+    }
+
+    /// Number of rows (distinct tokens).
+    pub fn n_tokens(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// Total bytes of the string arena.
+    pub fn arena_len(&self) -> usize {
+        self.bytes.len() - self.arena_off
+    }
+
+    /// The declared checksum (already verified by [`ImageView::parse`]).
+    pub fn checksum(&self) -> u64 {
+        u64_at(self.bytes, 40)
+    }
+
+    fn token_span(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 {
+            0
+        } else {
+            u64_at(self.bytes, self.ends_off + 8 * (i - 1)) as usize
+        };
+        let end = u64_at(self.bytes, self.ends_off + 8 * i) as usize;
+        (start, end)
+    }
+
+    /// Counts of row `i` (row indices are `0..n_tokens`; parse validated
+    /// the array bounds).
+    pub fn counts(&self, i: usize) -> TokenCounts {
+        TokenCounts {
+            spam: u32_at(self.bytes, HEADER_LEN + 8 * i),
+            ham: u32_at(self.bytes, HEADER_LEN + 8 * i + 4),
+        }
+    }
+
+    /// Token string of row `i` — a direct arena slice, zero-copy
+    /// (UTF-8 validated once at parse).
+    pub fn token(&self, i: usize) -> &'a str {
+        let (start, end) = self.token_span(i);
+        debug_assert!(
+            // sb-lint: allow(panic-path, "parse proved every row span in bounds; debug-only re-check")
+            std::str::from_utf8(&self.bytes[self.arena_off + start..self.arena_off + end]).is_ok()
+        );
+        // Parse validated every row's UTF-8; re-checking per lookup would
+        // put an O(len) scan on the serving hot path.
+        // sb-lint: allow(panic-path, "parse proved every row span in bounds (ends monotone, arena exact-sized)")
+        let raw = &self.bytes[self.arena_off + start..self.arena_off + end];
+        std::str::from_utf8(raw).unwrap_or_default()
+    }
+}
+
+/// Read image bytes into an existing database (clearing it first, like
+/// the text loader): interns every token and replays the counts. This is
+/// the *migration* path — `persist::load_db_into` lands here when it sees
+/// the image magic — not the serving path, which keeps the bytes mapped
+/// (see `sb-serve`).
+///
+/// On error the target is left cleared, and the cache invalidated, with
+/// the same semantics as the text loader.
+pub fn read_image_into(db: &mut TokenDb, bytes: &[u8]) -> Result<(), ImageError> {
+    db.clear();
+    let res = (|| -> Result<(), ImageError> {
+        let view = ImageView::parse(bytes)?;
+        db.set_message_counts_for_load(view.n_spam(), view.n_ham());
+        for i in 0..view.n_tokens() {
+            let id = db.interner().intern(view.token(i));
+            db.add_counts_for_load(id, view.counts(i));
+        }
+        Ok(())
+    })();
+    if res.is_err() {
+        db.clear();
+    }
+    db.invalidate_cache();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_email::Label;
+
+    fn sample_db() -> TokenDb {
+        let mut db = TokenDb::new();
+        db.train(
+            &["cheap".into(), "email name:bob".into(), "skip:a 20".into()],
+            Label::Spam,
+        );
+        db.train(&["agenda".into(), "cheap".into()], Label::Ham);
+        db
+    }
+
+    #[test]
+    fn pack_parse_roundtrip() {
+        let db = sample_db();
+        let img = pack(&db);
+        let view = ImageView::parse(&img).unwrap();
+        assert_eq!(view.n_spam(), db.n_spam());
+        assert_eq!(view.n_ham(), db.n_ham());
+        assert_eq!(view.n_tokens(), db.n_tokens());
+        for i in 0..view.n_tokens() {
+            let tok = view.token(i);
+            assert_eq!(view.counts(i), db.counts(tok), "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn pack_is_canonical_across_training_order() {
+        let mut a = TokenDb::new();
+        a.train(&["x".into(), "y".into()], Label::Spam);
+        a.train(&["z".into()], Label::Ham);
+        let mut b = TokenDb::new();
+        b.train(&["z".into()], Label::Ham);
+        b.train(&["y".into(), "x".into()], Label::Spam);
+        assert_eq!(pack(&a), pack(&b));
+    }
+
+    #[test]
+    fn rows_are_sorted_by_token() {
+        let img = pack(&sample_db());
+        let view = ImageView::parse(&img).unwrap();
+        for i in 1..view.n_tokens() {
+            assert!(view.token(i - 1) < view.token(i));
+        }
+    }
+
+    #[test]
+    fn read_image_into_matches_source() {
+        let db = sample_db();
+        let img = pack(&db);
+        let mut back = TokenDb::new();
+        read_image_into(&mut back, &img).unwrap();
+        assert_eq!(back.n_spam(), db.n_spam());
+        assert_eq!(back.n_ham(), db.n_ham());
+        assert_eq!(back.n_tokens(), db.n_tokens());
+        for (tok, c) in db.iter() {
+            assert_eq!(back.counts(&tok), c, "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = TokenDb::new();
+        let img = pack(&db);
+        let view = ImageView::parse(&img).unwrap();
+        assert_eq!(view.n_tokens(), 0);
+        assert_eq!(view.arena_len(), 0);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_length() {
+        let img = pack(&sample_db());
+        for len in 0..img.len() {
+            let e = ImageView::parse(&img[..len]).unwrap_err();
+            assert!(matches!(e, ImageError::Format { .. }), "len {len}: {e}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum_or_validation() {
+        let img = pack(&sample_db());
+        // Flip one bit in each region: header count, counts array, ends
+        // array, arena. Every corruption must surface as a typed error.
+        for &pos in &[16usize, HEADER_LEN + 1, HEADER_LEN + 8 * 5 + 2, img.len() - 1] {
+            let mut bad = img.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                ImageView::parse(&bad).is_err(),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_counts_rejected_without_panic() {
+        let mut img = pack(&sample_db());
+        // Declare an absurd token count; length check must catch it
+        // before any offset arithmetic runs (and overflow-safe at that).
+        img[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ImageView::parse(&img),
+            Err(ImageError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_prefix_detection() {
+        assert!(looks_like_image(&pack(&TokenDb::new())));
+        assert!(looks_like_image(b"SBM")); // prefix routes to image loader
+        assert!(!looks_like_image(b"sbdb 1\n"));
+        assert!(!looks_like_image(b""));
+    }
+
+    #[test]
+    fn read_image_into_error_leaves_db_cleared() {
+        let mut db = TokenDb::new();
+        db.train(&["keepme".into()], Label::Ham);
+        let mut img = pack(&sample_db());
+        let last = img.len() - 1;
+        img[last] ^= 0x01;
+        assert!(read_image_into(&mut db, &img).is_err());
+        assert_eq!(db.n_messages(), 0);
+        assert_eq!(db.n_tokens(), 0);
+    }
+}

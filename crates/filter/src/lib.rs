@@ -41,6 +41,7 @@
 pub mod classify;
 pub mod classifier;
 pub mod db;
+pub mod image;
 pub mod options;
 pub mod overlay;
 pub mod persist;
@@ -51,7 +52,8 @@ pub use classify::{
     verdict_for, Clue, Scored, Verdict,
 };
 pub use classifier::SpamBayes;
-pub use db::{CachedScore, ScoreDb, TokenCounts, TokenDb, UntrainError};
+pub use db::{ln_pair, CachedScore, ScoreDb, TokenCounts, TokenDb, UntrainError};
+pub use image::{ImageError, ImageView};
 pub use options::FilterOptions;
 pub use overlay::{CandidateDelta, OverlayDb, OverlayScratch};
 pub use persist::{load_db, load_db_into, save_db, PersistError};

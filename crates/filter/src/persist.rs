@@ -91,18 +91,41 @@ pub fn restore(bytes: &[u8]) -> Result<TokenDb, PersistError> {
     load_db(std::io::Cursor::new(bytes))
 }
 
-/// Read a database dump produced by [`save_db`] into an existing
-/// database, replacing its contents — the warm-reload path (e.g. a
-/// serving filter re-reading its dump after an out-of-band retrain).
+/// Read a database dump into an existing database, replacing its
+/// contents — the warm-reload path (e.g. a serving filter re-reading its
+/// dump after an out-of-band retrain).
+///
+/// Accepts **either** on-disk model format transparently, dispatching on
+/// the first buffered bytes: the [`save_db`] text dump (`sbdb 1` magic)
+/// or the packed binary image of [`crate::image`] (`SBMIMG1` magic,
+/// written by `repro model pack`). Existing callers therefore work
+/// unchanged against migrated models.
 ///
 /// The target keeps its interner handle and allocations. Any previously
-/// cached scores are **invalidated**: the load writes counts through the
-/// bulk path, which bypasses the per-mutation generation bump, so serving
-/// pre-load `f(w)` entries afterwards would silently misclassify — the
-/// regression test `load_into_warm_db_invalidates_cache` pins this.
+/// cached scores are **invalidated**: both loaders write counts through
+/// the bulk path, which bypasses the per-mutation generation bump, so
+/// serving pre-load `f(w)` entries afterwards would silently
+/// misclassify — the regression test `load_into_warm_db_invalidates_cache`
+/// pins this.
 ///
 /// On error the target is left cleared (never with a half-applied dump).
-pub fn load_db_into<R: BufRead>(db: &mut TokenDb, r: R) -> Result<(), PersistError> {
+pub fn load_db_into<R: BufRead>(db: &mut TokenDb, mut r: R) -> Result<(), PersistError> {
+    // Peek without consuming: the text path re-reads these bytes as line 1.
+    // `fill_buf` may surface fewer than 8 bytes, but a *prefix* match on
+    // the image magic is already unambiguous (no text dump starts with
+    // `S`), so short buffers still dispatch correctly.
+    let prefix_is_image = crate::image::looks_like_image(r.fill_buf()?);
+    if prefix_is_image {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        return crate::image::read_image_into(db, &bytes).map_err(|e| match e {
+            crate::image::ImageError::Io(io) => PersistError::Io(io),
+            crate::image::ImageError::Format { offset, reason } => PersistError::Format {
+                line: 0,
+                reason: format!("model image byte {offset}: {reason}"),
+            },
+        });
+    }
     db.clear();
     let res = load_rows(db, r);
     if res.is_err() {
@@ -426,6 +449,40 @@ mod tests {
                 other => panic!("{what}: expected Format, got {other}"),
             }
         }
+    }
+
+    /// `load_db_into` accepts the packed binary image transparently: the
+    /// same caller code loads either format and ends with identical
+    /// counts.
+    #[test]
+    fn load_db_into_dispatches_on_image_magic() {
+        let db = sample_db();
+        let img = crate::image::pack(&db);
+        let from_img = load_db(Cursor::new(img)).unwrap();
+        let mut dump = Vec::new();
+        save_db(&db, &mut dump).unwrap();
+        let from_txt = load_db(Cursor::new(dump)).unwrap();
+        assert_eq!(from_img.n_spam(), from_txt.n_spam());
+        assert_eq!(from_img.n_ham(), from_txt.n_ham());
+        assert_eq!(from_img.n_tokens(), from_txt.n_tokens());
+        for (tok, c) in from_txt.iter() {
+            assert_eq!(from_img.counts(&tok), c, "token {tok:?}");
+        }
+    }
+
+    /// Corrupt image bytes surface as `PersistError::Format` through the
+    /// dispatch path, with the target left cleared.
+    #[test]
+    fn corrupt_image_through_dispatch_is_typed_and_clears() {
+        let mut img = crate::image::pack(&sample_db());
+        let last = img.len() - 1;
+        img[last] ^= 0x01;
+        let mut db = TokenDb::new();
+        db.train(&["keepme".into()], Label::Ham);
+        let err = load_db_into(&mut db, Cursor::new(img)).unwrap_err();
+        assert!(matches!(err, PersistError::Format { .. }), "{err}");
+        assert_eq!(db.n_messages(), 0);
+        assert_eq!(db.n_tokens(), 0);
     }
 
     #[test]

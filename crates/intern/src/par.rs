@@ -150,13 +150,35 @@ where
     })
 }
 
+/// Chunk-size override: the `SB_CHUNK` environment variable as a positive
+/// integer (read once per process), or `None` to use the adaptive default
+/// of ~4 chunks per worker.
+///
+/// Exposed for throughput tuning on multi-core hosts (`repro serve-bench`
+/// sweeps, CI runners): smaller chunks balance uneven per-item costs at
+/// more coordination overhead, larger chunks amortize the per-chunk
+/// channel send. Like `SB_THREADS`, this only moves work *scheduling* —
+/// chunk boundaries never feed seeds, RNG, or merge order, so results
+/// stay bit-identical under any value (`chunks_flatten_under_any_size`
+/// pins this).
+pub fn chunk_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("SB_CHUNK")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
 /// Map `f` over contiguous chunks of `items`, in parallel, flattening the
 /// per-chunk result vectors back into input order. `f` receives
 /// `(chunk_start_index, chunk)` and must return one result per item.
 ///
 /// Used where per-item work is too small to pay a channel send per item
 /// (e.g. classifying thousands of token sets): chunking amortizes the
-/// coordination to one send per chunk.
+/// coordination to one send per chunk. Chunk size defaults to ~4 chunks
+/// per worker and can be pinned with `SB_CHUNK` (see [`chunk_override`]).
 pub fn parallel_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -174,7 +196,26 @@ where
         return out;
     }
     // ~4 chunks per worker balances scheduling against coordination.
-    let chunk_size = items.len().div_ceil(threads * 4).max(1);
+    let chunk_size = chunk_override()
+        .unwrap_or_else(|| items.len().div_ceil(threads * 4))
+        .max(1);
+    parallel_chunks_sized(items, threads, chunk_size, f)
+}
+
+/// [`parallel_chunks`] with an explicit chunk size — the implementation
+/// behind the `SB_CHUNK` override, exposed so tests (and benchmarks) can
+/// sweep sizes without touching process-global environment state.
+pub fn parallel_chunks_sized<T, R, F>(items: &[T], threads: usize, chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    assert!(chunk_size >= 1, "need a positive chunk size");
+    if items.is_empty() {
+        return Vec::new();
+    }
     let chunks: Vec<(usize, &[T])> = items
         .chunks(chunk_size)
         .enumerate()
@@ -226,6 +267,28 @@ mod tests {
                 .collect()
         });
         assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    /// Chunk size is pure scheduling: any `SB_CHUNK` value produces the
+    /// same flattened output (boundaries never reach the per-item fn's
+    /// results, only its slice bounds).
+    #[test]
+    fn chunks_flatten_under_any_size() {
+        let items: Vec<u32> = (0..331).collect();
+        let want: Vec<u32> = items.iter().map(|v| v * 2).collect();
+        for chunk_size in [1, 2, 3, 7, 64, 331, 1000] {
+            let out = parallel_chunks_sized(&items, 4, chunk_size, |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &v)| {
+                        assert_eq!(v as usize, start + off);
+                        v * 2
+                    })
+                    .collect()
+            });
+            assert_eq!(out, want, "chunk_size {chunk_size}");
+        }
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! Overlay stacks: persistent per-tenant deltas over a shared read-only
+//! base, combined read-only by [`StackView`] and served to concurrent
+//! probe threads through a [`SyncMemo`].
+//!
+//! Where [`sb_filter::CandidateDelta`] is the *measurement* delta — one
+//! immutable candidate message, built per RONI probe and thrown away —
+//! an [`OverlayLayer`] is the *serving* delta: it accumulates a tenant's
+//! whole personal training history (arbitrary per-token counts from many
+//! train/untrain calls) and lives as long as the tenant does. Layers
+//! stack: a [`StackView`] lays an ordered list of layers over any
+//! [`BaseModel`] (org patch over the packed base, user delta over that),
+//! and scoring consults them newest-to-oldest additively — effective
+//! counts are `base + Σ layers`, effective class totals likewise.
+//!
+//! ## Bit-identity
+//!
+//! A stack's scores are bit-identical to a standalone
+//! [`sb_filter::TokenDb`] that trained the base mail and then every
+//! layer's mail: both paths evaluate
+//! `token_score_from_counts(NS_eff, NH_eff, counts_eff, opts)` and the
+//! same [`sb_filter::ln_pair`] clamp on equal `u32` inputs, and integer
+//! addition is associative — *which* layer a count lives in cannot move
+//! the sum. Property-tested in `tests/prop_serve.rs`
+//! (`stacked_overlays_equal_sequential_training`).
+//!
+//! ## Concurrency
+//!
+//! [`StackView`] is `Sync` when its base is: scoring is read-only, and
+//! the optional [`SyncMemo`] memoizes through the same lock-free
+//! generation-stamped atomic-slot discipline as the `TokenDb` cache —
+//! racing fills are benign duplicates of a pure function. Every layer
+//! mutation bumps that layer's generation, so a stack's *combined*
+//! generation stamps memo slots: a train/untrain anywhere in the stack
+//! silently invalidates every cached score in O(1).
+
+use crate::model::BaseModel;
+use sb_email::Label;
+use sb_filter::score::token_score_from_counts;
+use sb_filter::{ln_pair, FilterOptions, ScoreDb, TokenCounts};
+use sb_intern::{FxHashMap, Interner, TokenId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A persistent training delta: the per-token counts and per-class
+/// message totals a tenant's own mail contributed on top of whatever it
+/// stacks on. Mutable only through [`OverlayLayer::train_ids`] /
+/// [`OverlayLayer::untrain_ids`]; every mutation bumps the generation
+/// that stamps downstream [`SyncMemo`] slots.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayLayer {
+    counts: FxHashMap<TokenId, TokenCounts>,
+    d_spam: u32,
+    d_ham: u32,
+    /// Bumped on every successful mutation (starts at 0).
+    generation: u64,
+}
+
+/// An untrain asked this layer to forget counts it never trained — the
+/// typed, fail-closed refusal ([`crate::ServeError::Underflow`] at the
+/// registry surface). The layer is left unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerUnderflow {
+    /// First offending token (`None` when the class total itself would
+    /// underflow).
+    pub token: Option<TokenId>,
+}
+
+impl std::fmt::Display for LayerUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.token {
+            Some(id) => write!(f, "untrain underflows token id {}", id.0),
+            None => write!(f, "untrain underflows the class message total"),
+        }
+    }
+}
+
+impl std::error::Error for LayerUnderflow {}
+
+impl OverlayLayer {
+    /// An empty delta (contributes nothing until trained).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Train one message's token *set* (deduplicated ids, as
+    /// `Interner::intern_set` produces) under `label` — the layer-local
+    /// mirror of [`sb_filter::TokenDb::train_ids`].
+    pub fn train_ids(&mut self, ids: &[TokenId], label: Label) {
+        self.train_ids_many(ids, label, 1);
+    }
+
+    /// Train `multiplicity` identical messages at once.
+    pub fn train_ids_many(&mut self, ids: &[TokenId], label: Label, multiplicity: u32) {
+        if multiplicity == 0 {
+            return;
+        }
+        for &id in ids {
+            let c = self.counts.entry(id).or_default();
+            match label {
+                Label::Spam => c.spam += multiplicity,
+                Label::Ham => c.ham += multiplicity,
+            }
+        }
+        match label {
+            Label::Spam => self.d_spam += multiplicity,
+            Label::Ham => self.d_ham += multiplicity,
+        }
+        self.generation += 1;
+    }
+
+    /// Exactly remove one previously trained message from *this layer*.
+    ///
+    /// Scope is deliberate: a tenant may only forget mail its own delta
+    /// trained — mail trained into the shared base (or a lower layer)
+    /// belongs to every tenant and is immutable here. Validates the whole
+    /// message first and mutates only on success, so a refused untrain
+    /// leaves the layer byte-identical.
+    pub fn untrain_ids(&mut self, ids: &[TokenId], label: Label) -> Result<(), LayerUnderflow> {
+        match label {
+            Label::Spam if self.d_spam == 0 => return Err(LayerUnderflow { token: None }),
+            Label::Ham if self.d_ham == 0 => return Err(LayerUnderflow { token: None }),
+            _ => {}
+        }
+        for &id in ids {
+            let have = self.counts.get(&id).copied().unwrap_or_default();
+            let class_count = match label {
+                Label::Spam => have.spam,
+                Label::Ham => have.ham,
+            };
+            if class_count == 0 {
+                return Err(LayerUnderflow { token: Some(id) });
+            }
+        }
+        for &id in ids {
+            if let Some(c) = self.counts.get_mut(&id) {
+                match label {
+                    Label::Spam => c.spam -= 1,
+                    Label::Ham => c.ham -= 1,
+                }
+                if c.spam == 0 && c.ham == 0 {
+                    self.counts.remove(&id);
+                }
+            }
+        }
+        match label {
+            Label::Spam => self.d_spam -= 1,
+            Label::Ham => self.d_ham -= 1,
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// The counts this layer adds for `id` (zero when untouched).
+    #[inline]
+    pub fn added(&self, id: TokenId) -> TokenCounts {
+        self.counts.get(&id).copied().unwrap_or_default()
+    }
+
+    /// The `(ΔNS, ΔNH)` class-total shift this layer applies.
+    pub fn class_shift(&self) -> (u32, u32) {
+        (self.d_spam, self.d_ham)
+    }
+
+    /// Distinct tokens this layer touches.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the layer contributes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.d_spam == 0 && self.d_ham == 0
+    }
+
+    /// Mutation counter (starts at 0; bumps on every successful
+    /// train/untrain). Feeds the stack's combined memo stamp.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// One lock-free memo slot, the [`SyncMemo`] unit: the stamp carries the
+/// stack's combined generation (0 = never filled; combined generations
+/// start at 1), published `Release` after the value like every other
+/// score cache in the workspace.
+#[derive(Default)]
+struct MemoSlot {
+    stamp_f: AtomicU64,
+    f: AtomicU64,
+    stamp_ln: AtomicU64,
+    ln_f: AtomicU64,
+    ln_1mf: AtomicU64,
+}
+
+/// A `Sync` score memo for one tenant's stack: dense slots indexed by
+/// `TokenId`, shared lock-free by every probe thread classifying through
+/// the same [`StackView`].
+///
+/// Invalidation is by *stamp*, not by clearing: slots are valid only for
+/// the combined stack generation that filled them, so any layer mutation
+/// (which bumps its generation, hence the combination) obsoletes the
+/// whole memo in O(1) without touching a byte. The memo must therefore be
+/// bound to **one** logical stack whose combined generation only grows —
+/// the registry owns exactly one per tenant.
+///
+/// Capacity is fixed between [`SyncMemo::ensure_capacity`] calls (growing
+/// a `Vec` is not lock-free); ids beyond capacity are computed directly,
+/// never cached, so capacity is purely a performance knob. The registry
+/// re-extends to the interner's length on every (write-locked) train.
+#[derive(Default)]
+pub struct SyncMemo {
+    slots: Vec<MemoSlot>,
+}
+
+impl std::fmt::Debug for SyncMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SyncMemo({} slots)", self.slots.len())
+    }
+}
+
+impl SyncMemo {
+    /// A memo with `capacity` dense slots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity).map(|_| MemoSlot::default()).collect(),
+        }
+    }
+
+    /// Current slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grow to at least `capacity` slots (never shrinks). Requires `&mut`
+    /// — callers serialize growth behind their tenant write lock; probe
+    /// threads only ever hold `&SyncMemo`.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        while self.slots.len() < capacity {
+            self.slots.push(MemoSlot::default());
+        }
+    }
+}
+
+/// A read-only combined view over a base and an ordered overlay stack,
+/// implementing [`ScoreDb`] — every scoring, δ(E)-selection, and Fisher
+/// path works against it unchanged.
+///
+/// Layer order in `layers` is bottom-up (`layers[0]` sits directly on the
+/// base); scoring is additive, so order only matters for bookkeeping and
+/// documentation, never for the numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct StackView<'a, B: BaseModel + ?Sized> {
+    base: &'a B,
+    layers: &'a [&'a OverlayLayer],
+    memo: Option<&'a SyncMemo>,
+    /// Effective per-class totals (base + every layer), entering Eq. 1
+    /// for every token.
+    n_spam: u32,
+    n_ham: u32,
+    /// Memo stamp: 1 + Σ layer generations — monotone in any mutation.
+    stamp: u64,
+}
+
+impl<'a, B: BaseModel + ?Sized> StackView<'a, B> {
+    /// Combine `layers` (bottom-up) over `base`, unmemoized.
+    pub fn new(base: &'a B, layers: &'a [&'a OverlayLayer]) -> Self {
+        let mut n_spam = base.base_n_spam();
+        let mut n_ham = base.base_n_ham();
+        let mut stamp = 1u64;
+        for layer in layers {
+            let (ds, dh) = layer.class_shift();
+            n_spam += ds;
+            n_ham += dh;
+            stamp += layer.generation();
+        }
+        Self {
+            base,
+            layers,
+            memo: None,
+            n_spam,
+            n_ham,
+            stamp,
+        }
+    }
+
+    /// [`StackView::new`] with a shared score memo (see [`SyncMemo`] for
+    /// the binding contract).
+    pub fn with_memo(base: &'a B, layers: &'a [&'a OverlayLayer], memo: &'a SyncMemo) -> Self {
+        Self {
+            memo: Some(memo),
+            ..Self::new(base, layers)
+        }
+    }
+
+    /// The base model under the stack.
+    pub fn base(&self) -> &'a B {
+        self.base
+    }
+
+    /// Stack depth (number of overlay layers).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Effective `NS` (base plus every layer).
+    pub fn n_spam(&self) -> u32 {
+        self.n_spam
+    }
+
+    /// Effective `NH` (base plus every layer).
+    pub fn n_ham(&self) -> u32 {
+        self.n_ham
+    }
+
+    /// Effective counts for a token: base plus every layer's addition.
+    #[inline]
+    pub fn counts_by_id(&self, id: TokenId) -> TokenCounts {
+        let mut c = self.base.base_counts(id);
+        for layer in self.layers {
+            let add = layer.added(id);
+            c.spam += add.spam;
+            c.ham += add.ham;
+        }
+        c
+    }
+
+    /// The stack's uncached score — what the memo slots are filled with.
+    #[inline]
+    fn compute_f(&self, id: TokenId, opts: &FilterOptions) -> f64 {
+        token_score_from_counts(self.n_spam, self.n_ham, self.counts_by_id(id), opts)
+    }
+}
+
+impl<B: BaseModel + ?Sized> ScoreDb for StackView<'_, B> {
+    fn interner(&self) -> &Interner {
+        self.base.interner()
+    }
+
+    fn score_f(&self, id: TokenId, opts: &FilterOptions) -> f64 {
+        let Some(slot) = self.memo.and_then(|m| m.slots.get(id.index())) else {
+            return self.compute_f(id, opts);
+        };
+        if slot.stamp_f.load(Ordering::Acquire) == self.stamp {
+            return f64::from_bits(slot.f.load(Ordering::Relaxed));
+        }
+        let f = self.compute_f(id, opts);
+        slot.f.store(f.to_bits(), Ordering::Relaxed);
+        slot.stamp_f.store(self.stamp, Ordering::Release);
+        f
+    }
+
+    fn score_lns(&self, id: TokenId, f: f64) -> (f64, f64) {
+        let Some(slot) = self.memo.and_then(|m| m.slots.get(id.index())) else {
+            return ln_pair(f);
+        };
+        if slot.stamp_ln.load(Ordering::Acquire) == self.stamp {
+            return (
+                f64::from_bits(slot.ln_f.load(Ordering::Relaxed)),
+                f64::from_bits(slot.ln_1mf.load(Ordering::Relaxed)),
+            );
+        }
+        let (ln_f, ln_1mf) = ln_pair(f);
+        slot.ln_f.store(ln_f.to_bits(), Ordering::Relaxed);
+        slot.ln_1mf.store(ln_1mf.to_bits(), Ordering::Relaxed);
+        slot.stamp_ln.store(self.stamp, Ordering::Release);
+        (ln_f, ln_1mf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_filter::classify::score_token_ids;
+    use sb_filter::TokenDb;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn base_db(interner: &Interner) -> TokenDb {
+        let mut db = TokenDb::with_interner(interner.clone());
+        for i in 0..8 {
+            db.train(&toks(&["cheap", "pills", &format!("s{i}")]), Label::Spam);
+            db.train(&toks(&["meeting", "agenda", &format!("h{i}")]), Label::Ham);
+        }
+        db
+    }
+
+    /// The contract: a 2-deep stack scores bit-identically to one TokenDb
+    /// trained base → org → user sequentially.
+    #[test]
+    fn two_deep_stack_matches_sequential_training() {
+        let opts = FilterOptions::default();
+        let interner = Interner::new();
+        let base = base_db(&interner);
+
+        let org_mail = interner.intern_set(&toks(&["quarterly", "cheap", "report"]));
+        let user_spam = interner.intern_set(&toks(&["viagra", "cheap"]));
+        let user_ham = interner.intern_set(&toks(&["meeting", "viagra", "minutes"]));
+
+        let mut org = OverlayLayer::new();
+        org.train_ids(&org_mail, Label::Ham);
+        let mut user = OverlayLayer::new();
+        user.train_ids(&user_spam, Label::Spam);
+        user.train_ids(&user_ham, Label::Ham);
+
+        let mut sequential = base.clone();
+        sequential.train_ids(&org_mail, Label::Ham);
+        sequential.train_ids(&user_spam, Label::Spam);
+        sequential.train_ids(&user_ham, Label::Ham);
+
+        let layers: Vec<&OverlayLayer> = vec![&org, &user];
+        let stack = StackView::new(&base, &layers);
+        assert_eq!(stack.depth(), 2);
+        assert_eq!(stack.n_spam(), sequential.n_spam());
+        assert_eq!(stack.n_ham(), sequential.n_ham());
+
+        let probe = interner.intern_set(&toks(&[
+            "cheap", "viagra", "meeting", "quarterly", "minutes", "unseen",
+        ]));
+        for &id in &probe {
+            assert_eq!(stack.counts_by_id(id), sequential.counts_by_id(id));
+            assert_eq!(
+                stack.score_f(id, &opts).to_bits(),
+                sequential.cached_f(id, &opts).to_bits()
+            );
+        }
+        let via_stack = score_token_ids(&probe, &stack, &opts);
+        let via_seq = score_token_ids(&probe, &sequential, &opts);
+        assert_eq!(via_stack.score.to_bits(), via_seq.score.to_bits());
+        assert_eq!(via_stack, via_seq);
+    }
+
+    /// Memoized and unmemoized stacks agree bit-for-bit, and a layer
+    /// mutation invalidates the memo (stamps move).
+    #[test]
+    fn memo_agrees_and_invalidates_on_mutation() {
+        let opts = FilterOptions::default();
+        let interner = Interner::new();
+        let base = base_db(&interner);
+        let mut user = OverlayLayer::new();
+        let mail = interner.intern_set(&toks(&["cheap", "offer"]));
+        user.train_ids(&mail, Label::Spam);
+
+        let probe = interner.intern_set(&toks(&["cheap", "offer", "meeting"]));
+        let memo = SyncMemo::new(interner.len());
+
+        {
+            let layers = [&user];
+            let plain = StackView::new(&base, &layers);
+            let memoized = StackView::with_memo(&base, &layers, &memo);
+            for &id in &probe {
+                let want = plain.score_f(id, &opts);
+                assert_eq!(memoized.score_f(id, &opts).to_bits(), want.to_bits());
+                // Second read served from the filled slot.
+                assert_eq!(memoized.score_f(id, &opts).to_bits(), want.to_bits());
+                let lns = memoized.score_lns(id, want);
+                assert_eq!(lns, plain.score_lns(id, want));
+            }
+        }
+
+        // Mutate the layer: stale slots must not serve.
+        user.train_ids(&mail, Label::Spam);
+        let layers = [&user];
+        let plain = StackView::new(&base, &layers);
+        let memoized = StackView::with_memo(&base, &layers, &memo);
+        for &id in &probe {
+            assert_eq!(
+                memoized.score_f(id, &opts).to_bits(),
+                plain.score_f(id, &opts).to_bits()
+            );
+        }
+    }
+
+    /// Untrain is exact and fail-closed: removing trained mail restores
+    /// the previous state; removing anything else is a typed refusal that
+    /// mutates nothing.
+    #[test]
+    fn untrain_is_exact_and_fail_closed() {
+        let interner = Interner::new();
+        let mail = interner.intern_set(&toks(&["a", "b"]));
+        let other = interner.intern_set(&toks(&["c"]));
+
+        let mut layer = OverlayLayer::new();
+        layer.train_ids(&mail, Label::Spam);
+        let snapshot = layer.clone();
+
+        // Never-trained message: refused, untouched.
+        let err = layer.untrain_ids(&other, Label::Spam).unwrap_err();
+        assert_eq!(err.token, Some(other[0]));
+        assert_eq!(layer.class_shift(), snapshot.class_shift());
+        assert_eq!(layer.len(), snapshot.len());
+
+        // Wrong label: the class total is empty.
+        let err = layer.untrain_ids(&mail, Label::Ham).unwrap_err();
+        assert_eq!(err.token, None);
+
+        // Exact removal empties the layer.
+        layer.untrain_ids(&mail, Label::Spam).unwrap();
+        assert!(layer.is_empty());
+        assert_eq!(layer.added(mail[0]), TokenCounts::default());
+    }
+
+    /// Ids beyond the memo's capacity are computed directly — correctness
+    /// never depends on capacity.
+    #[test]
+    fn memo_capacity_is_only_a_performance_knob() {
+        let opts = FilterOptions::default();
+        let interner = Interner::new();
+        let base = base_db(&interner);
+        let user = OverlayLayer::new();
+        let layers = [&user];
+        let memo = SyncMemo::new(1);
+        let memoized = StackView::with_memo(&base, &layers, &memo);
+        let plain = StackView::new(&base, &layers);
+        for tok in ["cheap", "meeting", "brand-new"] {
+            let id = interner.intern(tok);
+            assert_eq!(
+                memoized.score_f(id, &opts).to_bits(),
+                plain.score_f(id, &opts).to_bits()
+            );
+        }
+        let mut memo = memo;
+        memo.ensure_capacity(interner.len());
+        assert_eq!(memo.capacity(), interner.len());
+    }
+
+    /// A stack over an empty layer list is exactly the base.
+    #[test]
+    fn empty_stack_is_the_base() {
+        let opts = FilterOptions::default();
+        let interner = Interner::new();
+        let base = base_db(&interner);
+        let layers: [&OverlayLayer; 0] = [];
+        let stack = StackView::new(&base, &layers);
+        let id = interner.get("cheap").unwrap();
+        assert_eq!(stack.n_spam(), base.n_spam());
+        assert_eq!(stack.counts_by_id(id), base.counts_by_id(id));
+        assert_eq!(
+            stack.score_f(id, &opts).to_bits(),
+            base.cached_f(id, &opts).to_bits()
+        );
+    }
+}
